@@ -1,0 +1,232 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Three studies, each printing a small table:
+
+1. **Cross-bipartite walk** — replace the uniform three-bipartite mixture
+   with a single-bipartite walker (U only / S only / T only) and a sticky
+   switch, and measure Diversity@10 and Relevance@10 of the
+   diversification stage.  Expectation: the uniform mixture dominates each
+   single view (the multi-bipartite argument of Sec. III).
+2. **UPM channels** — knock out the URL channel, the time channel and the
+   hyperparameter learning, and measure Eq. 35 perplexity.  Expectation:
+   the full UPM is best; each knockout hurts.
+3. **Borda personalization weight** — sweep the fusion weight and measure
+   PPR@5 and Diversity@10 of the final lists.  Expectation: weight 0
+   equals the diversification-only list; moderate weights raise PPR
+   without collapsing diversity.
+"""
+
+import pytest
+
+from benchmarks.conftest import KS
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.diversify.cross_bipartite import SwitchMatrix
+from repro.eval.harness import evaluate_personalized, evaluate_suggester
+from repro.graphs.compact import CompactConfig
+from repro.personalize.upm import UPM, UPMConfig
+from repro.topicmodels import build_corpus
+from repro.topicmodels.perplexity import evaluate_perplexity
+
+
+def _diversify_config(switch=None):
+    return PQSDAConfig(
+        compact=CompactConfig(size=150),
+        diversify=DiversifyConfig(k=10, candidate_pool=25, switch=switch),
+        personalize=False,
+    )
+
+
+def test_ablation_cross_bipartite_walk(
+    benchmark, synthetic, test_queries, diversity_metric, relevance_metric
+):
+    variants = {
+        "uniform": None,
+        "U-only": SwitchMatrix.single("U"),
+        "S-only": SwitchMatrix.single("S"),
+        "T-only": SwitchMatrix.single("T"),
+        "sticky-0.8": SwitchMatrix.sticky(0.8),
+    }
+
+    def run():
+        rows = {}
+        for name, switch in variants.items():
+            suggester = PQSDA.build(
+                synthetic.log,
+                sessions=synthetic.sessions,
+                config=_diversify_config(switch),
+            )
+            result = evaluate_suggester(
+                suggester,
+                test_queries,
+                ks=KS,
+                diversity=diversity_metric,
+                relevance=relevance_metric,
+            )
+            rows[name] = (
+                result["diversity"][KS[-1]],
+                result["relevance"][KS[-1]],
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: cross-bipartite switch matrix ===")
+    print(f"{'variant':12s} {'div@10':>8s} {'rel@10':>8s}")
+    for name, (diversity, relevance) in rows.items():
+        print(f"{name:12s} {diversity:8.3f} {relevance:8.3f}")
+
+    # The uniform mixture must beat the session-only and term-only walkers
+    # on diversity.  The URL-only walker is *not* asserted against: with
+    # sparse clicks most of its transition rows are empty, so its hitting
+    # times saturate and it effectively returns relevance-sorted
+    # suggestions, many of them unclicked — and Eq. 32 counts unclicked
+    # suggestions as maximally diverse (no page evidence), inflating its
+    # score.  The printed row documents that artifact.
+    base_div, _ = rows["uniform"]
+    for name in ("S-only", "T-only"):
+        div, _ = rows[name]
+        assert base_div >= div - 0.02, (
+            f"uniform mixture should out-diversify {name}"
+        )
+    print(
+        "note: U-only's high scores are an Eq. 32 artifact on sparse "
+        "clicks (unclicked suggestions count as fully diverse)."
+    )
+
+
+def test_ablation_upm_channels(benchmark, synthetic):
+    corpus = build_corpus(synthetic.log, synthetic.sessions)
+    variants = {
+        "full UPM": UPMConfig(
+            n_topics=10, iterations=30, hyperopt_every=10, seed=0
+        ),
+        "no URLs": UPMConfig(
+            n_topics=10, iterations=30, hyperopt_every=10, use_urls=False,
+            seed=0,
+        ),
+        "no time": UPMConfig(
+            n_topics=10, iterations=30, hyperopt_every=10, use_time=False,
+            seed=0,
+        ),
+        "no hyperopt": UPMConfig(
+            n_topics=10, iterations=30, hyperopt_every=0, seed=0
+        ),
+    }
+
+    def run():
+        return {
+            name: evaluate_perplexity(UPM(config), corpus, 0.7)
+            for name, config in variants.items()
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: UPM channels (perplexity, lower = better) ===")
+    for name, value in rows.items():
+        print(f"{name:12s} {value:10.1f}")
+
+    full = rows["full UPM"]
+    # Knocking out the URL or time channel should not improve the model.
+    for name in ("no URLs", "no time"):
+        assert full <= rows[name] * 1.10, f"{name} beat the full UPM"
+    # Recorded deviation (see EXPERIMENTS.md): on the synthetic workload,
+    # *disabling* hyperparameter learning lowers perplexity further — the
+    # evidence-optimal beta is smaller than the symmetric prior, trading
+    # unseen-word smoothing for seen-word sharpness.  The paper deems the
+    # learning imperative on its (much larger-vocabulary) commercial log.
+    print(
+        f"note: 'no hyperopt' at {rows['no hyperopt']:.1f} vs full "
+        f"{full:.1f} — symmetric smoothing wins on the small synthetic "
+        "vocabulary; see EXPERIMENTS.md."
+    )
+
+
+def test_ablation_personalization_weight(
+    benchmark, split, diversity_metric, ppr_metric
+):
+    weights = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+    def run():
+        rows = {}
+        for weight in weights:
+            suggester = PQSDA.build(
+                split.train_log,
+                sessions=split.train_sessions,
+                config=PQSDAConfig(
+                    compact=CompactConfig(size=150),
+                    diversify=DiversifyConfig(k=10, candidate_pool=25),
+                    upm=UPMConfig(
+                        n_topics=10, iterations=30, hyperopt_every=10, seed=0
+                    ),
+                    personalization_weight=weight,
+                ),
+            )
+            result = evaluate_personalized(
+                suggester,
+                split.test_sessions,
+                ks=KS,
+                diversity=diversity_metric,
+                ppr=ppr_metric,
+            )
+            rows[weight] = (
+                result["ppr"][5],
+                result["diversity"][KS[-1]],
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: Borda personalization weight ===")
+    print(f"{'weight':>6s} {'ppr@5':>8s} {'div@10':>8s}")
+    for weight, (ppr, diversity) in rows.items():
+        print(f"{weight:6.1f} {ppr:8.3f} {diversity:8.3f}")
+
+    # Personalization must lift PPR@5 over the unpersonalized list...
+    assert max(rows[w][0] for w in weights if w > 0) >= rows[0.0][0]
+    # ... while the candidate set (hence diversity) stays the same scale.
+    for weight in weights:
+        assert abs(rows[weight][1] - rows[0.0][1]) < 0.10
+
+
+def test_ablation_weighting_scheme(
+    benchmark, synthetic, test_queries, diversity_metric, relevance_metric
+):
+    """Raw vs cfiqf (Eqs. 4-6) vs entropy bias (Deng et al., ref [18])."""
+    from repro.graphs.multibipartite import build_multibipartite
+
+    def run():
+        rows = {}
+        sessions = synthetic.sessions
+        for label, kwargs in (
+            ("raw", {"weighted": False}),
+            ("cfiqf", {"weighted": True, "scheme": "cfiqf"}),
+            ("entropy", {"weighted": True, "scheme": "entropy"}),
+        ):
+            mb = build_multibipartite(synthetic.log, sessions, **kwargs)
+            suggester = PQSDA.build(
+                synthetic.log,
+                sessions=sessions,
+                config=_diversify_config(),
+                multibipartite=mb,
+            )
+            result = evaluate_suggester(
+                suggester,
+                test_queries,
+                ks=KS,
+                diversity=diversity_metric,
+                relevance=relevance_metric,
+            )
+            rows[label] = (
+                result["diversity"][KS[-1]],
+                result["relevance"][KS[-1]],
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: edge-weighting scheme ===")
+    print(f"{'scheme':10s} {'div@10':>8s} {'rel@10':>8s}")
+    for label, (diversity, relevance) in rows.items():
+        print(f"{label:10s} {diversity:8.3f} {relevance:8.3f}")
+
+    # Both weighting schemes should be at least competitive with raw on
+    # relevance (the Fig. 3 weighted-vs-raw finding).
+    assert rows["cfiqf"][1] >= rows["raw"][1] - 0.05
+    assert rows["entropy"][1] >= rows["raw"][1] - 0.05

@@ -1,0 +1,61 @@
+"""Compact-representation size Q: the quality/latency trade of Sec. IV-A.
+
+The paper introduces the compact representation purely for efficiency,
+arguing the downstream quality survives the truncation.  This bench sweeps
+``Q`` and measures Diversity@10, Relevance@10 and mean latency, verifying
+that (a) latency grows with ``Q`` and (b) quality saturates — beyond a
+moderate neighbourhood, adding more queries buys nothing.
+"""
+
+from benchmarks.conftest import KS
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.eval.efficiency import measure_latency
+from repro.eval.harness import evaluate_suggester
+from repro.graphs.compact import CompactConfig
+
+SIZES = (40, 80, 150, 300)
+
+
+def test_compact_size_tradeoff(
+    benchmark, synthetic, test_queries, diversity_metric, relevance_metric
+):
+    def run():
+        rows = {}
+        for size in SIZES:
+            suggester = PQSDA.build(
+                synthetic.log,
+                sessions=synthetic.sessions,
+                config=PQSDAConfig(
+                    compact=CompactConfig(size=size),
+                    diversify=DiversifyConfig(k=10, candidate_pool=25),
+                    personalize=False,
+                ),
+            )
+            quality = evaluate_suggester(
+                suggester,
+                test_queries,
+                ks=KS,
+                diversity=diversity_metric,
+                relevance=relevance_metric,
+            )
+            latency = measure_latency(suggester, test_queries[:15], k=10)
+            rows[size] = (
+                quality["diversity"][KS[-1]],
+                quality["relevance"][KS[-1]],
+                latency.mean_seconds,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Compact size Q: quality vs latency (Sec. IV-A) ===")
+    print(f"{'Q':>5s} {'div@10':>8s} {'rel@10':>8s} {'ms/suggest':>11s}")
+    for size, (diversity, relevance, latency) in rows.items():
+        print(f"{size:5d} {diversity:8.3f} {relevance:8.3f} {latency*1000:11.2f}")
+
+    # Latency grows with Q...
+    assert rows[SIZES[-1]][2] > rows[SIZES[0]][2]
+    # ... while quality saturates: the largest Q adds < 0.1 over the
+    # bench default (150) on both metrics.
+    assert abs(rows[300][0] - rows[150][0]) < 0.1
+    assert abs(rows[300][1] - rows[150][1]) < 0.1

@@ -1,0 +1,54 @@
+"""Fig. 3(a)/(b): Diversity@k of the diversification stage.
+
+Panel (a): raw representations; panel (b): cfiqf-weighted.  PQS-DA's
+diversification component vs. FRW, BRW, HT and DQS on the click graph.
+Expected shape: PQS-DA most diverse at every k; weighting changes all
+methods' absolute values but not the winner.
+"""
+
+import pytest
+
+from benchmarks.conftest import KS, print_figure
+from repro.eval.harness import evaluate_suggester
+
+
+def _sweep(pqsda, baselines, queries, diversity_metric):
+    rows = {}
+    rows["PQS-DA"] = evaluate_suggester(
+        pqsda, queries, ks=KS, diversity=diversity_metric
+    )["diversity"]
+    for name, suggester in baselines.items():
+        rows[name] = evaluate_suggester(
+            suggester, queries, ks=KS, diversity=diversity_metric
+        )["diversity"]
+    return rows
+
+
+@pytest.mark.parametrize("weighted", [False, True], ids=["raw", "weighted"])
+def test_fig3_diversity(
+    benchmark,
+    weighted,
+    pqsda_diversify_raw,
+    pqsda_diversify_weighted,
+    diversification_baselines,
+    test_queries,
+    diversity_metric,
+):
+    pqsda = pqsda_diversify_weighted if weighted else pqsda_diversify_raw
+    baselines = diversification_baselines[weighted]
+    rows = benchmark.pedantic(
+        _sweep,
+        args=(pqsda, baselines, test_queries, diversity_metric),
+        rounds=1,
+        iterations=1,
+    )
+    panel = "b (weighted)" if weighted else "a (raw)"
+    print_figure(f"Fig. 3{panel}: Diversity@k", rows)
+
+    # Paper shape: PQS-DA generates more diverse suggestions than all
+    # click-graph baselines at the full list depth.
+    k = KS[-1]
+    for name in ("FRW", "BRW", "HT", "DQS"):
+        assert rows["PQS-DA"][k] >= rows[name][k] - 0.02, (
+            f"PQS-DA diversity@{k} should dominate {name}"
+        )

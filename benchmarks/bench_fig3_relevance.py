@@ -1,0 +1,53 @@
+"""Fig. 3(c)/(d): Relevance@k (Eq. 34) of the diversification stage.
+
+Panel (c): raw representations; panel (d): cfiqf-weighted.  Expected shape:
+PQS-DA's top-1 relevance is the highest (the regularization framework finds
+the best first candidate) and its relevance degrades modestly as k grows.
+"""
+
+import pytest
+
+from benchmarks.conftest import KS, print_figure
+from repro.eval.harness import evaluate_suggester
+
+
+def _sweep(pqsda, baselines, queries, relevance_metric):
+    rows = {}
+    rows["PQS-DA"] = evaluate_suggester(
+        pqsda, queries, ks=KS, relevance=relevance_metric
+    )["relevance"]
+    for name, suggester in baselines.items():
+        rows[name] = evaluate_suggester(
+            suggester, queries, ks=KS, relevance=relevance_metric
+        )["relevance"]
+    return rows
+
+
+@pytest.mark.parametrize("weighted", [False, True], ids=["raw", "weighted"])
+def test_fig3_relevance(
+    benchmark,
+    weighted,
+    pqsda_diversify_raw,
+    pqsda_diversify_weighted,
+    diversification_baselines,
+    test_queries,
+    relevance_metric,
+):
+    pqsda = pqsda_diversify_weighted if weighted else pqsda_diversify_raw
+    baselines = diversification_baselines[weighted]
+    rows = benchmark.pedantic(
+        _sweep,
+        args=(pqsda, baselines, test_queries, relevance_metric),
+        rounds=1,
+        iterations=1,
+    )
+    panel = "d (weighted)" if weighted else "c (raw)"
+    print_figure(f"Fig. 3{panel}: Relevance@k", rows)
+
+    # Paper shape: PQS-DA finds the most relevant first candidate.
+    best_baseline_top1 = max(rows[n][1] for n in ("FRW", "BRW", "HT", "DQS"))
+    assert rows["PQS-DA"][1] >= best_baseline_top1 - 0.05, (
+        "PQS-DA top-1 relevance should be the best"
+    )
+    # ... and degrades modestly: top-10 keeps most of the top-1 relevance.
+    assert rows["PQS-DA"][KS[-1]] >= 0.3 * rows["PQS-DA"][1]

@@ -1,0 +1,59 @@
+"""Fig. 5(a)/(b): Diversity@k after diversification AND personalization.
+
+Systems: full PQS-DA vs. the personalized variants of the Sec. VI-B
+baselines (FRW(P), BRW(P), HT(P), DQS(P) — same UPM personalization applied
+post hoc) plus the two natively personalized baselines PHT and CM.
+Expected shape: PQS-DA keeps the highest diversity at all ranks —
+personalization does not destroy the diversification component's coverage.
+"""
+
+import pytest
+
+from benchmarks.conftest import KS, print_figure
+from repro.baselines.registry import build_baseline
+from repro.eval.harness import evaluate_personalized
+from repro.personalize.reranker import PersonalizedReranker
+
+
+@pytest.fixture(scope="session")
+def personalized_systems(split, pqsda_full):
+    """All Fig. 5/6 systems, built on the train split."""
+    store = pqsda_full.profiles
+    assert store is not None
+    systems = {"PQS-DA": pqsda_full}
+    for name in ("FRW", "BRW", "HT", "DQS"):
+        base = build_baseline(name, split.train_log, weighted=True)
+        systems[f"{name}(P)"] = PersonalizedReranker(base, store)
+    systems["PHT"] = build_baseline("PHT", split.train_log, weighted=True)
+    systems["CM"] = build_baseline("CM", split.train_log, weighted=True)
+    return systems
+
+
+def _sweep(systems, sessions, diversity):
+    return {
+        name: evaluate_personalized(
+            suggester, sessions, ks=KS, diversity=diversity
+        )["diversity"]
+        for name, suggester in systems.items()
+    }
+
+
+def test_fig5_diversity(
+    benchmark, personalized_systems, split, diversity_metric
+):
+    sessions = split.test_sessions
+    rows = benchmark.pedantic(
+        _sweep,
+        args=(personalized_systems, sessions, diversity_metric),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure("Fig. 5(a,b): Diversity@k after personalization", rows)
+
+    k = KS[-1]
+    for name, curve in rows.items():
+        if name == "PQS-DA" or not curve:
+            continue
+        assert rows["PQS-DA"][k] >= curve.get(k, 0.0) - 0.02, (
+            f"PQS-DA should keep the highest diversity@{k} (vs {name})"
+        )

@@ -1,0 +1,48 @@
+"""Fig. 5(c)/(d): Pseudo Personalized Relevance after personalization.
+
+PPR = cosine between suggestion terms and the titles of the pages the user
+actually clicked in the held-out test session.  Expected shape: the
+natively personalized methods (PHT, CM) beat the non-personalized bases at
+top ranks, and PQS-DA attains the highest PPR while (per the companion
+diversity bench) keeping the highest diversity — the paper's headline.
+"""
+
+from benchmarks.conftest import KS, print_figure
+from repro.eval.harness import evaluate_personalized
+
+# Reuse the Fig. 5 systems fixture.
+from benchmarks.bench_fig5_diversity import personalized_systems  # noqa: F401
+
+
+def _sweep(systems, sessions, ppr):
+    return {
+        name: evaluate_personalized(suggester, sessions, ks=KS, ppr=ppr)["ppr"]
+        for name, suggester in systems.items()
+    }
+
+
+def test_fig5_ppr(benchmark, personalized_systems, split, ppr_metric):  # noqa: F811
+    sessions = split.test_sessions
+    rows = benchmark.pedantic(
+        _sweep,
+        args=(personalized_systems, sessions, ppr_metric),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure("Fig. 5(c,d): PPR@k after personalization", rows)
+
+    # Paper shape: PQS-DA's personalized results outperform the baselines
+    # at the top of the list (further down, diversity dilutes per-facet PPR
+    # on the synthetic log — recorded as a deviation in EXPERIMENTS.md).
+    competitors = [n for n in rows if n != "PQS-DA" and rows[n]]
+    best_other_top1 = max(rows[n].get(1, 0.0) for n in competitors)
+    assert rows["PQS-DA"][1] >= best_other_top1 - 0.02, (
+        f"PQS-DA top-1 PPR should be at worst marginally behind the best "
+        f"baseline ({rows['PQS-DA'][1]:.3f} vs {best_other_top1:.3f})"
+    )
+    for k in (5, 10):
+        best_other = max(rows[n].get(k, 0.0) for n in competitors)
+        assert rows["PQS-DA"][k] >= best_other, (
+            f"PQS-DA should lead PPR@{k} "
+            f"({rows['PQS-DA'][k]:.3f} vs {best_other:.3f})"
+        )

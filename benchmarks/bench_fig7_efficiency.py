@@ -1,0 +1,100 @@
+"""Fig. 7: suggestion latency vs. number of utilized queries.
+
+Each method is rebuilt over logs of growing size and its mean
+per-suggestion latency is measured on a fixed probe workload.  Expected
+shape:
+
+* PQS-DA's latency is comparable to DQS (same order of magnitude) and
+  **grows moderately** with the number of utilized queries — its per-query
+  cost is dominated by compact-neighbourhood work, not by the full graph;
+* CM, whose online concept-space expansion scans pairwise concept cosines,
+  has the steepest growth and becomes the slowest system at scale.
+"""
+
+from repro.baselines.registry import build_baseline
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.eval.efficiency import measure_latency
+from repro.graphs.compact import CompactConfig
+from repro.logs.storage import QueryLog
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+USER_SCALES = (60, 140, 300)
+N_PROBES = 15
+
+
+def _probe_queries(log: QueryLog, n: int) -> list[str]:
+    seen: set[str] = set()
+    probes: list[str] = []
+    for record in log:
+        if record.has_click and record.query not in seen:
+            seen.add(record.query)
+            probes.append(record.query)
+        if len(probes) >= n:
+            break
+    return probes
+
+
+def _sweep(world) -> dict[str, dict[int, float]]:
+    rows: dict[str, dict[int, float]] = {}
+    for n_users in USER_SCALES:
+        config = GeneratorConfig(
+            n_users=n_users,
+            mean_sessions_per_user=12,
+            click_probability=0.55,
+            noise_click_probability=0.12,
+            hub_click_probability=0.15,
+            seed=42,
+        )
+        log = generate_log(world, config).log
+        probes = _probe_queries(log, N_PROBES)
+        n_queries = len(log.unique_queries)
+
+        pqsda = PQSDA.build(
+            log,
+            config=PQSDAConfig(
+                compact=CompactConfig(size=150),
+                diversify=DiversifyConfig(k=10, candidate_pool=25),
+                personalize=False,
+            ),
+        )
+        systems = {
+            "PQS-DA": pqsda,
+            "DQS": build_baseline("DQS", log),
+            "HT": build_baseline("HT", log),
+            "CM": build_baseline("CM", log),
+        }
+        for name, suggester in systems.items():
+            result = measure_latency(suggester, probes, k=10)
+            rows.setdefault(name, {})[n_queries] = result.mean_seconds
+    return rows
+
+
+def test_fig7_efficiency(benchmark, world):
+    rows = benchmark.pedantic(_sweep, args=(world,), rounds=1, iterations=1)
+    sizes = sorted(next(iter(rows.values())))
+    print("\n=== Fig. 7: mean suggestion latency (ms) vs utilized queries ===")
+    header = " ".join(f"n={size:<6d}" for size in sizes)
+    print(f"{'method':8s} {header}")
+    for name, curve in rows.items():
+        cells = " ".join(f"{curve[size]*1000:7.2f}" for size in sizes)
+        print(f"{name:8s} {cells}")
+    largest = sizes[-1]
+    print("\nRelative to DQS at the largest size:")
+    for name, curve in rows.items():
+        print(f"  {name:8s} {curve[largest] / rows['DQS'][largest]:6.2f}x")
+
+    # Paper shape: PQS-DA comparable to DQS (same order of magnitude) ...
+    assert rows["PQS-DA"][largest] <= 10 * rows["DQS"][largest]
+    # ... significantly faster than CM at scale ...
+    assert rows["PQS-DA"][largest] < rows["CM"][largest], (
+        "CM (online concept scan) should be the slowest at the largest size"
+    )
+    # ... and with moderate growth across a ~5x data sweep.
+    growth = rows["PQS-DA"][largest] / max(rows["PQS-DA"][sizes[0]], 1e-9)
+    cm_growth = rows["CM"][largest] / max(rows["CM"][sizes[0]], 1e-9)
+    assert growth < cm_growth, (
+        f"PQS-DA latency growth ({growth:.1f}x) should be flatter than CM's "
+        f"({cm_growth:.1f}x)"
+    )

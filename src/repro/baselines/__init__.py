@@ -1,0 +1,38 @@
+"""Baseline query-suggestion methods (paper Sec. VI).
+
+All four diversification-stage baselines run on the classic click graph, as
+in the paper ("we utilize the original methods described in literature"):
+
+* **FRW / BRW** — forward / backward Markov random walks on the click graph
+  (Craswell & Szummer, SIGIR 2007);
+* **HT** — hitting-time suggestion (Mei, Zhou & Church, CIKM 2008);
+* **DQS** — diversifying query suggestion (Ma, Lyu & King, AAAI 2010);
+
+plus the two personalized baselines of Sec. VI-C:
+
+* **PHT** — personalized hitting time via a pseudo query node (Mei et al.);
+* **CM** — the concept-based clustering method (Leung, Ng & Lee, TKDE 2008).
+"""
+
+from repro.baselines.base import Suggester
+from repro.baselines.concept_based import ConceptBasedSuggester
+from repro.baselines.dqs import DQSSuggester
+from repro.baselines.hitting import HittingTimeSuggester
+from repro.baselines.pht import PersonalizedHittingTimeSuggester
+from repro.baselines.random_walk import (
+    BackwardRandomWalkSuggester,
+    ForwardRandomWalkSuggester,
+)
+from repro.baselines.registry import build_baseline, baseline_names
+
+__all__ = [
+    "BackwardRandomWalkSuggester",
+    "ConceptBasedSuggester",
+    "DQSSuggester",
+    "ForwardRandomWalkSuggester",
+    "HittingTimeSuggester",
+    "PersonalizedHittingTimeSuggester",
+    "Suggester",
+    "baseline_names",
+    "build_baseline",
+]

@@ -1,0 +1,41 @@
+"""The suggester interface every method (PQS-DA and baselines) implements."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.logs.schema import QueryRecord
+
+__all__ = ["Suggester"]
+
+
+class Suggester(ABC):
+    """A query-suggestion method.
+
+    ``suggest`` returns up to *k* distinct suggestions, never including the
+    input query itself.  Methods that do not use some argument (user,
+    context, timestamp) simply ignore it — the evaluation harness calls
+    every method with the full signature.
+    """
+
+    #: Short display name used by the experiment harness (e.g. "FRW").
+    name: str = "suggester"
+
+    @abstractmethod
+    def suggest(
+        self,
+        query: str,
+        k: int = 10,
+        user_id: str | None = None,
+        context: Sequence[QueryRecord] = (),
+        timestamp: float = 0.0,
+    ) -> list[str]:
+        """Suggest up to *k* queries for *query*.
+
+        Returns an empty list when the input query is unknown to the
+        method's underlying representation.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

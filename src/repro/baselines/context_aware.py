@@ -1,0 +1,218 @@
+"""Context-aware query suggestion via concept sequences (Cao et al., KDD 2008).
+
+The paper cites this method ([2]) as the representative *context-aware*
+relevance-oriented suggester; it is implemented here as an extension
+baseline beyond the paper's evaluated set.  The pipeline follows the
+published recipe:
+
+1. **Concept mining** — queries are clustered into *concepts* by their
+   clicked-URL vectors (queries sharing clicks express the same intent);
+2. **Session mining** — each training session becomes a sequence of
+   concepts; every suffix of every sequence (up to a length cap) is
+   inserted into a **concept-sequence suffix tree** whose nodes store the
+   observed next-concept counts;
+3. **Online suggestion** — the current session's concept sequence is
+   matched against the tree, longest suffix first; the predicted next
+   concepts' most popular queries become the suggestions, backing off to
+   the input query's own concept when no sequence matches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.baselines.base import Suggester
+from repro.logs.schema import QueryRecord, Session
+from repro.logs.storage import QueryLog
+from repro.utils.text import cosine_similarity_bags, normalize_query
+
+__all__ = ["ContextAwareSuggester"]
+
+
+class _ConceptIndex:
+    """Query -> concept clustering over clicked-URL vectors (single link)."""
+
+    def __init__(self, log: QueryLog, similarity_threshold: float) -> None:
+        self._vectors: dict[str, Counter[str]] = {}
+        self._frequency: Counter[str] = Counter()
+        for record in log:
+            query = normalize_query(record.query)
+            if not query:
+                continue
+            self._frequency[query] += 1
+            vector = self._vectors.setdefault(query, Counter())
+            if record.clicked_url is not None:
+                vector[record.clicked_url] += 1
+
+        parent = {q: q for q in self._vectors}
+
+        def find(q: str) -> str:
+            while parent[q] != q:
+                parent[q] = parent[parent[q]]
+                q = parent[q]
+            return q
+
+        by_url: dict[str, list[str]] = {}
+        for query, vector in self._vectors.items():
+            for url in vector:
+                by_url.setdefault(url, []).append(query)
+        seen: set[tuple[str, str]] = set()
+        for members in by_url.values():
+            for i, qa in enumerate(members):
+                for qb in members[i + 1:]:
+                    pair = (qa, qb) if qa < qb else (qb, qa)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    similarity = cosine_similarity_bags(
+                        self._vectors[qa], self._vectors[qb]
+                    )
+                    if similarity >= similarity_threshold:
+                        ra, rb = find(qa), find(qb)
+                        if ra != rb:
+                            parent[rb] = ra
+
+        self._concept_of: dict[str, int] = {}
+        roots: dict[str, int] = {}
+        self._members: dict[int, list[str]] = {}
+        for query in sorted(self._vectors):
+            root = find(query)
+            if root not in roots:
+                roots[root] = len(roots)
+            concept = roots[root]
+            self._concept_of[query] = concept
+            self._members.setdefault(concept, []).append(query)
+
+    @property
+    def n_concepts(self) -> int:
+        return len(self._members)
+
+    def concept_of(self, query: str) -> int | None:
+        """Concept id of *query* (None if unseen)."""
+        return self._concept_of.get(normalize_query(query))
+
+    def queries_of(self, concept: int) -> list[str]:
+        """The concept's member queries, most frequent first."""
+        members = self._members.get(concept, [])
+        return sorted(members, key=lambda q: (-self._frequency[q], q))
+
+    def frequency(self, query: str) -> int:
+        return self._frequency[normalize_query(query)]
+
+
+class _SuffixTree:
+    """Concept-sequence suffix tree: suffix tuple -> next-concept counts."""
+
+    def __init__(self, max_suffix: int) -> None:
+        self._max_suffix = max_suffix
+        self._next: dict[tuple[int, ...], Counter[int]] = {}
+
+    def insert(self, sequence: list[int]) -> None:
+        for position in range(1, len(sequence)):
+            target = sequence[position]
+            start = max(0, position - self._max_suffix)
+            for begin in range(start, position):
+                suffix = tuple(sequence[begin:position])
+                self._next.setdefault(suffix, Counter())[target] += 1
+
+    def predict(self, sequence: list[int]) -> Counter[int]:
+        """Next-concept counts for the longest matching suffix (empty if none)."""
+        for length in range(min(len(sequence), self._max_suffix), 0, -1):
+            suffix = tuple(sequence[-length:])
+            counts = self._next.get(suffix)
+            if counts:
+                return counts
+        return Counter()
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._next)
+
+
+class ContextAwareSuggester(Suggester):
+    """CACB: concept-sequence suffix-tree suggestion (Cao et al. 2008)."""
+
+    name = "CACB"
+
+    def __init__(
+        self,
+        log: QueryLog,
+        sessions: list[Session],
+        similarity_threshold: float = 0.3,
+        max_suffix: int = 3,
+        queries_per_concept: int = 3,
+    ) -> None:
+        if not 0.0 < similarity_threshold < 1.0:
+            raise ValueError("similarity_threshold must be in (0, 1)")
+        if max_suffix < 1:
+            raise ValueError("max_suffix must be >= 1")
+        if queries_per_concept < 1:
+            raise ValueError("queries_per_concept must be >= 1")
+        self._concepts = _ConceptIndex(log, similarity_threshold)
+        self._tree = _SuffixTree(max_suffix)
+        self._queries_per_concept = queries_per_concept
+        for session in sessions:
+            sequence = self._session_concepts(
+                [record.query for record in session]
+            )
+            if len(sequence) >= 2:
+                self._tree.insert(sequence)
+
+    def _session_concepts(self, queries: Sequence[str]) -> list[int]:
+        """Concept sequence of a query sequence (consecutive dups collapsed)."""
+        sequence: list[int] = []
+        for query in queries:
+            concept = self._concepts.concept_of(query)
+            if concept is None:
+                continue
+            if not sequence or sequence[-1] != concept:
+                sequence.append(concept)
+        return sequence
+
+    @property
+    def n_concepts(self) -> int:
+        """Number of mined concepts."""
+        return self._concepts.n_concepts
+
+    @property
+    def n_tree_nodes(self) -> int:
+        """Number of suffix-tree contexts."""
+        return self._tree.n_nodes
+
+    def suggest(
+        self,
+        query: str,
+        k: int = 10,
+        user_id: str | None = None,
+        context: Sequence[QueryRecord] = (),
+        timestamp: float = 0.0,
+    ) -> list[str]:
+        normalized = normalize_query(query)
+        history = [record.query for record in context] + [normalized]
+        sequence = self._session_concepts(history)
+        if not sequence:
+            return []
+
+        exclude = {normalize_query(q) for q in history}
+        suggestions: list[str] = []
+
+        predictions = self._tree.predict(sequence)
+        for concept, _count in predictions.most_common():
+            for candidate in self._concepts.queries_of(concept)[
+                : self._queries_per_concept
+            ]:
+                if candidate not in exclude and candidate not in suggestions:
+                    suggestions.append(candidate)
+                if len(suggestions) >= k:
+                    return suggestions
+
+        # Back-off: popular queries of the input query's own concept.
+        own = self._concepts.concept_of(normalized)
+        if own is not None:
+            for candidate in self._concepts.queries_of(own):
+                if candidate not in exclude and candidate not in suggestions:
+                    suggestions.append(candidate)
+                if len(suggestions) >= k:
+                    break
+        return suggestions[:k]

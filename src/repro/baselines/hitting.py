@@ -1,0 +1,60 @@
+"""Hitting-time query suggestion (Mei, Zhou & Church, CIKM 2008).
+
+The input query becomes the absorbing state; every other query is scored by
+its truncated expected hitting time *to* the input — queries whose random
+walks reach the input quickly are strongly related, so suggestions are
+ranked by **ascending** hitting time.  (Contrast with the diversification
+use of hitting time in PQS-DA and DQS, which ranks the *next* candidate by
+descending hitting time to the already-selected set.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import Suggester
+from repro.diversify.hitting_time import truncated_hitting_times
+from repro.graphs.click_graph import ClickGraph
+from repro.logs.schema import QueryRecord
+from repro.utils.text import normalize_query
+
+__all__ = ["HittingTimeSuggester"]
+
+
+class HittingTimeSuggester(Suggester):
+    """HT baseline: rank by ascending truncated hitting time to the input."""
+
+    name = "HT"
+
+    def __init__(self, graph: ClickGraph, iterations: int = 20) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self._graph = graph
+        self._iterations = iterations
+        self._transition = graph.query_transition()
+
+    def suggest(
+        self,
+        query: str,
+        k: int = 10,
+        user_id: str | None = None,
+        context: Sequence[QueryRecord] = (),
+        timestamp: float = 0.0,
+    ) -> list[str]:
+        normalized = normalize_query(query)
+        if normalized not in self._graph:
+            return []
+        target = self._graph.query_ordinal(normalized)
+        hitting = truncated_hitting_times(
+            self._transition, [target], self._iterations
+        )
+        # Unreachable queries saturate at the horizon; exclude them so the
+        # list contains only genuinely connected suggestions.
+        reachable = np.flatnonzero(hitting < self._iterations)
+        ranked = sorted(
+            (int(i) for i in reachable if int(i) != target),
+            key=lambda i: (hitting[i], self._graph.query_at(i)),
+        )
+        return [self._graph.query_at(i) for i in ranked[:k]]

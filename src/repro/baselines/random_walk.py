@@ -1,0 +1,111 @@
+"""Forward and backward random walks on the click graph.
+
+Craswell & Szummer (SIGIR 2007) rank by the probability that a Markov
+walker, after ``t`` steps with per-step self-transition probability ``s``,
+sits at a node:
+
+* **forward** walk: start at the input query, follow the click graph's
+  forward transitions — ``score(q') = p_t(q' | start=q)``;
+* **backward** walk: follow the time-reversed transitions — which, from a
+  query start, amounts to walking the transpose chain —
+  ``score(q') ∝ p(start=q' | end=q)`` under a uniform start prior.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.baselines.base import Suggester
+from repro.graphs.click_graph import ClickGraph
+from repro.graphs.matrices import row_normalize
+from repro.logs.schema import QueryRecord
+from repro.utils.text import normalize_query
+
+__all__ = ["ForwardRandomWalkSuggester", "BackwardRandomWalkSuggester"]
+
+
+class _RandomWalkSuggester(Suggester):
+    """Shared machinery of FRW and BRW."""
+
+    def __init__(
+        self,
+        graph: ClickGraph,
+        steps: int = 3,
+        self_transition: float = 0.1,
+    ) -> None:
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        if not 0.0 <= self_transition < 1.0:
+            raise ValueError("self_transition must be in [0, 1)")
+        self._graph = graph
+        self._steps = steps
+        self._self_transition = self_transition
+        base = self._base_transition()
+        n = graph.n_queries
+        if n:
+            identity = sparse.identity(n, format="csr")
+            self._transition = (
+                self_transition * identity + (1 - self_transition) * base
+            ).tocsr()
+        else:
+            self._transition = base
+
+    def _base_transition(self) -> sparse.csr_matrix:
+        raise NotImplementedError
+
+    def scores(self, query: str) -> np.ndarray | None:
+        """Walk-probability vector for *query* (None if unknown)."""
+        normalized = normalize_query(query)
+        if normalized not in self._graph:
+            return None
+        p = np.zeros(self._graph.n_queries)
+        p[self._graph.query_ordinal(normalized)] = 1.0
+        for _ in range(self._steps):
+            p = p @ self._transition
+        return np.asarray(p).ravel()
+
+    def suggest(
+        self,
+        query: str,
+        k: int = 10,
+        user_id: str | None = None,
+        context: Sequence[QueryRecord] = (),
+        timestamp: float = 0.0,
+    ) -> list[str]:
+        scores = self.scores(query)
+        if scores is None:
+            return []
+        normalized = normalize_query(query)
+        order = np.argsort(-scores, kind="stable")
+        suggestions: list[str] = []
+        for ordinal in order:
+            if scores[ordinal] <= 0:
+                break
+            candidate = self._graph.query_at(int(ordinal))
+            if candidate == normalized:
+                continue
+            suggestions.append(candidate)
+            if len(suggestions) >= k:
+                break
+        return suggestions
+
+
+class ForwardRandomWalkSuggester(_RandomWalkSuggester):
+    """FRW: forward click-graph walk from the input query."""
+
+    name = "FRW"
+
+    def _base_transition(self) -> sparse.csr_matrix:
+        return self._graph.query_transition()
+
+
+class BackwardRandomWalkSuggester(_RandomWalkSuggester):
+    """BRW: backward (time-reversed) click-graph walk."""
+
+    name = "BRW"
+
+    def _base_transition(self) -> sparse.csr_matrix:
+        return row_normalize(self._graph.query_transition().T)

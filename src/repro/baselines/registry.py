@@ -1,0 +1,60 @@
+"""Name -> baseline factory used by the experiment harness."""
+
+from __future__ import annotations
+
+from repro.baselines.base import Suggester
+from repro.baselines.concept_based import ConceptBasedSuggester
+from repro.baselines.dqs import DQSSuggester
+from repro.baselines.hitting import HittingTimeSuggester
+from repro.baselines.pht import PersonalizedHittingTimeSuggester
+from repro.baselines.random_walk import (
+    BackwardRandomWalkSuggester,
+    ForwardRandomWalkSuggester,
+)
+from repro.graphs.click_graph import build_click_graph
+from repro.logs.storage import QueryLog
+
+__all__ = ["baseline_names", "build_baseline"]
+
+_DIVERSIFICATION_BASELINES = ("FRW", "BRW", "HT", "DQS")
+_PERSONALIZED_BASELINES = ("PHT", "CM")
+
+
+def baseline_names(personalized: bool | None = None) -> list[str]:
+    """Registered baseline names.
+
+    ``personalized=None`` lists all; True/False filters to the personalized
+    (PHT, CM) or diversification-stage (FRW, BRW, HT, DQS) subsets.
+    """
+    if personalized is None:
+        return list(_DIVERSIFICATION_BASELINES + _PERSONALIZED_BASELINES)
+    if personalized:
+        return list(_PERSONALIZED_BASELINES)
+    return list(_DIVERSIFICATION_BASELINES)
+
+
+def build_baseline(
+    name: str, log: QueryLog, weighted: bool = True
+) -> Suggester:
+    """Construct the baseline *name* over *log*.
+
+    ``weighted`` selects the raw vs. ``cfiqf``-weighted click graph — the
+    Fig. 3 comparison axis.  CM does not use the click graph and ignores the
+    flag.
+    """
+    if name == "CM":
+        return ConceptBasedSuggester(log)
+    graph = build_click_graph(log, weighted=weighted)
+    if name == "FRW":
+        return ForwardRandomWalkSuggester(graph)
+    if name == "BRW":
+        return BackwardRandomWalkSuggester(graph)
+    if name == "HT":
+        return HittingTimeSuggester(graph)
+    if name == "DQS":
+        return DQSSuggester(graph)
+    if name == "PHT":
+        return PersonalizedHittingTimeSuggester(graph, log)
+    raise KeyError(
+        f"unknown baseline {name!r}; known: {baseline_names()}"
+    )

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — build the synthetic world and write an AOL-format log;
+* ``suggest``  — build PQS-DA over an AOL-format log and print suggestions
+  for a query (optionally personalized for a user);
+* ``stats``    — print summary statistics of an AOL-format log;
+* ``perplexity`` — run the Fig. 4 protocol for chosen models over a log.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.graphs.compact import CompactConfig
+from repro.logs.aol import read_aol, write_aol
+from repro.logs.cleaning import clean_log
+from repro.logs.sessionizer import sessionize
+from repro.personalize.upm import UPMConfig
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+from repro.topicmodels import build_corpus, build_model
+from repro.topicmodels.perplexity import evaluate_perplexity
+from repro.topicmodels.zoo import MODEL_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PQS-DA (ICDE 2014) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic AOL-format query log"
+    )
+    generate.add_argument("output", help="path of the AOL TSV to write")
+    generate.add_argument("--users", type=int, default=50)
+    generate.add_argument("--sessions", type=float, default=10.0,
+                          help="mean sessions per user")
+    generate.add_argument("--seed", type=int, default=0)
+
+    suggest = sub.add_parser(
+        "suggest", help="suggest queries from an AOL-format log"
+    )
+    suggest.add_argument("log", help="AOL TSV file")
+    suggest.add_argument("query", help="input query")
+    suggest.add_argument("--user", default=None,
+                         help="AnonID to personalize for")
+    suggest.add_argument("--k", type=int, default=10)
+    suggest.add_argument("--raw", action="store_true",
+                         help="use the raw (non-cfiqf) representation")
+    suggest.add_argument("--no-personalize", action="store_true",
+                         help="skip UPM training (diversification only)")
+    suggest.add_argument("--compact-size", type=int, default=150)
+    suggest.add_argument("--topics", type=int, default=10)
+    suggest.add_argument("--seed", type=int, default=0)
+    suggest.add_argument("--max-records", type=int, default=None)
+
+    stats = sub.add_parser("stats", help="summarize an AOL-format log")
+    stats.add_argument("log", help="AOL TSV file")
+    stats.add_argument("--max-records", type=int, default=None)
+
+    perplexity = sub.add_parser(
+        "perplexity", help="Fig. 4 perplexity protocol over a log"
+    )
+    perplexity.add_argument("log", help="AOL TSV file")
+    perplexity.add_argument(
+        "--models", nargs="+", default=list(MODEL_NAMES),
+        choices=list(MODEL_NAMES),
+    )
+    perplexity.add_argument("--topics", type=int, default=10)
+    perplexity.add_argument("--iterations", type=int, default=30)
+    perplexity.add_argument("--observed", type=float, default=0.7)
+    perplexity.add_argument("--seed", type=int, default=0)
+    perplexity.add_argument("--max-records", type=int, default=None)
+
+    report = sub.add_parser(
+        "report", help="run the full evaluation battery, print markdown"
+    )
+    report.add_argument("--output", default=None,
+                        help="write the markdown report to this file")
+    report.add_argument("--quick", action="store_true",
+                        help="small-scale smoke run (seconds, noisy numbers)")
+    report.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    world = make_world(seed=args.seed)
+    synthetic = generate_log(
+        world,
+        GeneratorConfig(
+            n_users=args.users,
+            mean_sessions_per_user=args.sessions,
+            seed=args.seed,
+        ),
+    )
+    rows = write_aol(synthetic.log, args.output)
+    print(
+        f"wrote {rows} rows for {len(synthetic.log.users)} users "
+        f"({len(synthetic.log.unique_queries)} unique queries) to "
+        f"{args.output}"
+    )
+    return 0
+
+
+def _load_cleaned(path: str, max_records: int | None):
+    log = read_aol(path, max_records=max_records)
+    cleaned, _ = clean_log(log)
+    return cleaned
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    cleaned = _load_cleaned(args.log, args.max_records)
+    if len(cleaned) == 0:
+        print("error: log is empty after cleaning", file=sys.stderr)
+        return 1
+    config = PQSDAConfig(
+        weighted=not args.raw,
+        compact=CompactConfig(size=args.compact_size),
+        diversify=DiversifyConfig(k=args.k),
+        upm=UPMConfig(n_topics=args.topics, iterations=30, seed=args.seed),
+        personalize=not args.no_personalize,
+    )
+    suggester = PQSDA.build(cleaned, config=config)
+    suggestions = suggester.suggest(args.query, k=args.k, user_id=args.user)
+    if not suggestions:
+        print("(no suggestions — query unknown and no term overlap)")
+        return 0
+    for rank, suggestion in enumerate(suggestions, start=1):
+        print(f"{rank:2d}. {suggestion}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    log = read_aol(args.log, max_records=args.max_records)
+    cleaned, report = clean_log(log)
+    sessions = sessionize(cleaned)
+    clicks = sum(1 for r in cleaned if r.has_click)
+    print(f"records          {len(log)}")
+    print(f"after cleaning   {report.output_records}")
+    print(f"users            {len(cleaned.users)}")
+    print(f"unique queries   {len(cleaned.unique_queries)}")
+    print(f"vocabulary       {len(cleaned.vocabulary)}")
+    print(f"clicked rows     {clicks}")
+    print(f"distinct urls    {len(cleaned.urls)}")
+    print(f"sessions         {len(sessions)}")
+    if len(cleaned) > 0:
+        low, high = cleaned.time_range
+        print(f"time span days   {(high - low) / 86400:.1f}")
+    return 0
+
+
+def _cmd_perplexity(args: argparse.Namespace) -> int:
+    cleaned = _load_cleaned(args.log, args.max_records)
+    if len(cleaned) == 0:
+        print("error: log is empty after cleaning", file=sys.stderr)
+        return 1
+    corpus = build_corpus(cleaned, sessionize(cleaned))
+    print(f"{'model':6s} perplexity")
+    for name in args.models:
+        model = build_model(
+            name,
+            n_topics=args.topics,
+            iterations=args.iterations,
+            seed=args.seed,
+        )
+        value = evaluate_perplexity(model, corpus, args.observed)
+        print(f"{name:6s} {value:10.1f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import ReportConfig, run_report
+
+    if args.quick:
+        config = ReportConfig(
+            n_users=15,
+            mean_sessions_per_user=8,
+            n_test_queries=15,
+            n_topics=4,
+            gibbs_iterations=8,
+            topic_models=("LDA", "UPM"),
+            seed=args.seed,
+        )
+    else:
+        config = ReportConfig(seed=args.seed)
+    markdown = run_report(config).to_markdown()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote report to {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "suggest": _cmd_suggest,
+    "stats": _cmd_stats,
+    "perplexity": _cmd_perplexity,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

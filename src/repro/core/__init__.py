@@ -1,0 +1,16 @@
+"""The PQS-DA framework: the paper's primary contribution, end to end.
+
+:class:`~repro.core.suggester.PQSDA` wires the three components of Fig. 1
+together — multi-bipartite representation, diversification, UPM
+personalization — behind one ``build`` + ``suggest`` API::
+
+    from repro.core import PQSDA, PQSDAConfig
+
+    pqsda = PQSDA.build(log)                  # offline: graphs + profiles
+    suggestions = pqsda.suggest("sun", k=10, user_id="user0001")
+"""
+
+from repro.core.config import PQSDAConfig
+from repro.core.suggester import PQSDA
+
+__all__ = ["PQSDA", "PQSDAConfig"]

@@ -1,0 +1,49 @@
+"""Top-level configuration of the PQS-DA pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diversify.candidates import DiversifyConfig
+from repro.graphs.compact import CompactConfig
+from repro.personalize.upm import UPMConfig
+
+__all__ = ["PQSDAConfig"]
+
+
+@dataclass(frozen=True)
+class PQSDAConfig:
+    """All knobs of the end-to-end framework.
+
+    Attributes:
+        weighted: Use the cfiqf-weighted multi-bipartite representation
+            (paper default); False selects the raw variant of Fig. 3(a)/(c).
+        compact: Compact-representation extraction (Sec. IV-A).
+        diversify: Algorithm 1 parameters (Sec. IV-B/C).
+        upm: User Profiling Model training (Sec. V-A).
+        personalize: Apply the personalization stage when a user profile is
+            available; False yields the diversification-only intermediate
+            results evaluated in Sec. VI-B.
+        personalization_weight: Borda weight of the preference ranking.
+        term_backoff: For input queries never seen in the log, seed the
+            walk through existing log queries that share the input's terms
+            (extension beyond the paper, enabled by the query-term
+            bipartite).  When False, unseen queries yield no suggestions.
+        backoff_seeds: Maximum number of term-matched seed queries used by
+            the backoff.
+    """
+
+    weighted: bool = True
+    compact: CompactConfig = field(default_factory=CompactConfig)
+    diversify: DiversifyConfig = field(default_factory=DiversifyConfig)
+    upm: UPMConfig = field(default_factory=UPMConfig)
+    personalize: bool = True
+    personalization_weight: float = 1.0
+    term_backoff: bool = True
+    backoff_seeds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.personalization_weight < 0:
+            raise ValueError("personalization_weight must be >= 0")
+        if self.backoff_seeds < 1:
+            raise ValueError("backoff_seeds must be >= 1")

@@ -1,0 +1,224 @@
+"""The end-to-end PQS-DA suggester (paper Fig. 1).
+
+Offline (``PQSDA.build``):
+
+1. sessionize the log (unless ground-truth sessions are supplied);
+2. build the (cfiqf-weighted) multi-bipartite representation and cache the
+   full-graph walk matrices;
+3. fit the UPM on per-user session documents and materialize the profile
+   store.
+
+Online (``suggest``):
+
+1. expand the compact representation around the input query and its search
+   context (Sec. IV-A);
+2. run Algorithm 1 on the compact matrices — regularized first candidate,
+   cross-bipartite hitting time for the rest (Sec. IV-B/C);
+3. score candidates with the user's profile (Eq. 31) and fuse the two
+   rankings with Borda (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import Suggester
+from repro.core.config import PQSDAConfig
+from repro.diversify.candidates import (
+    DiversifiedSuggestions,
+    diversify,
+    diversify_from_seed_vector,
+)
+from repro.graphs.compact import RandomWalkExpander
+from repro.graphs.matrices import build_matrices
+from repro.graphs.multibipartite import MultiBipartite, build_multibipartite
+from repro.logs.schema import QueryRecord, Session
+from repro.logs.sessionizer import sessionize
+from repro.logs.storage import QueryLog
+from repro.personalize.borda import personalize_ranking
+from repro.personalize.profiles import UserProfileStore
+from repro.personalize.upm import UPM
+from repro.topicmodels.corpus import build_corpus
+from repro.utils.text import jaccard, normalize_query, tokenize
+
+__all__ = ["PQSDA"]
+
+
+class PQSDA(Suggester):
+    """Personalized Query Suggestion With Diversity Awareness."""
+
+    name = "PQS-DA"
+
+    def __init__(
+        self,
+        multibipartite: MultiBipartite,
+        expander: RandomWalkExpander,
+        profiles: UserProfileStore | None,
+        config: PQSDAConfig,
+    ) -> None:
+        self._multibipartite = multibipartite
+        self._expander = expander
+        self._profiles = profiles
+        self._config = config
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        log: QueryLog,
+        sessions: list[Session] | None = None,
+        config: PQSDAConfig | None = None,
+        multibipartite: MultiBipartite | None = None,
+    ) -> "PQSDA":
+        """Run the full offline pipeline over *log*.
+
+        Pass a prebuilt *multibipartite* to supply a custom representation
+        (e.g. an alternative weighting scheme) while reusing the rest of
+        the pipeline.
+        """
+        if config is None:
+            config = PQSDAConfig()
+        if sessions is None:
+            sessions = sessionize(log)
+        if multibipartite is None:
+            multibipartite = build_multibipartite(
+                log, sessions, weighted=config.weighted
+            )
+        expander = RandomWalkExpander(multibipartite)
+        profiles: UserProfileStore | None = None
+        if config.personalize:
+            corpus = build_corpus(log, sessions)
+            if corpus.n_documents > 0:
+                model = UPM(config.upm).fit(corpus)
+                profiles = UserProfileStore(model)
+        return cls(multibipartite, expander, profiles, config)
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def config(self) -> PQSDAConfig:
+        """The pipeline configuration."""
+        return self._config
+
+    @property
+    def representation(self) -> MultiBipartite:
+        """The full multi-bipartite representation."""
+        return self._multibipartite
+
+    @property
+    def profiles(self) -> UserProfileStore | None:
+        """The UPM profile store (None when personalization is disabled)."""
+        return self._profiles
+
+    # -- online suggestion -----------------------------------------------------------
+
+    def _context_seeds(
+        self,
+        query: str,
+        context: Sequence[QueryRecord],
+        timestamp: float,
+    ) -> dict[str, float]:
+        """Walk seeds: the input query plus its decayed search context."""
+        seeds = {normalize_query(query): 1.0}
+        lam = self._config.diversify.decay_lambda
+        for record in context:
+            weight = math.exp(lam * min(record.timestamp - timestamp, 0.0))
+            candidate = normalize_query(record.query)
+            seeds[candidate] = max(seeds.get(candidate, 0.0), weight)
+        return seeds
+
+    def _backoff_seeds(self, normalized: str) -> dict[str, float]:
+        """Seed log queries for an unseen input, by shared-term Jaccard."""
+        terms = tokenize(normalized)
+        if not terms:
+            return {}
+        term_bipartite = self._multibipartite.bipartite("T")
+        candidates: set[str] = set()
+        for term in terms:
+            candidates.update(term_bipartite.queries_of(term))
+        scored = {
+            candidate: jaccard(terms, tokenize(candidate))
+            for candidate in candidates
+        }
+        top = sorted(scored.items(), key=lambda pair: (-pair[1], pair[0]))
+        return dict(top[: self._config.backoff_seeds])
+
+    def diversified_candidates(
+        self,
+        query: str,
+        context: Sequence[QueryRecord] = (),
+        timestamp: float = 0.0,
+    ) -> DiversifiedSuggestions:
+        """The diversification component's intermediate output (Sec. VI-B).
+
+        Unseen input queries fall back to term-matched seeds when
+        ``config.term_backoff`` is on; otherwise (or when no term matches
+        either) the result is empty.
+        """
+        normalized = normalize_query(query)
+        if normalized in self._multibipartite:
+            seeds = self._context_seeds(normalized, context, timestamp)
+            compact_queries = self._expander.expand(seeds, self._config.compact)
+            compact = self._multibipartite.restrict_queries(compact_queries)
+            matrices = build_matrices(compact)
+            return diversify(
+                matrices,
+                normalized,
+                input_timestamp=timestamp,
+                context=context,
+                config=self._config.diversify,
+            )
+
+        if not self._config.term_backoff:
+            return DiversifiedSuggestions([], {}, normalized)
+        seeds = self._backoff_seeds(normalized)
+        if not seeds:
+            return DiversifiedSuggestions([], {}, normalized)
+        compact_queries = self._expander.expand(seeds, self._config.compact)
+        compact = self._multibipartite.restrict_queries(compact_queries)
+        matrices = build_matrices(compact)
+        f0 = np.zeros(matrices.n_queries)
+        for seed, weight in seeds.items():
+            row = matrices.query_index.get(seed)
+            if row is not None:
+                f0[row] = weight
+        return diversify_from_seed_vector(
+            matrices,
+            f0,
+            excluded=set(),
+            input_label=normalized,
+            config=self._config.diversify,
+        )
+
+    def suggest(
+        self,
+        query: str,
+        k: int = 10,
+        user_id: str | None = None,
+        context: Sequence[QueryRecord] = (),
+        timestamp: float = 0.0,
+    ) -> list[str]:
+        diversified = self.diversified_candidates(
+            query, context=context, timestamp=timestamp
+        )
+        candidates = diversified.top(max(k, self._config.diversify.k))
+        if not candidates:
+            return []
+        if (
+            not self._config.personalize
+            or self._profiles is None
+            or user_id is None
+            or user_id not in self._profiles
+        ):
+            return candidates[:k]
+        scores = self._profiles.score_candidates(user_id, candidates)
+        final = personalize_ranking(
+            candidates,
+            scores,
+            personalization_weight=self._config.personalization_weight,
+        )
+        return final.top(k)

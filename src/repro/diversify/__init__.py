@@ -1,0 +1,29 @@
+"""Diversification component (paper Sec. IV).
+
+Pipeline: backward-decay context vector ``F⁰`` (Eq. 7) → context-aware
+regularization solve for the most relevant candidate (Eqs. 8-15) →
+cross-bipartite hitting time for the remaining ``K−1`` diversified
+candidates (Eqs. 16-17, Algorithm 1).
+"""
+
+from repro.diversify.candidates import (
+    DiversifiedSuggestions,
+    DiversifyConfig,
+    diversify,
+)
+from repro.diversify.cross_bipartite import CrossBipartiteWalker, SwitchMatrix
+from repro.diversify.decay import build_context_vector
+from repro.diversify.hitting_time import truncated_hitting_times
+from repro.diversify.regularization import RegularizationConfig, solve_relevance
+
+__all__ = [
+    "CrossBipartiteWalker",
+    "DiversifiedSuggestions",
+    "DiversifyConfig",
+    "RegularizationConfig",
+    "SwitchMatrix",
+    "build_context_vector",
+    "diversify",
+    "solve_relevance",
+    "truncated_hitting_times",
+]

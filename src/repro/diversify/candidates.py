@@ -1,0 +1,197 @@
+"""Algorithm 1: diversified query-suggestion candidates (paper Sec. IV).
+
+Given the compact representation's matrices, an input query and its search
+context:
+
+1. build ``F⁰`` (backward decay, Eq. 7);
+2. solve the regularization system (Eq. 15) and pick the most relevant
+   candidate — the largest ``F*`` entry outside the input/context;
+3. repeatedly pick the query of **maximum** truncated cross-bipartite
+   hitting time to the already-selected set ``S`` (Eq. 17) — the walk's
+   inhibition of queries close to ``S`` is what produces diversity.
+
+Hitting-time ties (e.g. several queries saturating at the truncation
+horizon) are broken by descending ``F*`` relevance, keeping the output
+"sorted with a descending relevance to the input query" as the paper states.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.diversify.cross_bipartite import CrossBipartiteWalker, SwitchMatrix
+from repro.diversify.decay import DEFAULT_DECAY_LAMBDA, build_context_vector
+from repro.diversify.hitting_time import truncated_hitting_times
+from repro.diversify.regularization import RegularizationConfig, solve_relevance
+from repro.graphs.matrices import BipartiteMatrices
+from repro.logs.schema import QueryRecord
+from repro.utils.text import normalize_query
+
+__all__ = [
+    "DiversifiedSuggestions",
+    "DiversifyConfig",
+    "diversify",
+    "diversify_from_seed_vector",
+]
+
+
+@dataclass(frozen=True)
+class DiversifyConfig:
+    """Parameters of Algorithm 1.
+
+    Attributes:
+        k: Number of suggestion candidates to produce.
+        decay_lambda: Backward-decay rate of Eq. 7.
+        regularization: Eq. 15 solver parameters.
+        switch: Cross-bipartite switch matrix (None = uniform).
+        hitting_iterations: Truncation horizon ``l`` of Algorithm 1.
+        candidate_pool: Hitting-time selection is restricted to this many
+            top-``F*`` candidates (None = ``3k``).  The paper runs Algorithm
+            1 over the whole compact representation because real-log compact
+            neighbourhoods are uniformly relevant; the pool makes that
+            assumption explicit when the walk expansion overshoots (and
+            mirrors DQS's candidate pool on the click graph).
+    """
+
+    k: int = 10
+    decay_lambda: float = DEFAULT_DECAY_LAMBDA
+    regularization: RegularizationConfig = field(
+        default_factory=RegularizationConfig
+    )
+    switch: SwitchMatrix | None = None
+    hitting_iterations: int = 20
+    candidate_pool: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.decay_lambda <= 0:
+            raise ValueError("decay_lambda must be positive")
+        if self.hitting_iterations < 1:
+            raise ValueError("hitting_iterations must be >= 1")
+        if self.candidate_pool is not None and self.candidate_pool < self.k:
+            raise ValueError("candidate_pool must be >= k")
+
+    @property
+    def pool_size(self) -> int:
+        """Effective candidate-pool size (defaults to ``3k``)."""
+        return self.candidate_pool if self.candidate_pool is not None else 3 * self.k
+
+
+@dataclass(frozen=True)
+class DiversifiedSuggestions:
+    """Output of :func:`diversify`.
+
+    Attributes:
+        ranking: The candidates in selection order (the diversification
+            component's relevance-descending ranking).
+        relevance: Candidate -> ``F*`` score from the regularization solve.
+        input_query: The normalized input query.
+    """
+
+    ranking: list[str]
+    relevance: dict[str, float]
+    input_query: str
+
+    def __len__(self) -> int:
+        return len(self.ranking)
+
+    def __iter__(self):
+        return iter(self.ranking)
+
+    def top(self, k: int) -> list[str]:
+        """The first *k* candidates."""
+        return self.ranking[:k]
+
+
+def diversify(
+    matrices: BipartiteMatrices,
+    input_query: str,
+    input_timestamp: float = 0.0,
+    context: Sequence[QueryRecord] = (),
+    config: DiversifyConfig | None = None,
+) -> DiversifiedSuggestions:
+    """Run Algorithm 1 on a compact representation's *matrices*."""
+    if config is None:
+        config = DiversifyConfig()
+
+    normalized_input = normalize_query(input_query)
+    f0 = build_context_vector(
+        matrices,
+        normalized_input,
+        input_timestamp,
+        context,
+        decay_lambda=config.decay_lambda,
+    )
+    excluded = {normalized_input}
+    excluded.update(
+        normalize_query(record.query)
+        for record in context
+        if normalize_query(record.query) in matrices.query_index
+    )
+    return diversify_from_seed_vector(
+        matrices, f0, excluded, normalized_input, config
+    )
+
+
+def diversify_from_seed_vector(
+    matrices: BipartiteMatrices,
+    f0: np.ndarray,
+    excluded: set[str],
+    input_label: str,
+    config: DiversifyConfig | None = None,
+) -> DiversifiedSuggestions:
+    """Algorithm 1 starting from an arbitrary seed vector ``F⁰``.
+
+    This is the engine behind :func:`diversify`; it is also used directly
+    by the term-backoff extension, where an *unseen* input query seeds the
+    walk through the log queries that share its terms instead of through
+    its own (absent) node.
+    """
+    if config is None:
+        config = DiversifyConfig()
+    f_star = solve_relevance(matrices, f0, config.regularization)
+    index = matrices.query_index
+
+    def relevance_of(query: str) -> float:
+        return float(f_star[index[query]])
+
+    eligible = [q for q in matrices.queries if q not in excluded]
+    if not eligible:
+        return DiversifiedSuggestions([], {}, input_label)
+    eligible = sorted(eligible, key=lambda q: (-relevance_of(q), q))
+    eligible = eligible[: config.pool_size]
+
+    # Step 1: the most relevant candidate (largest F* outside exclusions).
+    first = max(eligible, key=lambda q: (relevance_of(q), q))
+    ranking = [first]
+    selected = {first}
+
+    # Steps 2..K-1: maximum truncated hitting time to the selected set.
+    walker = CrossBipartiteWalker(matrices, config.switch)
+    while len(ranking) < min(config.k, len(eligible)):
+        absorbing = [index[q] for q in selected]
+        hitting = truncated_hitting_times(
+            walker.transition, absorbing, config.hitting_iterations
+        )
+        best: str | None = None
+        best_key: tuple[float, float, str] | None = None
+        for query in eligible:
+            if query in selected:
+                continue
+            key = (float(hitting[index[query]]), relevance_of(query), query)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = query
+        if best is None:
+            break
+        ranking.append(best)
+        selected.add(best)
+
+    relevance = {query: relevance_of(query) for query in ranking}
+    return DiversifiedSuggestions(
+        ranking=ranking, relevance=relevance, input_query=input_label
+    )

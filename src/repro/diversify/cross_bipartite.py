@@ -1,0 +1,123 @@
+"""Cross-bipartite random walker (paper Sec. IV-C, Eq. 16).
+
+The walker lives on the query nodes of the compact multi-bipartite.  At each
+step it (a) picks the bipartite through which to move — governed by the
+cross-bipartite switch matrix ``N`` (``N[i, j] = p(X_j | X_i)``) applied to
+its current bipartite distribution — and (b) moves to a neighbour query via
+that bipartite's two-step transition ``P^X``.
+
+With the paper's default (uniform prior over the three bipartites and no
+cross-bipartite preference) the effective query-query transition is the
+uniform mixture ``(P^U + P^S + P^T) / 3``; a non-uniform ``N`` rebalances
+the mixture, which the ablation benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.graphs.matrices import BipartiteMatrices, row_normalize
+from repro.graphs.multibipartite import BIPARTITE_KINDS
+
+__all__ = ["SwitchMatrix", "CrossBipartiteWalker"]
+
+
+class SwitchMatrix:
+    """The 3×3 cross-bipartite transition ``N`` over (U, S, T).
+
+    Rows index the current bipartite, columns the next; rows must be
+    probability distributions.  ``SwitchMatrix.uniform()`` is the paper's
+    no-prior-knowledge default.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (3, 3):
+            raise ValueError(f"switch matrix must be 3x3, got {matrix.shape}")
+        if (matrix < 0).any():
+            raise ValueError("switch matrix entries must be non-negative")
+        sums = matrix.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise ValueError(f"switch matrix rows must sum to 1, got {sums}")
+        self._matrix = matrix
+
+    @classmethod
+    def uniform(cls) -> "SwitchMatrix":
+        """Equal 1/3 probability of continuing in any bipartite."""
+        return cls(np.full((3, 3), 1.0 / 3.0))
+
+    @classmethod
+    def sticky(cls, stay: float) -> "SwitchMatrix":
+        """Probability *stay* of keeping the current bipartite.
+
+        The remaining mass is split evenly between the other two.
+        """
+        if not 0.0 <= stay <= 1.0:
+            raise ValueError(f"stay must be in [0, 1], got {stay}")
+        off = (1.0 - stay) / 2.0
+        matrix = np.full((3, 3), off)
+        np.fill_diagonal(matrix, stay)
+        return cls(matrix)
+
+    @classmethod
+    def single(cls, kind: str) -> "SwitchMatrix":
+        """Degenerate switch that always walks bipartite *kind* (ablation)."""
+        if kind not in BIPARTITE_KINDS:
+            raise ValueError(f"kind must be one of {BIPARTITE_KINDS}")
+        column = BIPARTITE_KINDS.index(kind)
+        matrix = np.zeros((3, 3))
+        matrix[:, column] = 1.0
+        return cls(matrix)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying 3×3 array (copy)."""
+        return self._matrix.copy()
+
+    def mixture_weights(self, prior: np.ndarray | None = None) -> np.ndarray:
+        """Stationary per-bipartite weights ``m = prior @ N`` (Eq. 16's
+        contraction of the 3-vector onto the query marginal)."""
+        if prior is None:
+            prior = np.full(3, 1.0 / 3.0)
+        prior = np.asarray(prior, dtype=float)
+        if prior.shape != (3,) or not np.isclose(prior.sum(), 1.0):
+            raise ValueError("prior must be a 3-element distribution")
+        return prior @ self._matrix
+
+
+class CrossBipartiteWalker:
+    """Effective query-query transition of the cross-bipartite walk."""
+
+    def __init__(
+        self,
+        matrices: BipartiteMatrices,
+        switch: SwitchMatrix | None = None,
+    ) -> None:
+        self._matrices = matrices
+        self._switch = switch if switch is not None else SwitchMatrix.uniform()
+        weights = self._switch.mixture_weights()
+        mixed = sparse.csr_matrix(
+            (matrices.n_queries, matrices.n_queries), dtype=float
+        )
+        for weight, kind in zip(weights, BIPARTITE_KINDS):
+            if weight > 0:
+                mixed = mixed + weight * matrices.transition[kind]
+        # A query may have no facets in some bipartite (e.g. never clicked):
+        # renormalize so the walker redistributes over the available views.
+        self._transition = row_normalize(mixed)
+
+    @property
+    def matrices(self) -> BipartiteMatrices:
+        """The compact-representation matrices the walker runs on."""
+        return self._matrices
+
+    @property
+    def transition(self) -> sparse.csr_matrix:
+        """The effective row-(sub)stochastic query-query transition."""
+        return self._transition
+
+    @property
+    def switch(self) -> SwitchMatrix:
+        """The cross-bipartite switch matrix in use."""
+        return self._switch

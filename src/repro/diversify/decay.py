@@ -1,0 +1,65 @@
+"""Backward-decay initialization of the context vector ``F⁰`` (paper Eq. 7).
+
+The input query's entry is 1; each query in the search context gets
+``exp(λ (t_{q'} − t_q))`` — since context queries precede the input query,
+the exponent is negative and older context contributes less (the backward
+decay of Cormode et al., ICDE 2009, that the paper cites).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.graphs.matrices import BipartiteMatrices
+from repro.logs.schema import QueryRecord
+from repro.utils.text import normalize_query
+from repro.utils.validation import check_positive
+
+__all__ = ["build_context_vector", "DEFAULT_DECAY_LAMBDA"]
+
+#: Default λ: context relevance halves roughly every 2 minutes of pause.
+DEFAULT_DECAY_LAMBDA = math.log(2) / 120.0
+
+
+def build_context_vector(
+    matrices: BipartiteMatrices,
+    input_query: str,
+    input_timestamp: float,
+    context: Sequence[QueryRecord] = (),
+    decay_lambda: float = DEFAULT_DECAY_LAMBDA,
+) -> np.ndarray:
+    """The ``1 × Q`` vector ``F⁰`` of Eq. 7 over *matrices*' query order.
+
+    Context records whose query is not in the compact representation are
+    ignored; a context record later than the input query is rejected (the
+    context is by definition the *previously* submitted queries).
+    """
+    check_positive("decay_lambda", decay_lambda)
+    index = matrices.query_index
+    f0 = np.zeros(matrices.n_queries)
+
+    normalized_input = normalize_query(input_query)
+    if normalized_input not in index:
+        raise KeyError(
+            f"input query {normalized_input!r} is not in the representation"
+        )
+    f0[index[normalized_input]] = 1.0
+
+    for record in context:
+        if record.timestamp > input_timestamp:
+            raise ValueError(
+                "search context must precede the input query "
+                f"(context at {record.timestamp}, input at {input_timestamp})"
+            )
+        query = normalize_query(record.query)
+        if query == normalized_input or query not in index:
+            continue
+        weight = math.exp(decay_lambda * (record.timestamp - input_timestamp))
+        # Several context submissions of the same query accumulate, capped
+        # at the input query's own weight.
+        row = index[query]
+        f0[row] = min(f0[row] + weight, 1.0)
+    return f0

@@ -1,0 +1,38 @@
+"""Evaluation metrics and experiment harness (paper Sec. VI).
+
+* :mod:`diversity <repro.eval.diversity>` — Eqs. 32-33 over clicked-page
+  category paths;
+* :mod:`relevance <repro.eval.relevance>` — Eq. 34 ODP-path relevance;
+* :mod:`ppr <repro.eval.ppr>` — Pseudo Personalized Relevance (cosine of
+  suggestion terms vs. clicked-page titles of the test session);
+* :mod:`hpr <repro.eval.hpr>` — Human Personalized Relevance with the
+  simulated rater panel;
+* :mod:`efficiency <repro.eval.efficiency>` — Fig. 7 latency harness;
+* :mod:`harness <repro.eval.harness>` — train/test splitting and per-method
+  sweep drivers shared by the benchmarks.
+"""
+
+from repro.eval.diversity import DiversityMetric
+from repro.eval.efficiency import EfficiencyResult, measure_latency
+from repro.eval.harness import (
+    TrainTestSplit,
+    evaluate_personalized,
+    evaluate_suggester,
+    split_train_test,
+)
+from repro.eval.hpr import HPRMetric
+from repro.eval.ppr import PPRMetric
+from repro.eval.relevance import RelevanceMetric
+
+__all__ = [
+    "DiversityMetric",
+    "EfficiencyResult",
+    "HPRMetric",
+    "PPRMetric",
+    "RelevanceMetric",
+    "TrainTestSplit",
+    "evaluate_personalized",
+    "evaluate_suggester",
+    "measure_latency",
+    "split_train_test",
+]

@@ -1,0 +1,60 @@
+"""Latency measurement harness for the Fig. 7 efficiency analysis."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.baselines.base import Suggester
+from repro.utils.timer import Timer
+
+__all__ = ["EfficiencyResult", "measure_latency"]
+
+
+@dataclass(frozen=True, slots=True)
+class EfficiencyResult:
+    """Latency of one suggester on one workload.
+
+    Attributes:
+        name: Suggester name.
+        n_queries: Number of suggestion calls timed.
+        total_seconds: Total wall-clock time.
+        mean_seconds: Mean per-call latency.
+    """
+
+    name: str
+    n_queries: int
+    total_seconds: float
+    mean_seconds: float
+
+    def relative_to(self, baseline: "EfficiencyResult") -> float:
+        """This suggester's mean latency as a multiple of *baseline*'s."""
+        if baseline.mean_seconds <= 0:
+            raise ValueError("baseline latency must be positive")
+        return self.mean_seconds / baseline.mean_seconds
+
+
+def measure_latency(
+    suggester: Suggester,
+    queries: Sequence[str],
+    k: int = 10,
+    user_id: str | None = None,
+) -> EfficiencyResult:
+    """Time ``suggester.suggest`` over *queries* (one warm-up call first).
+
+    The warm-up call absorbs lazy one-time costs (cache fills, JIT-ish
+    allocations) so the measurement reflects online serving behaviour.
+    """
+    if not queries:
+        raise ValueError("queries must be non-empty")
+    suggester.suggest(queries[0], k=k, user_id=user_id)
+    timer = Timer()
+    for query in queries:
+        with timer:
+            suggester.suggest(query, k=k, user_id=user_id)
+    return EfficiencyResult(
+        name=suggester.name,
+        n_queries=len(queries),
+        total_seconds=timer.elapsed,
+        mean_seconds=timer.elapsed / len(queries),
+    )

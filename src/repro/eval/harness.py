@@ -1,0 +1,262 @@
+"""Experiment drivers shared by the Fig. 3-7 benchmarks.
+
+The paper's protocol (Sec. VI-C): per user, the most recent sessions are
+held out for testing; user profiles and graph representations are built from
+the remaining history; each test session's *first query* is the input and
+the clicked pages of the session are the personal ground truth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.baselines.base import Suggester
+from repro.eval.diversity import DiversityMetric
+from repro.eval.hpr import HPRMetric
+from repro.eval.ppr import PPRMetric
+from repro.eval.relevance import RelevanceMetric
+from repro.logs.schema import QueryRecord, Session
+from repro.logs.storage import QueryLog
+from repro.synth.generator import SyntheticLog
+
+__all__ = [
+    "TrainTestSplit",
+    "split_train_test",
+    "evaluate_suggester",
+    "evaluate_personalized",
+    "evaluate_in_session",
+]
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """Per-user temporal split of a generated log.
+
+    Attributes:
+        train_log: Log of all training-session records (fresh record ids).
+        train_sessions: Training sessions rebuilt over ``train_log``.
+        test_sessions: Held-out sessions (original record objects).
+    """
+
+    train_log: QueryLog
+    train_sessions: list[Session]
+    test_sessions: list[Session]
+
+    @property
+    def test_users(self) -> list[str]:
+        """Users with at least one held-out session, sorted."""
+        return sorted({session.user_id for session in self.test_sessions})
+
+
+def split_train_test(
+    synthetic: SyntheticLog,
+    n_test_sessions: int = 3,
+    min_train_sessions: int = 2,
+) -> TrainTestSplit:
+    """Hold out each user's most recent sessions (the paper keeps 10).
+
+    Users with fewer than ``min_train_sessions + 1`` sessions contribute all
+    their sessions to training and none to testing.
+    """
+    if n_test_sessions < 1:
+        raise ValueError("n_test_sessions must be >= 1")
+    if min_train_sessions < 1:
+        raise ValueError("min_train_sessions must be >= 1")
+
+    train_rows: list[QueryRecord] = []
+    train_slices: list[tuple[str, str, int, int]] = []
+    test_sessions: list[Session] = []
+    for user_id in sorted(synthetic.sessions_by_user):
+        sessions = sorted(
+            synthetic.sessions_of(user_id), key=lambda s: s.start_time
+        )
+        n_test = min(n_test_sessions, max(len(sessions) - min_train_sessions, 0))
+        cut = len(sessions) - n_test
+        for session in sessions[:cut]:
+            lo = len(train_rows)
+            for record in session:
+                train_rows.append(
+                    QueryRecord(
+                        user_id=record.user_id,
+                        query=record.query,
+                        timestamp=record.timestamp,
+                        clicked_url=record.clicked_url,
+                    )
+                )
+            train_slices.append((session.session_id, user_id, lo, len(train_rows)))
+        test_sessions.extend(sessions[cut:])
+
+    train_log = QueryLog(train_rows)
+    train_sessions = [
+        Session(session_id, user_id, [train_log[i] for i in range(lo, hi)])
+        for session_id, user_id, lo, hi in train_slices
+    ]
+    return TrainTestSplit(
+        train_log=train_log,
+        train_sessions=train_sessions,
+        test_sessions=test_sessions,
+    )
+
+
+@dataclass
+class _Curve:
+    """Mean-per-k accumulator."""
+
+    sums: dict[int, float] = field(default_factory=dict)
+    count: int = 0
+
+    def add(self, values: dict[int, float]) -> None:
+        for k, v in values.items():
+            self.sums[k] = self.sums.get(k, 0.0) + v
+        self.count += 1
+
+    def means(self) -> dict[int, float]:
+        if self.count == 0:
+            return {}
+        return {k: v / self.count for k, v in sorted(self.sums.items())}
+
+
+def evaluate_suggester(
+    suggester: Suggester,
+    queries: Sequence[str],
+    ks: Sequence[int],
+    diversity: DiversityMetric | None = None,
+    relevance: RelevanceMetric | None = None,
+) -> dict[str, dict[int, float]]:
+    """Fig. 3 protocol: average Diversity@k / Relevance@k over test queries.
+
+    Queries for which the suggester returns nothing are skipped (they are
+    outside the method's representation); ``coverage`` reports the kept
+    fraction.
+    """
+    max_k = max(ks)
+    diversity_curve, relevance_curve = _Curve(), _Curve()
+    answered = 0
+    for query in queries:
+        suggestions = suggester.suggest(query, k=max_k)
+        if not suggestions:
+            continue
+        answered += 1
+        if diversity is not None:
+            diversity_curve.add(
+                {k: diversity.list_diversity(suggestions, k) for k in ks}
+            )
+        if relevance is not None:
+            relevance_curve.add(
+                {k: relevance.list_relevance(query, suggestions, k) for k in ks}
+            )
+    result: dict[str, dict[int, float]] = {
+        "coverage": {0: answered / len(queries) if queries else 0.0}
+    }
+    if diversity is not None:
+        result["diversity"] = diversity_curve.means()
+    if relevance is not None:
+        result["relevance"] = relevance_curve.means()
+    return result
+
+
+def evaluate_personalized(
+    suggester: Suggester,
+    test_sessions: Sequence[Session],
+    ks: Sequence[int],
+    diversity: DiversityMetric | None = None,
+    ppr: PPRMetric | None = None,
+    hpr: HPRMetric | None = None,
+) -> dict[str, dict[int, float]]:
+    """Fig. 5/6 protocol: suggest for each test session's first query.
+
+    The suggester is called with the session's user so personalized methods
+    can use the profile; metrics are averaged over answered sessions.
+    """
+    max_k = max(ks)
+    curves = {"diversity": _Curve(), "ppr": _Curve(), "hpr": _Curve()}
+    answered = 0
+    for session in test_sessions:
+        input_query = session.records[0].query
+        suggestions = suggester.suggest(
+            input_query,
+            k=max_k,
+            user_id=session.user_id,
+            timestamp=session.start_time,
+        )
+        if not suggestions:
+            continue
+        answered += 1
+        if diversity is not None:
+            curves["diversity"].add(
+                {k: diversity.list_diversity(suggestions, k) for k in ks}
+            )
+        if ppr is not None:
+            curves["ppr"].add(
+                {k: ppr.list_ppr(suggestions, session, k) for k in ks}
+            )
+        if hpr is not None:
+            curves["hpr"].add(
+                {k: hpr.list_hpr(suggestions, session, k) for k in ks}
+            )
+    result: dict[str, dict[int, float]] = {
+        "coverage": {
+            0: answered / len(test_sessions) if test_sessions else 0.0
+        }
+    }
+    if diversity is not None:
+        result["diversity"] = curves["diversity"].means()
+    if ppr is not None:
+        result["ppr"] = curves["ppr"].means()
+    if hpr is not None:
+        result["hpr"] = curves["hpr"].means()
+    return result
+
+
+def evaluate_in_session(
+    suggester: Suggester,
+    test_sessions: Sequence[Session],
+    ks: Sequence[int],
+    ppr: PPRMetric | None = None,
+    hpr: HPRMetric | None = None,
+) -> dict[str, dict[int, float]]:
+    """Mid-session protocol: suggest for the *last* query given the context.
+
+    Sessions with fewer than two queries are skipped (no context to use).
+    This protocol exercises context-aware methods (PQS-DA's backward-decay
+    ``F⁰``, CACB's suffix tree); context-blind methods simply ignore the
+    extra signal.
+    """
+    max_k = max(ks)
+    curves = {"ppr": _Curve(), "hpr": _Curve()}
+    eligible = 0
+    answered = 0
+    for session in test_sessions:
+        if len(session) < 2:
+            continue
+        eligible += 1
+        position = len(session) - 1
+        target = session.records[position]
+        context = session.search_context(position)
+        suggestions = suggester.suggest(
+            target.query,
+            k=max_k,
+            user_id=session.user_id,
+            context=context,
+            timestamp=target.timestamp,
+        )
+        if not suggestions:
+            continue
+        answered += 1
+        if ppr is not None:
+            curves["ppr"].add(
+                {k: ppr.list_ppr(suggestions, session, k) for k in ks}
+            )
+        if hpr is not None:
+            curves["hpr"].add(
+                {k: hpr.list_hpr(suggestions, session, k) for k in ks}
+            )
+    result: dict[str, dict[int, float]] = {
+        "coverage": {0: answered / eligible if eligible else 0.0}
+    }
+    if ppr is not None:
+        result["ppr"] = curves["ppr"].means()
+    if hpr is not None:
+        result["hpr"] = curves["hpr"].means()
+    return result

@@ -1,0 +1,48 @@
+"""Human Personalized Relevance with simulated raters (paper Sec. VI-C.2).
+
+The paper's HPR experiment had human experts rate suggestions on a 6-point
+scale over four months of real searching.  The reproduction substitutes the
+:class:`~repro.synth.oracle.RaterPanel`: raters who know the test session's
+true intent (as a human knows their own) and the user's long-term profile,
+with bounded noise.  See DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.logs.schema import Session
+from repro.synth.oracle import Oracle, RaterPanel
+
+__all__ = ["HPRMetric"]
+
+
+class HPRMetric:
+    """Mean panel rating of a suggestion list for a test session."""
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        n_raters: int = 3,
+        noise_sd: float = 0.08,
+        seed: int = 0,
+    ) -> None:
+        self._oracle = oracle
+        self._panel = RaterPanel(
+            oracle, n_raters=n_raters, noise_sd=noise_sd, seed=seed
+        )
+
+    def list_hpr(
+        self,
+        suggestions: Sequence[str],
+        session: Session,
+        k: int | None = None,
+    ) -> float:
+        """Mean rating of the top-*k* suggestions (0.0 for an empty list)."""
+        items = list(suggestions[:k] if k is not None else suggestions)
+        if not items:
+            return 0.0
+        intent = self._oracle.intent_of_session(session.session_id)
+        return sum(
+            self._panel.rate(s, session, intent) for s in items
+        ) / len(items)

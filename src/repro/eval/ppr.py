@@ -1,0 +1,62 @@
+"""Pseudo Personalized Relevance (paper Sec. VI-C.2).
+
+For a held-out test session, PPR of a suggested query is the cosine
+similarity between the suggestion's word vector and the *high-quality
+fields* (titles) of the web pages clicked in that session — a higher value
+means the suggestion matches what the user actually went on to consume.  No
+human involvement is required, which is why the paper uses it at scale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.logs.schema import Session
+from repro.synth.web import SyntheticWeb
+from repro.utils.text import cosine_similarity_bags, term_vector
+
+__all__ = ["PPRMetric"]
+
+
+class PPRMetric:
+    """PPR over the synthetic web's page titles."""
+
+    def __init__(self, web: SyntheticWeb) -> None:
+        self._web = web
+
+    def session_field_vector(self, session: Session) -> Counter[str]:
+        """Bag of title terms of the session's clicked pages.
+
+        URLs outside the synthetic web contribute nothing (mirrors pages
+        whose high-quality fields could not be fetched).
+        """
+        bag: Counter[str] = Counter()
+        for url in session.clicked_urls:
+            if url in self._web:
+                bag.update(self._web.title_of(url).split())
+        return bag
+
+    def suggestion_ppr(self, suggestion: str, session: Session) -> float:
+        """Cosine between the suggestion's words and the session fields."""
+        return cosine_similarity_bags(
+            term_vector(suggestion), self.session_field_vector(session)
+        )
+
+    def list_ppr(
+        self,
+        suggestions: Sequence[str],
+        session: Session,
+        k: int | None = None,
+    ) -> float:
+        """Mean PPR of the top-*k* suggestions (0.0 for an empty list)."""
+        items = list(suggestions[:k] if k is not None else suggestions)
+        if not items:
+            return 0.0
+        field_vector = self.session_field_vector(session)
+        if not field_vector:
+            return 0.0
+        return sum(
+            cosine_similarity_bags(term_vector(s), field_vector)
+            for s in items
+        ) / len(items)

@@ -1,0 +1,51 @@
+"""The Relevance metric (paper Eq. 34).
+
+``R(q_i, q_j) = |PF(A_i, A_j)| / max(|A_i|, |A_j|)`` where ``A`` are the
+queries' ODP category paths.  The oracle supplies categories (ground truth
+for generated queries, the vocabulary classifier otherwise); queries with no
+category score 0 against everything, as an un-categorizable suggestion did
+in the paper's ODP lookup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.synth.oracle import Oracle
+
+__all__ = ["RelevanceMetric"]
+
+
+class RelevanceMetric:
+    """Eq. 34 relevance between the input query and its suggestions."""
+
+    def __init__(self, oracle: Oracle) -> None:
+        self._oracle = oracle
+
+    def pair_relevance(self, query_i: str, query_j: str) -> float:
+        """Eq. 34 ``R(q_i, q_j)`` (0.0 when either is un-categorizable)."""
+        return self._oracle.query_similarity(query_i, query_j)
+
+    def list_relevance(
+        self,
+        input_query: str,
+        suggestions: Sequence[str],
+        k: int | None = None,
+    ) -> float:
+        """Mean ``R(input, s)`` over the top-*k* suggestions (0.0 if empty)."""
+        items = list(suggestions[:k] if k is not None else suggestions)
+        if not items:
+            return 0.0
+        return sum(
+            self.pair_relevance(input_query, s) for s in items
+        ) / len(items)
+
+    def relevance_at(
+        self, input_query: str, suggestions: Sequence[str], rank: int
+    ) -> float:
+        """``R(input, suggestions[rank])`` (0.0 past the end of the list)."""
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank}")
+        if rank >= len(suggestions):
+            return 0.0
+        return self.pair_relevance(input_query, suggestions[rank])

@@ -1,0 +1,267 @@
+"""One-shot experiment report: every paper figure + significance tests.
+
+:func:`run_report` executes the complete evaluation battery (Figs. 3-7 of
+the paper plus the representation-coverage analysis) at a configurable
+scale and returns a :class:`Report` whose :meth:`Report.to_markdown`
+renders the tables EXPERIMENTS.md is built from.  The CLI exposes it as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.baselines.registry import build_baseline
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.eval.diversity import DiversityMetric
+from repro.eval.harness import (
+    evaluate_personalized,
+    evaluate_suggester,
+    split_train_test,
+)
+from repro.eval.hpr import HPRMetric
+from repro.eval.ppr import PPRMetric
+from repro.eval.relevance import RelevanceMetric
+from repro.eval.significance import paired_bootstrap
+from repro.graphs.compact import CompactConfig
+from repro.personalize.reranker import PersonalizedReranker
+from repro.personalize.upm import UPMConfig
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.oracle import Oracle
+from repro.synth.world import make_world
+from repro.topicmodels import build_corpus, build_model
+from repro.topicmodels.perplexity import evaluate_perplexity
+from repro.topicmodels.zoo import MODEL_NAMES
+
+__all__ = ["ReportConfig", "Report", "run_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReportConfig:
+    """Scale knobs of the report run.
+
+    The defaults match the benchmark suite (a few minutes); the CLI's
+    ``--quick`` flag shrinks everything for smoke runs.
+    """
+
+    n_users: int = 60
+    mean_sessions_per_user: float = 12.0
+    n_test_queries: int = 60
+    n_topics: int = 10
+    gibbs_iterations: int = 30
+    ks: tuple[int, ...] = (1, 5, 10)
+    topic_models: tuple[str, ...] = MODEL_NAMES
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_users < 2:
+            raise ValueError("n_users must be >= 2")
+        if not self.ks:
+            raise ValueError("ks must be non-empty")
+        unknown = set(self.topic_models) - set(MODEL_NAMES)
+        if unknown:
+            raise ValueError(f"unknown topic models: {sorted(unknown)}")
+
+
+@dataclass
+class Report:
+    """All measured series of one report run."""
+
+    config: ReportConfig
+    fig3_diversity: dict[str, dict[int, float]] = field(default_factory=dict)
+    fig3_relevance: dict[str, dict[int, float]] = field(default_factory=dict)
+    fig4_perplexity: dict[str, float] = field(default_factory=dict)
+    fig5_diversity: dict[str, dict[int, float]] = field(default_factory=dict)
+    fig5_ppr: dict[str, dict[int, float]] = field(default_factory=dict)
+    fig6_hpr: dict[str, dict[int, float]] = field(default_factory=dict)
+    significance: dict[str, str] = field(default_factory=dict)
+
+    def _table(self, title: str, rows: dict[str, dict[int, float]]) -> str:
+        ks = list(self.config.ks)
+        out = [f"### {title}", ""]
+        out.append("| method | " + " | ".join(f"k={k}" for k in ks) + " |")
+        out.append("|---" * (len(ks) + 1) + "|")
+        for name, curve in rows.items():
+            cells = " | ".join(f"{curve.get(k, float('nan')):.3f}" for k in ks)
+            out.append(f"| {name} | {cells} |")
+        out.extend(["", ""])  # blank line separating the next section
+        return "\n".join(out)
+
+    def to_markdown(self) -> str:
+        """Render the full report as markdown."""
+        buffer = io.StringIO()
+        c = self.config
+        buffer.write("# PQS-DA evaluation report\n\n")
+        buffer.write(
+            f"Workload: {c.n_users} users x ~{c.mean_sessions_per_user:.0f} "
+            f"sessions, seed {c.seed}.\n\n"
+        )
+        buffer.write(
+            self._table("Fig. 3 — Diversity@k (diversification stage)",
+                        self.fig3_diversity)
+        )
+        buffer.write(
+            self._table("Fig. 3 — Relevance@k (diversification stage)",
+                        self.fig3_relevance)
+        )
+        buffer.write("### Fig. 4 — predictive perplexity (lower = better)\n\n")
+        buffer.write("| model | perplexity |\n|---|---|\n")
+        for name, value in sorted(
+            self.fig4_perplexity.items(), key=lambda p: p[1]
+        ):
+            buffer.write(f"| {name} | {value:.1f} |\n")
+        buffer.write("\n")
+        buffer.write(
+            self._table("Fig. 5 — Diversity@k (after personalization)",
+                        self.fig5_diversity)
+        )
+        buffer.write(
+            self._table("Fig. 5 — PPR@k (after personalization)",
+                        self.fig5_ppr)
+        )
+        buffer.write(self._table("Fig. 6 — HPR@k", self.fig6_hpr))
+        if self.significance:
+            buffer.write("### Significance (paired bootstrap)\n\n")
+            for comparison, verdict in self.significance.items():
+                buffer.write(f"- {comparison}: {verdict}\n")
+        return buffer.getvalue()
+
+
+def _per_query_metric(suggester, queries, k, metric_fn):
+    """Per-query metric values (None-answers skipped), for significance."""
+    values = []
+    for query in queries:
+        suggestions = suggester.suggest(query, k=k)
+        if suggestions:
+            values.append(metric_fn(query, suggestions))
+        else:
+            values.append(0.0)
+    return values
+
+
+def run_report(config: ReportConfig | None = None) -> Report:
+    """Execute the full evaluation battery and return the report."""
+    if config is None:
+        config = ReportConfig()
+    report = Report(config=config)
+    ks = list(config.ks)
+    max_k = max(ks)
+
+    world = make_world(seed=0, pages_per_leaf=24)
+    synthetic = generate_log(
+        world,
+        GeneratorConfig(
+            n_users=config.n_users,
+            mean_sessions_per_user=config.mean_sessions_per_user,
+            click_probability=0.55,
+            noise_click_probability=0.12,
+            hub_click_probability=0.15,
+            seed=config.seed,
+        ),
+    )
+    oracle = Oracle(world, synthetic)
+    diversity = DiversityMetric(synthetic.log, oracle)
+    relevance = RelevanceMetric(oracle)
+    ppr = PPRMetric(world.web)
+    hpr = HPRMetric(oracle, seed=7)
+
+    def pqsda_config(personalize: bool) -> PQSDAConfig:
+        return PQSDAConfig(
+            compact=CompactConfig(size=150),
+            diversify=DiversifyConfig(k=max_k, candidate_pool=25),
+            upm=UPMConfig(
+                n_topics=config.n_topics,
+                iterations=config.gibbs_iterations,
+                hyperopt_every=max(config.gibbs_iterations // 3, 1),
+                seed=0,
+            ),
+            personalize=personalize,
+            personalization_weight=2.0,
+        )
+
+    # -- Fig. 3 ----------------------------------------------------------------------
+    seen: set[str] = set()
+    probes: list[str] = []
+    for record in synthetic.log:
+        if record.has_click and record.query not in seen:
+            seen.add(record.query)
+            probes.append(record.query)
+        if len(probes) >= config.n_test_queries:
+            break
+
+    stage_systems = {
+        "PQS-DA": PQSDA.build(
+            synthetic.log,
+            sessions=synthetic.sessions,
+            config=pqsda_config(personalize=False),
+        )
+    }
+    for name in ("FRW", "BRW", "HT", "DQS"):
+        stage_systems[name] = build_baseline(name, synthetic.log)
+    for name, suggester in stage_systems.items():
+        result = evaluate_suggester(
+            suggester, probes, ks=ks, diversity=diversity, relevance=relevance
+        )
+        report.fig3_diversity[name] = result["diversity"]
+        report.fig3_relevance[name] = result["relevance"]
+
+    # Significance: PQS-DA vs DQS diversity at the deepest k.
+    pq_values = _per_query_metric(
+        stage_systems["PQS-DA"], probes, max_k,
+        lambda _, s: diversity.list_diversity(s, max_k),
+    )
+    dqs_values = _per_query_metric(
+        stage_systems["DQS"], probes, max_k,
+        lambda _, s: diversity.list_diversity(s, max_k),
+    )
+    comparison = paired_bootstrap(pq_values, dqs_values, seed=0)
+    report.significance[
+        f"PQS-DA vs DQS diversity@{max_k}"
+    ] = (
+        f"delta={comparison.delta:+.3f}, p={comparison.p_value:.4f}"
+        f"{' (significant)' if comparison.significant() else ''}"
+    )
+
+    # -- Fig. 4 ----------------------------------------------------------------------
+    corpus = build_corpus(synthetic.log, synthetic.sessions)
+    for name in config.topic_models:
+        model = build_model(
+            name,
+            n_topics=config.n_topics,
+            iterations=config.gibbs_iterations,
+            seed=0,
+        )
+        report.fig4_perplexity[name] = evaluate_perplexity(model, corpus, 0.7)
+
+    # -- Figs. 5 and 6 ----------------------------------------------------------------
+    split = split_train_test(synthetic, n_test_sessions=3)
+    full = PQSDA.build(
+        split.train_log,
+        sessions=split.train_sessions,
+        config=pqsda_config(personalize=True),
+    )
+    personalized = {"PQS-DA": full}
+    store = full.profiles
+    if store is not None:
+        for name in ("FRW", "BRW", "HT", "DQS"):
+            personalized[f"{name}(P)"] = PersonalizedReranker(
+                build_baseline(name, split.train_log), store
+            )
+    personalized["PHT"] = build_baseline("PHT", split.train_log)
+    personalized["CM"] = build_baseline("CM", split.train_log)
+    for name, suggester in personalized.items():
+        result = evaluate_personalized(
+            suggester,
+            split.test_sessions,
+            ks=ks,
+            diversity=diversity,
+            ppr=ppr,
+            hpr=hpr,
+        )
+        report.fig5_diversity[name] = result["diversity"]
+        report.fig5_ppr[name] = result["ppr"]
+        report.fig6_hpr[name] = result["hpr"]
+
+    return report

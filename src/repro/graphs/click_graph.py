@@ -1,0 +1,113 @@
+"""The classic query-URL click graph — the baselines' substrate (Sec. VI).
+
+FRW, BRW, HT and DQS all operate on this graph ("we utilize the original
+methods described in literature as the baselines").  It offers the same raw
+vs. ``cfiqf``-weighted choice as the multi-bipartite, which is what Fig. 3
+compares, plus the row-stochastic transition matrices random walks need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.graphs.bipartite import Bipartite
+from repro.graphs.weighting import apply_cfiqf
+from repro.logs.storage import QueryLog
+from repro.utils.text import normalize_query
+
+__all__ = ["ClickGraph", "build_click_graph"]
+
+
+def _row_normalize(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Row-stochastic copy of *matrix*; all-zero rows stay zero."""
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    inverse = np.divide(
+        1.0, sums, out=np.zeros_like(sums), where=sums > 0
+    )
+    return sparse.diags(inverse) @ matrix
+
+
+class ClickGraph:
+    """Query-URL bipartite with indexed nodes and transition matrices."""
+
+    def __init__(self, bipartite: Bipartite) -> None:
+        self._bipartite = bipartite
+        self._queries = bipartite.queries
+        self._urls = bipartite.facets
+        self._query_index = {q: i for i, q in enumerate(self._queries)}
+        self._url_index = {u: i for i, u in enumerate(self._urls)}
+        self._matrix, _ = bipartite.to_matrix(self._query_index, self._url_index)
+
+    @property
+    def queries(self) -> list[str]:
+        """Query nodes, sorted."""
+        return list(self._queries)
+
+    @property
+    def urls(self) -> list[str]:
+        """URL nodes, sorted."""
+        return list(self._urls)
+
+    @property
+    def n_queries(self) -> int:
+        """Number of query nodes."""
+        return len(self._queries)
+
+    def __contains__(self, query: str) -> bool:
+        return normalize_query(query) in self._query_index
+
+    def query_ordinal(self, query: str) -> int:
+        """Row index of *query*; raises ``KeyError`` if absent."""
+        normalized = normalize_query(query)
+        try:
+            return self._query_index[normalized]
+        except KeyError:
+            raise KeyError(f"query {normalized!r} not in click graph") from None
+
+    def query_at(self, ordinal: int) -> str:
+        """Query string at row *ordinal*."""
+        return self._queries[ordinal]
+
+    @property
+    def adjacency(self) -> sparse.csr_matrix:
+        """The (n_queries, n_urls) weighted adjacency."""
+        return self._matrix
+
+    def query_to_url_transition(self) -> sparse.csr_matrix:
+        """Row-stochastic query -> URL transition."""
+        return _row_normalize(self._matrix)
+
+    def url_to_query_transition(self) -> sparse.csr_matrix:
+        """Row-stochastic URL -> query transition."""
+        return _row_normalize(self._matrix.T.tocsr())
+
+    def query_transition(self) -> sparse.csr_matrix:
+        """Two-step query -> query transition (through one URL)."""
+        forward = self.query_to_url_transition()
+        backward = self.url_to_query_transition()
+        return (forward @ backward).tocsr()
+
+    def neighbors(self, query: str) -> set[str]:
+        """Queries sharing a clicked URL with *query*."""
+        return self._bipartite.query_neighbors(normalize_query(query))
+
+    def restrict_queries(self, queries) -> "ClickGraph":
+        """Sub-click-graph over the given queries."""
+        normalized = [normalize_query(q) for q in queries]
+        return ClickGraph(self._bipartite.restrict_queries(normalized))
+
+
+def build_click_graph(log: QueryLog, weighted: bool = True) -> ClickGraph:
+    """Build the click graph of *log* (optionally ``cfiqf``-weighted)."""
+    bipartite = Bipartite()
+    for record in log:
+        if record.clicked_url is None:
+            continue
+        query = normalize_query(record.query)
+        if not query:
+            continue
+        bipartite.add(query, record.clicked_url, 1.0)
+    if weighted:
+        bipartite = apply_cfiqf(bipartite, log.total_queries)
+    return ClickGraph(bipartite)

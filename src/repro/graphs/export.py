@@ -1,0 +1,98 @@
+"""Export representations to networkx for analysis and visualization.
+
+The library's own algorithms run on scipy sparse matrices; these exporters
+exist for downstream users who want to *inspect* a representation — degree
+distributions, connected components, drawing the Fig. 2 picture of their
+own log — with the standard graph toolkit.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.bipartite import Bipartite
+from repro.graphs.click_graph import ClickGraph
+from repro.graphs.multibipartite import BIPARTITE_KINDS, MultiBipartite
+
+__all__ = [
+    "bipartite_to_networkx",
+    "click_graph_to_networkx",
+    "multibipartite_to_networkx",
+    "query_projection",
+]
+
+#: Node-attribute value marking query-side nodes.
+QUERY_SIDE = 0
+#: Node-attribute value marking facet-side nodes.
+FACET_SIDE = 1
+
+
+def bipartite_to_networkx(
+    graph: Bipartite, kind: str = "X"
+) -> nx.Graph:
+    """One bipartite as an undirected weighted ``nx.Graph``.
+
+    Query nodes get ``bipartite=0``; facet nodes ``bipartite=1`` and are
+    namespaced as ``"{kind}:{facet}"`` so that a URL and a term with the
+    same string cannot collide when graphs are composed.
+    """
+    out = nx.Graph()
+    for query in graph.queries:
+        out.add_node(query, bipartite=QUERY_SIDE, kind="query")
+    for facet in graph.facets:
+        out.add_node(f"{kind}:{facet}", bipartite=FACET_SIDE, kind=kind)
+    for query in graph.queries:
+        for facet, weight in graph.facets_of(query).items():
+            out.add_edge(query, f"{kind}:{facet}", weight=weight, kind=kind)
+    return out
+
+
+def multibipartite_to_networkx(multibipartite: MultiBipartite) -> nx.Graph:
+    """The full Fig. 2 picture: three facet namespaces, one query side."""
+    out = nx.Graph()
+    for kind in BIPARTITE_KINDS:
+        part = bipartite_to_networkx(multibipartite.bipartite(kind), kind)
+        out = nx.compose(out, part)
+    return out
+
+
+def click_graph_to_networkx(graph: ClickGraph) -> nx.Graph:
+    """The classic query-URL click graph as an ``nx.Graph``."""
+    out = nx.Graph()
+    for query in graph.queries:
+        out.add_node(query, bipartite=QUERY_SIDE, kind="query")
+    for url in graph.urls:
+        out.add_node(f"U:{url}", bipartite=FACET_SIDE, kind="U")
+    adjacency = graph.adjacency
+    rows, cols = adjacency.nonzero()
+    for row, col in zip(rows, cols):
+        out.add_edge(
+            graph.query_at(int(row)),
+            f"U:{graph.urls[int(col)]}",
+            weight=float(adjacency[row, col]),
+            kind="U",
+        )
+    return out
+
+
+def query_projection(multibipartite: MultiBipartite) -> nx.Graph:
+    """Query-query projection: an edge per pair sharing any facet.
+
+    Edge attribute ``kinds`` lists the bipartites the pair co-occurs in —
+    useful for seeing which channel (clicks, sessions, terms) connects two
+    queries.
+    """
+    out = nx.Graph()
+    for query in multibipartite.queries:
+        out.add_node(query)
+    for kind in BIPARTITE_KINDS:
+        part = multibipartite.bipartite(kind)
+        for query in part.queries:
+            for neighbor in part.query_neighbors(query):
+                if out.has_edge(query, neighbor):
+                    kinds = out.edges[query, neighbor]["kinds"]
+                    if kind not in kinds:
+                        kinds.append(kind)
+                else:
+                    out.add_edge(query, neighbor, kinds=[kind])
+    return out

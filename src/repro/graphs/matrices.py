@@ -1,0 +1,101 @@
+"""Normalized matrices of a (compact) multi-bipartite representation.
+
+For each bipartite ``X ∈ {U, S, T}`` the diversification component needs:
+
+* ``W^X`` — the (n_queries, n_facets) weighted incidence matrix;
+* ``D^X`` — diagonal with ``D_ii = Σ_j (W^X W^{X⊤})_ij`` (paper Eq. 9);
+* ``L^X = D^{-1/2} W^X W^{X⊤} D^{-1/2}`` — the symmetric normalized
+  query-query affinity through X, whose spectral radius is at most 1 (this
+  is what makes the Eq. 15 system positive definite);
+* ``P^X`` — the row-stochastic two-step transition
+  ``query → facet → query`` used by the cross-bipartite walker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.graphs.multibipartite import BIPARTITE_KINDS, MultiBipartite
+
+__all__ = ["BipartiteMatrices", "build_matrices", "row_normalize"]
+
+
+def row_normalize(matrix: sparse.spmatrix) -> sparse.csr_matrix:
+    """Row-stochastic copy of *matrix*; all-zero rows stay zero."""
+    matrix = matrix.tocsr()
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    inverse = np.divide(1.0, sums, out=np.zeros_like(sums), where=sums > 0)
+    return (sparse.diags(inverse) @ matrix).tocsr()
+
+
+@dataclass(frozen=True)
+class BipartiteMatrices:
+    """All matrices of one representation, on a fixed query ordering.
+
+    Attributes:
+        queries: Query strings, row order of every matrix.
+        query_index: Query -> row ordinal.
+        incidence: Kind -> ``W^X`` (n_queries, n_facets_X).
+        affinity: Kind -> ``L^X`` (n_queries, n_queries), symmetric,
+            spectral radius <= 1.
+        transition: Kind -> ``P^X`` (n_queries, n_queries), row-stochastic
+            (zero rows for queries with no facet in X).
+    """
+
+    queries: list[str]
+    query_index: dict[str, int]
+    incidence: dict[str, sparse.csr_matrix]
+    affinity: dict[str, sparse.csr_matrix]
+    transition: dict[str, sparse.csr_matrix]
+
+    @property
+    def n_queries(self) -> int:
+        """Number of query rows."""
+        return len(self.queries)
+
+    def mean_transition(self) -> sparse.csr_matrix:
+        """Uniform mixture of the three ``P^X`` (the default walker prior)."""
+        mixed = sum(self.transition[kind] for kind in BIPARTITE_KINDS)
+        return (mixed / len(BIPARTITE_KINDS)).tocsr()
+
+
+def _affinity_of(incidence: sparse.csr_matrix) -> sparse.csr_matrix:
+    """``L = D^{-1/2} W W^T D^{-1/2}`` with D the row sums of ``W W^T``."""
+    gram = (incidence @ incidence.T).tocsr()
+    degrees = np.asarray(gram.sum(axis=1)).ravel()
+    scale = np.divide(
+        1.0, np.sqrt(degrees), out=np.zeros_like(degrees), where=degrees > 0
+    )
+    diagonal = sparse.diags(scale)
+    return (diagonal @ gram @ diagonal).tocsr()
+
+
+def _transition_of(incidence: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Two-step ``query -> facet -> query`` row-stochastic transition."""
+    forward = row_normalize(incidence)
+    backward = row_normalize(incidence.T)
+    return (forward @ backward).tocsr()
+
+
+def build_matrices(multibipartite: MultiBipartite) -> BipartiteMatrices:
+    """Compute every matrix of *multibipartite* on its sorted query order."""
+    queries = multibipartite.queries
+    query_index = {query: i for i, query in enumerate(queries)}
+    incidence: dict[str, sparse.csr_matrix] = {}
+    affinity: dict[str, sparse.csr_matrix] = {}
+    transition: dict[str, sparse.csr_matrix] = {}
+    for kind in BIPARTITE_KINDS:
+        matrix, _ = multibipartite.bipartite(kind).to_matrix(query_index)
+        incidence[kind] = matrix
+        affinity[kind] = _affinity_of(matrix)
+        transition[kind] = _transition_of(matrix)
+    return BipartiteMatrices(
+        queries=list(queries),
+        query_index=query_index,
+        incidence=incidence,
+        affinity=affinity,
+        transition=transition,
+    )

@@ -1,0 +1,30 @@
+"""Query-log substrate: record schema, storage, cleaning, sessionization, AOL I/O.
+
+This package owns the raw-data layer of the reproduction (paper Table I):
+records of ``(user, query, clicked URL, timestamp)``, their segmentation into
+search sessions, cleaning in the spirit of Wang & Zhai (SIGIR 2007), and
+round-tripping of the public AOL query-log TSV format.
+"""
+
+from repro.logs.aol import read_aol, write_aol
+from repro.logs.cleaning import CleaningReport, CleaningRules, clean_log
+from repro.logs.schema import QueryRecord, Session
+from repro.logs.sessionizer import SessionizerConfig, sessionize
+from repro.logs.spam import UserClickStats, click_profile, detect_click_spammers
+from repro.logs.storage import QueryLog
+
+__all__ = [
+    "CleaningReport",
+    "CleaningRules",
+    "QueryLog",
+    "QueryRecord",
+    "Session",
+    "SessionizerConfig",
+    "UserClickStats",
+    "clean_log",
+    "click_profile",
+    "detect_click_spammers",
+    "read_aol",
+    "sessionize",
+    "write_aol",
+]

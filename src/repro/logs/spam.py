@@ -1,0 +1,102 @@
+"""Click-spam detection over query logs.
+
+Sec. III motivates robust edge weighting by noting clickthrough "may also
+be biased by users or robots with malicious intents" [18].  Cleaning
+(`repro.logs.cleaning`) removes *hyperactive* users by volume; this module
+detects the subtler click-fraud signature: users whose click behaviour is
+abnormally *concentrated* — many queries funnelled into very few URLs —
+measured by the entropy of their click distribution relative to volume.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.logs.storage import QueryLog
+
+__all__ = ["UserClickStats", "click_profile", "detect_click_spammers"]
+
+
+@dataclass(frozen=True, slots=True)
+class UserClickStats:
+    """Click-behaviour summary of one user.
+
+    Attributes:
+        user_id: The user.
+        n_clicks: Total clicked rows.
+        n_urls: Distinct clicked URLs.
+        entropy: Shannon entropy (nats) of the click-URL distribution.
+        max_possible_entropy: ``log(n_clicks)`` — the entropy a perfectly
+            spread click pattern of this volume would have.
+    """
+
+    user_id: str
+    n_clicks: int
+    n_urls: int
+    entropy: float
+    max_possible_entropy: float
+
+    @property
+    def concentration(self) -> float:
+        """1 − normalized entropy: 0 = maximally spread, 1 = one URL only.
+
+        Users with a single click are undefined (no spread possible) and
+        report concentration 0.
+        """
+        if self.max_possible_entropy <= 0:
+            return 0.0
+        return 1.0 - self.entropy / self.max_possible_entropy
+
+
+def click_profile(log: QueryLog, user_id: str) -> UserClickStats:
+    """Click statistics of one user (zeros for users who never click)."""
+    counts: Counter[str] = Counter()
+    for record in log.records_of(user_id):
+        if record.clicked_url is not None:
+            counts[record.clicked_url] += 1
+    n_clicks = sum(counts.values())
+    entropy = 0.0
+    for count in counts.values():
+        p = count / n_clicks
+        entropy -= p * math.log(p)
+    return UserClickStats(
+        user_id=user_id,
+        n_clicks=n_clicks,
+        n_urls=len(counts),
+        entropy=entropy,
+        max_possible_entropy=math.log(n_clicks) if n_clicks > 1 else 0.0,
+    )
+
+
+def detect_click_spammers(
+    log: QueryLog,
+    min_clicks: int = 20,
+    concentration_threshold: float = 0.85,
+) -> list[UserClickStats]:
+    """Users whose click pattern looks like click fraud.
+
+    A spammer is a user with at least *min_clicks* clicked rows whose
+    click concentration exceeds *concentration_threshold* — e.g. a robot
+    hammering one target URL from many query strings.  Genuine users
+    spread clicks over the pages of their interests, keeping concentration
+    well below the threshold.
+
+    Returns the offending users' statistics, most concentrated first; feed
+    ``[s.user_id for s in ...]`` into ``QueryLog.restrict_users``'s
+    complement or ``CleaningRules`` to drop them.
+    """
+    if min_clicks < 2:
+        raise ValueError("min_clicks must be >= 2")
+    if not 0.0 < concentration_threshold <= 1.0:
+        raise ValueError("concentration_threshold must be in (0, 1]")
+    offenders = []
+    for user_id in log.users:
+        stats = click_profile(log, user_id)
+        if (
+            stats.n_clicks >= min_clicks
+            and stats.concentration >= concentration_threshold
+        ):
+            offenders.append(stats)
+    return sorted(offenders, key=lambda s: (-s.concentration, s.user_id))

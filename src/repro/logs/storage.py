@@ -1,0 +1,141 @@
+"""In-memory query-log store with the per-entity indexes the algorithms need.
+
+:class:`QueryLog` is the single handle the rest of the library takes for raw
+log data.  It assigns stable ``record_id``\\ s, maintains per-user ordering,
+and exposes the frequency indexes (query, term, URL) that the multi-bipartite
+weighting of Sec. III consumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Iterator
+
+from repro.logs.schema import QueryRecord
+from repro.utils.text import normalize_query, tokenize
+
+__all__ = ["QueryLog"]
+
+
+class QueryLog:
+    """An immutable-after-construction collection of query records.
+
+    Records are stored in timestamp order per user (the global order is the
+    input order).  All analytics — unique queries, vocabularies, click counts
+    — are computed once at construction.
+    """
+
+    def __init__(self, records: Iterable[QueryRecord]) -> None:
+        self._records: list[QueryRecord] = []
+        for record in records:
+            self._records.append(record.with_record_id(len(self._records)))
+
+        self._by_user: dict[str, list[QueryRecord]] = defaultdict(list)
+        self._query_counts: Counter[str] = Counter()
+        self._term_counts: Counter[str] = Counter()
+        self._url_counts: Counter[str] = Counter()
+        for record in self._records:
+            self._by_user[record.user_id].append(record)
+            query = normalize_query(record.query)
+            self._query_counts[query] += 1
+            self._term_counts.update(set(tokenize(query)))
+            if record.clicked_url is not None:
+                self._url_counts[record.clicked_url] += 1
+        for user_records in self._by_user.values():
+            user_records.sort(key=lambda r: (r.timestamp, r.record_id))
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, record_id: int) -> QueryRecord:
+        return self._records[record_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryLog(records={len(self._records)}, users={len(self._by_user)}, "
+            f"unique_queries={len(self._query_counts)})"
+        )
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def records(self) -> list[QueryRecord]:
+        """All records in insertion order (do not mutate)."""
+        return self._records
+
+    @property
+    def users(self) -> list[str]:
+        """Distinct user ids, sorted for determinism."""
+        return sorted(self._by_user)
+
+    def records_of(self, user_id: str) -> list[QueryRecord]:
+        """One user's records in timestamp order (empty list if unknown)."""
+        return list(self._by_user.get(user_id, []))
+
+    @property
+    def unique_queries(self) -> list[str]:
+        """Distinct normalized query strings, sorted for determinism."""
+        return sorted(self._query_counts)
+
+    def query_frequency(self, query: str) -> int:
+        """How many log rows issued *query* (after normalization)."""
+        return self._query_counts[normalize_query(query)]
+
+    def term_frequency(self, term: str) -> int:
+        """How many distinct query submissions contained *term*."""
+        return self._term_counts[term]
+
+    def url_frequency(self, url: str) -> int:
+        """How many rows clicked *url*."""
+        return self._url_counts[url]
+
+    @property
+    def vocabulary(self) -> list[str]:
+        """Distinct query terms, sorted for determinism."""
+        return sorted(self._term_counts)
+
+    @property
+    def urls(self) -> list[str]:
+        """Distinct clicked URLs, sorted for determinism."""
+        return sorted(self._url_counts)
+
+    @property
+    def total_queries(self) -> int:
+        """Total query submissions ``|Q|`` — the numerator of Eqs. 1-3."""
+        return len(self._records)
+
+    @property
+    def time_range(self) -> tuple[float, float]:
+        """(min, max) record timestamp; raises on an empty log."""
+        if not self._records:
+            raise ValueError("empty log has no time range")
+        stamps = [record.timestamp for record in self._records]
+        return min(stamps), max(stamps)
+
+    # -- derived logs --------------------------------------------------------------
+
+    def filter(self, predicate) -> "QueryLog":
+        """New :class:`QueryLog` of the records satisfying *predicate*.
+
+        Record ids are re-assigned in the new log.
+        """
+        return QueryLog(
+            QueryRecord(
+                user_id=r.user_id,
+                query=r.query,
+                timestamp=r.timestamp,
+                clicked_url=r.clicked_url,
+            )
+            for r in self._records
+            if predicate(r)
+        )
+
+    def restrict_users(self, user_ids: Iterable[str]) -> "QueryLog":
+        """New log containing only the given users' records."""
+        wanted = set(user_ids)
+        return self.filter(lambda record: record.user_id in wanted)

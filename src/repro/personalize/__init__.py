@@ -1,0 +1,31 @@
+"""Personalization component (paper Sec. V).
+
+Offline, the **User Profiling Model** (:mod:`repro.personalize.upm`) is a
+collapsed-Gibbs topic model over per-user documents whose topic unit is the
+search session; it jointly models query words, clicked URLs and
+Beta-distributed timestamps, and learns asymmetric hyperparameters so each
+user's idiosyncratic word/URL usage is captured.  Online, a candidate's
+preference score ``P(q|d)`` (Eq. 31) yields a personal ranking which is
+fused with the diversification ranking via Borda's method
+(:mod:`repro.personalize.borda`).
+"""
+
+from repro.personalize.borda import personalize_ranking
+from repro.personalize.hyperopt import (
+    dirichlet_log_likelihood,
+    optimize_dirichlet_fixed_point,
+    optimize_dirichlet_lbfgs,
+)
+from repro.personalize.profiles import UserProfile, UserProfileStore
+from repro.personalize.upm import UPM, UPMConfig
+
+__all__ = [
+    "UPM",
+    "UPMConfig",
+    "UserProfile",
+    "UserProfileStore",
+    "dirichlet_log_likelihood",
+    "optimize_dirichlet_fixed_point",
+    "optimize_dirichlet_lbfgs",
+    "personalize_ranking",
+]

@@ -1,0 +1,49 @@
+"""Rank aggregation of the diversification and personalization rankings.
+
+The paper (Sec. V-B) ranks candidates by personalized preference score, then
+"aggregate[s] this ranking list with the ranking list from the
+diversification component via Borda's method" — the final suggestion list
+blends query-affinity relevance with per-user preference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.utils.ranking import RankedList, borda_aggregate, ranks_from_scores
+
+__all__ = ["personalize_ranking"]
+
+
+def personalize_ranking(
+    diversified: Sequence[str],
+    preference_scores: Mapping[str, float],
+    personalization_weight: float = 1.0,
+) -> RankedList[str]:
+    """Fuse the diversified ranking with per-user preference via Borda.
+
+    Args:
+        diversified: Candidates in the diversification component's order.
+        preference_scores: ``P(q|d)`` per candidate (missing candidates are
+            treated as score 0 — they still keep their diversification
+            points).
+        personalization_weight: Relative Borda weight of the preference
+            ranking (1.0 = the paper's plain Borda; 0.0 reduces to the
+            diversification order — the ablation knob).
+
+    Returns:
+        The final personalized suggestion list over the same candidates.
+    """
+    if personalization_weight < 0:
+        raise ValueError(
+            f"personalization_weight must be >= 0, got {personalization_weight}"
+        )
+    candidates = list(diversified)
+    if not candidates:
+        return RankedList([])
+    scores = {query: preference_scores.get(query, 0.0) for query in candidates}
+    personal = ranks_from_scores(scores)
+    return borda_aggregate(
+        [candidates, list(personal)],
+        weights=[1.0, personalization_weight],
+    )

@@ -1,0 +1,93 @@
+"""User profiles and the online preference-scoring store (paper Sec. V-B).
+
+:class:`UserProfileStore` is the serving-side view of a fitted UPM: compact
+per-user topic vectors plus the scoring needed to rank suggestion
+candidates.  Profiles are plain data (the paper stresses they are "concise
+enough for offline storage"), so the store can also be built from persisted
+vectors without the model object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.personalize.upm import UPM
+from repro.utils.ranking import RankedList, ranks_from_scores
+
+__all__ = ["UserProfile", "UserProfileStore"]
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One user's offline profile.
+
+    Attributes:
+        user_id: The user.
+        theta: Topic-preference vector (Eq. 30), sums to 1.
+    """
+
+    user_id: str
+    theta: np.ndarray
+
+    def __post_init__(self) -> None:
+        theta = np.asarray(self.theta, dtype=float)
+        if theta.ndim != 1:
+            raise ValueError("theta must be a vector")
+        if theta.size == 0 or not np.isclose(theta.sum(), 1.0, atol=1e-6):
+            raise ValueError("theta must be a non-empty distribution")
+        object.__setattr__(self, "theta", theta)
+
+    @property
+    def dominant_topic(self) -> int:
+        """Index of the user's strongest topic."""
+        return int(self.theta.argmax())
+
+
+class UserProfileStore:
+    """Per-user preference scoring over suggestion candidates."""
+
+    def __init__(self, model: UPM) -> None:
+        self._model = model
+        self._profiles = {
+            doc.user_id: UserProfile(
+                user_id=doc.user_id,
+                theta=model.theta[i],
+            )
+            for i, doc in enumerate(model.corpus.documents)
+        }
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def user_ids(self) -> list[str]:
+        """All profiled users, sorted."""
+        return sorted(self._profiles)
+
+    def profile(self, user_id: str) -> UserProfile:
+        """The profile of *user_id*; raises ``KeyError`` if unknown."""
+        try:
+            return self._profiles[user_id]
+        except KeyError:
+            raise KeyError(f"no profile for user {user_id!r}") from None
+
+    def score(self, user_id: str, query: str) -> float:
+        """``P(q|d)`` for one candidate (0.0 for unprofiled users)."""
+        return self._model.preference_score(user_id, query)
+
+    def score_candidates(
+        self, user_id: str, candidates: list[str]
+    ) -> dict[str, float]:
+        """``P(q|d)`` for every candidate."""
+        return {query: self.score(user_id, query) for query in candidates}
+
+    def rank_candidates(
+        self, user_id: str, candidates: list[str]
+    ) -> RankedList[str]:
+        """Candidates sorted by descending personal preference."""
+        return ranks_from_scores(self.score_candidates(user_id, candidates))

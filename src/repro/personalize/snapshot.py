@@ -1,0 +1,164 @@
+"""Serialisable user-profile snapshots for online serving.
+
+The paper stresses that UPM profiles are "concise enough for offline
+storage and efficient online personalization" (Sec. V-A).  This module
+materialises that claim: a :class:`SnapshotStore` captures, per user, the
+topic vector ``θ_d`` and a truncated predictive word distribution, round-
+trips through JSON, and serves ``P(q|d)`` scores without the fitted model
+object (or the training corpus) in memory.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.personalize.upm import UPM
+from repro.utils.ranking import RankedList, ranks_from_scores
+from repro.utils.text import tokenize
+
+__all__ = ["ProfileSnapshot", "SnapshotStore"]
+
+#: Words below this predictive probability are dropped from the snapshot;
+#: scoring treats missing words as having exactly this floor probability.
+_FLOOR = 1e-5
+
+
+@dataclass(frozen=True)
+class ProfileSnapshot:
+    """One user's serialisable profile.
+
+    Attributes:
+        user_id: The user.
+        theta: Topic-preference vector (Eq. 30) as a plain list.
+        predictive: Word -> predictive probability, truncated to the words
+            whose probability exceeds the snapshot floor.
+    """
+
+    user_id: str
+    theta: tuple[float, ...]
+    predictive: dict[str, float]
+
+    def score(self, query: str) -> float:
+        """``P(q|d)`` from the truncated predictive (Eq. 31)."""
+        words = tokenize(query)
+        if not words:
+            return 0.0
+        return sum(self.predictive.get(w, _FLOOR) for w in words) / len(words)
+
+
+class SnapshotStore:
+    """Offline-storable profile store with the live store's interface."""
+
+    def __init__(self, profiles: dict[str, ProfileSnapshot]) -> None:
+        self._profiles = dict(profiles)
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_model(cls, model: UPM, top_words: int = 500) -> "SnapshotStore":
+        """Snapshot a fitted UPM, keeping each user's *top_words* words."""
+        if top_words < 1:
+            raise ValueError("top_words must be >= 1")
+        corpus = model.corpus
+        words = corpus.word_of_id
+        profiles: dict[str, ProfileSnapshot] = {}
+        theta = model.theta
+        for d, doc in enumerate(corpus.documents):
+            predictive = model.predictive_word_distribution(d)
+            order = predictive.argsort()[::-1][:top_words]
+            truncated = {
+                words[int(w)]: float(predictive[int(w)])
+                for w in order
+                if predictive[int(w)] > _FLOOR
+            }
+            profiles[doc.user_id] = ProfileSnapshot(
+                user_id=doc.user_id,
+                theta=tuple(float(x) for x in theta[d]),
+                predictive=truncated,
+            )
+        return cls(profiles)
+
+    # -- store interface -------------------------------------------------------------
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def user_ids(self) -> list[str]:
+        """All snapshotted users, sorted."""
+        return sorted(self._profiles)
+
+    def profile(self, user_id: str) -> ProfileSnapshot:
+        """The snapshot of *user_id*; raises ``KeyError`` if unknown."""
+        try:
+            return self._profiles[user_id]
+        except KeyError:
+            raise KeyError(f"no snapshot for user {user_id!r}") from None
+
+    def score(self, user_id: str, query: str) -> float:
+        """``P(q|d)`` (0.0 for unknown users)."""
+        profile = self._profiles.get(user_id)
+        if profile is None:
+            return 0.0
+        return profile.score(query)
+
+    def score_candidates(
+        self, user_id: str, candidates: list[str]
+    ) -> dict[str, float]:
+        """``P(q|d)`` for every candidate."""
+        return {query: self.score(user_id, query) for query in candidates}
+
+    def rank_candidates(
+        self, user_id: str, candidates: list[str]
+    ) -> RankedList[str]:
+        """Candidates by descending snapshot preference."""
+        return ranks_from_scores(self.score_candidates(user_id, candidates))
+
+    # -- (de)serialisation -----------------------------------------------------------
+
+    def to_json(self, destination: str | Path | io.TextIOBase) -> None:
+        """Write the store as a single JSON document."""
+        payload = {
+            "format": "pqsda-profile-snapshot-v1",
+            "profiles": [
+                {
+                    "user_id": profile.user_id,
+                    "theta": list(profile.theta),
+                    "predictive": profile.predictive,
+                }
+                for profile in self._profiles.values()
+            ],
+        }
+        if isinstance(destination, io.TextIOBase):
+            json.dump(payload, destination)
+        else:
+            with open(destination, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+
+    @classmethod
+    def from_json(cls, source: str | Path | io.TextIOBase) -> "SnapshotStore":
+        """Load a store written by :meth:`to_json`."""
+        if isinstance(source, io.TextIOBase):
+            payload = json.load(source)
+        else:
+            with open(source, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        if payload.get("format") != "pqsda-profile-snapshot-v1":
+            raise ValueError(
+                f"unrecognised snapshot format {payload.get('format')!r}"
+            )
+        profiles = {
+            entry["user_id"]: ProfileSnapshot(
+                user_id=entry["user_id"],
+                theta=tuple(entry["theta"]),
+                predictive={k: float(v) for k, v in entry["predictive"].items()},
+            )
+            for entry in payload["profiles"]
+        }
+        return cls(profiles)

@@ -1,0 +1,47 @@
+"""Synthetic search world: the reproduction's substitute for the paper's
+proprietary commercial query log and for the ODP (dmoz) directory.
+
+The package builds, from a single seed:
+
+* an ODP-like topic :mod:`taxonomy <repro.synth.taxonomy>`;
+* per-category :mod:`vocabularies <repro.synth.vocabulary>` including the
+  paper's *ambiguous terms* ("sun" belongs to Java, Astronomy and
+  Newspapers);
+* a titled synthetic :mod:`web <repro.synth.web>` (every URL carries a
+  taxonomy path and a title — the "high-quality fields" that the PPR metric
+  needs);
+* a :mod:`user population <repro.synth.users>` with Dirichlet topic
+  preferences, temporal drift and idiosyncratic word/URL choices;
+* a query-log :mod:`generator <repro.synth.generator>` emitting AOL-format
+  records, and a ground-truth :mod:`oracle <repro.synth.oracle>` that the
+  evaluation metrics (Relevance, HPR) consult in place of ODP lookups and
+  human raters.
+"""
+
+from repro.synth.generator import GeneratorConfig, SyntheticLog, generate_log
+from repro.synth.oracle import Oracle, RaterPanel
+from repro.synth.taxonomy import Category, Taxonomy, default_taxonomy
+from repro.synth.users import UserModel, UserPopulation
+from repro.synth.vocabulary import Vocabulary, build_vocabulary
+from repro.synth.web import SyntheticWeb, WebPage, build_web
+from repro.synth.world import SyntheticWorld, make_world
+
+__all__ = [
+    "Category",
+    "GeneratorConfig",
+    "Oracle",
+    "RaterPanel",
+    "SyntheticLog",
+    "SyntheticWeb",
+    "SyntheticWorld",
+    "Taxonomy",
+    "UserModel",
+    "UserPopulation",
+    "Vocabulary",
+    "WebPage",
+    "build_vocabulary",
+    "build_web",
+    "default_taxonomy",
+    "generate_log",
+    "make_world",
+]

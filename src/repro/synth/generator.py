@@ -1,0 +1,316 @@
+"""Query-log generator: turns the synthetic world into an AOL-style log.
+
+The generator emits, per user, a sequence of search sessions.  Each session
+serves a single intent (a taxonomy leaf drawn from the user's drifted
+preferences); its queries are reformulation chains over the leaf's
+vocabulary, seeded with ambiguous terms at a configurable rate so the log
+contains exactly the query-uncertainty scenario the paper targets; clicks
+land on the leaf's synthetic pages, with bounded noise.
+
+All ground truth (session intent, per-record intent, per-query dominant
+category) is retained in :class:`SyntheticLog` for the oracle and metrics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.logs.schema import QueryRecord, Session
+from repro.logs.storage import QueryLog
+from repro.synth.taxonomy import Category
+from repro.synth.users import UserModel, UserPopulation
+from repro.synth.world import SyntheticWorld
+from repro.utils.rng import ensure_rng
+from repro.utils.text import normalize_query
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["GeneratorConfig", "SyntheticLog", "generate_log"]
+
+#: Earliest timestamp of generated logs: 2012-01-01 00:00:00 UTC, matching
+#: the paper's example era.
+_EPOCH_START = 1325376000.0
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorConfig:
+    """Knobs of :func:`generate_log`.
+
+    Attributes:
+        n_users: Number of users to simulate.
+        mean_sessions_per_user: Poisson mean of sessions per user.
+        min_sessions_per_user: Hard floor of sessions per user (so that the
+            personalization experiments always have history + test sessions).
+        mean_queries_per_session: Poisson mean (>=1 enforced) of queries in a
+            session.
+        click_probability: Chance a query records a click.
+        noise_click_probability: Chance that a recorded click lands on a page
+            of a *random* leaf instead of the intent leaf (clickthrough
+            noise, Sec. III's motivation for robust weighting).
+        hub_click_probability: Chance that a recorded click lands on one of
+            a handful of cross-topic *hub* URLs (portals, search front
+            pages).  Hubs connect unrelated queries in the click graph —
+            exactly the "heavily clicked URL with a high query frequency is
+            less discriminative" scenario that the iqf weighting (Eq. 1)
+            targets.  Hub URLs are outside the synthetic web (they have no
+            topical category or title).
+        n_hub_urls: Number of distinct hub URLs.
+        ambiguous_rate: Chance a session opens with an ambiguous term when
+            its intent leaf has one.
+        requery_rate: Chance a session opens by re-issuing one of the user's
+            own earlier queries on the same leaf (re-finding behaviour —
+            real logs are heavily repetitive per user).
+        offtopic_session_rate: Chance a session's intent is drawn uniformly
+            from all leaves rather than from the user's interests (preference
+            dynamics / exploration).
+        span_days: Length of the simulated time window.
+        intra_query_gap_seconds: Mean pause between queries in a session.
+        seed: Root seed for the generation stream.
+    """
+
+    n_users: int = 50
+    mean_sessions_per_user: float = 10.0
+    min_sessions_per_user: int = 3
+    mean_queries_per_session: float = 2.5
+    click_probability: float = 0.75
+    noise_click_probability: float = 0.05
+    hub_click_probability: float = 0.0
+    n_hub_urls: int = 5
+    ambiguous_rate: float = 0.35
+    requery_rate: float = 0.45
+    offtopic_session_rate: float = 0.1
+    span_days: float = 90.0
+    intra_query_gap_seconds: float = 45.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError("n_users must be >= 1")
+        check_positive("mean_sessions_per_user", self.mean_sessions_per_user)
+        if self.min_sessions_per_user < 1:
+            raise ValueError("min_sessions_per_user must be >= 1")
+        check_positive("mean_queries_per_session", self.mean_queries_per_session)
+        check_probability("click_probability", self.click_probability)
+        check_probability("noise_click_probability", self.noise_click_probability)
+        check_probability("hub_click_probability", self.hub_click_probability)
+        if self.n_hub_urls < 1:
+            raise ValueError("n_hub_urls must be >= 1")
+        check_probability("ambiguous_rate", self.ambiguous_rate)
+        check_probability("requery_rate", self.requery_rate)
+        check_probability("offtopic_session_rate", self.offtopic_session_rate)
+        check_positive("span_days", self.span_days)
+        check_positive("intra_query_gap_seconds", self.intra_query_gap_seconds)
+
+
+@dataclass(slots=True)
+class SyntheticLog:
+    """A generated log plus its ground truth.
+
+    Attributes:
+        log: The query log (records carry assigned ids).
+        sessions: Ground-truth sessions (ids ``"{user}/{ordinal}"``).
+        session_intent: Session id -> intent leaf.
+        record_intent: Record id -> intent leaf of its session.
+        query_category: Normalized query string -> dominant intent leaf over
+            all its occurrences (the oracle's stand-in for an ODP lookup).
+        population: The user population behind the log.
+    """
+
+    log: QueryLog
+    sessions: list[Session]
+    session_intent: dict[str, Category]
+    record_intent: dict[int, Category]
+    query_category: dict[str, Category]
+    population: UserPopulation
+    sessions_by_user: dict[str, list[Session]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.sessions_by_user:
+            by_user: dict[str, list[Session]] = defaultdict(list)
+            for session in self.sessions:
+                by_user[session.user_id].append(session)
+            self.sessions_by_user = dict(by_user)
+
+    def sessions_of(self, user_id: str) -> list[Session]:
+        """One user's ground-truth sessions in time order."""
+        return list(self.sessions_by_user.get(user_id, []))
+
+
+def _ambiguous_terms_of(world: SyntheticWorld, leaf: Category) -> list[str]:
+    return [
+        term
+        for term in world.vocabulary.ambiguous_terms
+        if leaf in world.vocabulary.leaves_of_term(term)
+    ]
+
+
+def _compose_queries(
+    world: SyntheticWorld,
+    user: UserModel,
+    leaf: Category,
+    n_queries: int,
+    use_ambiguous: bool,
+    rng: np.random.Generator,
+    term_memory: list[str],
+    reuse_term_rate: float = 0.5,
+) -> list[str]:
+    """Build a session's reformulation chain of *n_queries* query strings.
+
+    *term_memory* holds the terms the user has used for this leaf before;
+    fresh terms are drawn from it with probability *reuse_term_rate*
+    (lexical re-finding), otherwise sampled from the biased leaf vocabulary.
+    """
+    vocabulary = world.vocabulary
+    bias = user.word_bias.get(leaf)
+    ambiguous = _ambiguous_terms_of(world, leaf) if use_ambiguous else []
+
+    def fresh_term(exclude: list[str]) -> str:
+        reusable = [t for t in term_memory if t not in exclude]
+        if reusable and rng.random() < reuse_term_rate:
+            return str(rng.choice(reusable))
+        for candidate in vocabulary.sample_terms(leaf, 3, rng, bias=bias):
+            if candidate not in exclude:
+                return candidate
+        return vocabulary.sample_terms(leaf, 1, rng, bias=bias)[0]
+
+    queries: list[str] = []
+    pool: list[str] = []
+    for position in range(n_queries):
+        if position == 0:
+            if ambiguous:
+                terms = [str(rng.choice(ambiguous))]
+            else:
+                terms = [fresh_term([])]
+            if rng.random() < 0.35 and not ambiguous:
+                terms.append(fresh_term(terms))
+        else:
+            # Reformulation: keep one earlier term, add one new topical term.
+            terms = [str(rng.choice(pool))] if pool else []
+            terms.append(fresh_term(terms))
+        queries.append(" ".join(terms))
+        for term in terms:
+            if term not in pool:
+                pool.append(term)
+            if term not in term_memory and term not in ambiguous:
+                term_memory.append(term)
+    return queries
+
+
+def generate_log(
+    world: SyntheticWorld, config: GeneratorConfig | None = None
+) -> SyntheticLog:
+    """Generate a query log over *world* according to *config*."""
+    if config is None:
+        config = GeneratorConfig()
+    rng = ensure_rng(config.seed)
+    population = UserPopulation.generate(
+        config.n_users,
+        world.vocabulary,
+        world.web,
+        seed=ensure_rng(config.seed + 1),
+    )
+
+    span_seconds = config.span_days * 86400.0
+    min_session_gap = 2 * 3600.0  # keep ground-truth sessions separable
+
+    rows: list[QueryRecord] = []
+    session_slices: list[tuple[str, str, int, int]] = []  # (sid, user, lo, hi)
+    intents: list[Category] = []  # parallel to session_slices
+
+    for user in population:
+        past_queries: dict[Category, list[str]] = {}
+        term_memories: dict[Category, list[str]] = {}
+        n_sessions = max(
+            config.min_sessions_per_user,
+            int(rng.poisson(config.mean_sessions_per_user)),
+        )
+        starts = np.sort(rng.uniform(0.0, span_seconds, size=n_sessions))
+        # Enforce a minimum inter-session gap.
+        for i in range(1, n_sessions):
+            if starts[i] - starts[i - 1] < min_session_gap:
+                starts[i] = starts[i - 1] + min_session_gap
+        for ordinal, start_offset in enumerate(starts):
+            t_norm = float(min(start_offset / max(span_seconds, 1.0), 1.0))
+            if rng.random() < config.offtopic_session_rate:
+                intent = world.taxonomy.sample_leaf(rng)
+            else:
+                intent = user.sample_intent(t_norm, rng)
+            n_queries = max(1, int(rng.poisson(config.mean_queries_per_session)))
+            use_ambiguous = rng.random() < config.ambiguous_rate
+            queries = _compose_queries(
+                world,
+                user,
+                intent,
+                n_queries,
+                use_ambiguous,
+                rng,
+                term_memories.setdefault(intent, []),
+            )
+            # Re-finding: open the session with one of the user's earlier
+            # queries on this leaf instead of a fresh formulation.
+            memory = past_queries.setdefault(intent, [])
+            if memory and rng.random() < config.requery_rate:
+                queries[0] = str(rng.choice(memory))
+            memory.extend(q for q in queries if q not in memory)
+
+            lo = len(rows)
+            timestamp = _EPOCH_START + start_offset
+            for query in queries:
+                clicked_url: str | None = None
+                if rng.random() < config.click_probability:
+                    if rng.random() < config.hub_click_probability:
+                        hub = int(rng.integers(0, config.n_hub_urls))
+                        clicked_url = f"www.hub-{hub}.example.com"
+                    elif rng.random() < config.noise_click_probability:
+                        noise_leaf = world.taxonomy.sample_leaf(rng)
+                        clicked_url = world.web.sample_page(noise_leaf, rng).url
+                    else:
+                        url_bias = user.url_bias.get(intent)
+                        clicked_url = world.web.sample_page(
+                            intent, rng, bias=url_bias
+                        ).url
+                rows.append(
+                    QueryRecord(
+                        user_id=user.user_id,
+                        query=query,
+                        timestamp=round(timestamp),
+                        clicked_url=clicked_url,
+                    )
+                )
+                timestamp += float(
+                    rng.exponential(config.intra_query_gap_seconds) + 5.0
+                )
+            session_slices.append(
+                (f"{user.user_id}/{ordinal}", user.user_id, lo, len(rows))
+            )
+            intents.append(intent)
+
+    log = QueryLog(rows)
+
+    sessions: list[Session] = []
+    session_intent: dict[str, Category] = {}
+    record_intent: dict[int, Category] = {}
+    occurrence_counts: dict[str, Counter[Category]] = defaultdict(Counter)
+    for (session_id, user_id, lo, hi), intent in zip(session_slices, intents):
+        records = [log[i] for i in range(lo, hi)]
+        sessions.append(Session(session_id, user_id, records))
+        session_intent[session_id] = intent
+        for record in records:
+            record_intent[record.record_id] = intent
+            occurrence_counts[normalize_query(record.query)][intent] += 1
+
+    query_category = {
+        query: counts.most_common(1)[0][0]
+        for query, counts in occurrence_counts.items()
+    }
+
+    return SyntheticLog(
+        log=log,
+        sessions=sessions,
+        session_intent=session_intent,
+        record_intent=record_intent,
+        query_category=query_category,
+        population=population,
+    )

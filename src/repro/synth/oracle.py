@@ -1,0 +1,149 @@
+"""Ground-truth oracle and simulated rater panel.
+
+The oracle replaces two external resources the paper relies on:
+
+* **ODP lookups** — the Relevance metric (Eq. 34) needs "the ODP category of
+  a query"; the oracle answers from the generator's ground truth, falling
+  back to the vocabulary classifier for queries it never generated.
+* **Human experts** — the HPR experiment (Fig. 6) had experts rate
+  suggestions on a 6-point scale over four months; :class:`RaterPanel`
+  simulates such experts: a rater sees the *true* intent of the test session
+  (which a human implicitly knows about their own search) plus the user's
+  long-term profile, scores a suggestion by taxonomy alignment, quantizes to
+  the paper's {0, 0.2, ..., 1} scale and adds bounded rater noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.logs.schema import Session
+from repro.synth.generator import SyntheticLog
+from repro.synth.taxonomy import Category
+from repro.synth.world import SyntheticWorld
+from repro.utils.rng import ensure_rng
+from repro.utils.text import normalize_query, tokenize
+from repro.utils.validation import check_probability
+
+__all__ = ["Oracle", "RaterPanel"]
+
+#: The paper's 6-point rating scale.
+RATING_SCALE = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+class Oracle:
+    """Ground-truth answers about a generated log."""
+
+    def __init__(self, world: SyntheticWorld, synthetic: SyntheticLog) -> None:
+        self._world = world
+        self._synthetic = synthetic
+
+    @property
+    def world(self) -> SyntheticWorld:
+        """The static world behind the log."""
+        return self._world
+
+    def category_of_query(self, query: str) -> Category | None:
+        """The ODP-like category of *query*.
+
+        Ground truth (dominant intent over the query's occurrences) when the
+        query appears in the log, otherwise the vocabulary classifier;
+        ``None`` when even the classifier has no signal.
+        """
+        normalized = normalize_query(query)
+        category = self._synthetic.query_category.get(normalized)
+        if category is not None:
+            return category
+        return self._world.vocabulary.classify(tokenize(normalized))
+
+    def category_of_url(self, url: str) -> Category | None:
+        """The category of *url*, or None for URLs outside the synthetic web."""
+        if url in self._world.web:
+            return self._world.web.category_of(url)
+        return None
+
+    def intent_of_session(self, session_id: str) -> Category:
+        """The true intent leaf of a generated session."""
+        try:
+            return self._synthetic.session_intent[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session {session_id!r}") from None
+
+    def user_interest_weight(self, user_id: str, category: Category) -> float:
+        """The user's long-term preference mass on *category* (0 if none)."""
+        user = self._synthetic.population.get(user_id)
+        return user.interests.get(category, 0.0)
+
+    def query_similarity(self, left: str, right: str) -> float:
+        """Taxonomy path similarity between two queries' categories.
+
+        0.0 when either query cannot be categorized.
+        """
+        a = self.category_of_query(left)
+        b = self.category_of_query(right)
+        if a is None or b is None:
+            return 0.0
+        return self._world.taxonomy.path_similarity(a, b)
+
+
+class RaterPanel:
+    """Simulated human experts for the HPR experiment (Fig. 6).
+
+    A rater's raw judgement of suggestion *q* for a session with true intent
+    *c* and user *u* is::
+
+        score = (1 - profile_weight) * sim(cat(q), c)
+                + profile_weight * interest_alignment(u, cat(q))
+
+    quantized to the 6-point scale after adding Gaussian rater noise.  The
+    ``profile_weight`` term models that the paper's experts rated relevance
+    *to themselves*, not to an abstract topic.
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        n_raters: int = 3,
+        noise_sd: float = 0.08,
+        profile_weight: float = 0.3,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_raters < 1:
+            raise ValueError("n_raters must be >= 1")
+        if noise_sd < 0:
+            raise ValueError("noise_sd must be >= 0")
+        check_probability("profile_weight", profile_weight)
+        self._oracle = oracle
+        self._n_raters = n_raters
+        self._noise_sd = noise_sd
+        self._profile_weight = profile_weight
+        self._rng = ensure_rng(seed)
+
+    @staticmethod
+    def _quantize(value: float) -> float:
+        clipped = min(max(value, 0.0), 1.0)
+        return min(RATING_SCALE, key=lambda level: abs(level - clipped))
+
+    def rate(self, suggestion: str, session: Session, intent: Category) -> float:
+        """Mean rating of *suggestion* for a test *session* across the panel."""
+        category = self._oracle.category_of_query(suggestion)
+        if category is None:
+            topical = 0.0
+            interest = 0.0
+        else:
+            taxonomy = self._oracle.world.taxonomy
+            topical = taxonomy.path_similarity(category, intent)
+            interest = self._oracle.user_interest_weight(
+                session.user_id, category
+            )
+            # Interest mass rarely exceeds ~0.7; rescale gently to [0, 1].
+            interest = min(interest / 0.7, 1.0)
+        truth = (
+            (1 - self._profile_weight) * topical
+            + self._profile_weight * interest
+        )
+        ratings = [
+            self._quantize(truth + float(self._rng.normal(0.0, self._noise_sd)))
+            for _ in range(self._n_raters)
+        ]
+        return float(np.mean(ratings))

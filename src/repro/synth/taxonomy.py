@@ -1,0 +1,179 @@
+"""ODP-like topic taxonomy.
+
+The paper's Diversity (Eq. 32) and Relevance (Eq. 34) metrics compare the
+ODP category paths of pages and queries.  This module provides the category
+tree those metrics walk: a :class:`Taxonomy` of slash-path categories with
+the longest-common-prefix path similarity the paper uses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Category", "Taxonomy", "default_taxonomy", "DEFAULT_TREE"]
+
+
+@dataclass(frozen=True, slots=True)
+class Category:
+    """A node of the taxonomy, identified by its path from the root.
+
+    ``Category(("Computers", "Programming", "Java"))`` prints as
+    ``Computers/Programming/Java``, mirroring ODP paths.
+    """
+
+    path: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("Category path must be non-empty")
+        if any(not part for part in self.path):
+            raise ValueError(f"Category path has empty segment: {self.path!r}")
+
+    def __str__(self) -> str:
+        return "/".join(self.path)
+
+    @property
+    def depth(self) -> int:
+        """Number of path segments."""
+        return len(self.path)
+
+    @property
+    def leaf_name(self) -> str:
+        """The final path segment."""
+        return self.path[-1]
+
+    @property
+    def top(self) -> str:
+        """The first path segment (the ODP top-level category)."""
+        return self.path[0]
+
+    def is_ancestor_of(self, other: "Category") -> bool:
+        """Whether *self* is a strict ancestor of *other*."""
+        return (
+            len(self.path) < len(other.path)
+            and other.path[: len(self.path)] == self.path
+        )
+
+
+def _common_prefix_length(left: Sequence[str], right: Sequence[str]) -> int:
+    length = 0
+    for a, b in zip(left, right):
+        if a != b:
+            break
+        length += 1
+    return length
+
+
+class Taxonomy:
+    """A rooted category tree with path-similarity queries.
+
+    Construct from a nested mapping ``{"Computers": {"Programming": {"Java":
+    {}}}}``; every node (not only leaves) is a valid :class:`Category`, but
+    content (vocabulary, URLs) attaches to leaves.
+    """
+
+    def __init__(self, tree: Mapping[str, Mapping]) -> None:
+        if not tree:
+            raise ValueError("taxonomy tree must be non-empty")
+        self._categories: list[Category] = []
+        self._leaves: list[Category] = []
+        self._walk(tree, ())
+        self._by_path = {category.path: category for category in self._categories}
+        self._leaf_index = {leaf: i for i, leaf in enumerate(self._leaves)}
+
+    def _walk(self, tree: Mapping[str, Mapping], prefix: tuple[str, ...]) -> None:
+        for name in sorted(tree):
+            path = prefix + (name,)
+            category = Category(path)
+            self._categories.append(category)
+            children = tree[name]
+            if children:
+                self._walk(children, path)
+            else:
+                self._leaves.append(category)
+
+    # -- lookup --------------------------------------------------------------------
+
+    @property
+    def categories(self) -> list[Category]:
+        """All categories (internal and leaf), in sorted walk order."""
+        return list(self._categories)
+
+    @property
+    def leaves(self) -> list[Category]:
+        """All leaf categories, in sorted walk order."""
+        return list(self._leaves)
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest category."""
+        return max(category.depth for category in self._categories)
+
+    def __contains__(self, category: Category) -> bool:
+        return category.path in self._by_path
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    def get(self, path: str | Iterable[str]) -> Category:
+        """Look up a category by ``"A/B/C"`` string or iterable of segments."""
+        if isinstance(path, str):
+            parts = tuple(part for part in path.split("/") if part)
+        else:
+            parts = tuple(path)
+        try:
+            return self._by_path[parts]
+        except KeyError:
+            raise KeyError(f"no category {'/'.join(parts)!r} in taxonomy") from None
+
+    def leaf_ordinal(self, leaf: Category) -> int:
+        """Stable index of *leaf* among :attr:`leaves` (for array indexing)."""
+        try:
+            return self._leaf_index[leaf]
+        except KeyError:
+            raise KeyError(f"{leaf} is not a leaf of this taxonomy") from None
+
+    # -- similarity (paper Eq. 34 / Eq. 32's sim) -----------------------------------
+
+    def path_similarity(self, left: Category, right: Category) -> float:
+        """``|longest common prefix| / max(|A|, |B|)`` — the paper's Eq. 34.
+
+        1.0 for identical categories, 0.0 for categories under different
+        top-level nodes.
+        """
+        if left not in self or right not in self:
+            raise KeyError("both categories must belong to this taxonomy")
+        prefix = _common_prefix_length(left.path, right.path)
+        return prefix / max(left.depth, right.depth)
+
+    def sample_leaf(self, rng: np.random.Generator) -> Category:
+        """Uniformly sample a leaf category."""
+        return self._leaves[int(rng.integers(0, len(self._leaves)))]
+
+
+#: The default ODP-like tree: 9 top-level categories, 27 leaves, depth <= 3.
+#: Shaped after dmoz's actual top levels so that path-similarity values span
+#: the same range the paper's metrics saw.
+DEFAULT_TREE: dict = {
+    "Arts": {"Music": {}, "Movies": {}, "Literature": {}},
+    "Business": {"Finance": {}, "Jobs": {}},
+    "Computers": {
+        "Programming": {"Java": {}, "Python": {}, "Databases": {}},
+        "Hardware": {},
+        "Internet": {},
+    },
+    "Health": {"Medicine": {}, "Fitness": {}, "Nutrition": {}},
+    "News": {"Newspapers": {}, "Weather": {}},
+    "Recreation": {"Travel": {}, "Autos": {}, "Outdoors": {}},
+    "Science": {"Astronomy": {}, "Biology": {}, "Physics": {}, "Energy": {}},
+    "Shopping": {"Electronics": {}, "Clothing": {}},
+    "Sports": {"Football": {}, "Basketball": {}, "Tennis": {}},
+}
+
+
+def default_taxonomy() -> Taxonomy:
+    """The default 27-leaf ODP-like taxonomy used across the reproduction."""
+    return Taxonomy(DEFAULT_TREE)

@@ -1,0 +1,275 @@
+"""Per-category vocabularies, including the paper's ambiguous multi-facet terms.
+
+Every taxonomy leaf owns a Zipf-weighted word list: a few curated *seed*
+words (so that generated queries read like real ones — "sun java jvm") plus
+deterministic filler words.  A small set of **ambiguous terms** is shared
+between several leaves; these reproduce the paper's motivating example where
+the query "sun" may mean Sun Microsystems, the star, or a UK newspaper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.synth.taxonomy import Category, Taxonomy
+
+__all__ = ["Vocabulary", "build_vocabulary", "SEED_WORDS", "AMBIGUOUS_TERMS"]
+
+#: Curated topical seed words per default-taxonomy leaf (path string keys).
+SEED_WORDS: dict[str, list[str]] = {
+    "Arts/Music": ["guitar", "concert", "album", "lyrics", "band", "piano",
+                   "melody", "vinyl", "chord", "orchestra"],
+    "Arts/Movies": ["film", "trailer", "actor", "cinema", "director", "sequel",
+                    "screenplay", "oscar", "premiere", "soundtrack"],
+    "Arts/Literature": ["novel", "poem", "author", "fiction", "poetry",
+                        "chapter", "classic", "prose", "manuscript", "delphi"],
+    "Business/Finance": ["stocks", "market", "invest", "bank", "loan", "bond",
+                         "dividend", "portfolio", "mortgage", "broker"],
+    "Business/Jobs": ["resume", "career", "salary", "hiring", "interview",
+                      "employer", "vacancy", "internship", "recruiter", "cv"],
+    "Computers/Programming/Java": ["java", "jvm", "applet", "servlet", "jdk",
+                                   "swing", "bytecode", "classpath", "maven",
+                                   "solaris"],
+    "Computers/Programming/Python": ["python", "pip", "django", "numpy",
+                                     "script", "interpreter", "pandas",
+                                     "flask", "virtualenv", "decorator"],
+    "Computers/Programming/Databases": ["sql", "database", "index", "schema",
+                                        "mysql", "postgres", "transaction",
+                                        "btree", "join", "oracle"],
+    "Computers/Hardware": ["cpu", "motherboard", "ram", "gpu", "chipset",
+                           "overclock", "ssd", "cooling", "benchmark", "bios"],
+    "Computers/Internet": ["browser", "router", "wifi", "dns", "firewall",
+                           "bandwidth", "modem", "hosting", "ethernet", "vpn"],
+    "Health/Medicine": ["doctor", "symptom", "vaccine", "prescription",
+                        "diagnosis", "antibiotic", "clinic", "therapy",
+                        "surgery", "pharmacy"],
+    "Health/Fitness": ["workout", "gym", "cardio", "yoga", "muscle",
+                       "treadmill", "pilates", "stretching", "marathon",
+                       "trainer"],
+    "Health/Nutrition": ["vitamin", "protein", "calories", "recipe", "organic",
+                         "fiber", "smoothie", "supplement", "vegan", "mineral"],
+    "News/Newspapers": ["headline", "tabloid", "editorial", "journalist",
+                        "daily", "press", "gazette", "columnist", "newsprint",
+                        "herald"],
+    "News/Weather": ["forecast", "storm", "temperature", "rainfall",
+                     "hurricane", "humidity", "radar", "blizzard", "heatwave",
+                     "barometer"],
+    "Recreation/Travel": ["flight", "hotel", "itinerary", "passport", "beach",
+                          "resort", "backpacking", "visa", "cruise", "hostel"],
+    "Recreation/Autos": ["engine", "sedan", "horsepower", "dealership",
+                         "transmission", "coupe", "diesel", "roadster",
+                         "warranty", "tires"],
+    "Recreation/Outdoors": ["hiking", "camping", "trail", "kayak", "tent",
+                            "fishing", "climbing", "campfire", "canoe",
+                            "wilderness"],
+    "Science/Astronomy": ["telescope", "planet", "orbit", "nebula", "comet",
+                          "solar", "supernova", "asteroid", "constellation",
+                          "observatory"],
+    "Science/Biology": ["species", "genome", "cell", "evolution", "habitat",
+                        "enzyme", "organism", "chromosome", "ecology",
+                        "predator"],
+    "Science/Physics": ["quantum", "relativity", "particle", "photon",
+                        "entropy", "momentum", "collider", "neutrino",
+                        "thermodynamics", "laser"],
+    "Science/Energy": ["renewable", "turbine", "reactor", "biofuel", "grid",
+                       "photovoltaic", "geothermal", "hydroelectric",
+                       "emissions", "panel"],
+    "Shopping/Electronics": ["laptop", "smartphone", "headphones", "tablet",
+                             "camera", "charger", "warranty", "discount",
+                             "unboxing", "gadget"],
+    "Shopping/Clothing": ["jeans", "jacket", "sneakers", "dress", "tailor",
+                          "fabric", "boutique", "fashion", "wardrobe",
+                          "sweater"],
+    "Sports/Football": ["touchdown", "quarterback", "league", "playoffs",
+                        "stadium", "fumble", "linebacker", "kickoff",
+                        "huddle", "endzone"],
+    "Sports/Basketball": ["dunk", "rebound", "pointguard", "jumpshot",
+                          "backboard", "fastbreak", "freethrow", "crossover",
+                          "layup", "buzzer"],
+    "Sports/Tennis": ["racket", "serve", "backhand", "volley", "baseline",
+                      "tiebreak", "grandslam", "forehand", "deuce", "topspin"],
+}
+
+#: Ambiguous terms -> the leaf paths they belong to.  "sun" reproduces the
+#: paper's running example (Sun Microsystems / the star / a UK newspaper).
+AMBIGUOUS_TERMS: dict[str, list[str]] = {
+    "sun": ["Computers/Programming/Java", "Science/Astronomy",
+            "News/Newspapers"],
+    "apple": ["Computers/Hardware", "Health/Nutrition"],
+    "jaguar": ["Recreation/Autos", "Science/Biology"],
+    "python": ["Computers/Programming/Python", "Science/Biology"],
+    "mercury": ["Science/Astronomy", "Recreation/Autos"],
+    "amazon": ["Shopping/Electronics", "Recreation/Travel"],
+    "java": ["Computers/Programming/Java", "Recreation/Travel"],
+    "oracle": ["Computers/Programming/Databases", "Arts/Literature"],
+    "galaxy": ["Science/Astronomy", "Shopping/Electronics"],
+    "eclipse": ["Science/Astronomy", "Computers/Programming/Java"],
+    "virus": ["Health/Medicine", "Computers/Internet"],
+    "pitch": ["Sports/Football", "Arts/Music"],
+    "solar": ["Science/Astronomy", "Science/Energy"],
+    "court": ["Sports/Tennis", "Business/Jobs"],
+}
+
+_ZIPF_EXPONENT = 1.07
+
+
+class Vocabulary:
+    """Leaf-indexed word lists with Zipf sampling and a naive-Bayes classifier.
+
+    The classifier (:meth:`classify`) stands in for the paper's "look the
+    query up in ODP": it maps a bag of terms to the leaf category whose word
+    distribution most plausibly generated it.
+    """
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        words_by_leaf: dict[Category, list[str]],
+    ) -> None:
+        self._taxonomy = taxonomy
+        self._words_by_leaf: dict[Category, list[str]] = {}
+        self._weights_by_leaf: dict[Category, np.ndarray] = {}
+        self._leaves_by_term: dict[str, list[Category]] = {}
+        for leaf in taxonomy.leaves:
+            words = words_by_leaf.get(leaf, [])
+            if not words:
+                raise ValueError(f"leaf {leaf} has an empty vocabulary")
+            self._words_by_leaf[leaf] = list(words)
+            ranks = np.arange(1, len(words) + 1, dtype=float)
+            weights = ranks**-_ZIPF_EXPONENT
+            self._weights_by_leaf[leaf] = weights / weights.sum()
+            for word in words:
+                self._leaves_by_term.setdefault(word, []).append(leaf)
+
+    @property
+    def taxonomy(self) -> Taxonomy:
+        """The taxonomy whose leaves this vocabulary covers."""
+        return self._taxonomy
+
+    @property
+    def all_words(self) -> list[str]:
+        """Every word across all leaves, sorted and de-duplicated."""
+        return sorted(self._leaves_by_term)
+
+    def words_of(self, leaf: Category) -> list[str]:
+        """The word list of *leaf*, most-probable first."""
+        return list(self._words_by_leaf[leaf])
+
+    def leaves_of_term(self, term: str) -> list[Category]:
+        """The leaves whose vocabulary contains *term* (empty if unknown)."""
+        return list(self._leaves_by_term.get(term, []))
+
+    def is_ambiguous(self, term: str) -> bool:
+        """Whether *term* belongs to more than one leaf."""
+        return len(self._leaves_by_term.get(term, [])) > 1
+
+    @property
+    def ambiguous_terms(self) -> list[str]:
+        """All terms shared by 2+ leaves, sorted."""
+        return sorted(
+            term for term, leaves in self._leaves_by_term.items()
+            if len(leaves) > 1
+        )
+
+    def term_probability(self, term: str, leaf: Category) -> float:
+        """``p(term | leaf)`` under the leaf's Zipf distribution (0 if absent)."""
+        words = self._words_by_leaf[leaf]
+        try:
+            index = words.index(term)
+        except ValueError:
+            return 0.0
+        return float(self._weights_by_leaf[leaf][index])
+
+    def sample_terms(
+        self,
+        leaf: Category,
+        n: int,
+        rng: np.random.Generator,
+        bias: Sequence[float] | None = None,
+        replace: bool = False,
+    ) -> list[str]:
+        """Draw *n* distinct terms from *leaf*'s Zipf distribution.
+
+        *bias* (same length as the leaf's word list) multiplies the Zipf
+        weights — this is how a user's idiosyncratic word preference enters
+        query generation.
+        """
+        words = self._words_by_leaf[leaf]
+        weights = self._weights_by_leaf[leaf]
+        if bias is not None:
+            if len(bias) != len(words):
+                raise ValueError(
+                    f"bias length {len(bias)} != vocabulary size {len(words)}"
+                )
+            weights = weights * np.asarray(bias, dtype=float)
+            total = weights.sum()
+            if total <= 0:
+                raise ValueError("bias zeroes out the whole vocabulary")
+            weights = weights / total
+        n = min(n, len(words)) if not replace else n
+        drawn = rng.choice(len(words), size=n, replace=replace, p=weights)
+        return [words[int(i)] for i in np.atleast_1d(drawn)]
+
+    def classify(self, terms: Iterable[str]) -> Category | None:
+        """Most plausible leaf for a bag of *terms* (None if none are known).
+
+        Naive-Bayes scoring with a uniform leaf prior; unknown terms are
+        ignored; terms absent from a leaf contribute a small smoothing mass so
+        one off-topic term cannot veto an otherwise clear leaf.
+        """
+        smoothing = 1e-6
+        scores: dict[Category, float] = {}
+        informative = [t for t in terms if t in self._leaves_by_term]
+        if not informative:
+            return None
+        for leaf in self._taxonomy.leaves:
+            score = 0.0
+            for term in informative:
+                score += float(
+                    np.log(self.term_probability(term, leaf) + smoothing)
+                )
+            scores[leaf] = score
+        return max(scores, key=lambda leaf: (scores[leaf], str(leaf)))
+
+
+def build_vocabulary(
+    taxonomy: Taxonomy,
+    words_per_leaf: int = 40,
+    seed_words: dict[str, list[str]] | None = None,
+    ambiguous_terms: dict[str, list[str]] | None = None,
+) -> Vocabulary:
+    """Build the default vocabulary for *taxonomy*.
+
+    Each leaf receives its curated seed words (if any), then deterministic
+    filler words ``{stem}{i}`` up to *words_per_leaf*, then the ambiguous
+    terms assigned to it.  Construction is fully deterministic.
+    """
+    if seed_words is None:
+        seed_words = SEED_WORDS
+    if ambiguous_terms is None:
+        ambiguous_terms = AMBIGUOUS_TERMS
+
+    words_by_leaf: dict[Category, list[str]] = {}
+    for leaf in taxonomy.leaves:
+        words = list(seed_words.get(str(leaf), []))
+        stem = "".join(ch for ch in leaf.leaf_name.lower() if ch.isalnum())
+        index = 0
+        while len(words) < words_per_leaf:
+            filler = f"{stem}{index}"
+            if filler not in words:
+                words.append(filler)
+            index += 1
+        words_by_leaf[leaf] = words
+
+    for term, leaf_paths in ambiguous_terms.items():
+        for path in leaf_paths:
+            leaf = taxonomy.get(path)
+            if leaf not in words_by_leaf:
+                raise ValueError(f"ambiguous term {term!r} maps to non-leaf {path!r}")
+            if term not in words_by_leaf[leaf]:
+                # Insert near the head: ambiguous terms are high-frequency.
+                words_by_leaf[leaf].insert(1, term)
+
+    return Vocabulary(taxonomy, words_by_leaf)

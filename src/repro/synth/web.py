@@ -1,0 +1,146 @@
+"""Synthetic web: titled URLs attached to taxonomy leaves.
+
+Each page stands in for a real clicked document: it has a URL, the ODP-like
+category it would be filed under, and a title drawn from its category's
+vocabulary.  The Diversity metric (Eq. 32) compares pages via their category
+paths; the PPR metric compares suggested-query terms against these titles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.taxonomy import Category, Taxonomy
+from repro.synth.vocabulary import Vocabulary
+from repro.utils.rng import ensure_rng
+
+__all__ = ["WebPage", "SyntheticWeb", "build_web"]
+
+
+@dataclass(frozen=True, slots=True)
+class WebPage:
+    """One synthetic web page.
+
+    Attributes:
+        url: Unique URL string, e.g. ``"www.java-3.example.com"``.
+        category: The taxonomy leaf the page belongs to.
+        title: Space-joined topical title terms (the "high-quality field"
+            used by the PPR metric).
+    """
+
+    url: str
+    category: Category
+    title: str
+
+    @property
+    def title_terms(self) -> list[str]:
+        """The title as a term list."""
+        return self.title.split()
+
+
+class SyntheticWeb:
+    """Lookup structure over all synthetic pages."""
+
+    def __init__(self, pages: list[WebPage]) -> None:
+        self._pages = list(pages)
+        self._by_url: dict[str, WebPage] = {}
+        self._by_leaf: dict[Category, list[WebPage]] = {}
+        for page in self._pages:
+            if page.url in self._by_url:
+                raise ValueError(f"duplicate URL {page.url!r}")
+            self._by_url[page.url] = page
+            self._by_leaf.setdefault(page.category, []).append(page)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._by_url
+
+    @property
+    def pages(self) -> list[WebPage]:
+        """All pages in construction order."""
+        return list(self._pages)
+
+    @property
+    def urls(self) -> list[str]:
+        """All URLs, sorted for determinism."""
+        return sorted(self._by_url)
+
+    def page(self, url: str) -> WebPage:
+        """The page at *url*; raises ``KeyError`` for unknown URLs."""
+        try:
+            return self._by_url[url]
+        except KeyError:
+            raise KeyError(f"unknown URL {url!r}") from None
+
+    def category_of(self, url: str) -> Category:
+        """The taxonomy leaf of *url*."""
+        return self.page(url).category
+
+    def title_of(self, url: str) -> str:
+        """The title of *url*."""
+        return self.page(url).title
+
+    def pages_of(self, leaf: Category) -> list[WebPage]:
+        """Pages filed under *leaf* (empty list if none)."""
+        return list(self._by_leaf.get(leaf, []))
+
+    def sample_page(
+        self,
+        leaf: Category,
+        rng: np.random.Generator,
+        bias: np.ndarray | None = None,
+    ) -> WebPage:
+        """Sample one of *leaf*'s pages, optionally biased per-page.
+
+        Pages are weighted by a Zipf-like rank prior (earlier pages are more
+        popular, mimicking real click concentration), multiplied by the
+        optional per-user *bias* vector.
+        """
+        pages = self._by_leaf.get(leaf)
+        if not pages:
+            raise KeyError(f"no pages under {leaf}")
+        ranks = np.arange(1, len(pages) + 1, dtype=float)
+        weights = ranks**-1.0
+        if bias is not None:
+            if len(bias) != len(pages):
+                raise ValueError(
+                    f"bias length {len(bias)} != page count {len(pages)}"
+                )
+            weights = weights * np.asarray(bias, dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("bias zeroes out every page of the leaf")
+        index = int(rng.choice(len(pages), p=weights / total))
+        return pages[index]
+
+
+def build_web(
+    vocabulary: Vocabulary,
+    pages_per_leaf: int = 12,
+    title_terms: int = 5,
+    seed: int | np.random.Generator | None = 0,
+) -> SyntheticWeb:
+    """Create *pages_per_leaf* titled pages for every taxonomy leaf.
+
+    URLs encode the leaf and ordinal (``www.{stem}-{i}.example.com``) so
+    tests can reason about them; titles are sampled from the leaf vocabulary
+    with the leaf's top word always included (a page about Java says "java").
+    """
+    rng = ensure_rng(seed)
+    taxonomy: Taxonomy = vocabulary.taxonomy
+    pages: list[WebPage] = []
+    for leaf in taxonomy.leaves:
+        words = vocabulary.words_of(leaf)
+        stem = "".join(ch for ch in leaf.leaf_name.lower() if ch.isalnum())
+        for ordinal in range(pages_per_leaf):
+            url = f"www.{stem}-{ordinal}.example.com"
+            sampled = vocabulary.sample_terms(
+                leaf, max(title_terms - 1, 1), rng
+            )
+            terms = [words[0]] + [t for t in sampled if t != words[0]]
+            pages.append(WebPage(url=url, category=leaf, title=" ".join(terms)))
+    return SyntheticWeb(pages)

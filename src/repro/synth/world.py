@@ -1,0 +1,47 @@
+"""Bundle of the synthetic search world's static parts.
+
+:class:`SyntheticWorld` groups the taxonomy, vocabulary and web so the
+generator, oracle and metrics can be handed one object.  :func:`make_world`
+is the one-call constructor used by examples, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synth.taxonomy import Taxonomy, default_taxonomy
+from repro.synth.vocabulary import Vocabulary, build_vocabulary
+from repro.synth.web import SyntheticWeb, build_web
+
+__all__ = ["SyntheticWorld", "make_world"]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticWorld:
+    """The static synthetic search world (no users, no log).
+
+    Attributes:
+        taxonomy: The ODP-like category tree.
+        vocabulary: Per-leaf word lists with ambiguous terms.
+        web: Titled pages per leaf.
+    """
+
+    taxonomy: Taxonomy
+    vocabulary: Vocabulary
+    web: SyntheticWeb
+
+    def __post_init__(self) -> None:
+        if self.vocabulary.taxonomy is not self.taxonomy:
+            raise ValueError("vocabulary was built for a different taxonomy")
+
+
+def make_world(
+    words_per_leaf: int = 40,
+    pages_per_leaf: int = 12,
+    seed: int = 0,
+) -> SyntheticWorld:
+    """Build the default synthetic world (27-leaf taxonomy, titled web)."""
+    taxonomy = default_taxonomy()
+    vocabulary = build_vocabulary(taxonomy, words_per_leaf=words_per_leaf)
+    web = build_web(vocabulary, pages_per_leaf=pages_per_leaf, seed=seed)
+    return SyntheticWorld(taxonomy=taxonomy, vocabulary=vocabulary, web=web)

@@ -1,0 +1,46 @@
+"""Topic models over query logs: the Fig. 4 baseline family.
+
+The paper compares the UPM against eight published generative models.  We
+reconstruct each from its defining structural choice on a shared collapsed-
+Gibbs engine (:class:`~repro.topicmodels.base.StructuredTopicModel`):
+
+======  =========  ===========  =====  ===========================
+model   topic unit  URL usage   time   extra
+======  =========  ===========  =====  ===========================
+LDA     token       none        no     (Blei et al. 2003)
+TOT     token       none        yes    Beta timestamps (Wang & McCallum)
+PTM1    token       none        no     learned per-user alpha (Carman et al.)
+PTM2    token       channel     no     PTM1 + click channel
+MWM     token       folded      no     URLs as meta-words (Jiang et al.)
+TUM     token       channel     no     separate term/URL channels
+CTM     query       channel     no     clickthrough pairs share a topic
+SSTM    session     none        yes    session topics + time (Jiang & Ng)
+======  =========  ===========  =====  ===========================
+
+The UPM (in :mod:`repro.personalize.upm`) adds session-level topics + both
+channels + time + per-document counts with learned asymmetric beta/delta —
+strictly the richest member, which is the paper's explanation for Fig. 4.
+"""
+
+from repro.topicmodels.base import StructuredTopicModel, TopicModelConfig
+from repro.topicmodels.corpus import (
+    Document,
+    SessionCorpus,
+    SessionData,
+    build_corpus,
+)
+from repro.topicmodels.perplexity import evaluate_perplexity, perplexity
+from repro.topicmodels.zoo import MODEL_NAMES, build_model
+
+__all__ = [
+    "Document",
+    "MODEL_NAMES",
+    "SessionCorpus",
+    "SessionData",
+    "StructuredTopicModel",
+    "TopicModelConfig",
+    "build_corpus",
+    "build_model",
+    "evaluate_perplexity",
+    "perplexity",
+]

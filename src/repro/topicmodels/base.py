@@ -1,0 +1,312 @@
+"""Shared collapsed-Gibbs engine behind the Fig. 4 baseline models.
+
+:class:`StructuredTopicModel` is parameterized along the three axes that
+distinguish the published query-log topic models (see the package
+docstring): the granularity of the topic unit (word token, query submission
+or session), how clicked URLs enter the model (not at all, folded into the
+word vocabulary as "meta-words", or as a separate emission channel with its
+own Dirichlet), and whether a per-topic Beta timestamp factor is used.
+
+All baselines share *global* topic-word counts (``φ_kw`` is corpus-level);
+the UPM differs precisely by keeping per-document counts with learned
+asymmetric hyperparameters, which is why it is implemented separately in
+:mod:`repro.personalize.upm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import betaln, gammaln
+
+from repro.personalize.hyperopt import optimize_dirichlet_fixed_point
+from repro.topicmodels.corpus import SessionCorpus
+from repro.utils.rng import ensure_rng
+
+__all__ = ["TopicModelConfig", "StructuredTopicModel"]
+
+_TIME_EPS = 1e-3
+
+UNIT_KINDS = ("token", "query", "session")
+URL_MODES = ("none", "folded", "channel")
+
+
+@dataclass(frozen=True, slots=True)
+class TopicModelConfig:
+    """Configuration of a :class:`StructuredTopicModel`.
+
+    Attributes:
+        n_topics: Number of topics K.
+        unit: Topic-unit granularity: ``"token"``, ``"query"`` or
+            ``"session"``.
+        url_mode: ``"none"`` (ignore clicks), ``"folded"`` (URLs become
+            meta-words in the word vocabulary) or ``"channel"`` (separate
+            per-topic URL multinomial).
+        use_time: Multiply a per-topic Beta density over the unit timestamp
+            into the Gibbs conditional (Topics-over-Time style).
+        learn_alpha: Re-estimate an asymmetric document-topic prior by
+            Minka's fixed point during training (the PTM distinction).
+        alpha0 / beta0 / delta0: Symmetric prior initializations.
+        iterations: Gibbs sweeps.
+        seed: RNG seed.
+    """
+
+    n_topics: int = 12
+    unit: str = "token"
+    url_mode: str = "none"
+    use_time: bool = False
+    learn_alpha: bool = False
+    alpha0: float = 0.5
+    beta0: float = 0.05
+    delta0: float = 0.05
+    iterations: int = 60
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_topics < 1:
+            raise ValueError("n_topics must be >= 1")
+        if self.unit not in UNIT_KINDS:
+            raise ValueError(f"unit must be one of {UNIT_KINDS}, got {self.unit!r}")
+        if self.url_mode not in URL_MODES:
+            raise ValueError(
+                f"url_mode must be one of {URL_MODES}, got {self.url_mode!r}"
+            )
+        for name in ("alpha0", "beta0", "delta0"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class _Unit:
+    words: tuple[int, ...]
+    urls: tuple[int, ...]
+    timestamp: float
+
+
+class StructuredTopicModel:
+    """Collapsed-Gibbs topic model over a :class:`SessionCorpus`.
+
+    Implements the ``fit`` / ``predictive_word_distribution`` protocol the
+    perplexity harness (Eq. 35) expects.
+    """
+
+    name = "topic-model"
+
+    def __init__(self, config: TopicModelConfig | None = None) -> None:
+        self.config = config if config is not None else TopicModelConfig()
+        self._fitted = False
+
+    # -- unit construction -----------------------------------------------------------
+
+    def _build_units(self, corpus: SessionCorpus) -> list[list[_Unit]]:
+        config = self.config
+        W = corpus.n_words
+        units_per_doc: list[list[_Unit]] = []
+        for doc in corpus.documents:
+            units: list[_Unit] = []
+            for session in doc.sessions:
+                t = session.timestamp
+                if config.unit == "session":
+                    words = list(session.words)
+                    urls = list(session.urls)
+                    if config.url_mode == "folded":
+                        words += [W + u for u in urls]
+                        urls = []
+                    elif config.url_mode == "none":
+                        urls = []
+                    units.append(_Unit(tuple(words), tuple(urls), t))
+                elif config.unit == "query":
+                    groups = session.record_words or (session.words,)
+                    url_groups = session.record_urls or (session.urls,)
+                    for words_group, urls_group in zip(groups, url_groups):
+                        words = list(words_group)
+                        urls = list(urls_group)
+                        if config.url_mode == "folded":
+                            words += [W + u for u in urls]
+                            urls = []
+                        elif config.url_mode == "none":
+                            urls = []
+                        units.append(_Unit(tuple(words), tuple(urls), t))
+                else:  # token
+                    for w in session.words:
+                        units.append(_Unit((w,), (), t))
+                    if config.url_mode == "folded":
+                        for u in session.urls:
+                            units.append(_Unit((W + u,), (), t))
+                    elif config.url_mode == "channel":
+                        for u in session.urls:
+                            units.append(_Unit((), (u,), t))
+            units_per_doc.append(units)
+        return units_per_doc
+
+    # -- fitting ---------------------------------------------------------------------
+
+    def fit(self, corpus: SessionCorpus) -> "StructuredTopicModel":
+        """Run collapsed Gibbs over the corpus."""
+        if corpus.n_documents == 0:
+            raise ValueError("corpus has no documents")
+        config = self.config
+        rng = ensure_rng(config.seed)
+        self._corpus = corpus
+        K = config.n_topics
+        self._n_words = corpus.n_words
+        self._word_vocab = corpus.n_words + (
+            corpus.n_urls if config.url_mode == "folded" else 0
+        )
+        self._url_vocab = corpus.n_urls if config.url_mode == "channel" else 0
+
+        self._units = self._build_units(corpus)
+        D = corpus.n_documents
+        self._alpha = np.full(K, config.alpha0)
+        self._n_dk = np.zeros((D, K))
+        self._n_kw = np.zeros((K, max(self._word_vocab, 1)))
+        self._n_k = np.zeros(K)
+        self._m_ku = np.zeros((K, max(self._url_vocab, 1)))
+        self._m_k = np.zeros(K)
+        self._tau = np.ones((K, 2))
+
+        self._assignments: list[np.ndarray] = []
+        for d, units in enumerate(self._units):
+            z = np.asarray(rng.integers(0, K, size=len(units)), dtype=int)
+            self._assignments.append(z)
+            for i, unit in enumerate(units):
+                self._apply(d, unit, int(z[i]), +1)
+
+        alpha_every = max(config.iterations // 3, 1)
+        for sweep in range(1, config.iterations + 1):
+            self._sweep(rng)
+            if config.use_time and sweep % alpha_every == 0:
+                self._refit_tau()
+            if config.learn_alpha and sweep % alpha_every == 0:
+                self._alpha = optimize_dirichlet_fixed_point(
+                    self._n_dk, self._alpha
+                )
+        self._fitted = True
+        return self
+
+    def _apply(self, d: int, unit: _Unit, k: int, sign: int) -> None:
+        self._n_dk[d, k] += sign
+        for w in unit.words:
+            self._n_kw[k, w] += sign
+        self._n_k[k] += sign * len(unit.words)
+        for u in unit.urls:
+            self._m_ku[k, u] += sign
+        self._m_k[k] += sign * len(unit.urls)
+
+    def _log_prob(self, d: int, unit: _Unit) -> np.ndarray:
+        config = self.config
+        beta0 = config.beta0
+        logits = np.log(self._n_dk[d] + self._alpha)
+
+        if config.use_time:
+            t = min(max(unit.timestamp, _TIME_EPS), 1.0 - _TIME_EPS)
+            a, b = self._tau[:, 0], self._tau[:, 1]
+            logits += (
+                (a - 1.0) * np.log(t) + (b - 1.0) * np.log1p(-t) - betaln(a, b)
+            )
+
+        if unit.words:
+            if len(unit.words) == 1:
+                w = unit.words[0]
+                logits += np.log(self._n_kw[:, w] + beta0)
+                logits -= np.log(self._n_k + self._word_vocab * beta0)
+            else:
+                counts: dict[int, int] = {}
+                for w in unit.words:
+                    counts[w] = counts.get(w, 0) + 1
+                for w, c in counts.items():
+                    base = self._n_kw[:, w] + beta0
+                    logits += gammaln(base + c) - gammaln(base)
+                totals = self._n_k + self._word_vocab * beta0
+                logits += gammaln(totals) - gammaln(totals + len(unit.words))
+
+        if unit.urls:
+            delta0 = config.delta0
+            if len(unit.urls) == 1:
+                u = unit.urls[0]
+                logits += np.log(self._m_ku[:, u] + delta0)
+                logits -= np.log(self._m_k + self._url_vocab * delta0)
+            else:
+                counts = {}
+                for u in unit.urls:
+                    counts[u] = counts.get(u, 0) + 1
+                for u, c in counts.items():
+                    base = self._m_ku[:, u] + delta0
+                    logits += gammaln(base + c) - gammaln(base)
+                totals = self._m_k + self._url_vocab * delta0
+                logits += gammaln(totals) - gammaln(totals + len(unit.urls))
+        return logits
+
+    def _sweep(self, rng: np.random.Generator) -> None:
+        K = self.config.n_topics
+        for d, units in enumerate(self._units):
+            z = self._assignments[d]
+            for i, unit in enumerate(units):
+                self._apply(d, unit, int(z[i]), -1)
+                logits = self._log_prob(d, unit)
+                logits -= logits.max()
+                probs = np.exp(logits)
+                probs /= probs.sum()
+                z[i] = int(rng.choice(K, p=probs))
+                self._apply(d, unit, int(z[i]), +1)
+
+    def _refit_tau(self) -> None:
+        K = self.config.n_topics
+        stamps: list[list[float]] = [[] for _ in range(K)]
+        for d, units in enumerate(self._units):
+            for i, unit in enumerate(units):
+                stamps[int(self._assignments[d][i])].append(unit.timestamp)
+        for k in range(K):
+            values = np.asarray(stamps[k])
+            if values.size < 2:
+                self._tau[k] = (1.0, 1.0)
+                continue
+            mean = float(np.clip(values.mean(), _TIME_EPS, 1 - _TIME_EPS))
+            var = float(values.var())
+            if var <= 0:
+                var = 1e-4
+            common = mean * (1 - mean) / var - 1.0
+            if common <= 0:
+                self._tau[k] = (1.0, 1.0)
+                continue
+            self._tau[k, 0] = max(mean * common, 1.0)
+            self._tau[k, 1] = max((1 - mean) * common, 1.0)
+
+    # -- fitted accessors ------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name} is not fitted; call fit() first")
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Document-topic distributions, rows sum to 1."""
+        self._require_fitted()
+        raw = self._n_dk + self._alpha
+        return raw / raw.sum(axis=1, keepdims=True)
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """The (possibly learned) document-topic prior (copy)."""
+        self._require_fitted()
+        return self._alpha.copy()
+
+    @property
+    def phi(self) -> np.ndarray:
+        """(K, W) topic-*word* distributions over the query-term vocabulary.
+
+        In folded mode the meta-word (URL) columns are dropped and rows are
+        renormalized, so perplexity is always measured over real words.
+        """
+        self._require_fitted()
+        smoothed = self._n_kw + self.config.beta0
+        words_only = smoothed[:, : self._n_words]
+        return words_only / words_only.sum(axis=1, keepdims=True)
+
+    def predictive_word_distribution(self, d: int) -> np.ndarray:
+        """``p(w | d) = Σ_k θ_dk φ_kw`` — the Eq. 35 predictive."""
+        self._require_fitted()
+        return self.theta[d] @ self.phi

@@ -1,0 +1,64 @@
+"""Predictive perplexity over held-out query words (paper Eq. 35).
+
+The protocol: observe the prefix of every user's search history (the first
+sessions), fit the model on the observed part only, then compute::
+
+    Perplexity = exp( − Σ_d Σ_{i>P} ln p(w_i | M, w_{1:P}) / Σ_d (N_d − P) )
+
+Lower is better.  Every model under comparison implements the same two-
+method protocol (``fit(corpus)``, ``predictive_word_distribution(d)``), so
+the harness is model-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.topicmodels.corpus import SessionCorpus
+
+__all__ = ["PredictiveModel", "perplexity", "evaluate_perplexity"]
+
+#: Probability floor guarding against zero predictive mass.
+_FLOOR = 1e-12
+
+
+class PredictiveModel(Protocol):
+    """The protocol the perplexity harness requires."""
+
+    def fit(self, corpus: SessionCorpus) -> "PredictiveModel": ...
+
+    def predictive_word_distribution(self, d: int) -> np.ndarray: ...
+
+
+def perplexity(model: PredictiveModel, heldout: list[list[int]]) -> float:
+    """Eq. 35 perplexity of *heldout* word ids under a fitted *model*.
+
+    ``heldout[d]`` holds the unobserved word ids of document *d* (empty
+    lists are fine).  Raises ``ValueError`` when nothing is held out.
+    """
+    total_log = 0.0
+    total_words = 0
+    for d, words in enumerate(heldout):
+        if not words:
+            continue
+        predictive = model.predictive_word_distribution(d)
+        for w in words:
+            total_log += math.log(max(float(predictive[w]), _FLOOR))
+        total_words += len(words)
+    if total_words == 0:
+        raise ValueError("no held-out words to evaluate")
+    return math.exp(-total_log / total_words)
+
+
+def evaluate_perplexity(
+    model: PredictiveModel,
+    corpus: SessionCorpus,
+    observed_fraction: float = 0.7,
+) -> float:
+    """Split, fit on the prefix, return Eq. 35 perplexity of the suffix."""
+    observed, heldout = corpus.split_prefix(observed_fraction)
+    model.fit(observed)
+    return perplexity(model, heldout)

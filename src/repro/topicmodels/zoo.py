@@ -1,0 +1,78 @@
+"""Named instantiations of the Fig. 4 baseline models.
+
+Each name maps to a :class:`~repro.topicmodels.base.TopicModelConfig`
+capturing the published model's defining structure (see the package
+docstring table); ``"UPM"`` maps to the full User Profiling Model.  Exact
+secondary details of PTM1/PTM2/MWM/TUM/CTM/SSTM that are not recoverable
+offline are approximated by these structural reconstructions, as recorded
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.topicmodels.base import StructuredTopicModel, TopicModelConfig
+
+__all__ = ["MODEL_NAMES", "build_model"]
+
+#: All Fig. 4 models, paper order.
+MODEL_NAMES: tuple[str, ...] = (
+    "LDA",
+    "PTM1",
+    "PTM2",
+    "TOT",
+    "MWM",
+    "TUM",
+    "CTM",
+    "SSTM",
+    "UPM",
+)
+
+_BASELINE_AXES: dict[str, dict] = {
+    "LDA": dict(unit="token", url_mode="none", use_time=False),
+    "PTM1": dict(unit="token", url_mode="none", use_time=False,
+                 learn_alpha=True),
+    "PTM2": dict(unit="token", url_mode="channel", use_time=False,
+                 learn_alpha=True),
+    "TOT": dict(unit="token", url_mode="none", use_time=True),
+    "MWM": dict(unit="token", url_mode="folded", use_time=False),
+    "TUM": dict(unit="token", url_mode="channel", use_time=False),
+    "CTM": dict(unit="query", url_mode="channel", use_time=False),
+    "SSTM": dict(unit="session", url_mode="none", use_time=True),
+}
+
+
+def build_model(
+    name: str,
+    n_topics: int = 12,
+    iterations: int = 60,
+    seed: int = 0,
+):
+    """Build the Fig. 4 model *name*; returns an unfitted model object.
+
+    Every returned object implements ``fit(corpus)`` and
+    ``predictive_word_distribution(d)`` — the perplexity protocol.
+    """
+    if name == "UPM":
+        # Imported lazily: repro.personalize.upm itself depends on this
+        # package's corpus module, so a top-level import would be circular.
+        from repro.personalize.upm import UPM, UPMConfig
+
+        return UPM(
+            UPMConfig(
+                n_topics=n_topics,
+                iterations=iterations,
+                hyperopt_every=max(iterations // 3, 1),
+                seed=seed,
+            )
+        )
+    try:
+        axes = _BASELINE_AXES[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; known: {MODEL_NAMES}") from None
+    model = StructuredTopicModel(
+        TopicModelConfig(
+            n_topics=n_topics, iterations=iterations, seed=seed, **axes
+        )
+    )
+    model.name = name
+    return model

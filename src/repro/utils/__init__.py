@@ -1,0 +1,38 @@
+"""Shared utilities: seeded RNG plumbing, tokenization, timing, ranking helpers.
+
+These modules carry no knowledge of the PQS-DA algorithms; they exist so that
+every other subpackage can rely on one tokenizer, one way of creating random
+generators and one set of rank-manipulation helpers.
+"""
+
+from repro.utils.ranking import (
+    RankedList,
+    borda_aggregate,
+    kendall_tau_distance,
+    ranks_from_scores,
+)
+from repro.utils.rng import derive_rng, ensure_rng
+from repro.utils.text import normalize_query, tokenize
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RankedList",
+    "Timer",
+    "borda_aggregate",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "derive_rng",
+    "ensure_rng",
+    "kendall_tau_distance",
+    "normalize_query",
+    "ranks_from_scores",
+    "tokenize",
+]

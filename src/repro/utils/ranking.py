@@ -1,0 +1,144 @@
+"""Ranking helpers: ranked lists, Borda aggregation, rank correlation.
+
+Borda's method (Schalekamp & van Zuylen, ALENEX 2009) is how PQS-DA fuses the
+diversification ranking with the personalization ranking (paper Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import TypeVar
+
+__all__ = [
+    "RankedList",
+    "borda_aggregate",
+    "kendall_tau_distance",
+    "ranks_from_scores",
+]
+
+Item = TypeVar("Item", bound=Hashable)
+
+
+class RankedList(Sequence[Item]):
+    """An ordered list of distinct items with O(1) rank lookup.
+
+    Rank is 0-based: ``ranked.rank_of(ranked[0]) == 0``.
+    """
+
+    def __init__(self, items: Iterable[Item]) -> None:
+        self._items: list[Item] = list(items)
+        self._rank: dict[Item, int] = {}
+        for rank, item in enumerate(self._items):
+            if item in self._rank:
+                raise ValueError(f"duplicate item in RankedList: {item!r}")
+            self._rank[item] = rank
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._rank
+
+    def __repr__(self) -> str:
+        return f"RankedList({self._items!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RankedList):
+            return self._items == other._items
+        if isinstance(other, list):
+            return self._items == other
+        return NotImplemented
+
+    def rank_of(self, item: Item) -> int:
+        """0-based rank of *item*; raises ``KeyError`` if absent."""
+        return self._rank[item]
+
+    def top(self, k: int) -> list[Item]:
+        """The first *k* items (fewer if the list is shorter)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return self._items[:k]
+
+
+def ranks_from_scores(
+    scores: Mapping[Item, float], descending: bool = True
+) -> RankedList[Item]:
+    """Build a :class:`RankedList` from a score map (ties broken by item repr).
+
+    The deterministic tie-break keeps experiments reproducible across runs
+    regardless of dict insertion order.
+    """
+    ordered = sorted(
+        scores.items(),
+        key=lambda pair: (-pair[1] if descending else pair[1], repr(pair[0])),
+    )
+    return RankedList(item for item, _ in ordered)
+
+
+def borda_aggregate(
+    rankings: Sequence[Sequence[Item]],
+    weights: Sequence[float] | None = None,
+) -> RankedList[Item]:
+    """Aggregate several rankings with (weighted) Borda counting.
+
+    Each ranking awards ``n - rank`` points to the item at *rank* (where *n*
+    is the universe size, the union of all ranked items); items missing from
+    a ranking receive 0 points from it.  Ties are broken by the item's rank
+    in the first ranking (then by repr), so the diversification order acts as
+    the stable reference, matching the paper's usage.
+    """
+    if not rankings:
+        raise ValueError("borda_aggregate requires at least one ranking")
+    if weights is None:
+        weights = [1.0] * len(rankings)
+    if len(weights) != len(rankings):
+        raise ValueError(
+            f"got {len(weights)} weights for {len(rankings)} rankings"
+        )
+
+    universe: list[Item] = []
+    seen: set[Item] = set()
+    for ranking in rankings:
+        for item in ranking:
+            if item not in seen:
+                seen.add(item)
+                universe.append(item)
+
+    n = len(universe)
+    points: dict[Item, float] = {item: 0.0 for item in universe}
+    for weight, ranking in zip(weights, rankings):
+        for rank, item in enumerate(ranking):
+            points[item] += weight * (n - rank)
+
+    first = rankings[0]
+    reference_rank = {item: rank for rank, item in enumerate(first)}
+
+    def sort_key(item: Item) -> tuple[float, int, str]:
+        return (-points[item], reference_rank.get(item, n), repr(item))
+
+    return RankedList(sorted(universe, key=sort_key))
+
+
+def kendall_tau_distance(left: Sequence[Item], right: Sequence[Item]) -> float:
+    """Normalized Kendall tau distance between two rankings of the same set.
+
+    0.0 means identical order, 1.0 means exactly reversed.  Used by tests and
+    ablations to quantify how much personalization reorders the
+    diversification list.
+    """
+    if set(left) != set(right):
+        raise ValueError("rankings must cover the same item set")
+    n = len(left)
+    if n < 2:
+        return 0.0
+    position = {item: index for index, item in enumerate(right)}
+    mapped = [position[item] for item in left]
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if mapped[i] > mapped[j]:
+                discordant += 1
+    return discordant / (n * (n - 1) / 2)

@@ -1,0 +1,84 @@
+"""Query-text normalization and tokenization.
+
+The paper's pipelines treat a query as a bag of lower-cased terms; the
+query-term bipartite (Sec. III) and the PPR metric (Sec. VI-C) both depend on
+one shared notion of "the terms of a query", which this module provides.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable
+
+__all__ = [
+    "STOPWORDS",
+    "cosine_similarity_bags",
+    "jaccard",
+    "normalize_query",
+    "term_vector",
+    "tokenize",
+]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Minimal English stopword list.  Query-log vocabularies are tiny and
+#: navigational, so an aggressive list would destroy signal; we only remove
+#: pure function words that carry no topical meaning.
+STOPWORDS: frozenset[str] = frozenset(
+    """a an and are as at be by for from has have how in is it of on or that
+    the this to was what when where which who will with www com http https
+    htm html""".split()
+)
+
+
+def normalize_query(query: str) -> str:
+    """Lower-case *query* and collapse every non-alphanumeric run to a space.
+
+    This mirrors the cleaning applied to the AOL log before analysis and
+    guarantees ``normalize_query(q) == " ".join(tokenize(q, drop_stopwords=False))``.
+    """
+    return " ".join(_TOKEN_RE.findall(query.lower()))
+
+
+def tokenize(text: str, drop_stopwords: bool = True) -> list[str]:
+    """Split *text* into lower-case alphanumeric terms.
+
+    Stopwords are dropped by default because both the query-term bipartite
+    and UPM's word channel only care about topical terms.
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    if drop_stopwords:
+        return [token for token in tokens if token not in STOPWORDS]
+    return tokens
+
+
+def term_vector(text: str) -> Counter[str]:
+    """Return the term-frequency vector of *text* as a :class:`Counter`."""
+    return Counter(tokenize(text))
+
+
+def cosine_similarity_bags(left: Counter[str], right: Counter[str]) -> float:
+    """Cosine similarity of two bag-of-words vectors.
+
+    Returns 0.0 when either bag is empty.  Used by the PPR metric
+    (suggested-query terms vs. clicked-page title terms).
+    """
+    if not left or not right:
+        return 0.0
+    shared = set(left) & set(right)
+    dot = sum(left[term] * right[term] for term in shared)
+    if dot == 0:
+        return 0.0
+    left_norm = sum(count * count for count in left.values()) ** 0.5
+    right_norm = sum(count * count for count in right.values()) ** 0.5
+    return dot / (left_norm * right_norm)
+
+
+def jaccard(left: Iterable[str], right: Iterable[str]) -> float:
+    """Jaccard overlap of two term collections (0.0 for two empty sets)."""
+    left_set, right_set = set(left), set(right)
+    union = left_set | right_set
+    if not union:
+        return 0.0
+    return len(left_set & right_set) / len(union)

@@ -1,0 +1,51 @@
+"""Wall-clock timing helper used by the efficiency experiments (Fig. 7)."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall-clock seconds.
+
+    A single instance can be re-entered; ``elapsed`` accumulates across
+    entries, which is what the Fig. 7 harness needs when timing many
+    suggestion calls for one configuration::
+
+        timer = Timer()
+        for query in workload:
+            with timer:
+                suggester.suggest(query)
+        mean_latency = timer.elapsed / len(workload)
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.calls = 0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._started_at is None:
+            raise RuntimeError("Timer.__exit__ called without __enter__")
+        self.elapsed += time.perf_counter() - self._started_at
+        self.calls += 1
+        self._started_at = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed block (0.0 before the first block ends)."""
+        if self.calls == 0:
+            return 0.0
+        return self.elapsed / self.calls
+
+    def reset(self) -> None:
+        """Zero the accumulated time and call count."""
+        self.elapsed = 0.0
+        self.calls = 0
+        self._started_at = None

@@ -1,0 +1,44 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return *value*."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return *value*."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``; return *value*."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, inclusive: bool = True
+) -> float:
+    """Raise ``ValueError`` unless *value* lies in [low, high] (or (low, high))."""
+    if inclusive:
+        if not low <= value <= high:
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not low < value < high:
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return value

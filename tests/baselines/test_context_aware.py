@@ -1,0 +1,116 @@
+"""Tests for repro.baselines.context_aware (CACB, Cao et al. 2008)."""
+
+import pytest
+
+from repro.baselines.context_aware import ContextAwareSuggester
+from repro.logs.schema import QueryRecord
+from repro.logs.sessionizer import sessionize
+from repro.logs.storage import QueryLog
+
+
+def sequential_log():
+    """Users consistently follow concept A (java) with concept B (download).
+
+    Several users issue a java query then a download query in the same
+    session; the suffix tree must learn the A->B transition.  Concept C
+    (astronomy) never follows A.
+    """
+    rows = []
+    a = [("java jvm", "www.java.com"), ("java sdk", "www.java.com")]
+    b = [("jvm download", "download.com"), ("sdk download", "download.com")]
+    c = [("telescope orbit", "www.nasa.gov"), ("comet orbit", "www.nasa.gov")]
+    t = 0.0
+    for u in range(6):
+        # Session: A then B.
+        qa, ua = a[u % 2]
+        qb, ub = b[u % 2]
+        rows.append(QueryRecord(f"u{u}", qa, t, clicked_url=ua))
+        rows.append(QueryRecord(f"u{u}", qb, t + 60, clicked_url=ub))
+        t += 10_000
+        # Separate astronomy session.
+        qc, uc = c[u % 2]
+        rows.append(QueryRecord(f"u{u}", qc, t, clicked_url=uc))
+        t += 10_000
+    return QueryLog(rows)
+
+
+@pytest.fixture(scope="module")
+def suggester():
+    log = sequential_log()
+    sessions = sessionize(log)
+    return ContextAwareSuggester(log, sessions)
+
+
+class TestConceptMining:
+    def test_concepts_formed(self, suggester):
+        # java / download / astronomy concepts at minimum.
+        assert suggester.n_concepts >= 3
+
+    def test_tree_built(self, suggester):
+        assert suggester.n_tree_nodes >= 1
+
+
+class TestSuggest:
+    def test_predicts_next_concept(self, suggester):
+        # After a java query, the mined sequences say "download" follows.
+        suggestions = suggester.suggest("java jvm", k=4)
+        assert suggestions
+        assert any("download" in s for s in suggestions)
+
+    def test_context_sharpens_prediction(self, suggester):
+        context = [QueryRecord("u0", "java jvm", 0.0)]
+        suggestions = suggester.suggest(
+            "java sdk", k=4, context=context, timestamp=60.0
+        )
+        assert any("download" in s for s in suggestions)
+
+    def test_never_suggests_history(self, suggester):
+        context = [QueryRecord("u0", "java jvm", 0.0)]
+        suggestions = suggester.suggest("java sdk", k=10, context=context)
+        assert "java jvm" not in suggestions
+        assert "java sdk" not in suggestions
+
+    def test_backoff_to_own_concept(self, suggester):
+        # Astronomy never precedes anything in the tree; fall back to the
+        # astronomy concept's own queries.
+        suggestions = suggester.suggest("telescope orbit", k=4)
+        assert "comet orbit" in suggestions
+
+    def test_unknown_query_empty(self, suggester):
+        assert suggester.suggest("zzzz qqqq") == []
+
+    def test_k_respected(self, suggester):
+        assert len(suggester.suggest("java jvm", k=1)) == 1
+
+    def test_deterministic(self, suggester):
+        assert suggester.suggest("java jvm", k=5) == suggester.suggest(
+            "java jvm", k=5
+        )
+
+
+class TestValidation:
+    def test_invalid_args(self):
+        log = sequential_log()
+        sessions = sessionize(log)
+        with pytest.raises(ValueError):
+            ContextAwareSuggester(log, sessions, similarity_threshold=0.0)
+        with pytest.raises(ValueError):
+            ContextAwareSuggester(log, sessions, max_suffix=0)
+        with pytest.raises(ValueError):
+            ContextAwareSuggester(log, sessions, queries_per_concept=0)
+
+    def test_works_on_synthetic_log(self):
+        from repro.synth.generator import GeneratorConfig, generate_log
+        from repro.synth.world import make_world
+
+        world = make_world(seed=0)
+        synthetic = generate_log(world, GeneratorConfig(n_users=15, seed=3))
+        suggester = ContextAwareSuggester(
+            synthetic.log, synthetic.sessions
+        )
+        answered = sum(
+            1
+            for record in synthetic.log[:30]
+            if suggester.suggest(record.query, k=5)
+        )
+        assert answered > 0

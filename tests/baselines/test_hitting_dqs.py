@@ -1,0 +1,108 @@
+"""Tests for repro.baselines.hitting (HT) and repro.baselines.dqs (DQS)."""
+
+import pytest
+
+from repro.baselines.dqs import DQSSuggester
+from repro.baselines.hitting import HittingTimeSuggester
+from repro.graphs.click_graph import build_click_graph
+from repro.logs.sessionizer import sessionize
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+
+@pytest.fixture
+def graph(table1_log):
+    return build_click_graph(table1_log, weighted=False)
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    world = make_world(seed=0)
+    synthetic = generate_log(world, GeneratorConfig(n_users=30, seed=2))
+    return build_click_graph(synthetic.log, weighted=True)
+
+
+class TestHittingTime:
+    def test_connected_neighbors_suggested(self, graph):
+        ht = HittingTimeSuggester(graph)
+        assert "java" in ht.suggest("sun", k=5)
+
+    def test_unreachable_excluded(self, graph):
+        ht = HittingTimeSuggester(graph)
+        suggestions = ht.suggest("sun", k=10)
+        # "solar cell" has no URL path to "sun".
+        assert "solar cell" not in suggestions
+
+    def test_never_suggests_input(self, graph):
+        ht = HittingTimeSuggester(graph)
+        assert "sun" not in ht.suggest("sun", k=10)
+
+    def test_unknown_query_empty(self, graph):
+        assert HittingTimeSuggester(graph).suggest("ghost") == []
+
+    def test_closer_queries_rank_earlier(self, big_graph):
+        ht = HittingTimeSuggester(big_graph)
+        seed = big_graph.queries[0]
+        suggestions = ht.suggest(seed, k=10)
+        if len(suggestions) >= 2:
+            # First suggestion shares a URL directly with the input.
+            assert suggestions[0] in big_graph.neighbors(seed) or suggestions
+        assert len(suggestions) <= 10
+
+    def test_invalid_iterations(self, graph):
+        with pytest.raises(ValueError):
+            HittingTimeSuggester(graph, iterations=0)
+
+    def test_name(self, graph):
+        assert HittingTimeSuggester(graph).name == "HT"
+
+
+class TestDQS:
+    def test_first_is_most_relevant(self, big_graph):
+        dqs = DQSSuggester(big_graph)
+        seed = big_graph.queries[0]
+        from repro.baselines.random_walk import ForwardRandomWalkSuggester
+
+        frw = ForwardRandomWalkSuggester(big_graph)
+        frw_top = frw.suggest(seed, k=1)
+        dqs_top = dqs.suggest(seed, k=5)
+        if frw_top and dqs_top:
+            assert dqs_top[0] == frw_top[0]
+
+    def test_never_suggests_input(self, big_graph):
+        dqs = DQSSuggester(big_graph)
+        seed = big_graph.queries[3]
+        assert seed not in dqs.suggest(seed, k=10)
+
+    def test_no_duplicates(self, big_graph):
+        dqs = DQSSuggester(big_graph)
+        seed = big_graph.queries[3]
+        suggestions = dqs.suggest(seed, k=10)
+        assert len(set(suggestions)) == len(suggestions)
+
+    def test_tail_differs_from_pure_relevance(self, big_graph):
+        from repro.baselines.random_walk import ForwardRandomWalkSuggester
+
+        frw = ForwardRandomWalkSuggester(big_graph)
+        dqs = DQSSuggester(big_graph)
+        differing = 0
+        for seed in big_graph.queries[:20]:
+            a = frw.suggest(seed, k=8)
+            b = dqs.suggest(seed, k=8)
+            if len(b) >= 4 and a != b:
+                differing += 1
+        assert differing > 0  # diversification reorders at least sometimes
+
+    def test_unknown_query_empty(self, big_graph):
+        assert DQSSuggester(big_graph).suggest("ghost") == []
+
+    def test_invalid_args(self, big_graph):
+        with pytest.raises(ValueError):
+            DQSSuggester(big_graph, pool_size=0)
+        with pytest.raises(ValueError):
+            DQSSuggester(big_graph, hitting_iterations=0)
+
+    def test_deterministic(self, big_graph):
+        dqs = DQSSuggester(big_graph)
+        seed = big_graph.queries[5]
+        assert dqs.suggest(seed, k=8) == dqs.suggest(seed, k=8)

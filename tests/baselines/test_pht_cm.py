@@ -1,0 +1,162 @@
+"""Tests for repro.baselines.pht (PHT) and repro.baselines.concept_based (CM)."""
+
+import pytest
+
+from repro.baselines.concept_based import ConceptBasedSuggester
+from repro.baselines.pht import PersonalizedHittingTimeSuggester
+from repro.graphs.click_graph import build_click_graph
+from repro.logs.schema import QueryRecord
+from repro.logs.storage import QueryLog
+
+
+def ambiguous_log():
+    """Two users, one ambiguous query 'sun', opposite facets.
+
+    user_java clicks java URLs; user_astro clicks astronomy URLs.  Several
+    queries per facet give the graph enough structure for personalization.
+    """
+    rows = [
+        # user_java history
+        ("user_java", "java jvm", "www.java.com", 0),
+        ("user_java", "java applet", "www.java.com", 100),
+        ("user_java", "sun", "www.java.com", 200),
+        # user_astro history
+        ("user_astro", "telescope orbit", "www.nasa.gov", 300),
+        ("user_astro", "comet nebula", "www.nasa.gov", 400),
+        ("user_astro", "sun", "www.nasa.gov", 500),
+        # extra connectivity
+        ("user_misc", "java jdk", "www.java.com", 600),
+        ("user_misc", "orbit planet", "www.nasa.gov", 700),
+    ]
+    return QueryLog(
+        QueryRecord(u, q, float(t), clicked_url=url) for u, q, url, t in rows
+    )
+
+
+@pytest.fixture
+def log():
+    return ambiguous_log()
+
+
+@pytest.fixture
+def graph(log):
+    return build_click_graph(log, weighted=False)
+
+
+class TestPHT:
+    def test_personalization_changes_ranking(self, graph, log):
+        pht = PersonalizedHittingTimeSuggester(graph, log)
+        java_view = pht.suggest("sun", k=6, user_id="user_java")
+        astro_view = pht.suggest("sun", k=6, user_id="user_astro")
+        assert java_view != astro_view
+
+    def test_user_history_pulls_own_facet_first(self, graph, log):
+        pht = PersonalizedHittingTimeSuggester(graph, log)
+        java_view = pht.suggest("sun", k=6, user_id="user_java")
+        astro_view = pht.suggest("sun", k=6, user_id="user_astro")
+        java_queries = {"java jvm", "java applet", "java jdk"}
+        astro_queries = {"telescope orbit", "comet nebula", "orbit planet"}
+        assert java_view[0] in java_queries
+        assert astro_view[0] in astro_queries
+
+    def test_anonymous_user_still_works(self, graph, log):
+        pht = PersonalizedHittingTimeSuggester(graph, log)
+        suggestions = pht.suggest("sun", k=6)
+        assert suggestions
+        assert "sun" not in suggestions
+
+    def test_unknown_query_empty(self, graph, log):
+        pht = PersonalizedHittingTimeSuggester(graph, log)
+        assert pht.suggest("ghost", user_id="user_java") == []
+
+    def test_unknown_user_falls_back_to_query_edges(self, graph, log):
+        pht = PersonalizedHittingTimeSuggester(graph, log)
+        assert pht.suggest("sun", k=3, user_id="nobody")
+
+    def test_invalid_args(self, graph, log):
+        with pytest.raises(ValueError):
+            PersonalizedHittingTimeSuggester(graph, log, iterations=0)
+        with pytest.raises(ValueError):
+            PersonalizedHittingTimeSuggester(graph, log, history_weight=-1)
+
+    def test_name(self, graph, log):
+        assert PersonalizedHittingTimeSuggester(graph, log).name == "PHT"
+
+
+class TestCM:
+    def test_cluster_mates_suggested(self, log):
+        cm = ConceptBasedSuggester(log)
+        suggestions = cm.suggest("java jvm", k=5)
+        assert "java applet" in suggestions or "java jdk" in suggestions
+
+    def test_personalized_ranking_differs_between_users(self, log):
+        cm = ConceptBasedSuggester(log)
+        java_view = cm.suggest("sun", k=6, user_id="user_java")
+        astro_view = cm.suggest("sun", k=6, user_id="user_astro")
+        if java_view and astro_view:
+            assert java_view != astro_view
+
+    def test_never_suggests_input(self, log):
+        cm = ConceptBasedSuggester(log)
+        assert "sun" not in cm.suggest("sun", k=10)
+
+    def test_unknown_query_empty(self, log):
+        assert ConceptBasedSuggester(log).suggest("ghost") == []
+
+    def test_clusters_formed(self, log):
+        cm = ConceptBasedSuggester(log)
+        assert cm.cluster_of("java jvm") == cm.cluster_of("java applet")
+        assert cm.cluster_of("ghost") is None
+
+    def test_ambiguous_bridge_merges_facets(self, log):
+        # Single-link clustering is transitive: "sun" (clicked in both
+        # facets) bridges java-land and astro-land into one cluster — the
+        # known weakness of CM that diversification methods avoid.
+        cm = ConceptBasedSuggester(log)
+        assert cm.cluster_of("java jvm") == cm.cluster_of("telescope orbit")
+
+    def test_cross_facet_queries_separate_without_bridge(self):
+        rows = [
+            ("a", "java jvm", "www.java.com", 0),
+            ("a", "java applet", "www.java.com", 100),
+            ("b", "telescope orbit", "www.nasa.gov", 200),
+            ("b", "comet nebula", "www.nasa.gov", 300),
+        ]
+        log = QueryLog(
+            QueryRecord(u, q, float(t), clicked_url=url)
+            for u, q, url, t in rows
+        )
+        cm = ConceptBasedSuggester(log)
+        assert cm.n_clusters >= 2
+        assert cm.cluster_of("java jvm") != cm.cluster_of("telescope orbit")
+
+    def test_invalid_args(self, log):
+        with pytest.raises(ValueError):
+            ConceptBasedSuggester(log, similarity_threshold=0.0)
+        with pytest.raises(ValueError):
+            ConceptBasedSuggester(log, url_concept_weight=-1)
+
+    def test_name(self, log):
+        assert ConceptBasedSuggester(log).name == "CM"
+
+
+class TestRegistry:
+    def test_all_names_buildable(self, log):
+        from repro.baselines.registry import baseline_names, build_baseline
+
+        for name in baseline_names():
+            suggester = build_baseline(name, log)
+            assert suggester.name == name
+
+    def test_filters(self):
+        from repro.baselines.registry import baseline_names
+
+        assert baseline_names(personalized=True) == ["PHT", "CM"]
+        assert baseline_names(personalized=False) == ["FRW", "BRW", "HT", "DQS"]
+        assert len(baseline_names()) == 6
+
+    def test_unknown_name(self, log):
+        from repro.baselines.registry import build_baseline
+
+        with pytest.raises(KeyError):
+            build_baseline("NOPE", log)

@@ -1,0 +1,81 @@
+"""Tests for repro.baselines.random_walk (FRW, BRW)."""
+
+import pytest
+
+from repro.baselines.random_walk import (
+    BackwardRandomWalkSuggester,
+    ForwardRandomWalkSuggester,
+)
+from repro.graphs.click_graph import build_click_graph
+
+
+@pytest.fixture
+def graph(table1_log):
+    return build_click_graph(table1_log, weighted=False)
+
+
+class TestForwardRandomWalk:
+    def test_suggests_click_neighbors(self, graph):
+        frw = ForwardRandomWalkSuggester(graph)
+        suggestions = frw.suggest("sun", k=5)
+        assert "java" in suggestions
+
+    def test_never_suggests_input(self, graph):
+        frw = ForwardRandomWalkSuggester(graph)
+        assert "sun" not in frw.suggest("sun", k=10)
+
+    def test_unknown_query_empty(self, graph):
+        frw = ForwardRandomWalkSuggester(graph)
+        assert frw.suggest("never seen") == []
+
+    def test_noclick_query_empty(self, graph):
+        frw = ForwardRandomWalkSuggester(graph)
+        assert frw.suggest("jvm download") == []
+
+    def test_k_respected(self, graph):
+        frw = ForwardRandomWalkSuggester(graph)
+        assert len(frw.suggest("sun", k=1)) == 1
+
+    def test_zero_score_queries_excluded(self, graph):
+        frw = ForwardRandomWalkSuggester(graph, steps=1)
+        suggestions = frw.suggest("sun", k=10)
+        # "solar cell" shares no URL path with "sun" (u2 clicked different
+        # URLs for each query).
+        assert "solar cell" not in suggestions
+
+    def test_invalid_args(self, graph):
+        with pytest.raises(ValueError):
+            ForwardRandomWalkSuggester(graph, steps=0)
+        with pytest.raises(ValueError):
+            ForwardRandomWalkSuggester(graph, self_transition=1.0)
+
+    def test_scores_distribution(self, graph):
+        frw = ForwardRandomWalkSuggester(graph)
+        scores = frw.scores("sun")
+        assert scores is not None
+        assert scores.sum() == pytest.approx(1.0)
+        assert frw.scores("ghost") is None
+
+    def test_name(self, graph):
+        assert ForwardRandomWalkSuggester(graph).name == "FRW"
+
+
+class TestBackwardRandomWalk:
+    def test_suggests_related(self, graph):
+        brw = BackwardRandomWalkSuggester(graph)
+        assert "java" in brw.suggest("sun", k=5)
+
+    def test_differs_from_forward_on_asymmetric_graph(self, table1_log):
+        # Weighted graph makes transition asymmetric enough to reorder.
+        graph = build_click_graph(table1_log, weighted=True)
+        frw = ForwardRandomWalkSuggester(graph).scores("sun")
+        brw = BackwardRandomWalkSuggester(graph).scores("sun")
+        assert frw is not None and brw is not None
+        assert not (abs(frw - brw) < 1e-12).all()
+
+    def test_name(self, graph):
+        assert BackwardRandomWalkSuggester(graph).name == "BRW"
+
+    def test_deterministic(self, graph):
+        brw = BackwardRandomWalkSuggester(graph)
+        assert brw.suggest("sun", k=5) == brw.suggest("sun", k=5)

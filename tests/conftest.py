@@ -1,0 +1,33 @@
+"""Shared fixtures: the paper's Table I example log and small synthetic logs."""
+
+import pytest
+
+from repro.logs.schema import QueryRecord, parse_timestamp
+from repro.logs.storage import QueryLog
+
+
+@pytest.fixture
+def table1_log() -> QueryLog:
+    """The paper's Table I, verbatim.
+
+    Three users, seven submissions; q3 has no click and q4 has no timestamp in
+    the paper (we give it one inside u2's session window).
+    """
+    rows = [
+        ("u1", "sun", "www.java.com", "2012-12-12 11:12:41"),
+        ("u1", "sun java", "java.sun.com", "2012-12-12 11:13:01"),
+        ("u1", "jvm download", None, "2012-12-12 11:14:21"),
+        ("u2", "sun", "www.suncellular.com", "2012-12-13 07:13:21"),
+        ("u2", "solar cell", "en.wikipedia.org/wiki/solar_cell", "2012-12-13 07:14:21"),
+        ("u3", "sun oracle", "www.oracle.com", "2012-12-14 14:35:14"),
+        ("u3", "java", "www.java.com", "2012-12-14 14:36:26"),
+    ]
+    return QueryLog(
+        QueryRecord(
+            user_id=user,
+            query=query,
+            timestamp=parse_timestamp(stamp),
+            clicked_url=url,
+        )
+        for user, query, url, stamp in rows
+    )

@@ -1,0 +1,82 @@
+"""Tests for the term-backoff extension (unseen input queries)."""
+
+import pytest
+
+from repro.core import PQSDA, PQSDAConfig
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    world = make_world(seed=0)
+    return generate_log(world, GeneratorConfig(n_users=20, seed=23))
+
+
+@pytest.fixture(scope="module")
+def pqsda(synthetic):
+    return PQSDA.build(
+        synthetic.log,
+        sessions=synthetic.sessions,
+        config=PQSDAConfig(personalize=False),
+    )
+
+
+class TestTermBackoff:
+    def test_unseen_query_with_known_terms_gets_suggestions(
+        self, synthetic, pqsda
+    ):
+        # Compose an input that is certainly not a log query but reuses two
+        # log terms from different records.
+        vocab = synthetic.log.vocabulary
+        probe = f"{vocab[0]} {vocab[-1]} zzzznever"
+        assert probe not in pqsda.representation
+        suggestions = pqsda.suggest(probe, k=8)
+        assert suggestions
+        assert probe not in suggestions
+
+    def test_suggestions_share_terms_with_input(self, synthetic, pqsda):
+        from repro.utils.text import tokenize
+
+        term = max(synthetic.log.vocabulary, key=synthetic.log.term_frequency)
+        probe = f"{term} zzzznever"
+        suggestions = pqsda.suggest(probe, k=5)
+        assert suggestions
+        # The top suggestion is reachable from the shared-term seeds, and
+        # the seed queries themselves are eligible suggestions.
+        assert any(term in tokenize(s) for s in suggestions)
+
+    def test_gibberish_still_empty(self, pqsda):
+        assert pqsda.suggest("zzzz qqqq wwww") == []
+
+    def test_backoff_disabled(self, synthetic):
+        suggester = PQSDA.build(
+            synthetic.log,
+            sessions=synthetic.sessions,
+            config=PQSDAConfig(personalize=False, term_backoff=False),
+        )
+        term = synthetic.log.vocabulary[0]
+        assert suggester.suggest(f"{term} zzzznever") == []
+
+    def test_seen_queries_unaffected_by_backoff_flag(self, synthetic):
+        on = PQSDA.build(
+            synthetic.log,
+            sessions=synthetic.sessions,
+            config=PQSDAConfig(personalize=False, term_backoff=True),
+        )
+        off = PQSDA.build(
+            synthetic.log,
+            sessions=synthetic.sessions,
+            config=PQSDAConfig(personalize=False, term_backoff=False),
+        )
+        seed = synthetic.log[0].query
+        assert on.suggest(seed, k=8) == off.suggest(seed, k=8)
+
+    def test_backoff_deterministic(self, synthetic, pqsda):
+        term = synthetic.log.vocabulary[3]
+        probe = f"{term} zzzznever"
+        assert pqsda.suggest(probe, k=8) == pqsda.suggest(probe, k=8)
+
+    def test_backoff_seed_cap_config(self):
+        with pytest.raises(ValueError):
+            PQSDAConfig(backoff_seeds=0)

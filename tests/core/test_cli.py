@@ -1,0 +1,148 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def log_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "log.txt"
+    code = main(
+        ["generate", str(path), "--users", "15", "--sessions", "8",
+         "--seed", "3"]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_perplexity_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perplexity", "x", "--models", "GPT"])
+
+
+class TestGenerate:
+    def test_writes_aol_file(self, log_path):
+        text = log_path.read_text()
+        assert text.startswith("AnonID\tQuery\tQueryTime")
+        assert len(text.splitlines()) > 100
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["generate", str(a), "--users", "5", "--seed", "9"])
+        main(["generate", str(b), "--users", "5", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestStats(object):
+    def test_prints_summary(self, log_path, capsys):
+        assert main(["stats", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "users" in out
+        assert "sessions" in out
+
+    def test_max_records(self, log_path, capsys):
+        assert main(["stats", str(log_path), "--max-records", "10"]) == 0
+        assert "records          10" in capsys.readouterr().out
+
+
+class TestSuggest:
+    def test_suggests_for_known_query(self, log_path, capsys):
+        from repro.logs.aol import read_aol
+
+        log = read_aol(log_path)
+        probe = max(log.unique_queries, key=log.query_frequency)
+        code = main(
+            [
+                "suggest", str(log_path), probe,
+                "--no-personalize", "--k", "5", "--compact-size", "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert " 1. " in out
+
+    def test_personalized_suggest(self, log_path, capsys):
+        from repro.logs.aol import read_aol
+
+        log = read_aol(log_path)
+        probe = max(log.unique_queries, key=log.query_frequency)
+        user = log.users[0]
+        code = main(
+            [
+                "suggest", str(log_path), probe,
+                "--user", user, "--k", "5", "--topics", "4",
+                "--compact-size", "60",
+            ]
+        )
+        assert code == 0
+        assert " 1. " in capsys.readouterr().out
+
+    def test_unknown_query_message(self, log_path, capsys):
+        code = main(
+            ["suggest", str(log_path), "zzzz qqqq", "--no-personalize"]
+        )
+        assert code == 0
+        assert "no suggestions" in capsys.readouterr().out
+
+    def test_empty_log_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n")
+        code = main(["suggest", str(empty), "sun"])
+        assert code == 1
+
+
+class TestReport:
+    def test_report_wiring(self, tmp_path, capsys, monkeypatch):
+        # Stub the heavy battery: this test checks only the CLI plumbing
+        # (config selection, file output); the battery itself is covered by
+        # tests/eval/test_report.py.
+        import repro.eval.report as report_module
+
+        captured = {}
+
+        def fake_run_report(config):
+            captured["config"] = config
+            return report_module.Report(config=config)
+
+        monkeypatch.setattr(report_module, "run_report", fake_run_report)
+        out_path = tmp_path / "report.md"
+        code = main(["report", "--quick", "--output", str(out_path)])
+        assert code == 0
+        assert captured["config"].n_users == 15  # the --quick scale
+        assert "# PQS-DA evaluation report" in out_path.read_text()
+
+    def test_report_prints_to_stdout(self, capsys, monkeypatch):
+        import repro.eval.report as report_module
+
+        monkeypatch.setattr(
+            report_module,
+            "run_report",
+            lambda config: report_module.Report(config=config),
+        )
+        assert main(["report", "--quick"]) == 0
+        assert "# PQS-DA evaluation report" in capsys.readouterr().out
+
+
+class TestPerplexity:
+    def test_runs_selected_models(self, log_path, capsys):
+        code = main(
+            [
+                "perplexity", str(log_path),
+                "--models", "LDA", "UPM",
+                "--topics", "4", "--iterations", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LDA" in out
+        assert "UPM" in out

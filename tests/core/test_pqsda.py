@@ -1,0 +1,128 @@
+"""Tests for the end-to-end PQSDA suggester."""
+
+import pytest
+
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.graphs.compact import CompactConfig
+from repro.logs.schema import QueryRecord
+from repro.personalize.upm import UPMConfig
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    world = make_world(seed=0)
+    return generate_log(
+        world, GeneratorConfig(n_users=25, mean_sessions_per_user=8, seed=17)
+    )
+
+
+@pytest.fixture(scope="module")
+def pqsda(synthetic):
+    config = PQSDAConfig(
+        compact=CompactConfig(size=100),
+        diversify=DiversifyConfig(k=10),
+        upm=UPMConfig(n_topics=8, iterations=20, seed=0),
+    )
+    return PQSDA.build(
+        synthetic.log, sessions=synthetic.sessions, config=config
+    )
+
+
+class TestBuild:
+    def test_profiles_built(self, pqsda, synthetic):
+        assert pqsda.profiles is not None
+        assert len(pqsda.profiles) == len(synthetic.log.users)
+
+    def test_personalization_disabled_skips_upm(self, synthetic):
+        config = PQSDAConfig(personalize=False)
+        suggester = PQSDA.build(
+            synthetic.log, sessions=synthetic.sessions, config=config
+        )
+        assert suggester.profiles is None
+
+    def test_sessions_derived_when_missing(self, synthetic):
+        config = PQSDAConfig(
+            personalize=False, compact=CompactConfig(size=50)
+        )
+        suggester = PQSDA.build(synthetic.log, config=config)
+        seed = suggester.representation.queries[0]
+        assert isinstance(suggester.suggest(seed, k=3), list)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PQSDAConfig(personalization_weight=-1)
+
+
+class TestSuggest:
+    def test_basic_contract(self, pqsda, synthetic):
+        seed = synthetic.log[0].query
+        suggestions = pqsda.suggest(seed, k=8)
+        assert len(suggestions) <= 8
+        assert seed not in suggestions
+        assert len(set(suggestions)) == len(suggestions)
+
+    def test_unknown_query_empty(self, pqsda):
+        assert pqsda.suggest("totally unknown query") == []
+
+    def test_personalization_changes_order_for_some_users(
+        self, pqsda, synthetic
+    ):
+        seeds = [r.query for r in synthetic.log[:40] if r.has_click][:10]
+        users = synthetic.log.users[:6]
+        observed_difference = False
+        for seed in seeds:
+            rankings = {
+                tuple(pqsda.suggest(seed, k=8, user_id=u)) for u in users
+            }
+            if len(rankings) > 1:
+                observed_difference = True
+                break
+        assert observed_difference
+
+    def test_anonymous_equals_diversified_prefix(self, pqsda, synthetic):
+        seed = synthetic.log[0].query
+        anonymous = pqsda.suggest(seed, k=6)
+        diversified = pqsda.diversified_candidates(seed).top(6)
+        assert anonymous == diversified
+
+    def test_context_usable(self, pqsda, synthetic):
+        session = synthetic.sessions[5]
+        if len(session) < 2:
+            pytest.skip("need a multi-query session")
+        context = session.search_context(1)
+        suggestions = pqsda.suggest(
+            session.records[1].query,
+            k=5,
+            context=context,
+            timestamp=session.records[1].timestamp,
+        )
+        for record in context:
+            assert record.query not in suggestions
+
+    def test_deterministic(self, pqsda, synthetic):
+        seed = synthetic.log[0].query
+        a = pqsda.suggest(seed, k=8, user_id="user0001")
+        b = pqsda.suggest(seed, k=8, user_id="user0001")
+        assert a == b
+
+    def test_diversified_candidates_empty_for_unknown(self, pqsda):
+        result = pqsda.diversified_candidates("zzzz")
+        assert len(result) == 0
+
+
+class TestAmbiguousQueryBehaviour:
+    def test_sun_suggestions_cover_facets_and_personalize(self, synthetic):
+        if "sun" not in {r.query for r in synthetic.log}:
+            pytest.skip("log lacks the bare 'sun' query")
+        config = PQSDAConfig(
+            compact=CompactConfig(size=120),
+            upm=UPMConfig(n_topics=8, iterations=20, seed=0),
+        )
+        suggester = PQSDA.build(
+            synthetic.log, sessions=synthetic.sessions, config=config
+        )
+        suggestions = suggester.suggest("sun", k=10)
+        assert suggestions

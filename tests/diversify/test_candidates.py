@@ -1,0 +1,160 @@
+"""Tests for repro.diversify.candidates (Algorithm 1, end-to-end)."""
+
+import pytest
+
+from repro.diversify.candidates import (
+    DiversifiedSuggestions,
+    DiversifyConfig,
+    diversify,
+)
+from repro.graphs.compact import CompactConfig, RandomWalkExpander
+from repro.graphs.matrices import build_matrices
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.sessionizer import sessionize
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.oracle import Oracle
+from repro.synth.world import make_world
+
+
+@pytest.fixture
+def table1_matrices(table1_log):
+    # Raw weights keep the 7-row example's structure readable (see
+    # tests/diversify/test_regularization.py for the same choice).
+    sessions = sessionize(table1_log)
+    return build_matrices(
+        build_multibipartite(table1_log, sessions, weighted=False)
+    )
+
+
+@pytest.fixture(scope="module")
+def synthetic_setup():
+    world = make_world(seed=0)
+    synthetic = generate_log(
+        world, GeneratorConfig(n_users=40, mean_sessions_per_user=10, seed=5)
+    )
+    sessions = sessionize(synthetic.log)
+    mb = build_multibipartite(synthetic.log, sessions, weighted=True)
+    return world, synthetic, mb
+
+
+class TestDiversifyConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"k": 0}, {"decay_lambda": 0.0}, {"hitting_iterations": 0}],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DiversifyConfig(**kwargs)
+
+
+class TestDiversifyOnTable1:
+    def test_input_never_suggested(self, table1_matrices):
+        result = diversify(table1_matrices, "sun", config=DiversifyConfig(k=5))
+        assert "sun" not in result.ranking
+
+    def test_k_respected(self, table1_matrices):
+        result = diversify(table1_matrices, "sun", config=DiversifyConfig(k=3))
+        assert len(result) == 3
+
+    def test_k_larger_than_graph(self, table1_matrices):
+        result = diversify(table1_matrices, "sun", config=DiversifyConfig(k=50))
+        assert len(result) == 5  # 6 queries minus the input
+
+    def test_no_duplicates(self, table1_matrices):
+        result = diversify(table1_matrices, "sun", config=DiversifyConfig(k=5))
+        assert len(set(result.ranking)) == len(result.ranking)
+
+    def test_first_candidate_most_related(self, table1_matrices):
+        # "sun java" shares a session AND the term "sun" with the input;
+        # it must beat "solar cell" (session only) for the first slot.
+        result = diversify(table1_matrices, "sun", config=DiversifyConfig(k=5))
+        assert result.ranking[0] == "sun java"
+
+    def test_relevance_scores_attached(self, table1_matrices):
+        result = diversify(table1_matrices, "sun", config=DiversifyConfig(k=3))
+        assert set(result.relevance) == set(result.ranking)
+        assert all(v >= 0 for v in result.relevance.values())
+
+    def test_context_excluded_from_candidates(self, table1_matrices):
+        from repro.logs.schema import QueryRecord
+
+        context = [QueryRecord("u1", "sun", 0.0)]
+        result = diversify(
+            table1_matrices,
+            "sun java",
+            input_timestamp=10.0,
+            context=context,
+            config=DiversifyConfig(k=5),
+        )
+        assert "sun" not in result.ranking
+        assert "sun java" not in result.ranking
+
+    def test_unknown_input_raises(self, table1_matrices):
+        with pytest.raises(KeyError):
+            diversify(table1_matrices, "never seen before")
+
+    def test_deterministic(self, table1_matrices):
+        a = diversify(table1_matrices, "sun", config=DiversifyConfig(k=5))
+        b = diversify(table1_matrices, "sun", config=DiversifyConfig(k=5))
+        assert a.ranking == b.ranking
+
+    def test_iterable_and_top(self, table1_matrices):
+        result = diversify(table1_matrices, "sun", config=DiversifyConfig(k=4))
+        assert list(result) == result.ranking
+        assert result.top(2) == result.ranking[:2]
+
+
+class TestDiversifyOnSyntheticLog:
+    def test_ambiguous_query_covers_multiple_facets(self, synthetic_setup):
+        world, synthetic, mb = synthetic_setup
+        if "sun" not in mb:
+            pytest.skip("seeded log does not contain the bare query 'sun'")
+        expander = RandomWalkExpander(mb)
+        compact = mb.restrict_queries(
+            expander.expand({"sun": 1.0}, CompactConfig(size=120))
+        )
+        matrices = build_matrices(compact)
+        result = diversify(matrices, "sun", config=DiversifyConfig(k=10))
+        oracle = Oracle(world, synthetic)
+        categories = {
+            oracle.category_of_query(q)
+            for q in result.ranking
+            if oracle.category_of_query(q) is not None
+        }
+        # Diversification must cover more than one facet of "sun".
+        assert len(categories) >= 2
+
+    def test_suggestions_are_log_queries(self, synthetic_setup):
+        _, synthetic, mb = synthetic_setup
+        seed = mb.queries[10]
+        expander = RandomWalkExpander(mb)
+        compact = mb.restrict_queries(
+            expander.expand({seed: 1.0}, CompactConfig(size=60))
+        )
+        matrices = build_matrices(compact)
+        result = diversify(matrices, seed, config=DiversifyConfig(k=8))
+        log_queries = set(mb.queries)
+        assert set(result.ranking) <= log_queries
+
+    def test_diversified_tail_differs_from_pure_relevance(
+        self, synthetic_setup
+    ):
+        """The hitting-time step must not simply return F*-sorted order."""
+        _, _, mb = synthetic_setup
+        seed = mb.queries[10]
+        expander = RandomWalkExpander(mb)
+        compact = mb.restrict_queries(
+            expander.expand({seed: 1.0}, CompactConfig(size=80))
+        )
+        matrices = build_matrices(compact)
+        from repro.diversify.decay import build_context_vector
+        from repro.diversify.regularization import solve_relevance
+
+        result = diversify(matrices, seed, config=DiversifyConfig(k=10))
+        f0 = build_context_vector(matrices, seed, 0.0)
+        f_star = solve_relevance(matrices, f0)
+        by_relevance = sorted(
+            (q for q in matrices.queries if q != seed),
+            key=lambda q: (-f_star[matrices.query_index[q]], q),
+        )[:10]
+        assert result.ranking != by_relevance

@@ -1,0 +1,100 @@
+"""Tests for repro.diversify.cross_bipartite (Eq. 16)."""
+
+import numpy as np
+import pytest
+
+from repro.diversify.cross_bipartite import CrossBipartiteWalker, SwitchMatrix
+from repro.graphs.matrices import build_matrices, row_normalize
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.sessionizer import sessionize
+
+
+@pytest.fixture
+def matrices(table1_log):
+    sessions = sessionize(table1_log)
+    return build_matrices(build_multibipartite(table1_log, sessions))
+
+
+class TestSwitchMatrix:
+    def test_uniform(self):
+        switch = SwitchMatrix.uniform()
+        assert np.allclose(switch.matrix, 1 / 3)
+
+    def test_sticky(self):
+        switch = SwitchMatrix.sticky(0.8)
+        assert np.allclose(np.diag(switch.matrix), 0.8)
+        assert np.allclose(switch.matrix.sum(axis=1), 1.0)
+
+    def test_sticky_bounds(self):
+        with pytest.raises(ValueError):
+            SwitchMatrix.sticky(1.5)
+
+    def test_single(self):
+        switch = SwitchMatrix.single("T")
+        assert np.allclose(switch.matrix[:, 2], 1.0)
+        with pytest.raises(ValueError):
+            SwitchMatrix.single("Z")
+
+    def test_rows_must_be_stochastic(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            SwitchMatrix(np.eye(3) * 0.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            SwitchMatrix(np.array([[2, -1, 0], [0, 1, 0], [0, 0, 1]], float))
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError, match="3x3"):
+            SwitchMatrix(np.eye(2))
+
+    def test_mixture_weights_uniform(self):
+        weights = SwitchMatrix.uniform().mixture_weights()
+        assert np.allclose(weights, 1 / 3)
+
+    def test_mixture_weights_single(self):
+        weights = SwitchMatrix.single("S").mixture_weights()
+        assert np.allclose(weights, [0, 1, 0])
+
+    def test_mixture_weights_custom_prior(self):
+        weights = SwitchMatrix.uniform().mixture_weights(
+            np.array([1.0, 0.0, 0.0])
+        )
+        assert np.allclose(weights, 1 / 3)
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            SwitchMatrix.uniform().mixture_weights(np.array([1.0, 1.0, 1.0]))
+
+
+class TestCrossBipartiteWalker:
+    def test_uniform_equals_renormalized_mean(self, matrices):
+        walker = CrossBipartiteWalker(matrices)
+        expected = row_normalize(matrices.mean_transition())
+        assert abs(walker.transition - expected).max() < 1e-12
+
+    def test_rows_stochastic_where_connected(self, matrices):
+        walker = CrossBipartiteWalker(matrices)
+        sums = np.asarray(walker.transition.sum(axis=1)).ravel()
+        assert ((np.isclose(sums, 1.0)) | (sums == 0)).all()
+
+    def test_single_kind_matches_that_bipartite(self, matrices):
+        walker = CrossBipartiteWalker(matrices, SwitchMatrix.single("S"))
+        expected = row_normalize(matrices.transition["S"])
+        assert abs(walker.transition - expected).max() < 1e-12
+
+    def test_url_only_walker_ignores_session_links(self, matrices):
+        # "sun" and "solar cell" are linked only through u2's session.
+        walker = CrossBipartiteWalker(matrices, SwitchMatrix.single("U"))
+        sun = matrices.query_index["sun"]
+        solar = matrices.query_index["solar cell"]
+        assert walker.transition[sun, solar] == 0.0
+
+    def test_uniform_walker_reaches_session_links(self, matrices):
+        walker = CrossBipartiteWalker(matrices)
+        sun = matrices.query_index["sun"]
+        solar = matrices.query_index["solar cell"]
+        assert walker.transition[sun, solar] > 0.0
+
+    def test_walker_exposes_inputs(self, matrices):
+        switch = SwitchMatrix.sticky(0.5)
+        walker = CrossBipartiteWalker(matrices, switch)
+        assert walker.matrices is matrices
+        assert walker.switch is switch

@@ -1,0 +1,93 @@
+"""Tests for repro.diversify.decay (Eq. 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.diversify.decay import build_context_vector
+from repro.graphs.matrices import build_matrices
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.schema import QueryRecord
+from repro.logs.sessionizer import sessionize
+
+
+@pytest.fixture
+def matrices(table1_log):
+    sessions = sessionize(table1_log)
+    return build_matrices(build_multibipartite(table1_log, sessions))
+
+
+def context_record(query, ts):
+    return QueryRecord(user_id="u1", query=query, timestamp=ts)
+
+
+class TestBuildContextVector:
+    def test_input_entry_is_one(self, matrices):
+        f0 = build_context_vector(matrices, "sun", 100.0)
+        assert f0[matrices.query_index["sun"]] == 1.0
+        assert f0.sum() == 1.0
+
+    def test_eq7_decay_value(self, matrices):
+        lam = 0.01
+        f0 = build_context_vector(
+            matrices,
+            "sun java",
+            100.0,
+            context=[context_record("sun", 40.0)],
+            decay_lambda=lam,
+        )
+        expected = math.exp(lam * (40.0 - 100.0))
+        assert f0[matrices.query_index["sun"]] == pytest.approx(expected)
+
+    def test_older_context_weighs_less(self, matrices):
+        f0 = build_context_vector(
+            matrices,
+            "jvm download",
+            100.0,
+            context=[
+                context_record("sun", 10.0),
+                context_record("sun java", 90.0),
+            ],
+        )
+        older = f0[matrices.query_index["sun"]]
+        newer = f0[matrices.query_index["sun java"]]
+        assert 0 < older < newer < 1
+
+    def test_unknown_input_raises(self, matrices):
+        with pytest.raises(KeyError, match="not in the representation"):
+            build_context_vector(matrices, "never seen", 0.0)
+
+    def test_unknown_context_ignored(self, matrices):
+        f0 = build_context_vector(
+            matrices,
+            "sun",
+            100.0,
+            context=[context_record("never seen", 50.0)],
+        )
+        assert np.count_nonzero(f0) == 1
+
+    def test_future_context_rejected(self, matrices):
+        with pytest.raises(ValueError, match="must precede"):
+            build_context_vector(
+                matrices, "sun", 100.0, context=[context_record("java", 200.0)]
+            )
+
+    def test_context_equal_to_input_not_double_counted(self, matrices):
+        f0 = build_context_vector(
+            matrices, "sun", 100.0, context=[context_record("sun", 50.0)]
+        )
+        assert f0[matrices.query_index["sun"]] == 1.0
+
+    def test_repeated_context_capped_at_one(self, matrices):
+        f0 = build_context_vector(
+            matrices,
+            "sun",
+            100.0,
+            context=[context_record("java", 99.9) for _ in range(50)],
+        )
+        assert f0[matrices.query_index["java"]] <= 1.0
+
+    def test_invalid_lambda(self, matrices):
+        with pytest.raises(ValueError):
+            build_context_vector(matrices, "sun", 0.0, decay_lambda=0.0)

@@ -1,0 +1,91 @@
+"""Tests for repro.diversify.hitting_time (Eq. 17)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.diversify.hitting_time import truncated_hitting_times
+
+
+def T(rows):
+    return sparse.csr_matrix(np.array(rows, dtype=float))
+
+
+class TestBasics:
+    def test_absorbing_nodes_are_zero(self):
+        transition = T([[0, 1], [1, 0]])
+        h = truncated_hitting_times(transition, [0], iterations=10)
+        assert h[0] == 0.0
+
+    def test_one_step_neighbor(self):
+        # State 1 moves to state 0 with probability 1: h(1) = 1.
+        transition = T([[0, 1], [1, 0]])
+        h = truncated_hitting_times(transition, [0], iterations=30)
+        assert h[1] == pytest.approx(1.0)
+
+    def test_geometric_chain_expected_value(self):
+        # From state 1: with p=0.5 hit S, with p=0.5 stay -> E[steps] = 2.
+        transition = T([[1, 0], [0.5, 0.5]])
+        h = truncated_hitting_times(transition, [0], iterations=60)
+        assert h[1] == pytest.approx(2.0, rel=1e-3)
+
+    def test_unreachable_saturates_at_horizon(self):
+        # State 2 loops on itself and never reaches state 0.
+        transition = T([[1, 0, 0], [1, 0, 0], [0, 0, 1]])
+        h = truncated_hitting_times(transition, [0], iterations=15)
+        assert h[2] == pytest.approx(15.0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        raw = rng.random((20, 20))
+        transition = sparse.csr_matrix(raw / raw.sum(axis=1, keepdims=True))
+        h = truncated_hitting_times(transition, [0, 1], iterations=25)
+        assert (h >= 0).all()
+        assert (h <= 25).all()
+        assert h[0] == h[1] == 0.0
+
+    def test_three_state_chain(self):
+        # 2 -> 1 -> 0 deterministic: h(1)=1, h(2)=2.
+        transition = T([[1, 0, 0], [1, 0, 0], [0, 1, 0]])
+        h = truncated_hitting_times(transition, [0], iterations=30)
+        assert h[1] == pytest.approx(1.0)
+        assert h[2] == pytest.approx(2.0)
+
+    def test_larger_absorbing_set_not_larger_times(self):
+        rng = np.random.default_rng(1)
+        raw = rng.random((12, 12))
+        transition = sparse.csr_matrix(raw / raw.sum(axis=1, keepdims=True))
+        small = truncated_hitting_times(transition, [0], iterations=40)
+        large = truncated_hitting_times(transition, [0, 3, 7], iterations=40)
+        assert (large <= small + 1e-9).all()
+
+
+class TestSubstochasticRows:
+    def test_leaked_mass_charged_the_horizon(self):
+        # State 1 moves to the absorbing state with probability 0.5 and
+        # leaks (leaves the neighbourhood) with probability 0.5.
+        transition = T([[1, 0], [0.5, 0.0]])
+        h = truncated_hitting_times(transition, [0], iterations=20)
+        # Expected: 0.5 * 1 + 0.5 * horizon-ish -> much greater than 1.
+        assert h[1] > 5.0
+        assert h[1] <= 20.0
+
+
+class TestValidation:
+    def test_empty_absorbing_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            truncated_hitting_times(T([[1]]), [])
+
+    def test_out_of_range_absorbing(self):
+        with pytest.raises(ValueError, match="out of range"):
+            truncated_hitting_times(T([[1]]), [5])
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            truncated_hitting_times(
+                sparse.csr_matrix(np.ones((2, 3))), [0]
+            )
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError, match="iterations"):
+            truncated_hitting_times(T([[1]]), [0], iterations=0)

@@ -1,0 +1,113 @@
+"""Tests for repro.diversify.regularization (Eqs. 8-15)."""
+
+import numpy as np
+import pytest
+
+from repro.diversify.regularization import (
+    RegularizationConfig,
+    solve_relevance,
+    system_matrix,
+)
+from repro.graphs.matrices import build_matrices
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.sessionizer import sessionize
+
+
+@pytest.fixture
+def matrices(table1_log):
+    # Raw representation: ordering assertions below reason about edge
+    # *structure*, which cfiqf re-weighting would obscure on 7 rows.
+    sessions = sessionize(table1_log)
+    return build_matrices(
+        build_multibipartite(table1_log, sessions, weighted=False)
+    )
+
+
+class TestRegularizationConfig:
+    def test_defaults(self):
+        config = RegularizationConfig()
+        assert set(config.alphas) == {"U", "S", "T"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alphas": {"U": 1.0}},  # missing kinds
+            {"alphas": {"U": -1.0, "S": 1.0, "T": 1.0}},
+            {"alphas": {"U": 0.0, "S": 0.0, "T": 0.0}},
+            {"tolerance": 0.0},
+            {"max_iterations": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RegularizationConfig(**kwargs)
+
+
+class TestSystemMatrix:
+    def test_eq15_structure(self, matrices):
+        config = RegularizationConfig()
+        system = system_matrix(matrices, config).toarray()
+        # (1 + sum(alpha)) on the diagonal minus sum of affinities.
+        expected = (1 + 3.0) * np.eye(matrices.n_queries)
+        for kind in ("U", "S", "T"):
+            expected -= matrices.affinity[kind].toarray()
+        assert np.allclose(system, expected)
+
+    def test_positive_definite(self, matrices):
+        system = system_matrix(matrices, RegularizationConfig()).toarray()
+        eigenvalues = np.linalg.eigvalsh(system)
+        assert eigenvalues.min() > 0
+
+    def test_zero_alpha_drops_bipartite(self, matrices):
+        config = RegularizationConfig(alphas={"U": 0.0, "S": 0.0, "T": 1.0})
+        system = system_matrix(matrices, config).toarray()
+        expected = 2.0 * np.eye(matrices.n_queries) - matrices.affinity[
+            "T"
+        ].toarray()
+        assert np.allclose(system, expected)
+
+
+class TestSolveRelevance:
+    def test_solution_solves_the_system(self, matrices):
+        f0 = np.zeros(matrices.n_queries)
+        f0[matrices.query_index["sun"]] = 1.0
+        config = RegularizationConfig()
+        f_star = solve_relevance(matrices, f0, config)
+        system = system_matrix(matrices, config)
+        assert np.allclose(system @ f_star, f0, atol=1e-6)
+
+    def test_mass_spreads_to_related_queries(self, matrices):
+        f0 = np.zeros(matrices.n_queries)
+        f0[matrices.query_index["sun"]] = 1.0
+        f_star = solve_relevance(matrices, f0)
+        # "sun java" shares a session and the term "sun" with the seed.
+        assert f_star[matrices.query_index["sun java"]] > 0
+
+    def test_closer_queries_score_higher(self, matrices):
+        f0 = np.zeros(matrices.n_queries)
+        f0[matrices.query_index["sun"]] = 1.0
+        f_star = solve_relevance(matrices, f0)
+        sun_java = f_star[matrices.query_index["sun java"]]
+        solar = f_star[matrices.query_index["solar cell"]]
+        assert sun_java > solar
+
+    def test_input_query_scores_highest(self, matrices):
+        f0 = np.zeros(matrices.n_queries)
+        f0[matrices.query_index["sun"]] = 1.0
+        f_star = solve_relevance(matrices, f0)
+        assert f_star.argmax() == matrices.query_index["sun"]
+
+    def test_shape_validated(self, matrices):
+        with pytest.raises(ValueError, match="shape"):
+            solve_relevance(matrices, np.zeros(3))
+
+    def test_zero_f0_gives_zero(self, matrices):
+        f_star = solve_relevance(matrices, np.zeros(matrices.n_queries))
+        assert np.allclose(f_star, 0.0)
+
+    def test_linear_in_f0(self, matrices):
+        f0 = np.zeros(matrices.n_queries)
+        f0[matrices.query_index["sun"]] = 1.0
+        once = solve_relevance(matrices, f0)
+        twice = solve_relevance(matrices, 2 * f0)
+        assert np.allclose(twice, 2 * once, atol=1e-6)

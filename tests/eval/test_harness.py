@@ -1,0 +1,142 @@
+"""Tests for repro.eval.harness and repro.eval.efficiency."""
+
+import pytest
+
+from repro.baselines.registry import build_baseline
+from repro.eval.diversity import DiversityMetric
+from repro.eval.efficiency import measure_latency
+from repro.eval.harness import (
+    evaluate_personalized,
+    evaluate_suggester,
+    split_train_test,
+)
+from repro.eval.ppr import PPRMetric
+from repro.eval.relevance import RelevanceMetric
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.oracle import Oracle
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def setup():
+    world = make_world(seed=0)
+    synthetic = generate_log(
+        world, GeneratorConfig(n_users=20, mean_sessions_per_user=8, seed=13)
+    )
+    oracle = Oracle(world, synthetic)
+    return world, synthetic, oracle
+
+
+class TestSplitTrainTest:
+    def test_holds_out_recent_sessions(self, setup):
+        _, synthetic, _ = setup
+        split = split_train_test(synthetic, n_test_sessions=2)
+        for user_id in split.test_users:
+            user_tests = [
+                s for s in split.test_sessions if s.user_id == user_id
+            ]
+            user_trains = [
+                s for s in split.train_sessions if s.user_id == user_id
+            ]
+            assert len(user_tests) <= 2
+            latest_train = max(s.start_time for s in user_trains)
+            for test in user_tests:
+                assert test.start_time >= latest_train
+
+    def test_min_train_respected(self, setup):
+        _, synthetic, _ = setup
+        split = split_train_test(
+            synthetic, n_test_sessions=100, min_train_sessions=2
+        )
+        for user_id in split.test_users:
+            user_trains = [
+                s for s in split.train_sessions if s.user_id == user_id
+            ]
+            assert len(user_trains) >= 2
+
+    def test_train_log_consistent_with_sessions(self, setup):
+        _, synthetic, _ = setup
+        split = split_train_test(synthetic)
+        ids = sorted(
+            r.record_id for s in split.train_sessions for r in s
+        )
+        assert ids == list(range(len(split.train_log)))
+
+    def test_no_session_in_both(self, setup):
+        _, synthetic, _ = setup
+        split = split_train_test(synthetic)
+        train_ids = {s.session_id for s in split.train_sessions}
+        test_ids = {s.session_id for s in split.test_sessions}
+        assert not train_ids & test_ids
+
+    def test_invalid_args(self, setup):
+        _, synthetic, _ = setup
+        with pytest.raises(ValueError):
+            split_train_test(synthetic, n_test_sessions=0)
+        with pytest.raises(ValueError):
+            split_train_test(synthetic, min_train_sessions=0)
+
+
+class TestEvaluateSuggester:
+    def test_curves_over_ks(self, setup):
+        _, synthetic, oracle = setup
+        frw = build_baseline("FRW", synthetic.log)
+        diversity = DiversityMetric(synthetic.log, oracle)
+        relevance = RelevanceMetric(oracle)
+        queries = [r.query for r in synthetic.log[:30] if r.has_click][:10]
+        result = evaluate_suggester(
+            frw, queries, ks=[1, 3, 5], diversity=diversity, relevance=relevance
+        )
+        assert set(result["diversity"]) <= {1, 3, 5}
+        assert set(result["relevance"]) <= {1, 3, 5}
+        assert 0.0 <= result["coverage"][0] <= 1.0
+        for value in result["relevance"].values():
+            assert 0.0 <= value <= 1.0
+
+    def test_empty_queries(self, setup):
+        _, synthetic, _ = setup
+        frw = build_baseline("FRW", synthetic.log)
+        result = evaluate_suggester(frw, [], ks=[1])
+        assert result["coverage"][0] == 0.0
+
+
+class TestEvaluatePersonalized:
+    def test_ppr_curves(self, setup):
+        world, synthetic, oracle = setup
+        split = split_train_test(synthetic, n_test_sessions=2)
+        pht = build_baseline("PHT", split.train_log)
+        ppr = PPRMetric(world.web)
+        result = evaluate_personalized(
+            pht, split.test_sessions[:20], ks=[1, 5], ppr=ppr
+        )
+        assert set(result["ppr"]) <= {1, 5}
+        assert 0.0 <= result["coverage"][0] <= 1.0
+
+
+class TestMeasureLatency:
+    def test_measures(self, setup):
+        _, synthetic, _ = setup
+        frw = build_baseline("FRW", synthetic.log)
+        queries = [r.query for r in synthetic.log[:5]]
+        result = measure_latency(frw, queries, k=5)
+        assert result.name == "FRW"
+        assert result.n_queries == 5
+        assert result.total_seconds >= 0
+        assert result.mean_seconds == pytest.approx(
+            result.total_seconds / 5
+        )
+
+    def test_relative(self, setup):
+        _, synthetic, _ = setup
+        frw = build_baseline("FRW", synthetic.log)
+        queries = [r.query for r in synthetic.log[:3]]
+        a = measure_latency(frw, queries)
+        b = measure_latency(frw, queries)
+        if a.mean_seconds > 0:
+            assert b.relative_to(a) > 0
+
+    def test_empty_workload_rejected(self, setup):
+        _, synthetic, _ = setup
+        frw = build_baseline("FRW", synthetic.log)
+        with pytest.raises(ValueError):
+            measure_latency(frw, [])

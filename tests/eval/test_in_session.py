@@ -1,0 +1,82 @@
+"""Tests for repro.eval.harness.evaluate_in_session."""
+
+import pytest
+
+from repro.baselines.base import Suggester
+from repro.eval.harness import evaluate_in_session
+from repro.eval.ppr import PPRMetric
+from repro.logs.schema import QueryRecord, Session
+
+
+class _Recorder(Suggester):
+    """Test double: records its call arguments, returns a fixed list."""
+
+    name = "recorder"
+
+    def __init__(self, output):
+        self.calls = []
+        self._output = output
+
+    def suggest(self, query, k=10, user_id=None, context=(), timestamp=0.0):
+        self.calls.append(
+            {
+                "query": query,
+                "user_id": user_id,
+                "context": list(context),
+                "timestamp": timestamp,
+            }
+        )
+        return list(self._output[:k])
+
+
+def make_session(session_id, user, queries, t0=0.0):
+    records = [
+        QueryRecord(user, q, t0 + 60.0 * i) for i, q in enumerate(queries)
+    ]
+    return Session(session_id, user, records)
+
+
+@pytest.fixture
+def ppr(table1_log):
+    from repro.synth.world import make_world
+
+    return PPRMetric(make_world(seed=0).web)
+
+
+class TestEvaluateInSession:
+    def test_uses_last_query_and_context(self, ppr):
+        recorder = _Recorder(["x", "y"])
+        session = make_session("s", "u", ["first", "second", "third"])
+        evaluate_in_session(recorder, [session], ks=[2], ppr=ppr)
+        (call,) = recorder.calls
+        assert call["query"] == "third"
+        assert [r.query for r in call["context"]] == ["first", "second"]
+        assert call["user_id"] == "u"
+        assert call["timestamp"] == session.records[-1].timestamp
+
+    def test_single_query_sessions_skipped(self, ppr):
+        recorder = _Recorder(["x"])
+        short = make_session("s", "u", ["only"])
+        result = evaluate_in_session(recorder, [short], ks=[1], ppr=ppr)
+        assert recorder.calls == []
+        assert result["coverage"][0] == 0.0
+
+    def test_coverage_counts_answered_eligible_sessions(self, ppr):
+        class _Sometimes(Suggester):
+            name = "sometimes"
+
+            def suggest(self, query, k=10, user_id=None, context=(),
+                        timestamp=0.0):
+                return ["x"] if query == "yes" else []
+
+        sessions = [
+            make_session("a", "u", ["q", "yes"]),
+            make_session("b", "u", ["q", "no"], t0=10_000),
+        ]
+        result = evaluate_in_session(_Sometimes(), sessions, ks=[1], ppr=ppr)
+        assert result["coverage"][0] == 0.5
+
+    def test_empty_session_list(self, ppr):
+        result = evaluate_in_session(_Recorder(["x"]), [], ks=[1], ppr=ppr)
+        assert result["coverage"][0] == 0.0
+        assert result["ppr"] == {}

@@ -1,0 +1,174 @@
+"""Tests for repro.eval.diversity / relevance / ppr / hpr."""
+
+import pytest
+
+from repro.eval.diversity import DiversityMetric
+from repro.eval.hpr import HPRMetric
+from repro.eval.ppr import PPRMetric
+from repro.eval.relevance import RelevanceMetric
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.oracle import Oracle
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def setup():
+    world = make_world(seed=0)
+    synthetic = generate_log(
+        world, GeneratorConfig(n_users=25, mean_sessions_per_user=8, seed=9)
+    )
+    oracle = Oracle(world, synthetic)
+    return world, synthetic, oracle
+
+
+class TestDiversityMetric:
+    @pytest.fixture(scope="class")
+    def metric(self, setup):
+        world, synthetic, oracle = setup
+        return DiversityMetric(synthetic.log, oracle)
+
+    def test_clicked_pages_from_log(self, setup, metric):
+        _, synthetic, _ = setup
+        clicked_record = next(r for r in synthetic.log if r.has_click)
+        pages = metric.clicked_pages(clicked_record.query)
+        assert clicked_record.clicked_url in pages
+
+    def test_same_query_zero_diversity_against_itself(self, setup, metric):
+        _, synthetic, _ = setup
+        record = next(r for r in synthetic.log if r.has_click)
+        d = metric.pair_diversity(record.query, record.query)
+        # Identical click sets in the same category: d close to 0.
+        assert d < 0.5
+
+    def test_cross_topic_pair_fully_diverse(self, setup, metric):
+        _, synthetic, oracle = setup
+        # Find two clicked queries with different top-level categories.
+        clicked = [r.query for r in synthetic.log if r.has_click]
+        base_cat = oracle.category_of_query(clicked[0])
+        other = next(
+            q
+            for q in clicked
+            if (c := oracle.category_of_query(q)) is not None
+            and c.top != base_cat.top
+        )
+        assert metric.pair_diversity(clicked[0], other) == pytest.approx(1.0)
+
+    def test_unclicked_query_maximally_diverse(self, metric):
+        assert metric.pair_diversity("never clicked", "also never") == 1.0
+
+    def test_list_diversity_bounds(self, setup, metric):
+        _, synthetic, _ = setup
+        queries = [r.query for r in synthetic.log[:20:2]]
+        value = metric.list_diversity(queries, k=5)
+        assert 0.0 <= value <= 1.0
+
+    def test_short_lists_zero(self, metric):
+        assert metric.list_diversity([]) == 0.0
+        assert metric.list_diversity(["one"]) == 0.0
+
+    def test_k_prefix_respected(self, setup, metric):
+        _, synthetic, _ = setup
+        queries = [r.query for r in synthetic.log[:10]]
+        full = metric.list_diversity(queries)
+        top2 = metric.list_diversity(queries, k=2)
+        assert top2 == metric.list_diversity(queries[:2])
+        assert 0.0 <= full <= 1.0
+
+
+class TestRelevanceMetric:
+    @pytest.fixture(scope="class")
+    def metric(self, setup):
+        return RelevanceMetric(setup[2])
+
+    def test_same_topic_full_relevance(self, metric):
+        assert metric.pair_relevance("jvm applet", "java jdk") == 1.0
+
+    def test_cross_topic_zero(self, metric):
+        assert metric.pair_relevance("jvm applet", "racket serve") == 0.0
+
+    def test_sibling_topics_partial(self, metric):
+        # Java and Python share Computers/Programming.
+        value = metric.pair_relevance("jvm applet", "django flask")
+        assert value == pytest.approx(2 / 3)
+
+    def test_list_relevance_mean(self, metric):
+        value = metric.list_relevance(
+            "jvm applet", ["java jdk", "racket serve"]
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_empty_list(self, metric):
+        assert metric.list_relevance("jvm", []) == 0.0
+
+    def test_relevance_at_rank(self, metric):
+        suggestions = ["java jdk", "racket serve"]
+        assert metric.relevance_at("jvm applet", suggestions, 0) == 1.0
+        assert metric.relevance_at("jvm applet", suggestions, 1) == 0.0
+        assert metric.relevance_at("jvm applet", suggestions, 9) == 0.0
+        with pytest.raises(ValueError):
+            metric.relevance_at("jvm", suggestions, -1)
+
+
+class TestPPRMetric:
+    @pytest.fixture(scope="class")
+    def metric(self, setup):
+        return PPRMetric(setup[0].web)
+
+    def test_on_topic_suggestion_scores_higher(self, setup, metric):
+        _, synthetic, oracle = setup
+        session = next(
+            s for s in synthetic.sessions if s.clicked_urls
+        )
+        intent = oracle.intent_of_session(session.session_id)
+        on_topic = " ".join(
+            oracle.world.vocabulary.words_of(intent)[:2]
+        )
+        assert metric.suggestion_ppr(on_topic, session) > (
+            metric.suggestion_ppr("zzzz qqqq", session)
+        )
+
+    def test_list_ppr_bounds(self, setup, metric):
+        _, synthetic, _ = setup
+        session = next(s for s in synthetic.sessions if s.clicked_urls)
+        value = metric.list_ppr(["jvm applet", "racket serve"], session)
+        assert 0.0 <= value <= 1.0
+
+    def test_no_clicks_means_zero(self, setup, metric):
+        _, synthetic, _ = setup
+        session = next(
+            (s for s in synthetic.sessions if not s.clicked_urls), None
+        )
+        if session is None:
+            pytest.skip("every generated session has clicks")
+        assert metric.list_ppr(["anything"], session) == 0.0
+
+    def test_empty_suggestions(self, setup, metric):
+        _, synthetic, _ = setup
+        assert metric.list_ppr([], synthetic.sessions[0]) == 0.0
+
+
+class TestHPRMetric:
+    @pytest.fixture(scope="class")
+    def metric(self, setup):
+        return HPRMetric(setup[2], noise_sd=0.0, seed=0)
+
+    def test_on_intent_suggestions_score_high(self, setup, metric):
+        _, synthetic, oracle = setup
+        session = synthetic.sessions[0]
+        intent = oracle.intent_of_session(session.session_id)
+        on_topic = " ".join(oracle.world.vocabulary.words_of(intent)[:2])
+        good = metric.list_hpr([on_topic], session)
+        bad = metric.list_hpr(["zzzz qqqq"], session)
+        assert good > bad
+
+    def test_bounds(self, setup, metric):
+        _, synthetic, _ = setup
+        session = synthetic.sessions[0]
+        value = metric.list_hpr(
+            [r.query for r in synthetic.log[:5]], session
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_empty_list(self, setup, metric):
+        _, synthetic, _ = setup
+        assert metric.list_hpr([], synthetic.sessions[0]) == 0.0

@@ -1,0 +1,94 @@
+"""Tests for repro.eval.report (small-scale smoke of the full battery)."""
+
+import pytest
+
+from repro.eval.report import Report, ReportConfig, run_report
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    config = ReportConfig(
+        n_users=10,
+        mean_sessions_per_user=6,
+        n_test_queries=8,
+        n_topics=3,
+        gibbs_iterations=4,
+        topic_models=("LDA", "UPM"),
+        seed=5,
+    )
+    return run_report(config)
+
+
+class TestReportConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 1},
+            {"ks": ()},
+            {"topic_models": ("GPT",)},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ReportConfig(**kwargs)
+
+
+class TestRunReport:
+    def test_all_sections_populated(self, tiny_report):
+        assert set(tiny_report.fig3_diversity) == {
+            "PQS-DA", "FRW", "BRW", "HT", "DQS",
+        }
+        assert set(tiny_report.fig4_perplexity) == {"LDA", "UPM"}
+        assert "PQS-DA" in tiny_report.fig5_ppr
+        assert "CM" in tiny_report.fig6_hpr
+        assert tiny_report.significance
+
+    def test_curves_cover_requested_ks(self, tiny_report):
+        ks = set(tiny_report.config.ks)
+        for curve in tiny_report.fig3_diversity.values():
+            assert set(curve) <= ks
+
+    def test_metric_values_bounded(self, tiny_report):
+        for rows in (
+            tiny_report.fig3_diversity,
+            tiny_report.fig3_relevance,
+            tiny_report.fig5_diversity,
+            tiny_report.fig5_ppr,
+            tiny_report.fig6_hpr,
+        ):
+            for curve in rows.values():
+                for value in curve.values():
+                    assert 0.0 <= value <= 1.0
+
+    def test_perplexities_positive(self, tiny_report):
+        for value in tiny_report.fig4_perplexity.values():
+            assert value > 1.0
+
+
+class TestMarkdown:
+    def test_renders_all_sections(self, tiny_report):
+        markdown = tiny_report.to_markdown()
+        for heading in (
+            "# PQS-DA evaluation report",
+            "Fig. 3 — Diversity@k",
+            "Fig. 3 — Relevance@k",
+            "Fig. 4 — predictive perplexity",
+            "Fig. 5 — Diversity@k",
+            "Fig. 5 — PPR@k",
+            "Fig. 6 — HPR@k",
+            "Significance",
+        ):
+            assert heading in markdown
+
+    def test_tables_well_formed(self, tiny_report):
+        markdown = tiny_report.to_markdown()
+        lines = markdown.splitlines()
+        # Every table header is followed by a separator row.
+        for i, line in enumerate(lines):
+            if line.startswith("| method |"):
+                assert lines[i + 1].startswith("|---")
+
+    def test_empty_report_renders(self):
+        report = Report(config=ReportConfig())
+        markdown = report.to_markdown()
+        assert "# PQS-DA evaluation report" in markdown

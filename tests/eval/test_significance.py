@@ -1,0 +1,120 @@
+"""Tests for repro.eval.significance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.significance import (
+    PairedComparison,
+    paired_bootstrap,
+    sign_test,
+)
+
+
+def shifted_samples(n=60, shift=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    b = rng.normal(0.5, 0.1, size=n)
+    a = b + shift + rng.normal(0, 0.02, size=n)
+    return a, b
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_significant(self):
+        a, b = shifted_samples()
+        result = paired_bootstrap(a, b, seed=1)
+        assert result.delta == pytest.approx(0.3, abs=0.05)
+        assert result.p_value < 0.01
+        assert result.significant()
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(0.5, 0.1, size=80)
+        noise = base + rng.normal(0, 0.15, size=80)
+        result = paired_bootstrap(noise, base, seed=3)
+        assert result.p_value > 0.05
+
+    def test_identical_samples(self):
+        a = [0.5] * 20
+        result = paired_bootstrap(a, a, seed=0)
+        assert result.delta == 0.0
+        assert result.p_value > 0.5
+
+    def test_deterministic_given_seed(self):
+        a, b = shifted_samples(shift=0.05)
+        r1 = paired_bootstrap(a, b, seed=7)
+        r2 = paired_bootstrap(a, b, seed=7)
+        assert r1.p_value == r2.p_value
+
+    def test_means_reported(self):
+        a, b = shifted_samples()
+        result = paired_bootstrap(a, b, seed=0)
+        assert result.mean_a == pytest.approx(float(np.mean(a)))
+        assert result.mean_b == pytest.approx(float(np.mean(b)))
+        assert result.n_pairs == len(a)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [([], []), ([1.0], [1.0, 2.0])],
+    )
+    def test_invalid_pairs(self, a, b):
+        with pytest.raises(ValueError):
+            paired_bootstrap(a, b)
+
+    def test_min_resamples(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [0.5], n_resamples=10)
+
+
+class TestSignTest:
+    def test_all_wins_significant(self):
+        a = [1.0] * 12
+        b = [0.0] * 12
+        result = sign_test(a, b)
+        assert result.p_value == pytest.approx(2 / 2**12)
+        assert result.significant()
+
+    def test_balanced_not_significant(self):
+        a = [1.0, 0.0] * 10
+        b = [0.0, 1.0] * 10
+        result = sign_test(a, b)
+        assert result.p_value > 0.5
+
+    def test_ties_dropped(self):
+        # 5 ties plus 6 wins: p computed over the 6 informative pairs.
+        a = [0.5] * 5 + [1.0] * 6
+        b = [0.5] * 5 + [0.0] * 6
+        result = sign_test(a, b)
+        assert result.p_value == pytest.approx(2 / 2**6)
+
+    def test_all_ties(self):
+        result = sign_test([0.5] * 4, [0.5] * 4)
+        assert result.p_value == 1.0
+
+
+class TestPairedComparison:
+    def test_significant_threshold(self):
+        result = PairedComparison(1.0, 0.0, 1.0, 0.04, 10)
+        assert result.significant(0.05)
+        assert not result.significant(0.01)
+
+    def test_alpha_validated(self):
+        result = PairedComparison(1.0, 0.0, 1.0, 0.04, 10)
+        with pytest.raises(ValueError):
+            result.significant(0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=40
+    ),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_bootstrap_pvalue_in_unit_interval(values, seed):
+    rng = np.random.default_rng(seed)
+    other = np.clip(
+        np.asarray(values) + rng.normal(0, 0.1, len(values)), 0, 1
+    )
+    result = paired_bootstrap(values, other, n_resamples=200, seed=seed)
+    assert 0.0 < result.p_value <= 1.0

@@ -1,0 +1,124 @@
+"""Tests for repro.graphs.bipartite."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.bipartite import Bipartite
+
+
+@pytest.fixture
+def small():
+    b = Bipartite()
+    b.add("sun", "www.java.com", 1.0)
+    b.add("sun java", "java.sun.com", 1.0)
+    b.add("java", "www.java.com", 1.0)
+    return b
+
+
+class TestConstruction:
+    def test_add_accumulates(self):
+        b = Bipartite()
+        b.add("q", "f", 1.0)
+        b.add("q", "f", 2.0)
+        assert b.weight("q", "f") == 3.0
+
+    def test_nonpositive_weight_rejected(self):
+        b = Bipartite()
+        with pytest.raises(ValueError):
+            b.add("q", "f", 0.0)
+        with pytest.raises(ValueError):
+            b.add("q", "f", -1.0)
+
+    def test_empty_nodes_rejected(self):
+        b = Bipartite()
+        with pytest.raises(ValueError):
+            b.add("", "f")
+        with pytest.raises(ValueError):
+            b.add("q", "")
+
+    def test_scale_facet(self, small):
+        small.scale_facet("www.java.com", 2.5)
+        assert small.weight("sun", "www.java.com") == 2.5
+        assert small.weight("java", "www.java.com") == 2.5
+        assert small.weight("sun java", "java.sun.com") == 1.0
+
+    def test_scale_facet_invalid(self, small):
+        with pytest.raises(ValueError):
+            small.scale_facet("www.java.com", 0.0)
+
+
+class TestAccessors:
+    def test_nodes_sorted(self, small):
+        assert small.queries == sorted(small.queries)
+        assert small.facets == sorted(small.facets)
+
+    def test_n_edges(self, small):
+        assert small.n_edges == 3
+
+    def test_weight_absent_is_zero(self, small):
+        assert small.weight("sun", "nowhere.com") == 0.0
+        assert small.weight("ghost", "www.java.com") == 0.0
+
+    def test_facets_of_returns_copy(self, small):
+        facets = small.facets_of("sun")
+        facets["tamper"] = 1.0
+        assert "tamper" not in small.facets_of("sun")
+
+    def test_queries_of(self, small):
+        assert set(small.queries_of("www.java.com")) == {"sun", "java"}
+
+    def test_facet_query_count(self, small):
+        assert small.facet_query_count("www.java.com") == 2
+        assert small.facet_query_count("java.sun.com") == 1
+        assert small.facet_query_count("nowhere") == 0
+
+    def test_facet_weight_sum(self, small):
+        assert small.facet_weight_sum("www.java.com") == 2.0
+
+    def test_query_neighbors(self, small):
+        assert small.query_neighbors("sun") == {"java"}
+        assert small.query_neighbors("sun java") == set()
+
+
+class TestDerivation:
+    def test_copy_independent(self, small):
+        clone = small.copy()
+        clone.add("new", "www.java.com")
+        assert "new" not in small.queries
+        assert clone.weight("sun", "www.java.com") == small.weight(
+            "sun", "www.java.com"
+        )
+
+    def test_restrict_queries(self, small):
+        sub = small.restrict_queries(["sun", "java"])
+        assert set(sub.queries) == {"sun", "java"}
+        assert sub.weight("sun", "www.java.com") == 1.0
+        assert sub.weight("sun java", "java.sun.com") == 0.0
+
+    def test_restrict_to_unknown_is_empty(self, small):
+        sub = small.restrict_queries(["ghost"])
+        assert sub.queries == []
+        assert sub.n_edges == 0
+
+    def test_to_matrix_shape_and_values(self, small):
+        query_index = {q: i for i, q in enumerate(small.queries)}
+        matrix, facet_index = small.to_matrix(query_index)
+        assert matrix.shape == (3, 2)
+        row = query_index["sun"]
+        col = facet_index["www.java.com"]
+        assert matrix[row, col] == 1.0
+        assert matrix.sum() == 3.0
+
+    def test_to_matrix_with_fixed_facet_index(self, small):
+        query_index = {q: i for i, q in enumerate(small.queries)}
+        facet_index = {"www.java.com": 0}
+        matrix, returned = small.to_matrix(query_index, facet_index)
+        assert matrix.shape == (3, 1)
+        assert returned == facet_index
+        # Edges to facets outside the fixed index are dropped.
+        assert matrix.sum() == 2.0
+
+    def test_to_matrix_queries_outside_graph_get_empty_rows(self, small):
+        query_index = {"sun": 0, "ghost": 1}
+        matrix, _ = small.to_matrix(query_index)
+        assert np.asarray(matrix.sum(axis=1)).ravel()[1] == 0.0

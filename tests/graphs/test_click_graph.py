@@ -1,0 +1,85 @@
+"""Tests for repro.graphs.click_graph."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.click_graph import build_click_graph
+
+
+@pytest.fixture
+def graph(table1_log):
+    return build_click_graph(table1_log, weighted=False)
+
+
+class TestBuild:
+    def test_noclick_queries_excluded(self, graph):
+        assert "jvm download" not in graph
+
+    def test_queries_and_urls(self, graph):
+        assert "sun" in graph
+        assert "www.java.com" in graph.urls
+        assert graph.n_queries == 5
+
+    def test_weighted_variant_changes_weights(self, table1_log):
+        raw = build_click_graph(table1_log, weighted=False)
+        weighted = build_click_graph(table1_log, weighted=True)
+        assert raw.queries == weighted.queries
+        assert raw.adjacency.sum() != pytest.approx(weighted.adjacency.sum())
+
+    def test_ordinal_roundtrip(self, graph):
+        for query in graph.queries:
+            assert graph.query_at(graph.query_ordinal(query)) == query
+
+    def test_ordinal_unknown_raises(self, graph):
+        with pytest.raises(KeyError):
+            graph.query_ordinal("jvm download")
+
+    def test_normalized_lookup(self, graph):
+        assert graph.query_ordinal("SUN") == graph.query_ordinal("sun")
+
+
+class TestTransitions:
+    def test_query_to_url_row_stochastic(self, graph):
+        transition = graph.query_to_url_transition()
+        sums = np.asarray(transition.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_url_to_query_row_stochastic(self, graph):
+        transition = graph.url_to_query_transition()
+        sums = np.asarray(transition.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_query_transition_row_stochastic(self, graph):
+        transition = graph.query_transition()
+        sums = np.asarray(transition.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_sun_transitions_to_java(self, graph):
+        transition = graph.query_transition()
+        sun = graph.query_ordinal("sun")
+        java = graph.query_ordinal("java")
+        solar = graph.query_ordinal("solar cell")
+        assert transition[sun, java] > 0
+        assert transition[sun, solar] == 0
+
+    def test_self_transition_positive(self, graph):
+        # A walker can return to its origin through the shared URL.
+        transition = graph.query_transition()
+        sun = graph.query_ordinal("sun")
+        assert transition[sun, sun] > 0
+
+
+class TestDerivation:
+    def test_neighbors(self, graph):
+        assert graph.neighbors("sun") == {"java"}
+
+    def test_restrict_queries(self, graph):
+        sub = graph.restrict_queries(["sun", "java"])
+        assert set(sub.queries) == {"sun", "java"}
+        assert sub.neighbors("sun") == {"java"}
+
+    def test_empty_log(self):
+        from repro.logs.storage import QueryLog
+
+        graph = build_click_graph(QueryLog([]), weighted=False)
+        assert graph.n_queries == 0

@@ -1,0 +1,112 @@
+"""Tests for repro.graphs.compact (Sec. IV-A)."""
+
+import pytest
+
+from repro.graphs.compact import (
+    CompactConfig,
+    RandomWalkExpander,
+    compact_subgraph,
+)
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.sessionizer import sessionize
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def big_multibipartite():
+    world = make_world(seed=0)
+    synthetic = generate_log(world, GeneratorConfig(n_users=25, seed=3))
+    sessions = sessionize(synthetic.log)
+    return build_multibipartite(synthetic.log, sessions, weighted=True)
+
+
+@pytest.fixture
+def table1_multibipartite(table1_log):
+    sessions = sessionize(table1_log)
+    return build_multibipartite(table1_log, sessions, weighted=False)
+
+
+class TestCompactConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"size": 0}, {"restart": 0.0}, {"restart": 1.0}, {"iterations": 0}],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CompactConfig(**kwargs)
+
+
+class TestExpander:
+    def test_seed_must_exist(self, table1_multibipartite):
+        expander = RandomWalkExpander(table1_multibipartite)
+        with pytest.raises(ValueError, match="no seed query"):
+            expander.expand({"nonexistent": 1.0})
+
+    def test_unknown_seeds_ignored_when_one_known(self, table1_multibipartite):
+        expander = RandomWalkExpander(table1_multibipartite)
+        chosen = expander.expand({"sun": 1.0, "nonexistent": 0.5})
+        assert "sun" in chosen
+
+    def test_seeds_always_included(self, table1_multibipartite):
+        expander = RandomWalkExpander(table1_multibipartite)
+        chosen = expander.expand(
+            {"sun": 1.0, "sun java": 0.5}, CompactConfig(size=2)
+        )
+        assert chosen[:2] == ["sun", "sun java"]
+
+    def test_size_respected(self, big_multibipartite):
+        expander = RandomWalkExpander(big_multibipartite)
+        seed = big_multibipartite.queries[0]
+        chosen = expander.expand({seed: 1.0}, CompactConfig(size=30))
+        assert len(chosen) <= 30
+
+    def test_mass_ranks_related_queries_first(self, table1_multibipartite):
+        expander = RandomWalkExpander(table1_multibipartite)
+        mass = expander.walk_mass({"sun": 1.0}, CompactConfig())
+        index = expander.matrices.query_index
+        # "sun java" shares a session AND the term "sun" with the seed;
+        # "solar cell" only shares a session.
+        assert mass[index["sun java"]] > mass[index["solar cell"]]
+
+    def test_walk_mass_is_distribution(self, big_multibipartite):
+        expander = RandomWalkExpander(big_multibipartite)
+        seed = big_multibipartite.queries[5]
+        mass = expander.walk_mass({seed: 1.0}, CompactConfig())
+        assert mass.min() >= 0
+        assert mass.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_deterministic(self, big_multibipartite):
+        expander = RandomWalkExpander(big_multibipartite)
+        seed = big_multibipartite.queries[7]
+        a = expander.expand({seed: 1.0}, CompactConfig(size=40))
+        b = expander.expand({seed: 1.0}, CompactConfig(size=40))
+        assert a == b
+
+
+class TestCompactSubgraph:
+    def test_returns_restricted_representation(self, big_multibipartite):
+        seed = big_multibipartite.queries[0]
+        compact = compact_subgraph(
+            big_multibipartite, {seed: 1.0}, CompactConfig(size=25)
+        )
+        assert compact.n_queries <= 25
+        assert seed in compact
+
+    def test_prebuilt_expander_reused(self, big_multibipartite):
+        expander = RandomWalkExpander(big_multibipartite)
+        seed = big_multibipartite.queries[0]
+        a = compact_subgraph(
+            big_multibipartite, {seed: 1.0}, CompactConfig(size=20), expander
+        )
+        b = compact_subgraph(
+            big_multibipartite, {seed: 1.0}, CompactConfig(size=20), expander
+        )
+        assert a.queries == b.queries
+
+    def test_compact_smaller_than_full(self, big_multibipartite):
+        seed = big_multibipartite.queries[0]
+        compact = compact_subgraph(
+            big_multibipartite, {seed: 1.0}, CompactConfig(size=25)
+        )
+        assert compact.n_queries < big_multibipartite.n_queries

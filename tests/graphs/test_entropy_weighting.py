@@ -1,0 +1,117 @@
+"""Tests for the entropy-biased weighting (Deng et al., ref [18])."""
+
+import math
+
+import pytest
+
+from repro.graphs.bipartite import Bipartite
+from repro.graphs.multibipartite import build_multibipartite
+from repro.graphs.weighting import apply_entropy_bias, facet_entropy
+from repro.logs.sessionizer import sessionize
+
+
+class TestFacetEntropy:
+    def test_single_query_facet_zero(self):
+        b = Bipartite()
+        b.add("q1", "url", 3.0)
+        assert facet_entropy(b, "url") == 0.0
+
+    def test_uniform_two_queries(self):
+        b = Bipartite()
+        b.add("q1", "url", 1.0)
+        b.add("q2", "url", 1.0)
+        assert facet_entropy(b, "url") == pytest.approx(math.log(2))
+
+    def test_skewed_less_than_uniform(self):
+        uniform, skewed = Bipartite(), Bipartite()
+        for q in ("q1", "q2", "q3", "q4"):
+            uniform.add(q, "url", 1.0)
+        skewed.add("q1", "url", 97.0)
+        for q in ("q2", "q3", "q4"):
+            skewed.add(q, "url", 1.0)
+        assert facet_entropy(skewed, "url") < facet_entropy(uniform, "url")
+
+    def test_unknown_facet_zero(self):
+        assert facet_entropy(Bipartite(), "nothing") == 0.0
+
+
+class TestApplyEntropyBias:
+    def test_focused_facet_keeps_weight(self):
+        b = Bipartite()
+        b.add("q1", "focused", 5.0)
+        weighted = apply_entropy_bias(b)
+        # Entropy 0 -> divide by 1 -> unchanged.
+        assert weighted.weight("q1", "focused") == 5.0
+
+    def test_hub_facet_suppressed(self):
+        b = Bipartite()
+        for i in range(10):
+            b.add(f"q{i}", "hub", 1.0)
+        b.add("q0", "focused", 1.0)
+        weighted = apply_entropy_bias(b)
+        assert weighted.weight("q0", "hub") < weighted.weight("q0", "focused")
+
+    def test_structure_preserved(self):
+        b = Bipartite()
+        b.add("q1", "a", 2.0)
+        b.add("q2", "b", 1.0)
+        weighted = apply_entropy_bias(b)
+        assert weighted.queries == b.queries
+        assert weighted.n_edges == b.n_edges
+
+    def test_original_untouched(self):
+        b = Bipartite()
+        b.add("q1", "a", 2.0)
+        apply_entropy_bias(b)
+        assert b.weight("q1", "a") == 2.0
+
+
+class TestSchemeOption:
+    def test_entropy_scheme_builds(self, table1_log):
+        sessions = sessionize(table1_log)
+        mb = build_multibipartite(
+            table1_log, sessions, weighted=True, scheme="entropy"
+        )
+        assert mb.n_queries == 6
+
+    def test_schemes_differ(self, table1_log):
+        sessions = sessionize(table1_log)
+        cfiqf = build_multibipartite(table1_log, sessions, scheme="cfiqf")
+        entropy = build_multibipartite(table1_log, sessions, scheme="entropy")
+        u_cfiqf = cfiqf.bipartite("U").weight("sun", "www.java.com")
+        u_entropy = entropy.bipartite("U").weight("sun", "www.java.com")
+        assert u_cfiqf != u_entropy
+
+    def test_unknown_scheme_rejected(self, table1_log):
+        with pytest.raises(ValueError, match="scheme"):
+            build_multibipartite(
+                table1_log, sessionize(table1_log), scheme="tfidf"
+            )
+
+    def test_hub_urls_suppressed_in_entropy_scheme(self):
+        """The hub-URL pathology: entropy weighting fights it directly."""
+        from repro.logs.schema import QueryRecord
+        from repro.logs.storage import QueryLog
+
+        rows = []
+        # Ten unrelated queries all click the hub; two focused queries
+        # click a topical URL.
+        for i in range(10):
+            rows.append(
+                QueryRecord("u", f"topic{i} word{i}", float(i),
+                            clicked_url="www.hub.com")
+            )
+        rows.append(
+            QueryRecord("u", "java jvm", 100.0, clicked_url="www.java.com")
+        )
+        rows.append(
+            QueryRecord("u", "java jdk", 200.0, clicked_url="www.java.com")
+        )
+        log = QueryLog(rows)
+        mb = build_multibipartite(
+            log, sessionize(log), weighted=True, scheme="entropy"
+        )
+        u = mb.bipartite("U")
+        assert u.weight("java jvm", "www.java.com") > u.weight(
+            "topic0 word0", "www.hub.com"
+        )

@@ -1,0 +1,94 @@
+"""Tests for repro.graphs.export (networkx views)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.click_graph import build_click_graph
+from repro.graphs.export import (
+    bipartite_to_networkx,
+    click_graph_to_networkx,
+    multibipartite_to_networkx,
+    query_projection,
+)
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.sessionizer import sessionize
+
+
+@pytest.fixture
+def multibipartite(table1_log):
+    return build_multibipartite(
+        table1_log, sessionize(table1_log), weighted=False
+    )
+
+
+class TestBipartiteExport:
+    def test_nodes_partitioned(self, multibipartite):
+        graph = bipartite_to_networkx(multibipartite.bipartite("U"), "U")
+        queries = [
+            n for n, d in graph.nodes(data=True) if d["bipartite"] == 0
+        ]
+        facets = [
+            n for n, d in graph.nodes(data=True) if d["bipartite"] == 1
+        ]
+        assert "sun" in queries
+        assert "U:www.java.com" in facets
+
+    def test_edge_weights_preserved(self, multibipartite):
+        graph = bipartite_to_networkx(multibipartite.bipartite("U"), "U")
+        assert graph.edges["sun", "U:www.java.com"]["weight"] == 1.0
+
+    def test_is_actually_bipartite(self, multibipartite):
+        graph = bipartite_to_networkx(multibipartite.bipartite("T"), "T")
+        assert nx.is_bipartite(graph)
+
+
+class TestMultibipartiteExport:
+    def test_facet_namespaces_disjoint(self, multibipartite):
+        graph = multibipartite_to_networkx(multibipartite)
+        # The term "sun" and any URL/session share no node even if equal.
+        assert "T:sun" in graph
+        assert "sun" in graph  # the query node
+        kinds = {d["kind"] for _, d in graph.nodes(data=True)}
+        assert kinds == {"query", "U", "S", "T"}
+
+    def test_fig2_reachability_via_networkx(self, multibipartite):
+        graph = multibipartite_to_networkx(multibipartite)
+        # Two hops (query -> facet -> query) reach the Fig. 2 neighbours.
+        two_hop = {
+            n
+            for facet in graph.neighbors("sun")
+            for n in graph.neighbors(facet)
+            if graph.nodes[n]["kind"] == "query" and n != "sun"
+        }
+        assert two_hop == {
+            "java", "sun java", "jvm download", "solar cell", "sun oracle",
+        }
+
+
+class TestClickGraphExport:
+    def test_roundtrip_structure(self, table1_log):
+        click = build_click_graph(table1_log, weighted=False)
+        graph = click_graph_to_networkx(click)
+        assert graph.has_edge("sun", "U:www.java.com")
+        assert graph.has_edge("java", "U:www.java.com")
+        assert not graph.has_node("jvm download")  # no-click query
+
+
+class TestQueryProjection:
+    def test_edges_labelled_with_kinds(self, multibipartite):
+        projection = query_projection(multibipartite)
+        kinds = projection.edges["sun", "sun java"]["kinds"]
+        # "sun" and "sun java" share u1's session AND the term "sun".
+        assert set(kinds) == {"S", "T"}
+
+    def test_click_only_pair(self, multibipartite):
+        projection = query_projection(multibipartite)
+        assert projection.edges["sun", "java"]["kinds"] == ["U"]
+
+    def test_all_queries_present(self, multibipartite):
+        projection = query_projection(multibipartite)
+        assert set(projection.nodes) == set(multibipartite.queries)
+
+    def test_components_merge_across_channels(self, multibipartite):
+        projection = query_projection(multibipartite)
+        assert nx.number_connected_components(projection) == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the MultiBipartite container API."""
+
+import pytest
+
+from repro.graphs.bipartite import Bipartite
+from repro.graphs.multibipartite import (
+    BIPARTITE_KINDS,
+    MultiBipartite,
+    build_multibipartite,
+)
+from repro.logs.sessionizer import sessionize
+
+
+def make_mb():
+    u, s, t = Bipartite(), Bipartite(), Bipartite()
+    u.add("sun", "www.java.com")
+    s.add("sun", "sess1")
+    s.add("solar cell", "sess1")
+    t.add("sun java", "sun")
+    t.add("sun", "sun")
+    return MultiBipartite({"U": u, "S": s, "T": t})
+
+
+class TestConstruction:
+    def test_kinds(self):
+        assert BIPARTITE_KINDS == ("U", "S", "T")
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="missing bipartites"):
+            MultiBipartite({"U": Bipartite(), "S": Bipartite()})
+
+    def test_query_union(self):
+        mb = make_mb()
+        assert set(mb.queries) == {"sun", "solar cell", "sun java"}
+        assert mb.n_queries == 3
+
+    def test_contains_normalizes(self):
+        mb = make_mb()
+        assert "SUN" in mb
+        assert "Sun Java" in mb
+        assert "moon" not in mb
+
+    def test_bipartite_lookup(self):
+        mb = make_mb()
+        assert mb.bipartite("U").weight("sun", "www.java.com") == 1.0
+        with pytest.raises(KeyError, match="kind must be one of"):
+            mb.bipartite("X")
+
+
+class TestNeighborsAndRestriction:
+    def test_query_neighbors_union_over_kinds(self):
+        mb = make_mb()
+        assert mb.query_neighbors("sun") == {"solar cell", "sun java"}
+
+    def test_restrict_queries(self):
+        mb = make_mb()
+        sub = mb.restrict_queries(["sun", "sun java"])
+        assert set(sub.queries) == {"sun", "sun java"}
+        assert sub.query_neighbors("sun") == {"sun java"}
+
+    def test_restrict_normalizes(self):
+        mb = make_mb()
+        sub = mb.restrict_queries(["SUN"])
+        assert "sun" in sub
+
+
+class TestBuildFromLog:
+    def test_weighted_and_raw_same_structure(self, table1_log):
+        sessions = sessionize(table1_log)
+        raw = build_multibipartite(table1_log, sessions, weighted=False)
+        weighted = build_multibipartite(table1_log, sessions, weighted=True)
+        assert raw.queries == weighted.queries
+        for kind in BIPARTITE_KINDS:
+            assert raw.bipartite(kind).n_edges == weighted.bipartite(kind).n_edges
+
+    def test_term_bipartite_deduplicates_within_query(self):
+        from repro.logs.schema import QueryRecord
+        from repro.logs.storage import QueryLog
+
+        log = QueryLog([QueryRecord("u", "java java java", 0.0)])
+        mb = build_multibipartite(log, sessionize(log), weighted=False)
+        # One submission contributes weight 1 per distinct term.
+        assert mb.bipartite("T").weight("java java java", "java") == 1.0
+
+    def test_empty_query_rows_skipped(self):
+        from repro.logs.schema import QueryRecord
+        from repro.logs.storage import QueryLog
+
+        log = QueryLog(
+            [
+                QueryRecord("u", "???", 0.0, clicked_url="www.x.com"),
+                QueryRecord("u", "sun", 10.0),
+            ]
+        )
+        mb = build_multibipartite(log, sessionize(log), weighted=False)
+        assert set(mb.queries) == {"sun"}

@@ -1,0 +1,95 @@
+"""Structural reproduction of the paper's Table I / Fig. 2 example.
+
+Fig. 2 draws the three bipartites of the Table I log; Sec. III then argues
+reachability: through the click graph "sun" only reaches "java", while the
+session and term bipartites reach "sun java", "jvm download", "solar cell",
+"sun oracle".  These tests assert exactly those structures.
+"""
+
+import pytest
+
+from repro.graphs.click_graph import build_click_graph
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.sessionizer import sessionize
+
+
+@pytest.fixture
+def multibipartite(table1_log):
+    sessions = sessionize(table1_log)
+    return build_multibipartite(table1_log, sessions, weighted=False)
+
+
+class TestFig2aClickGraph:
+    def test_edges(self, multibipartite):
+        url = multibipartite.bipartite("U")
+        assert url.weight("sun", "www.java.com") == 1.0
+        assert url.weight("sun java", "java.sun.com") == 1.0
+        assert url.weight("sun", "www.suncellular.com") == 1.0
+        assert url.weight("java", "www.java.com") == 1.0
+        assert url.weight("sun oracle", "www.oracle.com") == 1.0
+
+    def test_jvm_download_has_no_click(self, multibipartite):
+        url = multibipartite.bipartite("U")
+        assert url.facets_of("jvm download") == {}
+
+    def test_sun_reaches_only_java_through_clicks(self, multibipartite):
+        # The paper: "By using the query-URL bipartite, 'sun' can only reach
+        # the query 'java'."
+        url = multibipartite.bipartite("U")
+        assert url.query_neighbors("sun") == {"java"}
+
+
+class TestFig2bSessionBipartite:
+    def test_three_sessions(self, multibipartite):
+        session = multibipartite.bipartite("S")
+        assert len(session.facets) == 3
+
+    def test_sun_reaches_session_mates(self, multibipartite):
+        # "Through the query-session bipartite, 'sun' can reach 'sun java',
+        # 'jvm download' and 'solar cell'."
+        session = multibipartite.bipartite("S")
+        assert session.query_neighbors("sun") == {
+            "sun java",
+            "jvm download",
+            "solar cell",
+        }
+
+
+class TestFig2cTermBipartite:
+    def test_sun_term_connects_four_queries(self, multibipartite):
+        term = multibipartite.bipartite("T")
+        assert set(term.queries_of("sun")) == {
+            "sun",
+            "sun java",
+            "sun oracle",
+        }
+
+    def test_sun_reaches_term_mates(self, multibipartite):
+        # "Through the query-term bipartite, 'sun' can reach 'sun java',
+        # 'sun oracle' ..." (and transitively "java" via the term "java"
+        # of "sun java" -- the direct term neighbours are via "sun").
+        term = multibipartite.bipartite("T")
+        assert term.query_neighbors("sun") == {"sun java", "sun oracle"}
+
+    def test_java_term_shared(self, multibipartite):
+        term = multibipartite.bipartite("T")
+        assert set(term.queries_of("java")) == {"sun java", "java"}
+
+
+class TestCombinedReachability:
+    def test_multibipartite_beats_click_graph(self, table1_log, multibipartite):
+        click_graph = build_click_graph(table1_log, weighted=False)
+        click_reach = click_graph.neighbors("sun")
+        multi_reach = multibipartite.query_neighbors("sun")
+        assert click_reach < multi_reach  # strictly more coverage
+        assert multi_reach == {
+            "java",
+            "sun java",
+            "jvm download",
+            "solar cell",
+            "sun oracle",
+        }
+
+    def test_query_node_union(self, multibipartite):
+        # All six unique queries are nodes (jvm download only via S/T).
+        assert multibipartite.n_queries == 6

@@ -1,0 +1,176 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import io
+
+import pytest
+
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.eval.diversity import DiversityMetric
+from repro.eval.harness import evaluate_personalized, split_train_test
+from repro.eval.ppr import PPRMetric
+from repro.graphs.compact import CompactConfig
+from repro.logs.aol import read_aol, write_aol
+from repro.logs.cleaning import clean_log
+from repro.logs.sessionizer import sessionize
+from repro.personalize.upm import UPMConfig
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.oracle import Oracle
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world(seed=0)
+
+
+@pytest.fixture(scope="module")
+def synthetic(world):
+    return generate_log(
+        world,
+        GeneratorConfig(
+            n_users=30,
+            mean_sessions_per_user=10,
+            hub_click_probability=0.1,
+            seed=31,
+        ),
+    )
+
+
+class TestAolRoundTripPipeline:
+    def test_export_import_clean_build_suggest(self, synthetic):
+        # Export to the AOL TSV format and re-import.
+        buffer = io.StringIO()
+        write_aol(synthetic.log, buffer)
+        buffer.seek(0)
+        log = read_aol(buffer)
+        assert len(log) == len(synthetic.log)
+
+        # Clean, sessionize, build and suggest — the examples/aol_pipeline
+        # flow, asserted.
+        cleaned, report = clean_log(log)
+        assert report.output_records > 0
+        sessions = sessionize(cleaned)
+        assert sessions
+        suggester = PQSDA.build(
+            cleaned,
+            sessions=sessions,
+            config=PQSDAConfig(
+                personalize=False, compact=CompactConfig(size=80)
+            ),
+        )
+        probe = max(cleaned.unique_queries, key=cleaned.query_frequency)
+        suggestions = suggester.suggest(probe, k=10)
+        assert suggestions
+        assert probe not in suggestions
+
+    def test_roundtrip_preserves_suggestions(self, synthetic):
+        config = PQSDAConfig(personalize=False, compact=CompactConfig(size=80))
+        direct = PQSDA.build(
+            synthetic.log, sessions=synthetic.sessions, config=config
+        )
+        buffer = io.StringIO()
+        write_aol(synthetic.log, buffer)
+        buffer.seek(0)
+        roundtripped = PQSDA.build(read_aol(buffer), config=config)
+        probe = max(
+            synthetic.log.unique_queries, key=synthetic.log.query_frequency
+        )
+        # Sessions are re-derived (ground truth vs sessionizer), so lists
+        # may differ in tail order but must heavily overlap at the top.
+        a = set(direct.suggest(probe, k=10))
+        b = set(roundtripped.suggest(probe, k=10))
+        assert a and b
+        assert len(a & b) >= 3
+
+
+class TestPersonalizationImproves:
+    def test_personalized_beats_anonymous_on_ppr(self, world, synthetic):
+        split = split_train_test(synthetic, n_test_sessions=3)
+        ppr = PPRMetric(world.web)
+        config = PQSDAConfig(
+            compact=CompactConfig(size=120),
+            diversify=DiversifyConfig(k=10, candidate_pool=25),
+            upm=UPMConfig(n_topics=8, iterations=25, seed=0),
+            personalization_weight=2.0,
+        )
+        personalized = PQSDA.build(
+            split.train_log, sessions=split.train_sessions, config=config
+        )
+
+        class _Anonymous:
+            name = "anon"
+
+            def suggest(self, query, k=10, user_id=None, context=(),
+                        timestamp=0.0):
+                return personalized.suggest(query, k=k, user_id=None)
+
+        with_profiles = evaluate_personalized(
+            personalized, split.test_sessions, ks=[5], ppr=ppr
+        )
+        without = evaluate_personalized(
+            _Anonymous(), split.test_sessions, ks=[5], ppr=ppr
+        )
+        assert with_profiles["ppr"][5] >= without["ppr"][5] - 1e-9
+
+    def test_diversity_survives_personalization(self, world, synthetic):
+        split = split_train_test(synthetic, n_test_sessions=2)
+        oracle = Oracle(world, synthetic)
+        diversity = DiversityMetric(synthetic.log, oracle)
+        config = PQSDAConfig(
+            compact=CompactConfig(size=120),
+            diversify=DiversifyConfig(k=10, candidate_pool=25),
+            upm=UPMConfig(n_topics=8, iterations=25, seed=0),
+        )
+        suggester = PQSDA.build(
+            split.train_log, sessions=split.train_sessions, config=config
+        )
+        result = evaluate_personalized(
+            suggester, split.test_sessions, ks=[10], diversity=diversity
+        )
+        # Personalization reorders but never drops candidates; the final
+        # lists keep substantial facet coverage.
+        assert result["diversity"][10] > 0.3
+
+
+class TestDeterminismEndToEnd:
+    def test_full_pipeline_reproducible(self, world):
+        def run():
+            synthetic = generate_log(
+                world, GeneratorConfig(n_users=10, seed=77)
+            )
+            suggester = PQSDA.build(
+                synthetic.log,
+                sessions=synthetic.sessions,
+                config=PQSDAConfig(
+                    compact=CompactConfig(size=60),
+                    upm=UPMConfig(n_topics=4, iterations=10, seed=1),
+                ),
+            )
+            probe = synthetic.log[0].query
+            return [
+                suggester.suggest(probe, k=6, user_id=u)
+                for u in synthetic.log.users[:3]
+            ]
+
+        assert run() == run()
+
+
+class TestNoClickLog:
+    def test_pipeline_works_without_any_clicks(self, world):
+        synthetic = generate_log(
+            world,
+            GeneratorConfig(n_users=10, click_probability=0.0, seed=5),
+        )
+        assert all(not r.has_click for r in synthetic.log)
+        suggester = PQSDA.build(
+            synthetic.log,
+            sessions=synthetic.sessions,
+            config=PQSDAConfig(
+                personalize=False, compact=CompactConfig(size=60)
+            ),
+        )
+        probe = synthetic.log[0].query
+        # Session and term bipartites carry the suggestion alone — the
+        # multi-bipartite robustness claim of Sec. III.
+        assert suggester.suggest(probe, k=5)

@@ -1,0 +1,169 @@
+"""Property-based invariants over randomly generated mini-logs.
+
+Hypothesis drives small random query logs through the representation and
+diversification layers, asserting the structural invariants every layer
+must hold regardless of input shape.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diversify.candidates import DiversifyConfig, diversify
+from repro.diversify.hitting_time import truncated_hitting_times
+from repro.graphs.matrices import build_matrices
+from repro.graphs.multibipartite import BIPARTITE_KINDS, build_multibipartite
+from repro.graphs.weighting import apply_cfiqf
+from repro.logs.schema import QueryRecord
+from repro.logs.sessionizer import sessionize
+from repro.logs.storage import QueryLog
+
+_WORDS = ["sun", "java", "moon", "solar", "jvm", "cell", "news", "orbit"]
+_URLS = ["www.a.com", "www.b.com", "www.c.com", None]
+
+
+@st.composite
+def mini_logs(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    records = []
+    for i in range(n):
+        user = draw(st.sampled_from(["u1", "u2", "u3"]))
+        n_terms = draw(st.integers(min_value=1, max_value=3))
+        words = draw(
+            st.lists(
+                st.sampled_from(_WORDS), min_size=n_terms, max_size=n_terms
+            )
+        )
+        url = draw(st.sampled_from(_URLS))
+        gap = draw(st.sampled_from([30.0, 300.0, 4000.0]))
+        records.append(
+            QueryRecord(
+                user_id=user,
+                query=" ".join(words),
+                timestamp=i * gap,
+                clicked_url=url,
+            )
+        )
+    return QueryLog(records)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mini_logs())
+def test_sessionize_partitions_any_log(log):
+    sessions = sessionize(log)
+    ids = sorted(r.record_id for s in sessions for r in s)
+    assert ids == list(range(len(log)))
+    for session in sessions:
+        stamps = [r.timestamp for r in session]
+        assert stamps == sorted(stamps)
+        assert len({r.user_id for r in session}) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(mini_logs(), st.booleans())
+def test_multibipartite_structure_any_log(log, weighted):
+    mb = build_multibipartite(log, sessionize(log), weighted=weighted)
+    # Every record's normalized query is a node.
+    from repro.utils.text import normalize_query, tokenize
+
+    for record in log:
+        if tokenize(record.query):
+            assert normalize_query(record.query) in mb
+    # Clicked URLs appear as facets of U.
+    u = mb.bipartite("U")
+    for record in log:
+        if record.has_click and tokenize(record.query):
+            assert record.clicked_url in u.facets_of(
+                normalize_query(record.query)
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(mini_logs())
+def test_matrices_invariants_any_log(log):
+    mb = build_multibipartite(log, sessionize(log), weighted=True)
+    matrices = build_matrices(mb)
+    n = matrices.n_queries
+    for kind in BIPARTITE_KINDS:
+        transition = matrices.transition[kind]
+        sums = np.asarray(transition.sum(axis=1)).ravel()
+        assert (sums <= 1.0 + 1e-9).all()
+        affinity = matrices.affinity[kind]
+        assert affinity.shape == (n, n)
+        assert abs(affinity - affinity.T).max() < 1e-10
+        assert (affinity.data >= -1e-12).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(mini_logs(), st.integers(min_value=1, max_value=6))
+def test_diversify_contract_any_log(log, k):
+    mb = build_multibipartite(log, sessionize(log), weighted=False)
+    if mb.n_queries == 0:
+        return
+    matrices = build_matrices(mb)
+    input_query = matrices.queries[0]
+    result = diversify(
+        matrices, input_query, config=DiversifyConfig(k=k)
+    )
+    assert len(result) <= k
+    assert input_query not in result.ranking
+    assert len(set(result.ranking)) == len(result.ranking)
+    assert set(result.ranking) <= set(matrices.queries)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=30),
+)
+def test_hitting_time_bounds_random_chains(n, seed, horizon):
+    rng = np.random.default_rng(seed)
+    raw = rng.random((n, n))
+    # Randomly zero some rows to exercise sub-stochastic handling.
+    mask = rng.random(n) < 0.2
+    raw[mask] = 0.0
+    sums = raw.sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    from scipy import sparse
+
+    transition = sparse.csr_matrix(raw / sums)
+    absorbing = [int(rng.integers(0, n))]
+    h = truncated_hitting_times(transition, absorbing, horizon)
+    assert (h >= 0).all()
+    assert (h <= horizon + 1e-9).all()
+    assert h[absorbing[0]] == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(mini_logs())
+def test_cfiqf_never_drops_edges(log):
+    mb = build_multibipartite(log, sessionize(log), weighted=False)
+    for kind in BIPARTITE_KINDS:
+        raw = mb.bipartite(kind)
+        weighted = apply_cfiqf(raw, max(log.total_queries, 1))
+        assert weighted.n_edges == raw.n_edges
+        for query in raw.queries:
+            for facet in raw.facets_of(query):
+                assert weighted.weight(query, facet) > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(mini_logs())
+def test_upm_theta_rows_are_distributions(log):
+    from repro.personalize.upm import UPM, UPMConfig
+    from repro.topicmodels.corpus import build_corpus
+
+    corpus = build_corpus(log, sessionize(log))
+    if corpus.n_documents == 0:
+        return
+    model = UPM(
+        UPMConfig(n_topics=2, iterations=3, hyperopt_every=0, seed=0)
+    ).fit(corpus)
+    theta = model.theta
+    assert np.allclose(theta.sum(axis=1), 1.0)
+    assert (theta >= 0).all()
+    for d in range(corpus.n_documents):
+        predictive = model.predictive_word_distribution(d)
+        assert predictive.sum() == pytest.approx(1.0)

@@ -1,0 +1,114 @@
+"""Tests for repro.logs.cleaning."""
+
+import pytest
+
+from repro.logs.cleaning import CleaningRules, clean_log
+from repro.logs.schema import QueryRecord
+from repro.logs.storage import QueryLog
+
+
+def make_log(rows):
+    return QueryLog(
+        QueryRecord(user_id=u, query=q, timestamp=float(t), clicked_url=url)
+        for u, q, t, url in rows
+    )
+
+
+class TestCleaningRules:
+    def test_defaults_valid(self):
+        CleaningRules()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_query_frequency": 0},
+            {"max_user_queries": 0},
+            {"min_query_terms": -1},
+            {"min_query_terms": 5, "max_query_terms": 4},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CleaningRules(**kwargs)
+
+
+class TestCleanLog:
+    def test_noop_on_clean_data(self, table1_log):
+        cleaned, report = clean_log(table1_log)
+        assert len(cleaned) == 7
+        assert report.dropped_total == 0
+
+    def test_normalizes_queries(self):
+        log = make_log([("u", "Sun JAVA!", 0, None), ("u", "sun java", 1, None)])
+        cleaned, _ = clean_log(log)
+        assert cleaned.query_frequency("sun java") == 2
+
+    def test_drops_empty_queries(self):
+        log = make_log([("u", "???", 0, None), ("u", "sun", 1, None)])
+        cleaned, report = clean_log(log)
+        assert len(cleaned) == 1
+        assert report.dropped_empty == 1
+
+    def test_drops_pure_stopword_queries(self):
+        log = make_log([("u", "the and of", 0, None), ("u", "sun", 1, None)])
+        cleaned, report = clean_log(log)
+        assert report.dropped_empty == 1
+        assert cleaned.unique_queries == ["sun"]
+
+    def test_drops_overlong_queries(self):
+        long_query = " ".join(f"term{i}" for i in range(30))
+        log = make_log([("u", long_query, 0, None), ("u", "sun", 1, None)])
+        cleaned, report = clean_log(log)
+        assert report.dropped_long == 1
+        assert len(cleaned) == 1
+
+    def test_rare_query_filter(self):
+        rows = [("u", "popular", t, None) for t in range(3)]
+        rows.append(("u", "one off", 10, None))
+        cleaned, report = clean_log(
+            make_log(rows), CleaningRules(min_query_frequency=2)
+        )
+        assert report.dropped_rare == 1
+        assert cleaned.unique_queries == ["popular"]
+
+    def test_robot_user_removed_entirely(self):
+        rows = [("robot", f"spam {i}", i, None) for i in range(20)]
+        rows += [("human", "sun", 100, None)]
+        cleaned, report = clean_log(
+            make_log(rows), CleaningRules(max_user_queries=10)
+        )
+        assert report.robot_users == ["robot"]
+        assert report.dropped_robot_users == 20
+        assert cleaned.users == ["human"]
+
+    def test_robot_volume_does_not_rescue_rare_queries(self):
+        # The robot hammers "weird query" 50 times; a human issues it once.
+        rows = [("robot", "weird query", i, None) for i in range(50)]
+        rows += [("human", "weird query", 100, None)]
+        rows += [("human", "sun", 101, None), ("human", "sun", 102, None)]
+        cleaned, _ = clean_log(
+            make_log(rows),
+            CleaningRules(max_user_queries=10, min_query_frequency=2),
+        )
+        assert "weird query" not in cleaned.unique_queries
+
+    def test_drop_urls_declicks(self):
+        log = make_log([("u", "sun", 0, "ad.doubleclick.net")])
+        cleaned, report = clean_log(
+            log, CleaningRules(drop_urls=frozenset({"ad.doubleclick.net"}))
+        )
+        assert report.declicked_urls == 1
+        assert not cleaned[0].has_click
+
+    def test_report_accounting_consistent(self):
+        rows = [("u", "sun", t, None) for t in range(3)]
+        rows += [("u", "???", 5, None)]
+        cleaned, report = clean_log(make_log(rows))
+        assert report.input_records == 4
+        assert report.output_records == len(cleaned)
+        assert report.dropped_total == report.dropped_empty
+
+    def test_input_log_not_mutated(self, table1_log):
+        before = [r.query for r in table1_log]
+        clean_log(table1_log)
+        assert [r.query for r in table1_log] == before

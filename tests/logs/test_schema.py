@@ -1,0 +1,96 @@
+"""Tests for repro.logs.schema."""
+
+import pytest
+
+from repro.logs.schema import (
+    QueryRecord,
+    Session,
+    format_timestamp,
+    parse_timestamp,
+)
+
+
+def record(user="u1", query="sun", ts=0.0, url=None):
+    return QueryRecord(user_id=user, query=query, timestamp=ts, clicked_url=url)
+
+
+class TestTimestamps:
+    def test_roundtrip(self):
+        text = "2012-12-12 11:12:41"
+        assert format_timestamp(parse_timestamp(text)) == text
+
+    def test_paper_table1_order(self):
+        t1 = parse_timestamp("2012-12-12 11:12:41")
+        t2 = parse_timestamp("2012-12-12 11:13:01")
+        assert t2 - t1 == 20
+
+    def test_bad_format_raises(self):
+        with pytest.raises(ValueError):
+            parse_timestamp("12/12/2012")
+
+
+class TestQueryRecord:
+    def test_has_click(self):
+        assert record(url="www.java.com").has_click
+        assert not record().has_click
+
+    def test_terms(self):
+        assert record(query="the sun java").terms == ["sun", "java"]
+
+    def test_with_record_id(self):
+        r = record().with_record_id(5)
+        assert r.record_id == 5
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            record().query = "other"  # type: ignore[misc]
+
+
+class TestSession:
+    def test_user_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            Session("s", "u1", [record(user="u2")])
+
+    def test_queries_and_clicks(self):
+        s = Session(
+            "s",
+            "u1",
+            [record(query="sun", url="a.com"), record(query="sun java", ts=1)],
+        )
+        assert s.queries == ["sun", "sun java"]
+        assert s.clicked_urls == ["a.com"]
+
+    def test_times(self):
+        s = Session("s", "u1", [record(ts=10), record(ts=30)])
+        assert s.start_time == 10
+        assert s.end_time == 30
+
+    def test_empty_session_times_raise(self):
+        s = Session("s", "u1", [])
+        with pytest.raises(ValueError):
+            _ = s.start_time
+        with pytest.raises(ValueError):
+            _ = s.end_time
+
+    def test_search_context_definition2(self):
+        # Paper Definition 2: in session [q1, q2, q3], the context of q2 is
+        # {q1} and the context of q3 is {q1, q2}.
+        r1, r2, r3 = record(ts=0), record(query="sun java", ts=1), record(
+            query="jvm download", ts=2
+        )
+        s = Session("s", "u1", [r1, r2, r3])
+        assert s.search_context(0) == []
+        assert s.search_context(1) == [r1]
+        assert s.search_context(2) == [r1, r2]
+
+    def test_search_context_bounds(self):
+        s = Session("s", "u1", [record()])
+        with pytest.raises(IndexError):
+            s.search_context(1)
+        with pytest.raises(IndexError):
+            s.search_context(-1)
+
+    def test_len_and_iter(self):
+        s = Session("s", "u1", [record(), record(ts=1)])
+        assert len(s) == 2
+        assert len(list(s)) == 2

@@ -1,0 +1,87 @@
+"""Tests for repro.logs.sessionizer."""
+
+import pytest
+
+from repro.logs.schema import QueryRecord
+from repro.logs.sessionizer import SessionizerConfig, sessionize
+from repro.logs.storage import QueryLog
+
+
+def make_log(rows):
+    return QueryLog(
+        QueryRecord(user_id=u, query=q, timestamp=float(t)) for u, q, t in rows
+    )
+
+
+class TestSessionizerConfig:
+    def test_defaults(self):
+        config = SessionizerConfig()
+        assert config.gap_seconds == 1800
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gap_seconds": 0},
+            {"soft_gap_seconds": 0},
+            {"soft_gap_seconds": 4000},  # > gap
+            {"min_term_overlap": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SessionizerConfig(**kwargs)
+
+
+class TestSessionize:
+    def test_paper_table1_sessions(self, table1_log):
+        # Table I: {q1,q2,q3}, {q4,q5}, {q6,q7} are the three sessions.
+        sessions = sessionize(table1_log)
+        assert len(sessions) == 3
+        grouped = {s.user_id: s.queries for s in sessions}
+        assert grouped["u1"] == ["sun", "sun java", "jvm download"]
+        assert grouped["u2"] == ["sun", "solar cell"]
+        assert grouped["u3"] == ["sun oracle", "java"]
+
+    def test_hard_gap_splits(self):
+        log = make_log([("u", "sun", 0), ("u", "moon", 4000)])
+        sessions = sessionize(log)
+        assert [s.queries for s in sessions] == [["sun"], ["moon"]]
+
+    def test_short_gap_keeps(self):
+        log = make_log([("u", "sun", 0), ("u", "completely different", 100)])
+        assert len(sessionize(log)) == 1
+
+    def test_soft_gap_with_overlap_continues(self):
+        # 10-minute pause (soft window) but the query shares the term "sun".
+        log = make_log([("u", "sun java", 0), ("u", "sun oracle", 600)])
+        assert len(sessionize(log)) == 1
+
+    def test_soft_gap_without_overlap_splits(self):
+        log = make_log([("u", "sun java", 0), ("u", "pizza recipe", 600)])
+        assert len(sessionize(log)) == 2
+
+    def test_users_never_share_sessions(self):
+        log = make_log([("a", "sun", 0), ("b", "sun", 1)])
+        sessions = sessionize(log)
+        assert len(sessions) == 2
+        assert {s.user_id for s in sessions} == {"a", "b"}
+
+    def test_session_ids_stable_and_unique(self, table1_log):
+        sessions = sessionize(table1_log)
+        ids = [s.session_id for s in sessions]
+        assert len(set(ids)) == len(ids)
+        assert sessionize(table1_log)[0].session_id == ids[0]
+
+    def test_records_stay_ordered_within_session(self):
+        log = make_log([("u", "b", 10), ("u", "a", 0)])  # out-of-order input
+        (session,) = sessionize(log)
+        stamps = [r.timestamp for r in session]
+        assert stamps == sorted(stamps)
+
+    def test_empty_log(self):
+        assert sessionize(make_log([])) == []
+
+    def test_every_record_in_exactly_one_session(self, table1_log):
+        sessions = sessionize(table1_log)
+        ids = [r.record_id for s in sessions for r in s]
+        assert sorted(ids) == list(range(len(table1_log)))

@@ -1,0 +1,101 @@
+"""Tests for repro.logs.spam (click-fraud detection)."""
+
+import math
+
+import pytest
+
+from repro.logs.schema import QueryRecord
+from repro.logs.spam import click_profile, detect_click_spammers
+from repro.logs.storage import QueryLog
+
+
+def fraud_log():
+    rows = []
+    # Spammer: 30 different query strings, all clicking one target URL.
+    for i in range(30):
+        rows.append(
+            QueryRecord("spammer", f"spam query {i}", float(i),
+                        clicked_url="www.target.com")
+        )
+    # Honest user: 30 clicks spread over 10 URLs.
+    for i in range(30):
+        rows.append(
+            QueryRecord("honest", f"real query {i}", 1000.0 + i,
+                        clicked_url=f"www.site{i % 10}.com")
+        )
+    # Light user: too few clicks to judge.
+    rows.append(QueryRecord("light", "one query", 5000.0,
+                            clicked_url="www.x.com"))
+    return QueryLog(rows)
+
+
+class TestClickProfile:
+    def test_spammer_stats(self):
+        stats = click_profile(fraud_log(), "spammer")
+        assert stats.n_clicks == 30
+        assert stats.n_urls == 1
+        assert stats.entropy == 0.0
+        assert stats.concentration == pytest.approx(1.0)
+
+    def test_honest_stats(self):
+        stats = click_profile(fraud_log(), "honest")
+        assert stats.n_urls == 10
+        assert stats.entropy == pytest.approx(math.log(10))
+        assert stats.concentration < 0.4
+
+    def test_single_click_user(self):
+        stats = click_profile(fraud_log(), "light")
+        assert stats.n_clicks == 1
+        assert stats.concentration == 0.0
+
+    def test_never_clicking_user(self):
+        log = QueryLog([QueryRecord("u", "q", 0.0)])
+        stats = click_profile(log, "u")
+        assert stats.n_clicks == 0
+        assert stats.concentration == 0.0
+
+    def test_unknown_user(self):
+        assert click_profile(fraud_log(), "ghost").n_clicks == 0
+
+
+class TestDetectClickSpammers:
+    def test_finds_only_the_spammer(self):
+        offenders = detect_click_spammers(fraud_log())
+        assert [s.user_id for s in offenders] == ["spammer"]
+
+    def test_volume_floor_protects_light_users(self):
+        offenders = detect_click_spammers(fraud_log(), min_clicks=2)
+        # "light" has one click; still protected by min_clicks >= 2.
+        assert "light" not in {s.user_id for s in offenders}
+
+    def test_threshold_sensitivity(self):
+        # With an extreme threshold nothing qualifies except perfection.
+        offenders = detect_click_spammers(
+            fraud_log(), concentration_threshold=1.0
+        )
+        assert [s.user_id for s in offenders] == ["spammer"]
+
+    def test_validation(self):
+        log = fraud_log()
+        with pytest.raises(ValueError):
+            detect_click_spammers(log, min_clicks=1)
+        with pytest.raises(ValueError):
+            detect_click_spammers(log, concentration_threshold=0.0)
+
+    def test_composes_with_cleaning(self):
+        from repro.logs.cleaning import clean_log
+
+        log = fraud_log()
+        spammers = {s.user_id for s in detect_click_spammers(log)}
+        kept = log.filter(lambda r: r.user_id not in spammers)
+        cleaned, _ = clean_log(kept)
+        assert "spammer" not in cleaned.users
+        assert "honest" in cleaned.users
+
+    def test_synthetic_log_has_no_spammers(self):
+        from repro.synth.generator import GeneratorConfig, generate_log
+        from repro.synth.world import make_world
+
+        world = make_world(seed=0)
+        synthetic = generate_log(world, GeneratorConfig(n_users=20, seed=6))
+        assert detect_click_spammers(synthetic.log) == []

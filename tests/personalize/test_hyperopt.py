@@ -1,0 +1,127 @@
+"""Tests for repro.personalize.hyperopt (Eqs. 25-27)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.personalize.hyperopt import (
+    dirichlet_log_likelihood,
+    dirichlet_log_likelihood_gradient,
+    optimize_dirichlet_fixed_point,
+    optimize_dirichlet_lbfgs,
+)
+
+
+def sample_counts(seed=0, docs=30, items=6, concentration=None):
+    rng = np.random.default_rng(seed)
+    if concentration is None:
+        concentration = np.array([5.0, 2.0, 1.0, 0.5, 0.5, 0.2])[:items]
+    counts = np.zeros((docs, items))
+    for d in range(docs):
+        theta = rng.dirichlet(concentration)
+        counts[d] = rng.multinomial(40, theta)
+    return counts, concentration
+
+
+class TestLogLikelihood:
+    def test_matches_manual_small_case(self):
+        counts = np.array([[2.0, 1.0]])
+        eta = np.array([1.0, 1.0])
+        # DM evidence with uniform Dirichlet(1,1) over 3 trials:
+        # Gamma(3)Gamma(2)/... manual: lnB(counts+eta) - lnB(eta) form.
+        from scipy.special import gammaln
+
+        expected = (
+            gammaln(2 + 1)
+            + gammaln(1 + 1)
+            - gammaln(1.0) * 2
+            + gammaln(2.0)
+            - gammaln(3 + 2)
+        )
+        assert dirichlet_log_likelihood(counts, eta) == pytest.approx(expected)
+
+    def test_gradient_matches_finite_differences(self):
+        counts, _ = sample_counts(seed=1, docs=10)
+        eta = np.array([1.0, 0.8, 1.2, 0.5, 2.0, 0.3])
+        grad = dirichlet_log_likelihood_gradient(counts, eta)
+        eps = 1e-6
+        for j in range(eta.size):
+            bumped = eta.copy()
+            bumped[j] += eps
+            numeric = (
+                dirichlet_log_likelihood(counts, bumped)
+                - dirichlet_log_likelihood(counts, eta)
+            ) / eps
+            assert grad[j] == pytest.approx(numeric, rel=1e-3, abs=1e-3)
+
+    @pytest.mark.parametrize(
+        "counts,eta",
+        [
+            (np.zeros((2, 3)), np.array([1.0, 1.0])),  # shape mismatch
+            (np.zeros(3), np.ones(3)),  # 1-D counts
+            (np.zeros((2, 2)), np.array([0.0, 1.0])),  # non-positive eta
+            (-np.ones((2, 2)), np.ones(2)),  # negative counts
+        ],
+    )
+    def test_validation(self, counts, eta):
+        with pytest.raises(ValueError):
+            dirichlet_log_likelihood(counts, eta)
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "optimize",
+        [optimize_dirichlet_lbfgs, optimize_dirichlet_fixed_point],
+    )
+    def test_improves_likelihood(self, optimize):
+        counts, _ = sample_counts(seed=2)
+        eta0 = np.ones(counts.shape[1])
+        eta = optimize(counts, eta0)
+        assert dirichlet_log_likelihood(counts, eta) >= (
+            dirichlet_log_likelihood(counts, eta0) - 1e-9
+        )
+
+    @pytest.mark.parametrize(
+        "optimize",
+        [optimize_dirichlet_lbfgs, optimize_dirichlet_fixed_point],
+    )
+    def test_recovers_asymmetry(self, optimize):
+        # True concentration is heavily skewed toward item 0.
+        counts, truth = sample_counts(seed=3, docs=200)
+        eta = optimize(counts, np.ones(counts.shape[1]))
+        assert eta.argmax() == truth.argmax()
+        assert eta[0] > eta[-1]
+
+    @pytest.mark.parametrize(
+        "optimize",
+        [optimize_dirichlet_lbfgs, optimize_dirichlet_fixed_point],
+    )
+    def test_output_positive(self, optimize):
+        counts, _ = sample_counts(seed=4)
+        eta = optimize(counts, np.full(counts.shape[1], 0.01))
+        assert (eta > 0).all()
+
+    def test_lbfgs_close_to_fixed_point(self):
+        counts, _ = sample_counts(seed=5, docs=100)
+        eta0 = np.ones(counts.shape[1])
+        a = optimize_dirichlet_lbfgs(counts, eta0)
+        b = optimize_dirichlet_fixed_point(counts, eta0, max_iterations=500)
+        lla = dirichlet_log_likelihood(counts, a)
+        llb = dirichlet_log_likelihood(counts, b)
+        assert lla == pytest.approx(llb, rel=1e-3)
+
+    def test_zero_count_matrix_is_stable(self):
+        counts = np.zeros((5, 4))
+        eta = optimize_dirichlet_fixed_point(counts, np.ones(4))
+        assert (eta > 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_likelihood_finite_for_random_counts(seed):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 30, size=(8, 5)).astype(float)
+    eta = rng.uniform(0.01, 5.0, size=5)
+    value = dirichlet_log_likelihood(counts, eta)
+    assert np.isfinite(value)

@@ -1,0 +1,102 @@
+"""Tests for repro.personalize.profiles and repro.personalize.borda."""
+
+import numpy as np
+import pytest
+
+from repro.logs.sessionizer import sessionize
+from repro.personalize.borda import personalize_ranking
+from repro.personalize.profiles import UserProfile, UserProfileStore
+from repro.personalize.upm import UPM, UPMConfig
+from repro.topicmodels.corpus import build_corpus
+from tests.personalize.test_upm import two_topic_log
+
+
+@pytest.fixture(scope="module")
+def store():
+    log = two_topic_log()
+    corpus = build_corpus(log, sessionize(log))
+    model = UPM(UPMConfig(n_topics=2, iterations=30, seed=0)).fit(corpus)
+    return UserProfileStore(model)
+
+
+class TestUserProfile:
+    def test_valid(self):
+        profile = UserProfile("u", np.array([0.7, 0.3]))
+        assert profile.dominant_topic == 0
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            UserProfile("u", np.array([0.5, 0.1]))
+        with pytest.raises(ValueError):
+            UserProfile("u", np.array([[0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            UserProfile("u", np.array([]))
+
+
+class TestUserProfileStore:
+    def test_contains_all_users(self, store):
+        assert len(store) == 8
+        assert "u0" in store
+        assert "ghost" not in store
+
+    def test_profile_lookup(self, store):
+        profile = store.profile("u0")
+        assert profile.user_id == "u0"
+        assert profile.theta.sum() == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            store.profile("ghost")
+
+    def test_score_candidates(self, store):
+        scores = store.score_candidates("u0", ["java jvm", "telescope orbit"])
+        assert scores["java jvm"] > scores["telescope orbit"]
+
+    def test_rank_candidates(self, store):
+        ranking = store.rank_candidates(
+            "u0", ["telescope orbit", "java jvm", "comet orbit"]
+        )
+        assert ranking[0] == "java jvm"
+
+    def test_unknown_user_scores_zero(self, store):
+        assert store.score("ghost", "java") == 0.0
+
+
+class TestPersonalizeRanking:
+    def test_preference_promotes_candidate(self):
+        diversified = ["a", "b", "c", "d"]
+        # The user loves "d"; plain Borda should pull it up.
+        scores = {"a": 0.1, "b": 0.1, "c": 0.1, "d": 0.9}
+        final = personalize_ranking(diversified, scores)
+        assert final.rank_of("d") < 3
+
+    def test_zero_weight_keeps_diversified_order(self):
+        diversified = ["a", "b", "c"]
+        scores = {"a": 0.0, "b": 0.0, "c": 1.0}
+        final = personalize_ranking(
+            diversified, scores, personalization_weight=0.0
+        )
+        assert list(final) == diversified
+
+    def test_large_weight_follows_preferences(self):
+        diversified = ["a", "b", "c"]
+        scores = {"a": 0.1, "b": 0.5, "c": 0.9}
+        final = personalize_ranking(
+            diversified, scores, personalization_weight=10.0
+        )
+        assert list(final) == ["c", "b", "a"]
+
+    def test_missing_scores_treated_as_zero(self):
+        final = personalize_ranking(["a", "b"], {"b": 1.0})
+        assert set(final) == {"a", "b"}
+
+    def test_empty_candidates(self):
+        assert list(personalize_ranking([], {})) == []
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            personalize_ranking(["a"], {}, personalization_weight=-1.0)
+
+    def test_same_set_preserved(self):
+        diversified = ["a", "b", "c", "d", "e"]
+        scores = {q: i / 10 for i, q in enumerate(diversified)}
+        final = personalize_ranking(diversified, scores)
+        assert sorted(final) == sorted(diversified)

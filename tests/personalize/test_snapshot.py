@@ -1,0 +1,98 @@
+"""Tests for repro.personalize.snapshot (profile persistence)."""
+
+import io
+
+import pytest
+
+from repro.logs.sessionizer import sessionize
+from repro.personalize.profiles import UserProfileStore
+from repro.personalize.snapshot import ProfileSnapshot, SnapshotStore
+from repro.personalize.upm import UPM, UPMConfig
+from repro.topicmodels.corpus import build_corpus
+from tests.personalize.test_upm import two_topic_log
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    log = two_topic_log()
+    corpus = build_corpus(log, sessionize(log))
+    model = UPM(UPMConfig(n_topics=2, iterations=30, seed=0)).fit(corpus)
+    return model
+
+
+@pytest.fixture(scope="module")
+def snapshot(fitted):
+    return SnapshotStore.from_model(fitted)
+
+
+class TestFromModel:
+    def test_covers_all_users(self, fitted, snapshot):
+        assert len(snapshot) == fitted.corpus.n_documents
+        assert "u0" in snapshot
+        assert "ghost" not in snapshot
+
+    def test_theta_preserved(self, fitted, snapshot):
+        for d, doc in enumerate(fitted.corpus.documents):
+            theta = snapshot.profile(doc.user_id).theta
+            assert theta == pytest.approx(tuple(fitted.theta[d]))
+
+    def test_scores_match_live_store(self, fitted, snapshot):
+        live = UserProfileStore(fitted)
+        for user_id in ("u0", "u1"):
+            for query in ("java jvm", "telescope orbit", "comet orbit"):
+                assert snapshot.score(user_id, query) == pytest.approx(
+                    live.score(user_id, query), abs=1e-4
+                )
+
+    def test_rankings_match_live_store(self, fitted, snapshot):
+        live = UserProfileStore(fitted)
+        candidates = ["java jvm", "telescope orbit", "java applet"]
+        for user_id in ("u0", "u1"):
+            assert list(snapshot.rank_candidates(user_id, candidates)) == list(
+                live.rank_candidates(user_id, candidates)
+            )
+
+    def test_truncation_respected(self, fitted):
+        tiny = SnapshotStore.from_model(fitted, top_words=3)
+        assert len(tiny.profile("u0").predictive) <= 3
+
+    def test_invalid_top_words(self, fitted):
+        with pytest.raises(ValueError):
+            SnapshotStore.from_model(fitted, top_words=0)
+
+    def test_unknown_user_scores_zero(self, snapshot):
+        assert snapshot.score("ghost", "java") == 0.0
+
+    def test_empty_query_scores_zero(self, snapshot):
+        assert snapshot.score("u0", "") == 0.0
+        assert snapshot.score("u0", "the and of") == 0.0
+
+
+class TestRoundTrip:
+    def test_json_buffer_roundtrip(self, snapshot):
+        buffer = io.StringIO()
+        snapshot.to_json(buffer)
+        buffer.seek(0)
+        restored = SnapshotStore.from_json(buffer)
+        assert restored.user_ids == snapshot.user_ids
+        for user_id in snapshot.user_ids:
+            assert restored.score(user_id, "java jvm") == pytest.approx(
+                snapshot.score(user_id, "java jvm")
+            )
+
+    def test_file_roundtrip(self, snapshot, tmp_path):
+        path = tmp_path / "profiles.json"
+        snapshot.to_json(path)
+        restored = SnapshotStore.from_json(path)
+        assert len(restored) == len(snapshot)
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else", "profiles": []}')
+        with pytest.raises(ValueError, match="unrecognised"):
+            SnapshotStore.from_json(path)
+
+    def test_profile_snapshot_score_floor(self):
+        profile = ProfileSnapshot("u", (1.0,), {"java": 0.5})
+        # "jvm" falls back to the floor, not zero.
+        assert 0 < profile.score("jvm") < profile.score("java")

@@ -1,0 +1,122 @@
+"""Tests for time-aware preference scoring (UPM.profile_at)."""
+
+import numpy as np
+import pytest
+
+from repro.logs.sessionizer import sessionize
+from repro.personalize.upm import UPM, UPMConfig
+from repro.topicmodels.corpus import build_corpus
+from tests.personalize.test_upm import two_topic_log
+
+
+@pytest.fixture(scope="module")
+def mixed_user_model():
+    """A user interested in BOTH topics, but at different times.
+
+    Sessions 0..4 are java-themed (early); sessions 5..9 astronomy-themed
+    (late).  The UPM's Beta time channel should learn this split, and
+    profile_at must shift the mixture accordingly.
+    """
+    from repro.logs.schema import QueryRecord
+    from repro.logs.storage import QueryLog
+
+    records = []
+    java = ["java jvm", "java applet", "jvm jdk", "java servlet", "jvm swing"]
+    astro = ["telescope orbit", "comet nebula", "orbit planet",
+             "telescope nebula", "comet planet"]
+    # Several users with the same pattern give beta pooled evidence.
+    for u in range(6):
+        for s, query in enumerate(java):
+            records.append(
+                QueryRecord(
+                    f"u{u}", query, s * 100_000.0 + u,
+                    clicked_url="www.java.com",
+                )
+            )
+        for s, query in enumerate(astro):
+            records.append(
+                QueryRecord(
+                    f"u{u}", query, 1_000_000.0 + s * 100_000.0 + u,
+                    clicked_url="www.nasa.gov",
+                )
+            )
+    log = QueryLog(records)
+    corpus = build_corpus(log, sessionize(log))
+    model = UPM(
+        UPMConfig(n_topics=2, iterations=40, hyperopt_every=20, seed=0)
+    ).fit(corpus)
+    return corpus, model
+
+
+class TestProfileAt:
+    def test_is_distribution(self, mixed_user_model):
+        _, model = mixed_user_model
+        for t in (0.0, 0.3, 0.7, 1.0):
+            profile = model.profile_at("u0", t)
+            assert profile.sum() == pytest.approx(1.0)
+            assert (profile >= 0).all()
+
+    def test_time_shifts_mixture(self, mixed_user_model):
+        corpus, model = mixed_user_model
+        early = model.profile_at("u0", 0.05)
+        late = model.profile_at("u0", 0.95)
+        # Identify the java topic via the word distribution.
+        java_id = corpus.id_of_word["java"]
+        phi = model.topic_word_distribution(corpus.doc_index["u0"])
+        java_topic = int(phi[:, java_id].argmax())
+        assert early[java_topic] > late[java_topic]
+
+    def test_time_changes_preference_scores(self, mixed_user_model):
+        _, model = mixed_user_model
+        early_java = model.preference_score("u0", "java jvm", t_norm=0.05)
+        late_java = model.preference_score("u0", "java jvm", t_norm=0.95)
+        assert early_java > late_java
+        early_astro = model.preference_score(
+            "u0", "telescope orbit", t_norm=0.05
+        )
+        late_astro = model.preference_score(
+            "u0", "telescope orbit", t_norm=0.95
+        )
+        assert late_astro > early_astro
+
+    def test_no_time_channel_returns_static_theta(self):
+        log = two_topic_log(sessions_per_user=4, users=6)
+        corpus = build_corpus(log, sessionize(log))
+        model = UPM(
+            UPMConfig(n_topics=2, iterations=10, use_time=False, seed=0)
+        ).fit(corpus)
+        theta = model.theta[corpus.doc_index["u0"]]
+        assert np.allclose(model.profile_at("u0", 0.1), theta)
+        assert np.allclose(model.profile_at("u0", 0.9), theta)
+
+    def test_t_norm_validated(self, mixed_user_model):
+        _, model = mixed_user_model
+        with pytest.raises(ValueError):
+            model.profile_at("u0", 1.5)
+
+    def test_none_t_matches_static_score(self, mixed_user_model):
+        _, model = mixed_user_model
+        static = model.preference_score("u0", "java jvm")
+        assert static == pytest.approx(
+            model.preference_score("u0", "java jvm", t_norm=None)
+        )
+
+
+class TestCorpusTimeNormalization:
+    def test_normalize_time_roundtrip(self, mixed_user_model):
+        corpus, _ = mixed_user_model
+        assert corpus.normalize_time(corpus.time_low) == 0.0
+        assert corpus.normalize_time(
+            corpus.time_low + corpus.time_span
+        ) == 1.0
+
+    def test_clamped(self, mixed_user_model):
+        corpus, _ = mixed_user_model
+        assert corpus.normalize_time(corpus.time_low - 999) == 0.0
+        assert corpus.normalize_time(corpus.time_low + 10 * corpus.time_span) == 1.0
+
+    def test_split_preserves_window(self, mixed_user_model):
+        corpus, _ = mixed_user_model
+        observed, _ = corpus.split_prefix(0.5)
+        assert observed.time_low == corpus.time_low
+        assert observed.time_span == corpus.time_span

@@ -1,0 +1,194 @@
+"""Tests for repro.personalize.upm (the User Profiling Model)."""
+
+import numpy as np
+import pytest
+
+from repro.logs.schema import QueryRecord
+from repro.logs.sessionizer import sessionize
+from repro.logs.storage import QueryLog
+from repro.personalize.upm import UPM, UPMConfig
+from repro.topicmodels.corpus import build_corpus
+
+
+def two_topic_log(sessions_per_user=6, users=8):
+    """Synthetic mini-log with two crisp topics: java-land and star-land.
+
+    Even users always search java topics and click java URLs early in time;
+    odd users search astronomy late in time.
+    """
+    records = []
+    java_words = ["java jvm", "java applet", "jvm servlet", "java jdk"]
+    astro_words = ["telescope orbit", "comet orbit", "telescope nebula",
+                   "orbit planet"]
+    for u in range(users):
+        for s in range(sessions_per_user):
+            base = (u * sessions_per_user + s) * 10_000.0
+            if u % 2 == 0:
+                query = java_words[s % len(java_words)]
+                url = "www.java.com"
+                timestamp = base
+            else:
+                query = astro_words[s % len(astro_words)]
+                url = "www.nasa.gov"
+                timestamp = base + 500_000.0
+            records.append(
+                QueryRecord(f"u{u}", query, timestamp, clicked_url=url)
+            )
+    return QueryLog(records)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    log = two_topic_log()
+    corpus = build_corpus(log, sessionize(log))
+    config = UPMConfig(n_topics=2, iterations=40, hyperopt_every=20, seed=0)
+    return corpus, UPM(config).fit(corpus)
+
+
+class TestUPMConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_topics": 0},
+            {"alpha0": 0.0},
+            {"beta0": -1.0},
+            {"iterations": 0},
+            {"hyperopt_every": -1},
+            {"hyperopt_method": "adam"},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            UPMConfig(**kwargs)
+
+
+class TestFitting:
+    def test_theta_is_distribution(self, fitted):
+        _, model = fitted
+        theta = model.theta
+        assert theta.shape[1] == 2
+        assert np.allclose(theta.sum(axis=1), 1.0)
+        assert (theta >= 0).all()
+
+    def test_two_topics_separate_users(self, fitted):
+        corpus, model = fitted
+        theta = model.theta
+        java_users = [i for i, d in enumerate(corpus.documents)
+                      if int(d.user_id[1:]) % 2 == 0]
+        astro_users = [i for i, d in enumerate(corpus.documents)
+                       if int(d.user_id[1:]) % 2 == 1]
+        # All java users should peak on the same topic, astro on the other.
+        java_topics = {int(theta[i].argmax()) for i in java_users}
+        astro_topics = {int(theta[i].argmax()) for i in astro_users}
+        assert len(java_topics) == 1
+        assert len(astro_topics) == 1
+        assert java_topics != astro_topics
+
+    def test_sessions_share_one_topic(self, fitted):
+        corpus, model = fitted
+        # Session-level assignment: doc-topic counts are integers that sum
+        # to the number of sessions.
+        for i, doc in enumerate(corpus.documents):
+            counts = model._doc_topic[i]
+            assert counts.sum() == len(doc.sessions)
+
+    def test_preference_score_tracks_user_topic(self, fitted):
+        _, model = fitted
+        java_score = model.preference_score("u0", "java jvm")
+        astro_score = model.preference_score("u0", "telescope orbit")
+        assert java_score > astro_score
+        assert model.preference_score("u1", "telescope orbit") > (
+            model.preference_score("u1", "java jvm")
+        )
+
+    def test_preference_score_edge_cases(self, fitted):
+        _, model = fitted
+        assert model.preference_score("ghost", "java") == 0.0
+        assert model.preference_score("u0", "zzzz qqqq") == 0.0
+        assert model.preference_score("u0", "") == 0.0
+
+    def test_predictive_distribution_normalized(self, fitted):
+        corpus, model = fitted
+        for d in range(corpus.n_documents):
+            predictive = model.predictive_word_distribution(d)
+            assert predictive.shape == (corpus.n_words,)
+            assert predictive.sum() == pytest.approx(1.0)
+            assert (predictive >= 0).all()
+
+    def test_tau_learned_reflects_time_split(self, fitted):
+        corpus, model = fitted
+        theta = model.theta
+        # Identify the astro topic (dominant for u1).
+        astro_topic = int(theta[corpus.doc_index["u1"]].argmax())
+        java_topic = 1 - astro_topic
+        tau = model.tau
+        # Astro sessions happen late: mean a/(a+b) should be larger.
+        astro_mean = tau[astro_topic, 0] / tau[astro_topic].sum()
+        java_mean = tau[java_topic, 0] / tau[java_topic].sum()
+        assert astro_mean > java_mean
+
+    def test_deterministic_given_seed(self):
+        log = two_topic_log(sessions_per_user=4, users=4)
+        corpus = build_corpus(log, sessionize(log))
+        config = UPMConfig(n_topics=2, iterations=15, seed=7)
+        a = UPM(config).fit(corpus).theta
+        b = UPM(config).fit(corpus).theta
+        assert np.allclose(a, b)
+
+    def test_unfitted_access_raises(self):
+        model = UPM()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _ = model.theta
+        with pytest.raises(RuntimeError):
+            model.preference_score("u", "q")
+
+    def test_empty_corpus_rejected(self):
+        log = QueryLog([])
+        corpus = build_corpus(log, [])
+        with pytest.raises(ValueError, match="no documents"):
+            UPM().fit(corpus)
+
+
+class TestAblationKnobs:
+    def test_no_url_channel(self):
+        log = two_topic_log(sessions_per_user=3, users=4)
+        corpus = build_corpus(log, sessionize(log))
+        config = UPMConfig(
+            n_topics=2, iterations=10, use_urls=False, seed=0
+        )
+        model = UPM(config).fit(corpus)
+        assert model.theta.shape == (4, 2)
+
+    def test_no_time_channel(self):
+        log = two_topic_log(sessions_per_user=3, users=4)
+        corpus = build_corpus(log, sessionize(log))
+        config = UPMConfig(
+            n_topics=2, iterations=10, use_time=False, seed=0
+        )
+        model = UPM(config).fit(corpus)
+        # tau must stay at its uninformative initial value.
+        assert np.allclose(model.tau, 1.0)
+
+    def test_hyperopt_disabled_keeps_priors(self):
+        log = two_topic_log(sessions_per_user=3, users=4)
+        corpus = build_corpus(log, sessionize(log))
+        config = UPMConfig(
+            n_topics=2, iterations=10, hyperopt_every=0, seed=0
+        )
+        model = UPM(config).fit(corpus)
+        assert np.allclose(model.alpha, config.alpha0)
+        assert np.allclose(model.beta, config.beta0)
+
+    def test_lbfgs_method_runs(self):
+        log = two_topic_log(sessions_per_user=3, users=4)
+        corpus = build_corpus(log, sessionize(log))
+        config = UPMConfig(
+            n_topics=2,
+            iterations=10,
+            hyperopt_every=10,
+            hyperopt_method="lbfgs",
+            seed=0,
+        )
+        model = UPM(config).fit(corpus)
+        # Hyperparameters moved away from the symmetric initialization.
+        assert not np.allclose(model.beta, config.beta0)

@@ -1,0 +1,208 @@
+"""Tests for repro.synth.generator and repro.synth.oracle."""
+
+import numpy as np
+import pytest
+
+from repro.logs.sessionizer import sessionize
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.oracle import Oracle, RaterPanel
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world(seed=0)
+
+
+@pytest.fixture(scope="module")
+def synthetic(world):
+    config = GeneratorConfig(n_users=20, mean_sessions_per_user=8, seed=11)
+    return generate_log(world, config)
+
+
+class TestGeneratorConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 0},
+            {"mean_sessions_per_user": 0},
+            {"min_sessions_per_user": 0},
+            {"click_probability": 1.5},
+            {"ambiguous_rate": -0.1},
+            {"span_days": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+
+class TestGenerateLog:
+    def test_user_count(self, synthetic):
+        assert len(synthetic.population) == 20
+        assert len(synthetic.log.users) == 20
+
+    def test_min_sessions_respected(self, synthetic):
+        for user_id in synthetic.log.users:
+            assert len(synthetic.sessions_of(user_id)) >= 3
+
+    def test_every_record_has_intent(self, synthetic):
+        for record in synthetic.log:
+            assert record.record_id in synthetic.record_intent
+
+    def test_session_intents_cover_all_sessions(self, synthetic):
+        for session in synthetic.sessions:
+            assert session.session_id in synthetic.session_intent
+
+    def test_sessions_partition_log(self, synthetic):
+        ids = sorted(
+            record.record_id
+            for session in synthetic.sessions
+            for record in session
+        )
+        assert ids == list(range(len(synthetic.log)))
+
+    def test_timestamps_increase_within_session(self, synthetic):
+        for session in synthetic.sessions:
+            stamps = [r.timestamp for r in session]
+            assert stamps == sorted(stamps)
+
+    def test_clicked_urls_exist_in_web(self, world, synthetic):
+        for record in synthetic.log:
+            if record.has_click:
+                assert record.clicked_url in world.web
+
+    def test_most_clicks_match_intent(self, world, synthetic):
+        matches, total = 0, 0
+        for record in synthetic.log:
+            if not record.has_click:
+                continue
+            total += 1
+            intent = synthetic.record_intent[record.record_id]
+            if world.web.category_of(record.clicked_url) == intent:
+                matches += 1
+        assert total > 0
+        assert matches / total > 0.85  # noise_click_probability = 0.05
+
+    def test_deterministic(self, world):
+        config = GeneratorConfig(n_users=5, seed=99)
+        a = generate_log(world, config)
+        b = generate_log(world, config)
+        assert [r.query for r in a.log] == [r.query for r in b.log]
+        assert [r.clicked_url for r in a.log] == [r.clicked_url for r in b.log]
+
+    def test_different_seeds_differ(self, world):
+        a = generate_log(world, GeneratorConfig(n_users=5, seed=1))
+        b = generate_log(world, GeneratorConfig(n_users=5, seed=2))
+        assert [r.query for r in a.log] != [r.query for r in b.log]
+
+    def test_ambiguous_terms_appear(self, world, synthetic):
+        ambiguous = set(world.vocabulary.ambiguous_terms)
+        heads = {r.query.split()[0] for r in synthetic.log}
+        assert heads & ambiguous
+
+    def test_sessionizer_recovers_ground_truth_boundaries(self, synthetic):
+        # Generated inter-session gaps are >= 2h, so the 30-min sessionizer
+        # must never merge two ground-truth sessions.
+        recovered = sessionize(synthetic.log)
+        assert len(recovered) >= len(synthetic.sessions)
+
+    def test_query_category_is_dominant_intent(self, synthetic):
+        # Every mapped query string is one of the log's normalized queries.
+        from repro.utils.text import normalize_query
+
+        normalized = {normalize_query(r.query) for r in synthetic.log}
+        assert set(synthetic.query_category) == normalized
+
+
+class TestOracle:
+    @pytest.fixture(scope="class")
+    def oracle(self, world, synthetic):
+        return Oracle(world, synthetic)
+
+    def test_category_of_generated_query(self, synthetic, oracle):
+        record = synthetic.log[0]
+        category = oracle.category_of_query(record.query)
+        assert category is not None
+
+    def test_category_of_unseen_query_falls_back_to_classifier(
+        self, world, oracle
+    ):
+        assert oracle.category_of_query("jvm classpath") == world.taxonomy.get(
+            "Computers/Programming/Java"
+        )
+
+    def test_category_of_gibberish_is_none(self, oracle):
+        assert oracle.category_of_query("zzzz qqqq") is None
+
+    def test_category_of_url(self, world, oracle):
+        page = world.web.pages[0]
+        assert oracle.category_of_url(page.url) == page.category
+        assert oracle.category_of_url("www.unknown.com") is None
+
+    def test_intent_of_session(self, synthetic, oracle):
+        session = synthetic.sessions[0]
+        assert (
+            oracle.intent_of_session(session.session_id)
+            == synthetic.session_intent[session.session_id]
+        )
+        with pytest.raises(KeyError):
+            oracle.intent_of_session("ghost/0")
+
+    def test_user_interest_weight(self, synthetic, oracle):
+        user = synthetic.population.get(synthetic.log.users[0])
+        leaf = user.interest_leaves[0]
+        assert oracle.user_interest_weight(user.user_id, leaf) > 0
+        others = [
+            c
+            for c in oracle.world.taxonomy.leaves
+            if c not in user.interests
+        ]
+        assert oracle.user_interest_weight(user.user_id, others[0]) == 0.0
+
+    def test_query_similarity_same_topic(self, oracle):
+        sim = oracle.query_similarity("jvm download", "java applet")
+        assert sim == 1.0
+
+    def test_query_similarity_cross_topic(self, oracle):
+        sim = oracle.query_similarity("jvm download", "telescope orbit")
+        assert sim == 0.0
+
+    def test_query_similarity_unknown_is_zero(self, oracle):
+        assert oracle.query_similarity("zzzz", "jvm") == 0.0
+
+
+class TestRaterPanel:
+    @pytest.fixture(scope="class")
+    def oracle(self, world, synthetic):
+        return Oracle(world, synthetic)
+
+    def test_on_topic_beats_off_topic(self, synthetic, oracle):
+        session = synthetic.sessions[0]
+        intent = synthetic.session_intent[session.session_id]
+        panel = RaterPanel(oracle, noise_sd=0.0, seed=0)
+        on_topic = panel.rate(session.records[0].query, session, intent)
+        off_topic = panel.rate("zzzz qqqq", session, intent)
+        assert on_topic > off_topic
+
+    def test_ratings_on_scale_without_noise(self, synthetic, oracle):
+        session = synthetic.sessions[0]
+        intent = synthetic.session_intent[session.session_id]
+        panel = RaterPanel(oracle, n_raters=1, noise_sd=0.0, seed=0)
+        rating = panel.rate(session.records[0].query, session, intent)
+        assert rating in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+    def test_ratings_bounded_with_noise(self, synthetic, oracle):
+        session = synthetic.sessions[0]
+        intent = synthetic.session_intent[session.session_id]
+        panel = RaterPanel(oracle, noise_sd=0.5, seed=0)
+        for record in session:
+            assert 0.0 <= panel.rate(record.query, session, intent) <= 1.0
+
+    def test_invalid_args(self, oracle):
+        with pytest.raises(ValueError):
+            RaterPanel(oracle, n_raters=0)
+        with pytest.raises(ValueError):
+            RaterPanel(oracle, noise_sd=-1)
+        with pytest.raises(ValueError):
+            RaterPanel(oracle, profile_weight=2.0)

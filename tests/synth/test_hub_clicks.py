@@ -1,0 +1,94 @@
+"""Tests for the hub-URL click noise of the generator."""
+
+import pytest
+
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world(seed=0)
+
+
+class TestHubClicks:
+    def test_disabled_by_default(self, world):
+        synthetic = generate_log(world, GeneratorConfig(n_users=10, seed=1))
+        assert not any(
+            r.has_click and r.clicked_url.startswith("www.hub-")
+            for r in synthetic.log
+        )
+
+    def test_hub_urls_generated_at_configured_rate(self, world):
+        synthetic = generate_log(
+            world,
+            GeneratorConfig(
+                n_users=20, hub_click_probability=0.3, n_hub_urls=4, seed=2
+            ),
+        )
+        clicks = [r for r in synthetic.log if r.has_click]
+        hub_clicks = [
+            r for r in clicks if r.clicked_url.startswith("www.hub-")
+        ]
+        assert clicks
+        rate = len(hub_clicks) / len(clicks)
+        assert 0.2 < rate < 0.4  # near the configured 0.3
+
+    def test_hub_url_universe_bounded(self, world):
+        synthetic = generate_log(
+            world,
+            GeneratorConfig(
+                n_users=20, hub_click_probability=0.3, n_hub_urls=4, seed=2
+            ),
+        )
+        hubs = {
+            r.clicked_url
+            for r in synthetic.log
+            if r.has_click and r.clicked_url.startswith("www.hub-")
+        }
+        assert len(hubs) <= 4
+
+    def test_hubs_outside_synthetic_web(self, world):
+        synthetic = generate_log(
+            world,
+            GeneratorConfig(n_users=10, hub_click_probability=0.3, seed=3),
+        )
+        for record in synthetic.log:
+            if record.has_click and record.clicked_url.startswith("www.hub-"):
+                assert record.clicked_url not in world.web
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(hub_click_probability=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_hub_urls=0)
+
+    def test_hubs_connect_cross_topic_queries_in_click_graph(self, world):
+        from repro.graphs.click_graph import build_click_graph
+
+        synthetic = generate_log(
+            world,
+            GeneratorConfig(
+                n_users=30, hub_click_probability=0.25, seed=4
+            ),
+        )
+        graph = build_click_graph(synthetic.log, weighted=False)
+        # Some hub must connect queries of different ground-truth intents.
+        from repro.utils.text import normalize_query
+
+        found_cross_topic_hub = False
+        for record in synthetic.log:
+            if not (record.has_click and record.clicked_url.startswith("www.hub-")):
+                continue
+            neighbors = graph.neighbors(record.query)
+            intent = synthetic.query_category.get(
+                normalize_query(record.query)
+            )
+            for neighbor in neighbors:
+                other = synthetic.query_category.get(neighbor)
+                if intent and other and intent.top != other.top:
+                    found_cross_topic_hub = True
+                    break
+            if found_cross_topic_hub:
+                break
+        assert found_cross_topic_hub

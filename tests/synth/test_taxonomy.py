@@ -1,0 +1,123 @@
+"""Tests for repro.synth.taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.synth.taxonomy import Category, Taxonomy, default_taxonomy
+
+
+class TestCategory:
+    def test_str_is_odp_path(self):
+        cat = Category(("Computers", "Programming", "Java"))
+        assert str(cat) == "Computers/Programming/Java"
+
+    def test_depth_top_leaf_name(self):
+        cat = Category(("Science", "Astronomy"))
+        assert cat.depth == 2
+        assert cat.top == "Science"
+        assert cat.leaf_name == "Astronomy"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Category(())
+        with pytest.raises(ValueError):
+            Category(("A", ""))
+
+    def test_is_ancestor_of(self):
+        parent = Category(("Computers",))
+        child = Category(("Computers", "Hardware"))
+        assert parent.is_ancestor_of(child)
+        assert not child.is_ancestor_of(parent)
+        assert not parent.is_ancestor_of(parent)
+
+    def test_hashable(self):
+        assert len({Category(("A",)), Category(("A",))}) == 1
+
+
+class TestTaxonomy:
+    @pytest.fixture
+    def taxonomy(self):
+        return default_taxonomy()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Taxonomy({})
+
+    def test_default_shape(self, taxonomy):
+        assert len(taxonomy.leaves) == 27
+        assert taxonomy.max_depth == 3
+
+    def test_every_leaf_is_category(self, taxonomy):
+        for leaf in taxonomy.leaves:
+            assert leaf in taxonomy
+
+    def test_internal_nodes_are_categories_too(self, taxonomy):
+        assert taxonomy.get("Computers") in taxonomy
+        assert taxonomy.get("Computers/Programming") in taxonomy
+
+    def test_get_by_string_and_iterable(self, taxonomy):
+        by_str = taxonomy.get("Science/Astronomy")
+        by_iter = taxonomy.get(["Science", "Astronomy"])
+        assert by_str == by_iter
+
+    def test_get_unknown_raises(self, taxonomy):
+        with pytest.raises(KeyError, match="no category"):
+            taxonomy.get("Nope/Nothing")
+
+    def test_leaf_ordinal_roundtrip(self, taxonomy):
+        for i, leaf in enumerate(taxonomy.leaves):
+            assert taxonomy.leaf_ordinal(leaf) == i
+
+    def test_leaf_ordinal_rejects_internal(self, taxonomy):
+        with pytest.raises(KeyError):
+            taxonomy.leaf_ordinal(taxonomy.get("Computers"))
+
+    def test_sample_leaf(self, taxonomy):
+        rng = np.random.default_rng(0)
+        leaf = taxonomy.sample_leaf(rng)
+        assert leaf in taxonomy.leaves
+
+
+class TestPathSimilarity:
+    @pytest.fixture
+    def taxonomy(self):
+        return default_taxonomy()
+
+    def test_identical_is_one(self, taxonomy):
+        java = taxonomy.get("Computers/Programming/Java")
+        assert taxonomy.path_similarity(java, java) == 1.0
+
+    def test_different_tops_is_zero(self, taxonomy):
+        java = taxonomy.get("Computers/Programming/Java")
+        astro = taxonomy.get("Science/Astronomy")
+        assert taxonomy.path_similarity(java, astro) == 0.0
+
+    def test_siblings_share_prefix(self, taxonomy):
+        java = taxonomy.get("Computers/Programming/Java")
+        python = taxonomy.get("Computers/Programming/Python")
+        assert taxonomy.path_similarity(java, python) == pytest.approx(2 / 3)
+
+    def test_eq34_normalizes_by_longest_path(self, taxonomy):
+        # |PF| / max(|A|, |B|): Computers vs Computers/Programming/Java.
+        top = taxonomy.get("Computers")
+        java = taxonomy.get("Computers/Programming/Java")
+        assert taxonomy.path_similarity(top, java) == pytest.approx(1 / 3)
+
+    def test_symmetry(self, taxonomy):
+        a = taxonomy.get("Computers/Hardware")
+        b = taxonomy.get("Computers/Programming/Java")
+        assert taxonomy.path_similarity(a, b) == pytest.approx(
+            taxonomy.path_similarity(b, a)
+        )
+
+    def test_foreign_category_rejected(self, taxonomy):
+        with pytest.raises(KeyError):
+            taxonomy.path_similarity(
+                Category(("Alien",)), taxonomy.get("Computers")
+            )
+
+    def test_all_pairs_bounded(self, taxonomy):
+        leaves = taxonomy.leaves
+        for a in leaves[:6]:
+            for b in leaves[:6]:
+                assert 0.0 <= taxonomy.path_similarity(a, b) <= 1.0

@@ -1,0 +1,148 @@
+"""Tests for repro.synth.vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.synth.taxonomy import default_taxonomy
+from repro.synth.vocabulary import (
+    AMBIGUOUS_TERMS,
+    SEED_WORDS,
+    Vocabulary,
+    build_vocabulary,
+)
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return default_taxonomy()
+
+
+@pytest.fixture(scope="module")
+def vocabulary(taxonomy):
+    return build_vocabulary(taxonomy)
+
+
+class TestBuildVocabulary:
+    def test_every_leaf_has_words(self, taxonomy, vocabulary):
+        for leaf in taxonomy.leaves:
+            assert len(vocabulary.words_of(leaf)) >= 40
+
+    def test_seed_words_present(self, taxonomy, vocabulary):
+        java = taxonomy.get("Computers/Programming/Java")
+        assert "jvm" in vocabulary.words_of(java)
+
+    def test_seed_paths_all_exist_in_default_taxonomy(self, taxonomy):
+        for path in SEED_WORDS:
+            taxonomy.get(path)  # must not raise
+
+    def test_deterministic(self, taxonomy):
+        a = build_vocabulary(taxonomy)
+        b = build_vocabulary(taxonomy)
+        for leaf in taxonomy.leaves:
+            assert a.words_of(leaf) == b.words_of(leaf)
+
+    def test_empty_leaf_vocabulary_rejected(self, taxonomy):
+        with pytest.raises(ValueError, match="empty vocabulary"):
+            Vocabulary(taxonomy, {})
+
+
+class TestAmbiguousTerms:
+    def test_paper_sun_example(self, taxonomy, vocabulary):
+        leaves = {str(leaf) for leaf in vocabulary.leaves_of_term("sun")}
+        assert leaves == {
+            "Computers/Programming/Java",
+            "Science/Astronomy",
+            "News/Newspapers",
+        }
+
+    def test_is_ambiguous(self, vocabulary):
+        assert vocabulary.is_ambiguous("sun")
+        assert not vocabulary.is_ambiguous("jvm")
+        assert not vocabulary.is_ambiguous("nonexistent-word")
+
+    def test_all_declared_terms_are_ambiguous(self, vocabulary):
+        for term in AMBIGUOUS_TERMS:
+            assert term in vocabulary.ambiguous_terms
+
+    def test_leaves_of_unknown_term_empty(self, vocabulary):
+        assert vocabulary.leaves_of_term("zzzz") == []
+
+
+class TestSampling:
+    def test_sample_terms_from_leaf(self, taxonomy, vocabulary):
+        java = taxonomy.get("Computers/Programming/Java")
+        rng = np.random.default_rng(0)
+        terms = vocabulary.sample_terms(java, 5, rng)
+        assert len(terms) == 5
+        assert len(set(terms)) == 5  # no replacement
+        for term in terms:
+            assert term in vocabulary.words_of(java)
+
+    def test_bias_shifts_distribution(self, taxonomy, vocabulary):
+        java = taxonomy.get("Computers/Programming/Java")
+        words = vocabulary.words_of(java)
+        bias = np.zeros(len(words))
+        target = words.index("maven")
+        bias[target] = 1.0
+        rng = np.random.default_rng(0)
+        terms = vocabulary.sample_terms(java, 1, rng, bias=bias)
+        assert terms == ["maven"]
+
+    def test_bias_length_checked(self, taxonomy, vocabulary):
+        java = taxonomy.get("Computers/Programming/Java")
+        with pytest.raises(ValueError, match="bias length"):
+            vocabulary.sample_terms(java, 1, np.random.default_rng(0), bias=[1.0])
+
+    def test_zero_bias_rejected(self, taxonomy, vocabulary):
+        java = taxonomy.get("Computers/Programming/Java")
+        n = len(vocabulary.words_of(java))
+        with pytest.raises(ValueError, match="zeroes out"):
+            vocabulary.sample_terms(
+                java, 1, np.random.default_rng(0), bias=np.zeros(n)
+            )
+
+    def test_n_capped_at_vocab_size(self, taxonomy, vocabulary):
+        java = taxonomy.get("Computers/Programming/Java")
+        terms = vocabulary.sample_terms(java, 10_000, np.random.default_rng(0))
+        assert len(terms) == len(vocabulary.words_of(java))
+
+
+class TestTermProbability:
+    def test_head_word_most_probable(self, taxonomy, vocabulary):
+        java = taxonomy.get("Computers/Programming/Java")
+        words = vocabulary.words_of(java)
+        p_head = vocabulary.term_probability(words[0], java)
+        p_tail = vocabulary.term_probability(words[-1], java)
+        assert p_head > p_tail > 0
+
+    def test_absent_word_zero(self, taxonomy, vocabulary):
+        java = taxonomy.get("Computers/Programming/Java")
+        assert vocabulary.term_probability("racket", java) == 0.0
+
+    def test_distribution_sums_to_one(self, taxonomy, vocabulary):
+        java = taxonomy.get("Computers/Programming/Java")
+        total = sum(
+            vocabulary.term_probability(w, java)
+            for w in vocabulary.words_of(java)
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestClassifier:
+    def test_unambiguous_term(self, taxonomy, vocabulary):
+        assert vocabulary.classify(["jvm"]) == taxonomy.get(
+            "Computers/Programming/Java"
+        )
+
+    def test_context_disambiguates_sun(self, taxonomy, vocabulary):
+        java = vocabulary.classify(["sun", "jvm"])
+        astro = vocabulary.classify(["sun", "telescope"])
+        assert java == taxonomy.get("Computers/Programming/Java")
+        assert astro == taxonomy.get("Science/Astronomy")
+
+    def test_unknown_terms_give_none(self, vocabulary):
+        assert vocabulary.classify(["qqqq", "wwww"]) is None
+        assert vocabulary.classify([]) is None
+
+    def test_deterministic_tiebreak(self, vocabulary):
+        assert vocabulary.classify(["sun"]) == vocabulary.classify(["sun"])

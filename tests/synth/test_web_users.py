@@ -1,0 +1,184 @@
+"""Tests for repro.synth.web and repro.synth.users."""
+
+import numpy as np
+import pytest
+
+from repro.synth.taxonomy import default_taxonomy
+from repro.synth.users import UserModel, UserPopulation
+from repro.synth.vocabulary import build_vocabulary
+from repro.synth.web import SyntheticWeb, WebPage, build_web
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return default_taxonomy()
+
+
+@pytest.fixture(scope="module")
+def vocabulary(taxonomy):
+    return build_vocabulary(taxonomy)
+
+
+@pytest.fixture(scope="module")
+def web(vocabulary):
+    return build_web(vocabulary, pages_per_leaf=8, seed=0)
+
+
+class TestBuildWeb:
+    def test_page_count(self, taxonomy, web):
+        assert len(web) == 8 * len(taxonomy.leaves)
+
+    def test_pages_per_leaf(self, taxonomy, web):
+        for leaf in taxonomy.leaves:
+            assert len(web.pages_of(leaf)) == 8
+
+    def test_titles_topical(self, taxonomy, vocabulary, web):
+        java = taxonomy.get("Computers/Programming/Java")
+        words = set(vocabulary.words_of(java))
+        for page in web.pages_of(java):
+            assert page.title_terms
+            assert set(page.title_terms) <= words
+
+    def test_head_word_always_in_title(self, taxonomy, vocabulary, web):
+        java = taxonomy.get("Computers/Programming/Java")
+        head = vocabulary.words_of(java)[0]
+        for page in web.pages_of(java):
+            assert head in page.title_terms
+
+    def test_lookup_roundtrip(self, web):
+        page = web.pages[0]
+        assert web.page(page.url) is page
+        assert web.category_of(page.url) == page.category
+        assert web.title_of(page.url) == page.title
+
+    def test_unknown_url_raises(self, web):
+        with pytest.raises(KeyError, match="unknown URL"):
+            web.page("www.not-generated.com")
+
+    def test_contains(self, web):
+        assert web.pages[0].url in web
+        assert "www.nope.com" not in web
+
+    def test_duplicate_urls_rejected(self, taxonomy):
+        page = WebPage("www.x.com", taxonomy.leaves[0], "t")
+        with pytest.raises(ValueError, match="duplicate"):
+            SyntheticWeb([page, page])
+
+    def test_deterministic(self, vocabulary):
+        a = build_web(vocabulary, pages_per_leaf=4, seed=3)
+        b = build_web(vocabulary, pages_per_leaf=4, seed=3)
+        assert [p.title for p in a.pages] == [p.title for p in b.pages]
+
+
+class TestSamplePage:
+    def test_returns_leaf_page(self, taxonomy, web):
+        java = taxonomy.get("Computers/Programming/Java")
+        page = web.sample_page(java, np.random.default_rng(0))
+        assert page.category == java
+
+    def test_bias_concentrates(self, taxonomy, web):
+        java = taxonomy.get("Computers/Programming/Java")
+        pages = web.pages_of(java)
+        bias = np.zeros(len(pages))
+        bias[3] = 1.0
+        page = web.sample_page(java, np.random.default_rng(0), bias=bias)
+        assert page is pages[3]
+
+    def test_bias_length_checked(self, taxonomy, web):
+        java = taxonomy.get("Computers/Programming/Java")
+        with pytest.raises(ValueError, match="bias length"):
+            web.sample_page(java, np.random.default_rng(0), bias=np.ones(2))
+
+    def test_popularity_skew(self, taxonomy, web):
+        # Rank-1 page should be clicked far more often than rank-8.
+        java = taxonomy.get("Computers/Programming/Java")
+        rng = np.random.default_rng(0)
+        counts = {}
+        for _ in range(600):
+            url = web.sample_page(java, rng).url
+            counts[url] = counts.get(url, 0) + 1
+        pages = web.pages_of(java)
+        assert counts.get(pages[0].url, 0) > counts.get(pages[-1].url, 0)
+
+
+class TestUserModel:
+    def test_interests_must_sum_to_one(self, taxonomy):
+        leaf = taxonomy.leaves[0]
+        with pytest.raises(ValueError, match="sum to 1"):
+            UserModel("u", {leaf: 0.5})
+
+    def test_no_interests_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            UserModel("u", {})
+
+    def test_interest_leaves_sorted_by_weight(self, taxonomy):
+        a, b = taxonomy.leaves[0], taxonomy.leaves[1]
+        user = UserModel("u", {a: 0.3, b: 0.7})
+        assert user.interest_leaves == [b, a]
+
+    def test_topic_weights_normalized(self, taxonomy):
+        a, b = taxonomy.leaves[0], taxonomy.leaves[1]
+        user = UserModel(
+            "u", {a: 0.5, b: 0.5}, drift={a: (2.0, 5.0), b: (5.0, 2.0)}
+        )
+        for t in (0.0, 0.25, 0.5, 0.75, 1.0):
+            weights = user.topic_weights_at(t)
+            assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_drift_shifts_topic_over_time(self, taxonomy):
+        a, b = taxonomy.leaves[0], taxonomy.leaves[1]
+        user = UserModel(
+            "u", {a: 0.5, b: 0.5}, drift={a: (2.0, 8.0), b: (8.0, 2.0)}
+        )
+        early = user.topic_weights_at(0.1)
+        late = user.topic_weights_at(0.9)
+        assert early[a] > early[b]
+        assert late[b] > late[a]
+
+    def test_sample_intent_in_interests(self, taxonomy):
+        a, b = taxonomy.leaves[0], taxonomy.leaves[1]
+        user = UserModel("u", {a: 0.5, b: 0.5})
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert user.sample_intent(0.5, rng) in (a, b)
+
+    def test_t_norm_validated(self, taxonomy):
+        user = UserModel("u", {taxonomy.leaves[0]: 1.0})
+        with pytest.raises(ValueError):
+            user.topic_weights_at(1.5)
+
+
+class TestUserPopulation:
+    def test_generate_shape(self, vocabulary, web):
+        population = UserPopulation.generate(10, vocabulary, web, seed=0)
+        assert len(population) == 10
+        assert population.user_ids[0] == "user0000"
+
+    def test_deterministic(self, vocabulary, web):
+        a = UserPopulation.generate(5, vocabulary, web, seed=1)
+        b = UserPopulation.generate(5, vocabulary, web, seed=1)
+        for ua, ub in zip(a, b):
+            assert ua.interests == ub.interests
+
+    def test_biases_match_world_dimensions(self, vocabulary, web):
+        population = UserPopulation.generate(5, vocabulary, web, seed=2)
+        for user in population:
+            for leaf, bias in user.word_bias.items():
+                assert len(bias) == len(vocabulary.words_of(leaf))
+            for leaf, bias in user.url_bias.items():
+                assert len(bias) == len(web.pages_of(leaf))
+
+    def test_get_and_contains(self, vocabulary, web):
+        population = UserPopulation.generate(3, vocabulary, web, seed=0)
+        assert "user0001" in population
+        assert population.get("user0001").user_id == "user0001"
+        with pytest.raises(KeyError):
+            population.get("ghost")
+
+    def test_invalid_args(self, vocabulary, web):
+        with pytest.raises(ValueError):
+            UserPopulation.generate(0, vocabulary, web)
+        with pytest.raises(ValueError):
+            UserPopulation.generate(
+                2, vocabulary, web, interests_per_user=(3, 2)
+            )

@@ -1,0 +1,120 @@
+"""Tests for repro.topicmodels.base and repro.topicmodels.zoo."""
+
+import numpy as np
+import pytest
+
+from repro.logs.sessionizer import sessionize
+from repro.topicmodels.base import StructuredTopicModel, TopicModelConfig
+from repro.topicmodels.corpus import build_corpus
+from repro.topicmodels.zoo import MODEL_NAMES, build_model
+from tests.personalize.test_upm import two_topic_log
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    log = two_topic_log(sessions_per_user=5, users=6)
+    return build_corpus(log, sessionize(log))
+
+
+class TestTopicModelConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_topics": 0},
+            {"unit": "paragraph"},
+            {"url_mode": "embedded"},
+            {"alpha0": 0.0},
+            {"iterations": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TopicModelConfig(**kwargs)
+
+
+class TestStructuredTopicModel:
+    @pytest.mark.parametrize("unit", ["token", "query", "session"])
+    def test_units_fit_and_predict(self, corpus, unit):
+        config = TopicModelConfig(n_topics=2, unit=unit, iterations=10, seed=0)
+        model = StructuredTopicModel(config).fit(corpus)
+        theta = model.theta
+        assert theta.shape == (corpus.n_documents, 2)
+        assert np.allclose(theta.sum(axis=1), 1.0)
+        predictive = model.predictive_word_distribution(0)
+        assert predictive.shape == (corpus.n_words,)
+        assert predictive.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("url_mode", ["none", "folded", "channel"])
+    def test_url_modes(self, corpus, url_mode):
+        config = TopicModelConfig(
+            n_topics=2, url_mode=url_mode, iterations=10, seed=0
+        )
+        model = StructuredTopicModel(config).fit(corpus)
+        # phi is always over real words only.
+        assert model.phi.shape == (2, corpus.n_words)
+        assert np.allclose(model.phi.sum(axis=1), 1.0)
+
+    def test_time_channel_learns_tau(self, corpus):
+        config = TopicModelConfig(
+            n_topics=2, use_time=True, iterations=15, seed=0
+        )
+        model = StructuredTopicModel(config).fit(corpus)
+        assert not np.allclose(model._tau, 1.0)
+
+    def test_learn_alpha_moves_prior(self, corpus):
+        config = TopicModelConfig(
+            n_topics=2, learn_alpha=True, iterations=15, seed=0
+        )
+        model = StructuredTopicModel(config).fit(corpus)
+        assert not np.allclose(model.alpha, config.alpha0)
+
+    def test_topics_separate_the_two_facets(self, corpus):
+        config = TopicModelConfig(n_topics=2, iterations=30, seed=0)
+        model = StructuredTopicModel(config).fit(corpus)
+        java = corpus.id_of_word["java"]
+        telescope = corpus.id_of_word["telescope"]
+        phi = model.phi
+        # The two crisp facets should peak in different topics.
+        assert phi[:, java].argmax() != phi[:, telescope].argmax()
+
+    def test_deterministic(self, corpus):
+        config = TopicModelConfig(n_topics=2, iterations=10, seed=3)
+        a = StructuredTopicModel(config).fit(corpus).theta
+        b = StructuredTopicModel(config).fit(corpus).theta
+        assert np.allclose(a, b)
+
+    def test_unfitted_raises(self):
+        model = StructuredTopicModel()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _ = model.theta
+
+    def test_empty_corpus_rejected(self):
+        from repro.logs.storage import QueryLog
+
+        empty = build_corpus(QueryLog([]), [])
+        with pytest.raises(ValueError, match="no documents"):
+            StructuredTopicModel().fit(empty)
+
+
+class TestZoo:
+    def test_all_names_build(self):
+        for name in MODEL_NAMES:
+            model = build_model(name, n_topics=3, iterations=5, seed=0)
+            assert hasattr(model, "fit")
+            assert hasattr(model, "predictive_word_distribution")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_model("GPT")
+
+    def test_nine_models_match_fig4(self):
+        assert len(MODEL_NAMES) == 9
+        assert "UPM" in MODEL_NAMES
+        assert "LDA" in MODEL_NAMES
+
+    def test_models_fit_on_corpus(self, corpus):
+        for name in ("LDA", "TOT", "CTM", "SSTM", "UPM"):
+            model = build_model(name, n_topics=2, iterations=5, seed=0)
+            model.fit(corpus)
+            predictive = model.predictive_word_distribution(0)
+            assert predictive.sum() == pytest.approx(1.0)

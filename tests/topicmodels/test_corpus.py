@@ -1,0 +1,114 @@
+"""Tests for repro.topicmodels.corpus."""
+
+import pytest
+
+from repro.logs.schema import QueryRecord
+from repro.logs.sessionizer import sessionize
+from repro.logs.storage import QueryLog
+from repro.topicmodels.corpus import build_corpus
+
+
+@pytest.fixture
+def corpus(table1_log):
+    return build_corpus(table1_log, sessionize(table1_log))
+
+
+class TestBuildCorpus:
+    def test_one_document_per_user(self, corpus):
+        assert corpus.n_documents == 3
+        assert [d.user_id for d in corpus.documents] == ["u1", "u2", "u3"]
+
+    def test_session_structure(self, corpus):
+        u1 = corpus.document_of("u1")
+        assert len(u1.sessions) == 1  # one session of three queries
+        session = u1.sessions[0]
+        words = [corpus.word_of_id[w] for w in session.words]
+        assert words == ["sun", "sun", "java", "jvm", "download"]
+
+    def test_urls_captured(self, corpus):
+        u1 = corpus.document_of("u1")
+        urls = [corpus.url_of_id[u] for u in u1.sessions[0].urls]
+        assert urls == ["www.java.com", "java.sun.com"]
+
+    def test_timestamps_normalized(self, corpus):
+        for doc in corpus.documents:
+            for session in doc.sessions:
+                assert 0.0 <= session.timestamp <= 1.0
+        # u1's session is the earliest, u3's the latest.
+        assert corpus.document_of("u1").sessions[0].timestamp < (
+            corpus.document_of("u3").sessions[0].timestamp
+        )
+
+    def test_vocab_maps_consistent(self, corpus):
+        for word, wid in corpus.id_of_word.items():
+            assert corpus.word_of_id[wid] == word
+        for url, uid in corpus.id_of_url.items():
+            assert corpus.url_of_id[uid] == url
+
+    def test_total_tokens(self, corpus):
+        assert corpus.total_tokens == sum(d.n_words for d in corpus.documents)
+
+    def test_word_ids_drops_oov(self, corpus):
+        ids = corpus.word_ids(["sun", "notaword"])
+        assert len(ids) == 1
+        assert corpus.word_of_id[ids[0]] == "sun"
+
+    def test_document_of_unknown(self, corpus):
+        with pytest.raises(KeyError):
+            corpus.document_of("ghost")
+
+    def test_stopword_only_sessions_dropped(self):
+        log = QueryLog(
+            [
+                QueryRecord("u", "the and", 0.0),
+                QueryRecord("v", "sun java", 10_000.0),
+            ]
+        )
+        corpus = build_corpus(log, sessionize(log))
+        assert corpus.n_documents == 1
+        assert corpus.documents[0].user_id == "v"
+
+    def test_empty_log(self):
+        log = QueryLog([])
+        corpus = build_corpus(log, [])
+        assert corpus.n_documents == 0
+        assert corpus.n_words == 0
+
+
+class TestSplitPrefix:
+    def test_fraction_bounds(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.split_prefix(0.0)
+        with pytest.raises(ValueError):
+            corpus.split_prefix(1.0)
+
+    def test_observed_keeps_at_least_one_session(self, corpus):
+        observed, heldout = corpus.split_prefix(0.01)
+        for doc in observed.documents:
+            assert len(doc.sessions) >= 1
+        assert len(heldout) == corpus.n_documents
+
+    def test_vocabulary_shared(self, corpus):
+        observed, _ = corpus.split_prefix(0.5)
+        assert observed.word_of_id == corpus.word_of_id
+        assert observed.url_of_id == corpus.url_of_id
+
+    def test_words_partitioned(self):
+        records = []
+        for s in range(4):
+            for q in range(2):
+                records.append(
+                    QueryRecord("u", f"word{s} extra{s}", s * 10_000.0 + q)
+                )
+        log = QueryLog(records)
+        corpus = build_corpus(log, sessionize(log))
+        observed, heldout = corpus.split_prefix(0.5)
+        observed_words = sum(
+            len(s.words) for d in observed.documents for s in d.sessions
+        )
+        assert observed_words + len(heldout[0]) == corpus.total_tokens
+
+    def test_heldout_empty_when_single_session(self, corpus):
+        _, heldout = corpus.split_prefix(0.9)
+        u1 = corpus.doc_index["u1"]
+        assert heldout[u1] == []  # u1 has one session, kept observed

@@ -1,0 +1,98 @@
+"""Tests for repro.topicmodels.perplexity (Eq. 35)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.logs.sessionizer import sessionize
+from repro.topicmodels.corpus import build_corpus
+from repro.topicmodels.perplexity import evaluate_perplexity, perplexity
+from repro.topicmodels.zoo import build_model
+from tests.personalize.test_upm import two_topic_log
+
+
+class _UniformModel:
+    """Test double: uniform predictive over the vocabulary."""
+
+    def __init__(self, n_words):
+        self.n_words = n_words
+
+    def fit(self, corpus):
+        return self
+
+    def predictive_word_distribution(self, d):
+        return np.full(self.n_words, 1.0 / self.n_words)
+
+
+class _OracleModel:
+    """Test double: puts almost all mass on one known word."""
+
+    def __init__(self, n_words, target):
+        self.n_words = n_words
+        self.target = target
+
+    def fit(self, corpus):
+        return self
+
+    def predictive_word_distribution(self, d):
+        p = np.full(self.n_words, 1e-6)
+        p[self.target] = 1.0 - 1e-6 * (self.n_words - 1)
+        return p
+
+
+class TestPerplexity:
+    def test_uniform_model_gives_vocab_size(self):
+        model = _UniformModel(50)
+        assert perplexity(model, [[0, 1, 2]]) == pytest.approx(50.0)
+
+    def test_oracle_model_near_one(self):
+        model = _OracleModel(50, target=7)
+        assert perplexity(model, [[7, 7, 7]]) == pytest.approx(1.0, abs=1e-3)
+
+    def test_wrong_oracle_is_terrible(self):
+        model = _OracleModel(50, target=7)
+        assert perplexity(model, [[3]]) > 10_000
+
+    def test_empty_documents_skipped(self):
+        model = _UniformModel(10)
+        assert perplexity(model, [[], [0], []]) == pytest.approx(10.0)
+
+    def test_no_heldout_raises(self):
+        with pytest.raises(ValueError, match="no held-out"):
+            perplexity(_UniformModel(10), [[], []])
+
+    def test_floor_prevents_inf(self):
+        class ZeroModel(_UniformModel):
+            def predictive_word_distribution(self, d):
+                return np.zeros(self.n_words)
+
+        value = perplexity(ZeroModel(10), [[0]])
+        assert math.isfinite(value)
+
+
+class TestEvaluatePerplexity:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        log = two_topic_log(sessions_per_user=6, users=6)
+        return build_corpus(log, sessionize(log))
+
+    def test_real_model_beats_uniform(self, corpus):
+        lda = build_model("LDA", n_topics=2, iterations=20, seed=0)
+        value = evaluate_perplexity(lda, corpus, 0.7)
+        assert 1.0 < value < corpus.n_words
+
+    def test_upm_runs_through_protocol(self, corpus):
+        upm = build_model("UPM", n_topics=2, iterations=15, seed=0)
+        value = evaluate_perplexity(upm, corpus, 0.7)
+        assert math.isfinite(value)
+        assert value > 1.0
+
+    def test_deterministic(self, corpus):
+        a = evaluate_perplexity(
+            build_model("LDA", n_topics=2, iterations=10, seed=1), corpus
+        )
+        b = evaluate_perplexity(
+            build_model("LDA", n_topics=2, iterations=10, seed=1), corpus
+        )
+        assert a == pytest.approx(b)

@@ -1,0 +1,129 @@
+"""Tests for repro.utils.ranking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.ranking import (
+    RankedList,
+    borda_aggregate,
+    kendall_tau_distance,
+    ranks_from_scores,
+)
+
+
+class TestRankedList:
+    def test_order_and_rank(self):
+        ranked = RankedList(["a", "b", "c"])
+        assert ranked[0] == "a"
+        assert ranked.rank_of("c") == 2
+        assert len(ranked) == 3
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RankedList(["a", "a"])
+
+    def test_contains(self):
+        ranked = RankedList(["a"])
+        assert "a" in ranked
+        assert "z" not in ranked
+
+    def test_top(self):
+        ranked = RankedList(["a", "b", "c"])
+        assert ranked.top(2) == ["a", "b"]
+        assert ranked.top(10) == ["a", "b", "c"]
+
+    def test_top_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RankedList(["a"]).top(-1)
+
+    def test_equality_with_list(self):
+        assert RankedList(["x", "y"]) == ["x", "y"]
+        assert RankedList(["x", "y"]) == RankedList(["x", "y"])
+
+
+class TestRanksFromScores:
+    def test_descending_default(self):
+        ranked = ranks_from_scores({"a": 0.1, "b": 0.9, "c": 0.5})
+        assert list(ranked) == ["b", "c", "a"]
+
+    def test_ascending(self):
+        ranked = ranks_from_scores({"a": 3.0, "b": 1.0}, descending=False)
+        assert list(ranked) == ["b", "a"]
+
+    def test_tie_broken_deterministically(self):
+        ranked1 = ranks_from_scores({"b": 1.0, "a": 1.0})
+        ranked2 = ranks_from_scores({"a": 1.0, "b": 1.0})
+        assert list(ranked1) == list(ranked2)
+
+
+class TestBorda:
+    def test_single_ranking_preserved(self):
+        agg = borda_aggregate([["a", "b", "c"]])
+        assert list(agg) == ["a", "b", "c"]
+
+    def test_agreeing_rankings(self):
+        agg = borda_aggregate([["a", "b"], ["a", "b"]])
+        assert list(agg) == ["a", "b"]
+
+    def test_opposite_rankings_tie_broken_by_first(self):
+        agg = borda_aggregate([["a", "b"], ["b", "a"]])
+        assert list(agg) == ["a", "b"]
+
+    def test_weights_shift_winner(self):
+        agg = borda_aggregate([["a", "b"], ["b", "a"]], weights=[1.0, 3.0])
+        assert list(agg)[0] == "b"
+
+    def test_missing_items_get_zero_points(self):
+        # "c" appears only in the second ranking.
+        agg = borda_aggregate([["a", "b"], ["c", "a", "b"]])
+        assert set(agg) == {"a", "b", "c"}
+        assert list(agg)[0] == "a"
+
+    def test_empty_rankings_rejected(self):
+        with pytest.raises(ValueError):
+            borda_aggregate([])
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            borda_aggregate([["a"]], weights=[1.0, 2.0])
+
+    def test_classic_borda_example(self):
+        # Three voters: two prefer a>b>c, one prefers c>b>a.
+        agg = borda_aggregate([["a", "b", "c"], ["a", "b", "c"], ["c", "b", "a"]])
+        assert list(agg) == ["a", "b", "c"]
+
+
+class TestKendallTau:
+    def test_identical(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["a", "b", "c"]) == 0.0
+
+    def test_reversed(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["c", "b", "a"]) == 1.0
+
+    def test_single_swap(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["b", "a", "c"]) == pytest.approx(
+            1 / 3
+        )
+
+    def test_different_sets_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_distance(["a"], ["b"])
+
+    def test_short_lists(self):
+        assert kendall_tau_distance(["a"], ["a"]) == 0.0
+        assert kendall_tau_distance([], []) == 0.0
+
+
+@given(st.permutations(list("abcdef")))
+def test_borda_of_identical_rankings_is_identity(perm):
+    perm = list(perm)
+    assert list(borda_aggregate([perm, perm, perm])) == perm
+
+
+@given(st.permutations(list("abcde")), st.permutations(list("abcde")))
+def test_kendall_tau_symmetric_and_bounded(left, right):
+    left, right = list(left), list(right)
+    d = kendall_tau_distance(left, right)
+    assert 0.0 <= d <= 1.0
+    assert d == pytest.approx(kendall_tau_distance(right, left))

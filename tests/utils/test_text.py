@@ -1,0 +1,115 @@
+"""Tests for repro.utils.text."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.text import (
+    STOPWORDS,
+    cosine_similarity_bags,
+    jaccard,
+    normalize_query,
+    term_vector,
+    tokenize,
+)
+
+
+class TestNormalizeQuery:
+    def test_lowercases(self):
+        assert normalize_query("Sun Java") == "sun java"
+
+    def test_strips_punctuation(self):
+        assert normalize_query("sun-java, download!") == "sun java download"
+
+    def test_collapses_whitespace(self):
+        assert normalize_query("  sun   java  ") == "sun java"
+
+    def test_empty(self):
+        assert normalize_query("") == ""
+        assert normalize_query("!!!") == ""
+
+    def test_keeps_digits(self):
+        assert normalize_query("windows 95") == "windows 95"
+
+    def test_idempotent(self):
+        q = "Sun.Java/Download"
+        assert normalize_query(normalize_query(q)) == normalize_query(q)
+
+
+class TestTokenize:
+    def test_drops_stopwords_by_default(self):
+        assert tokenize("the sun and the moon") == ["sun", "moon"]
+
+    def test_keep_stopwords(self):
+        assert tokenize("the sun", drop_stopwords=False) == ["the", "sun"]
+
+    def test_agrees_with_normalize(self):
+        q = "The Sun-Java? Download"
+        assert " ".join(tokenize(q, drop_stopwords=False)) == normalize_query(q)
+
+    def test_url_junk_is_stopworded(self):
+        assert "www" in STOPWORDS
+        assert tokenize("www java com") == ["java"]
+
+
+class TestCosine:
+    def test_identical_bags(self):
+        bag = Counter({"sun": 2, "java": 1})
+        assert cosine_similarity_bags(bag, bag) == pytest.approx(1.0)
+
+    def test_disjoint_bags(self):
+        assert cosine_similarity_bags(Counter("ab"), Counter("cd")) == 0.0
+
+    def test_empty_bag(self):
+        assert cosine_similarity_bags(Counter(), Counter({"x": 1})) == 0.0
+
+    def test_symmetry(self):
+        a = Counter({"sun": 3, "solar": 1})
+        b = Counter({"solar": 2, "energy": 5})
+        assert cosine_similarity_bags(a, b) == pytest.approx(
+            cosine_similarity_bags(b, a)
+        )
+
+    def test_known_value(self):
+        a = Counter({"x": 1, "y": 1})
+        b = Counter({"x": 1})
+        assert cosine_similarity_bags(a, b) == pytest.approx(2**-0.5)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(["a"], ["b"]) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 0.0
+
+    def test_half_overlap(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+
+@given(st.text(max_size=80))
+def test_normalize_never_raises_and_is_clean(text):
+    out = normalize_query(text)
+    assert out == out.strip()
+    assert "  " not in out
+    assert out == out.lower()
+
+
+@given(st.text(max_size=80))
+def test_term_vector_counts_tokens(text):
+    vec = term_vector(text)
+    assert sum(vec.values()) == len(tokenize(text))
+
+
+@given(
+    st.lists(st.sampled_from("abcdef"), max_size=8),
+    st.lists(st.sampled_from("abcdef"), max_size=8),
+)
+def test_jaccard_bounds(left, right):
+    value = jaccard(left, right)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.timer and repro.utils.validation."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        with timer:
+            time.sleep(0.01)
+        assert timer.calls == 2
+        assert timer.elapsed >= 0.02
+
+    def test_mean(self):
+        timer = Timer()
+        assert timer.mean == 0.0
+        with timer:
+            pass
+        assert timer.mean == timer.elapsed
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.calls == 0
+
+    def test_exit_without_enter(self):
+        with pytest.raises(RuntimeError):
+            Timer().__exit__(None, None, None)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.0001)
+
+    def test_check_in_range_inclusive(self):
+        assert check_in_range("v", 5, 5, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("v", 4.999, 5, 10)
+
+    def test_check_in_range_exclusive(self):
+        assert check_in_range("v", 6, 5, 10, inclusive=False) == 6
+        with pytest.raises(ValueError):
+            check_in_range("v", 5, 5, 10, inclusive=False)
