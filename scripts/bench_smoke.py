@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Quick Fig. 7 latency smoke run; writes ``BENCH_fig7.json``.
+
+Runs the Fig. 7 efficiency protocol (mean per-suggestion latency of
+PQS-DA and the DQS/HT/CM baselines on a fixed probe workload) and
+records the numbers as JSON.  By default only the smallest scale runs,
+which finishes in seconds; ``--full`` sweeps every Fig. 7 scale.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py [--full] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+from repro.baselines.base import SuggestRequest
+from repro.baselines.registry import build_baseline
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.eval.efficiency import measure_batch_latency, measure_latency
+from repro.graphs.compact import CompactConfig
+from repro.logs.storage import QueryLog
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+USER_SCALES = (60, 140, 300)  # mirrors benchmarks/bench_fig7_efficiency.py
+N_PROBES = 15
+
+#: PQS-DA mean latency (ms) measured on the pre-fast-path revision of this
+#: repo, keyed by unique-query count — the reference the speedup is
+#: reported against.
+SEED_PQSDA_MS = {1028: 13.82, 2170: 16.85, 4174: 22.03}
+
+
+def _probe_queries(log: QueryLog, n: int) -> list[str]:
+    seen: set[str] = set()
+    probes: list[str] = []
+    for record in log:
+        if record.has_click and record.query not in seen:
+            seen.add(record.query)
+            probes.append(record.query)
+        if len(probes) >= n:
+            break
+    return probes
+
+
+def run_sweep(scales: tuple[int, ...]) -> dict:
+    world = make_world(seed=0, pages_per_leaf=24)
+    result: dict = {"scales": []}
+    for n_users in scales:
+        config = GeneratorConfig(
+            n_users=n_users,
+            mean_sessions_per_user=12,
+            click_probability=0.55,
+            noise_click_probability=0.12,
+            hub_click_probability=0.15,
+            seed=42,
+        )
+        log = generate_log(world, config).log
+        probes = _probe_queries(log, N_PROBES)
+        n_queries = len(log.unique_queries)
+
+        pqsda = PQSDA.build(
+            log,
+            config=PQSDAConfig(
+                compact=CompactConfig(size=150),
+                diversify=DiversifyConfig(k=10, candidate_pool=25),
+                personalize=False,
+            ),
+        )
+        systems = {
+            "PQS-DA": pqsda,
+            "DQS": build_baseline("DQS", log),
+            "HT": build_baseline("HT", log),
+            "CM": build_baseline("CM", log),
+        }
+        row = {"n_users": n_users, "n_unique_queries": n_queries,
+               "mean_latency_ms": {}}
+        for name, suggester in systems.items():
+            measured = measure_latency(suggester, probes, k=10)
+            row["mean_latency_ms"][name] = measured.mean_seconds * 1000
+        # Warm-cache pass: the same workload served again through the
+        # batch API, now hitting the serving cache on every request.
+        requests = [SuggestRequest(query=q, k=10) for q in probes]
+        warm = measure_batch_latency(pqsda, requests)
+        row["pqsda_warm_batch_ms"] = warm.mean_seconds * 1000
+        row["pqsda_cache"] = {
+            "hits": pqsda.cache_stats.hits,
+            "misses": pqsda.cache_stats.misses,
+            "evictions": pqsda.cache_stats.evictions,
+        }
+        seed_ms = SEED_PQSDA_MS.get(n_queries)
+        if seed_ms is not None:
+            row["pqsda_seed_ms"] = seed_ms
+            row["pqsda_speedup_vs_seed"] = round(
+                seed_ms / row["mean_latency_ms"]["PQS-DA"], 2
+            )
+        result["scales"].append(row)
+        print(
+            f"n_users={n_users:4d} (n={n_queries}): "
+            + "  ".join(
+                f"{name}={ms:7.2f}ms"
+                for name, ms in row["mean_latency_ms"].items()
+            )
+            + f"  PQS-DA(warm)={row['pqsda_warm_batch_ms']:.2f}ms"
+        )
+    return result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full", action="store_true",
+        help="sweep every Fig. 7 scale (default: smallest only)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_fig7.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args()
+    scales = USER_SCALES if args.full else USER_SCALES[:1]
+    record = {
+        "benchmark": "fig7_efficiency",
+        "protocol": {
+            "probes": N_PROBES,
+            "compact_size": 150,
+            "k": 10,
+            "candidate_pool": 25,
+        },
+        "python": platform.python_version(),
+        **run_sweep(scales),
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

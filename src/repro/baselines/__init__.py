@@ -14,7 +14,7 @@ plus the two personalized baselines of Sec. VI-C:
 * **CM** — the concept-based clustering method (Leung, Ng & Lee, TKDE 2008).
 """
 
-from repro.baselines.base import Suggester
+from repro.baselines.base import Suggester, SuggestRequest
 from repro.baselines.concept_based import ConceptBasedSuggester
 from repro.baselines.dqs import DQSSuggester
 from repro.baselines.hitting import HittingTimeSuggester
@@ -32,6 +32,7 @@ __all__ = [
     "ForwardRandomWalkSuggester",
     "HittingTimeSuggester",
     "PersonalizedHittingTimeSuggester",
+    "SuggestRequest",
     "Suggester",
     "baseline_names",
     "build_baseline",

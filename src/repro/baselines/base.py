@@ -3,11 +3,33 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
 
 from repro.logs.schema import QueryRecord
 
-__all__ = ["Suggester"]
+__all__ = ["SuggestRequest", "Suggester"]
+
+
+@dataclass(frozen=True)
+class SuggestRequest:
+    """One unit of work for :meth:`Suggester.suggest_batch`.
+
+    Mirrors the :meth:`Suggester.suggest` signature; *context* is stored
+    as a tuple so requests stay hashable/immutable.
+    """
+
+    query: str
+    k: int = 10
+    user_id: str | None = None
+    context: tuple[QueryRecord, ...] = field(default_factory=tuple)
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not isinstance(self.context, tuple):
+            object.__setattr__(self, "context", tuple(self.context))
 
 
 class Suggester(ABC):
@@ -36,6 +58,41 @@ class Suggester(ABC):
         Returns an empty list when the input query is unknown to the
         method's underlying representation.
         """
+
+    def suggest_batch(
+        self,
+        requests: Iterable[SuggestRequest],
+        n_workers: int = 1,
+    ) -> list[list[str]]:
+        """Suggestions for *requests*, in order.
+
+        Equivalent to calling :meth:`suggest` per request; with
+        ``n_workers > 1`` the requests fan out over a thread pool (methods
+        with request-level caches, e.g. PQS-DA's compact cache, share them
+        across the batch).  Results are identical to the sequential run
+        for any worker count.
+        """
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        requests = list(requests)
+
+        def run(request: SuggestRequest) -> list[str]:
+            return self.suggest(
+                request.query,
+                k=request.k,
+                user_id=request.user_id,
+                context=request.context,
+                timestamp=request.timestamp,
+            )
+
+        if n_workers == 1 or len(requests) <= 1:
+            return [run(request) for request in requests]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(n_workers, len(requests))
+        ) as pool:
+            return list(pool.map(run, requests))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

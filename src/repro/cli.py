@@ -17,6 +17,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.baselines.base import SuggestRequest
 from repro.core import PQSDA, PQSDAConfig
 from repro.diversify.candidates import DiversifyConfig
 from repro.graphs.compact import CompactConfig
@@ -54,10 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
         "suggest", help="suggest queries from an AOL-format log"
     )
     suggest.add_argument("log", help="AOL TSV file")
-    suggest.add_argument("query", help="input query")
+    suggest.add_argument("query", nargs="+",
+                         help="input query (repeat for a batch)")
     suggest.add_argument("--user", default=None,
                          help="AnonID to personalize for")
     suggest.add_argument("--k", type=int, default=10)
+    suggest.add_argument("--workers", type=int, default=1,
+                         help="thread-pool size for batched suggestion")
+    suggest.add_argument("--cache-stats", action="store_true",
+                         help="print serving-cache hit/miss counters")
     suggest.add_argument("--raw", action="store_true",
                          help="use the raw (non-cfiqf) representation")
     suggest.add_argument("--no-personalize", action="store_true",
@@ -135,12 +141,26 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
         personalize=not args.no_personalize,
     )
     suggester = PQSDA.build(cleaned, config=config)
-    suggestions = suggester.suggest(args.query, k=args.k, user_id=args.user)
-    if not suggestions:
-        print("(no suggestions — query unknown and no term overlap)")
-        return 0
-    for rank, suggestion in enumerate(suggestions, start=1):
-        print(f"{rank:2d}. {suggestion}")
+    requests = [
+        SuggestRequest(query=query, k=args.k, user_id=args.user)
+        for query in args.query
+    ]
+    batch = suggester.suggest_batch(requests, n_workers=args.workers)
+    for query, suggestions in zip(args.query, batch):
+        if len(args.query) > 1:
+            print(f"[{query}]")
+        if not suggestions:
+            print("(no suggestions — query unknown and no term overlap)")
+            continue
+        for rank, suggestion in enumerate(suggestions, start=1):
+            print(f"{rank:2d}. {suggestion}")
+    if args.cache_stats:
+        stats = suggester.cache_stats
+        print(
+            f"cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.evictions} evictions, {stats.size}/{stats.maxsize} "
+            "entries"
+        )
     return 0
 
 

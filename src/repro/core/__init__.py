@@ -11,6 +11,13 @@ personalization — behind one ``build`` + ``suggest`` API::
 """
 
 from repro.core.config import PQSDAConfig
+from repro.core.serving import CacheStats, CompactCache, CompactEntry
 from repro.core.suggester import PQSDA
 
-__all__ = ["PQSDA", "PQSDAConfig"]
+__all__ = [
+    "CacheStats",
+    "CompactCache",
+    "CompactEntry",
+    "PQSDA",
+    "PQSDAConfig",
+]

@@ -31,6 +31,8 @@ class PQSDAConfig:
             bipartite).  When False, unseen queries yield no suggestions.
         backoff_seeds: Maximum number of term-matched seed queries used by
             the backoff.
+        cache_size: LRU bound of the serving-side compact-entry cache
+            (entries held per suggester; see ``repro.core.serving``).
     """
 
     weighted: bool = True
@@ -41,9 +43,12 @@ class PQSDAConfig:
     personalization_weight: float = 1.0
     term_backoff: bool = True
     backoff_seeds: int = 8
+    cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.personalization_weight < 0:
             raise ValueError("personalization_weight must be >= 0")
         if self.backoff_seeds < 1:
             raise ValueError("backoff_seeds must be >= 1")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be >= 1")

@@ -8,10 +8,12 @@ Offline (``PQSDA.build``):
 3. fit the UPM on per-user session documents and materialize the profile
    store.
 
-Online (``suggest``):
+Online (``suggest`` / ``suggest_batch``):
 
 1. expand the compact representation around the input query and its search
-   context (Sec. IV-A);
+   context (Sec. IV-A) — served through the :class:`CompactCache` fast
+   path, which slices the compact matrices out of the cached full-graph
+   structures and reuses whole entries for repeated seed sets;
 2. run Algorithm 1 on the compact matrices — regularized first candidate,
    cross-bipartite hitting time for the rest (Sec. IV-B/C);
 3. score candidates with the user's profile (Eq. 31) and fuse the two
@@ -27,13 +29,13 @@ import numpy as np
 
 from repro.baselines.base import Suggester
 from repro.core.config import PQSDAConfig
+from repro.core.serving import CacheStats, CompactCache
 from repro.diversify.candidates import (
     DiversifiedSuggestions,
     diversify,
     diversify_from_seed_vector,
 )
 from repro.graphs.compact import RandomWalkExpander
-from repro.graphs.matrices import build_matrices
 from repro.graphs.multibipartite import MultiBipartite, build_multibipartite
 from repro.logs.schema import QueryRecord, Session
 from repro.logs.sessionizer import sessionize
@@ -63,6 +65,11 @@ class PQSDA(Suggester):
         self._expander = expander
         self._profiles = profiles
         self._config = config
+        self._cache = CompactCache(
+            expander,
+            maxsize=config.cache_size,
+            switch=config.diversify.switch,
+        )
 
     # -- construction ----------------------------------------------------------------
 
@@ -114,6 +121,16 @@ class PQSDA(Suggester):
         """The UPM profile store (None when personalization is disabled)."""
         return self._profiles
 
+    @property
+    def serving_cache(self) -> CompactCache:
+        """The compact-entry cache behind the online path."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the serving cache."""
+        return self._cache.stats
+
     # -- online suggestion -----------------------------------------------------------
 
     def _context_seeds(
@@ -132,7 +149,13 @@ class PQSDA(Suggester):
         return seeds
 
     def _backoff_seeds(self, normalized: str) -> dict[str, float]:
-        """Seed log queries for an unseen input, by shared-term Jaccard."""
+        """Seed log queries for an unseen input, by shared-term Jaccard.
+
+        A candidate's token set is exactly its facet set in the query-term
+        bipartite (that is how the bipartite is built), so the memoized
+        facet sets stand in for re-tokenizing every candidate on each
+        unseen-query call.
+        """
         terms = tokenize(normalized)
         if not terms:
             return {}
@@ -141,7 +164,7 @@ class PQSDA(Suggester):
         for term in terms:
             candidates.update(term_bipartite.queries_of(term))
         scored = {
-            candidate: jaccard(terms, tokenize(candidate))
+            candidate: jaccard(terms, term_bipartite.facet_set(candidate))
             for candidate in candidates
         }
         top = sorted(scored.items(), key=lambda pair: (-pair[1], pair[0]))
@@ -162,15 +185,19 @@ class PQSDA(Suggester):
         normalized = normalize_query(query)
         if normalized in self._multibipartite:
             seeds = self._context_seeds(normalized, context, timestamp)
-            compact_queries = self._expander.expand(seeds, self._config.compact)
-            compact = self._multibipartite.restrict_queries(compact_queries)
-            matrices = build_matrices(compact)
+            entry = self._cache.get(
+                seeds,
+                self._config.compact,
+                self._config.diversify.regularization,
+            )
             return diversify(
-                matrices,
+                entry.matrices,
                 normalized,
                 input_timestamp=timestamp,
                 context=context,
                 config=self._config.diversify,
+                solver=entry.solver,
+                walker=entry.walker,
             )
 
         if not self._config.term_backoff:
@@ -178,9 +205,12 @@ class PQSDA(Suggester):
         seeds = self._backoff_seeds(normalized)
         if not seeds:
             return DiversifiedSuggestions([], {}, normalized)
-        compact_queries = self._expander.expand(seeds, self._config.compact)
-        compact = self._multibipartite.restrict_queries(compact_queries)
-        matrices = build_matrices(compact)
+        entry = self._cache.get(
+            seeds,
+            self._config.compact,
+            self._config.diversify.regularization,
+        )
+        matrices = entry.matrices
         f0 = np.zeros(matrices.n_queries)
         for seed, weight in seeds.items():
             row = matrices.query_index.get(seed)
@@ -192,6 +222,8 @@ class PQSDA(Suggester):
             excluded=set(),
             input_label=normalized,
             config=self._config.diversify,
+            solver=entry.solver,
+            walker=entry.walker,
         )
 
     def suggest(

@@ -24,8 +24,8 @@ import numpy as np
 
 from repro.diversify.cross_bipartite import CrossBipartiteWalker, SwitchMatrix
 from repro.diversify.decay import DEFAULT_DECAY_LAMBDA, build_context_vector
-from repro.diversify.hitting_time import truncated_hitting_times
-from repro.diversify.regularization import RegularizationConfig, solve_relevance
+from repro.diversify.hitting_time import HittingTimeEngine
+from repro.diversify.regularization import RegularizationConfig, RelevanceSolver
 from repro.graphs.matrices import BipartiteMatrices
 from repro.logs.schema import QueryRecord
 from repro.utils.text import normalize_query
@@ -113,8 +113,14 @@ def diversify(
     input_timestamp: float = 0.0,
     context: Sequence[QueryRecord] = (),
     config: DiversifyConfig | None = None,
+    solver: RelevanceSolver | None = None,
+    walker: CrossBipartiteWalker | None = None,
 ) -> DiversifiedSuggestions:
-    """Run Algorithm 1 on a compact representation's *matrices*."""
+    """Run Algorithm 1 on a compact representation's *matrices*.
+
+    *solver* and *walker* accept per-representation state prebuilt by the
+    serving cache; both must have been constructed over *matrices*.
+    """
     if config is None:
         config = DiversifyConfig()
 
@@ -133,7 +139,8 @@ def diversify(
         if normalize_query(record.query) in matrices.query_index
     )
     return diversify_from_seed_vector(
-        matrices, f0, excluded, normalized_input, config
+        matrices, f0, excluded, normalized_input, config,
+        solver=solver, walker=walker,
     )
 
 
@@ -143,17 +150,22 @@ def diversify_from_seed_vector(
     excluded: set[str],
     input_label: str,
     config: DiversifyConfig | None = None,
+    solver: RelevanceSolver | None = None,
+    walker: CrossBipartiteWalker | None = None,
 ) -> DiversifiedSuggestions:
     """Algorithm 1 starting from an arbitrary seed vector ``F⁰``.
 
     This is the engine behind :func:`diversify`; it is also used directly
     by the term-backoff extension, where an *unseen* input query seeds the
     walk through the log queries that share its terms instead of through
-    its own (absent) node.
+    its own (absent) node.  Prebuilt *solver*/*walker* state (from the
+    serving cache) skips the per-call system-matrix and walker setup.
     """
     if config is None:
         config = DiversifyConfig()
-    f_star = solve_relevance(matrices, f0, config.regularization)
+    if solver is None:
+        solver = RelevanceSolver(matrices, config.regularization)
+    f_star = solver.solve(f0)
     index = matrices.query_index
 
     def relevance_of(query: str) -> float:
@@ -171,12 +183,12 @@ def diversify_from_seed_vector(
     selected = {first}
 
     # Steps 2..K-1: maximum truncated hitting time to the selected set.
-    walker = CrossBipartiteWalker(matrices, config.switch)
+    if walker is None:
+        walker = CrossBipartiteWalker(matrices, config.switch)
+    engine = HittingTimeEngine(walker.transition, config.hitting_iterations)
     while len(ranking) < min(config.k, len(eligible)):
         absorbing = [index[q] for q in selected]
-        hitting = truncated_hitting_times(
-            walker.transition, absorbing, config.hitting_iterations
-        )
+        hitting = engine.compute(absorbing)
         best: str | None = None
         best_key: tuple[float, float, str] | None = None
         for query in eligible:

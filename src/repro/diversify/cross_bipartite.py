@@ -97,12 +97,25 @@ class CrossBipartiteWalker:
         self._matrices = matrices
         self._switch = switch if switch is not None else SwitchMatrix.uniform()
         weights = self._switch.mixture_weights()
-        mixed = sparse.csr_matrix(
-            (matrices.n_queries, matrices.n_queries), dtype=float
-        )
+        # The weighted transition mixture Σ_X w_X · P^X with
+        # P^X = rownorm(W^X) rownorm(W^{X⊤}) is assembled as one block
+        # matmul over the facet-stacked incidences — equivalent to mixing
+        # the per-kind transitions, but with a single sparse product.
+        forward_blocks, backward_blocks = [], []
         for weight, kind in zip(weights, BIPARTITE_KINDS):
             if weight > 0:
-                mixed = mixed + weight * matrices.transition[kind]
+                incidence = matrices.incidence[kind]
+                forward_blocks.append(weight * row_normalize(incidence))
+                backward_blocks.append(row_normalize(incidence.T))
+        if forward_blocks:
+            mixed = (
+                sparse.hstack(forward_blocks, format="csr")
+                @ sparse.vstack(backward_blocks, format="csr")
+            ).tocsr()
+        else:  # all-zero weights are rejected by SwitchMatrix
+            mixed = sparse.csr_matrix(
+                (matrices.n_queries, matrices.n_queries), dtype=float
+            )
         # A query may have no facets in some bipartite (e.g. never clicked):
         # renormalize so the walker redistributes over the available views.
         self._transition = row_normalize(mixed)

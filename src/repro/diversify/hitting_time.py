@@ -9,6 +9,13 @@ hitting time is 0; elsewhere it satisfies the linear recurrence::
 which Algorithm 1 evaluates by ``l`` fixed-point iterations.  Truncation at
 ``l`` steps (the *l-truncated hitting time* of Mei et al., CIKM 2008) keeps
 the computation local and bounded: unreachable queries saturate at ``l``.
+
+Algorithm 1 evaluates hitting times once per selection step against a
+growing absorbing set, always on the *same* transition.  The
+transition-dependent state (canonical CSR arrays, leaked row mass) is
+therefore hoisted into :class:`HittingTimeEngine`, and the inner fixed
+point calls the CSR matvec kernel directly — on compact-sized systems the
+Python dispatch around ``transition @ h`` costs more than the arithmetic.
 """
 
 from __future__ import annotations
@@ -18,7 +25,92 @@ from collections.abc import Iterable
 import numpy as np
 from scipy import sparse
 
-__all__ = ["truncated_hitting_times"]
+try:  # scipy's own CSR matvec kernel; private but stable across releases.
+    from scipy.sparse._sparsetools import csr_matvec as _csr_matvec
+except ImportError:  # pragma: no cover - fall back to operator dispatch
+    _csr_matvec = None
+
+__all__ = ["HittingTimeEngine", "truncated_hitting_times"]
+
+
+class HittingTimeEngine:
+    """Repeated truncated-hitting-time evaluations on one transition.
+
+    Args:
+        transition: Row-(sub)stochastic query-query transition.  Rows whose
+            mass sums below 1 model a walker that may leave the compact
+            neighbourhood; the missing mass is treated as never hitting
+            the absorbing set (contributes the truncation horizon).
+        iterations: The truncation horizon ``l``.
+    """
+
+    def __init__(
+        self, transition: sparse.spmatrix, iterations: int = 20
+    ) -> None:
+        transition = transition.tocsr()
+        n = transition.shape[0]
+        if transition.shape != (n, n):
+            raise ValueError(
+                f"transition must be square, got {transition.shape}"
+            )
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self._transition = transition
+        self._n = n
+        self._iterations = iterations
+        # Missing row mass (sub-stochastic rows) corresponds to walks that
+        # leave the neighbourhood; they are charged the full horizon,
+        # implemented by initializing h at the horizon and iterating
+        # downward-consistent values.
+        row_mass = np.asarray(transition.sum(axis=1)).ravel()
+        self._leak = np.clip(1.0 - row_mass, 0.0, None)
+        # The per-step additive term 1 + leak·(step-1) is independent of
+        # the absorbing set, so it is shared across every compute() call.
+        self._additive = [
+            1.0 + self._leak * float(step - 1)
+            for step in range(1, iterations + 1)
+        ]
+
+    @property
+    def transition(self) -> sparse.csr_matrix:
+        """The transition the engine evaluates on."""
+        return self._transition
+
+    def _matvec(self, h: np.ndarray, out: np.ndarray) -> np.ndarray:
+        if _csr_matvec is None:
+            out[:] = self._transition @ h
+            return out
+        out.fill(0.0)  # the kernel accumulates into its output
+        _csr_matvec(
+            self._n,
+            self._n,
+            self._transition.indptr,
+            self._transition.indices,
+            self._transition.data,
+            h,
+            out,
+        )
+        return out
+
+    def compute(self, absorbing: Iterable[int]) -> np.ndarray:
+        """Expected hitting times to *absorbing*, truncated at the horizon.
+
+        Returns a vector ``h`` with ``h[S] = 0`` and ``0 <= h <= l``
+        elsewhere.
+        """
+        absorbing_idx = np.asarray(sorted(set(absorbing)), dtype=int)
+        if absorbing_idx.size == 0:
+            raise ValueError("absorbing set must be non-empty")
+        if absorbing_idx.min() < 0 or absorbing_idx.max() >= self._n:
+            raise ValueError("absorbing ordinals out of range")
+        h = np.zeros(self._n)
+        swap = np.zeros(self._n)
+        for step in range(1, self._iterations + 1):
+            self._matvec(h, swap)
+            swap += self._additive[step - 1]
+            swap[absorbing_idx] = 0.0
+            h, swap = swap, h
+        return np.minimum(h, float(self._iterations))
 
 
 def truncated_hitting_times(
@@ -28,38 +120,7 @@ def truncated_hitting_times(
 ) -> np.ndarray:
     """Expected hitting times to *absorbing* truncated at *iterations* steps.
 
-    Args:
-        transition: Row-(sub)stochastic query-query transition.  Rows whose
-            mass sums below 1 model a walker that may leave the compact
-            neighbourhood; the missing mass is treated as never hitting
-            ``S`` (contributes the truncation horizon).
-        absorbing: Row ordinals of the set ``S`` (must be non-empty).
-        iterations: The truncation horizon ``l``.
-
-    Returns:
-        Vector ``h`` with ``h[S] = 0`` and ``0 <= h <= iterations``
-        elsewhere.
+    One-shot convenience over :class:`HittingTimeEngine`; loops that
+    re-evaluate against a fixed transition should build the engine once.
     """
-    transition = transition.tocsr()
-    n = transition.shape[0]
-    if transition.shape != (n, n):
-        raise ValueError(f"transition must be square, got {transition.shape}")
-    absorbing_idx = np.asarray(sorted(set(absorbing)), dtype=int)
-    if absorbing_idx.size == 0:
-        raise ValueError("absorbing set must be non-empty")
-    if absorbing_idx.min() < 0 or absorbing_idx.max() >= n:
-        raise ValueError("absorbing ordinals out of range")
-    if iterations < 1:
-        raise ValueError("iterations must be >= 1")
-
-    # Missing row mass (sub-stochastic rows) corresponds to walks that leave
-    # the neighbourhood; they are charged the full horizon, implemented by
-    # initializing h at the horizon and iterating downward-consistent values.
-    row_mass = np.asarray(transition.sum(axis=1)).ravel()
-    leak = np.clip(1.0 - row_mass, 0.0, None)
-
-    h = np.zeros(n)
-    for step in range(1, iterations + 1):
-        h = 1.0 + transition @ h + leak * float(step - 1)
-        h[absorbing_idx] = 0.0
-    return np.minimum(np.asarray(h).ravel(), float(iterations))
+    return HittingTimeEngine(transition, iterations).compute(absorbing)

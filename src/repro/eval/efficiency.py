@@ -5,10 +5,10 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.baselines.base import Suggester
+from repro.baselines.base import Suggester, SuggestRequest
 from repro.utils.timer import Timer
 
-__all__ = ["EfficiencyResult", "measure_latency"]
+__all__ = ["EfficiencyResult", "measure_batch_latency", "measure_latency"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,4 +57,30 @@ def measure_latency(
         n_queries=len(queries),
         total_seconds=timer.elapsed,
         mean_seconds=timer.elapsed / len(queries),
+    )
+
+
+def measure_batch_latency(
+    suggester: Suggester,
+    requests: Sequence[SuggestRequest],
+    n_workers: int = 1,
+) -> EfficiencyResult:
+    """Time one ``suggest_batch`` call over *requests*.
+
+    ``mean_seconds`` is the per-request wall-clock share of the batch —
+    with ``n_workers > 1`` it reflects throughput, not individual request
+    latency.  The first request is warmed up beforehand, mirroring
+    :func:`measure_latency`.
+    """
+    if not requests:
+        raise ValueError("requests must be non-empty")
+    suggester.suggest_batch(requests[:1])
+    timer = Timer()
+    with timer:
+        suggester.suggest_batch(requests, n_workers=n_workers)
+    return EfficiencyResult(
+        name=suggester.name,
+        n_queries=len(requests),
+        total_seconds=timer.elapsed,
+        mean_seconds=timer.elapsed / len(requests),
     )

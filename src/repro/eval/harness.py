@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.baselines.base import Suggester
+from repro.baselines.base import Suggester, SuggestRequest
 from repro.eval.diversity import DiversityMetric
 from repro.eval.hpr import HPRMetric
 from repro.eval.ppr import PPRMetric
@@ -99,6 +99,31 @@ def split_train_test(
     )
 
 
+def _suggest_batch(
+    suggester: Suggester,
+    requests: Sequence[SuggestRequest],
+    n_workers: int,
+) -> list[list[str]]:
+    """Route through ``suggest_batch`` when available.
+
+    Duck-typed suggesters that only implement ``suggest`` (common in test
+    doubles and notebook experiments) are served sequentially.
+    """
+    batch = getattr(suggester, "suggest_batch", None)
+    if batch is not None:
+        return batch(requests, n_workers=n_workers)
+    return [
+        suggester.suggest(
+            request.query,
+            k=request.k,
+            user_id=request.user_id,
+            context=request.context,
+            timestamp=request.timestamp,
+        )
+        for request in requests
+    ]
+
+
 @dataclass
 class _Curve:
     """Mean-per-k accumulator."""
@@ -123,18 +148,25 @@ def evaluate_suggester(
     ks: Sequence[int],
     diversity: DiversityMetric | None = None,
     relevance: RelevanceMetric | None = None,
+    n_workers: int = 1,
 ) -> dict[str, dict[int, float]]:
     """Fig. 3 protocol: average Diversity@k / Relevance@k over test queries.
 
     Queries for which the suggester returns nothing are skipped (they are
     outside the method's representation); ``coverage`` reports the kept
-    fraction.
+    fraction.  Suggestions are produced through the batch API so methods
+    with request-level caches reuse them across the workload; *n_workers*
+    fans the batch out over a thread pool.
     """
     max_k = max(ks)
     diversity_curve, relevance_curve = _Curve(), _Curve()
     answered = 0
-    for query in queries:
-        suggestions = suggester.suggest(query, k=max_k)
+    batch = _suggest_batch(
+        suggester,
+        [SuggestRequest(query=query, k=max_k) for query in queries],
+        n_workers,
+    )
+    for query, suggestions in zip(queries, batch):
         if not suggestions:
             continue
         answered += 1
@@ -163,23 +195,31 @@ def evaluate_personalized(
     diversity: DiversityMetric | None = None,
     ppr: PPRMetric | None = None,
     hpr: HPRMetric | None = None,
+    n_workers: int = 1,
 ) -> dict[str, dict[int, float]]:
     """Fig. 5/6 protocol: suggest for each test session's first query.
 
     The suggester is called with the session's user so personalized methods
     can use the profile; metrics are averaged over answered sessions.
+    Sessions flow through the batch API (*n_workers* threads).
     """
     max_k = max(ks)
     curves = {"diversity": _Curve(), "ppr": _Curve(), "hpr": _Curve()}
     answered = 0
-    for session in test_sessions:
-        input_query = session.records[0].query
-        suggestions = suggester.suggest(
-            input_query,
-            k=max_k,
-            user_id=session.user_id,
-            timestamp=session.start_time,
-        )
+    batch = _suggest_batch(
+        suggester,
+        [
+            SuggestRequest(
+                query=session.records[0].query,
+                k=max_k,
+                user_id=session.user_id,
+                timestamp=session.start_time,
+            )
+            for session in test_sessions
+        ],
+        n_workers,
+    )
+    for session, suggestions in zip(test_sessions, batch):
         if not suggestions:
             continue
         answered += 1
@@ -215,32 +255,36 @@ def evaluate_in_session(
     ks: Sequence[int],
     ppr: PPRMetric | None = None,
     hpr: HPRMetric | None = None,
+    n_workers: int = 1,
 ) -> dict[str, dict[int, float]]:
     """Mid-session protocol: suggest for the *last* query given the context.
 
     Sessions with fewer than two queries are skipped (no context to use).
     This protocol exercises context-aware methods (PQS-DA's backward-decay
     ``F⁰``, CACB's suffix tree); context-blind methods simply ignore the
-    extra signal.
+    extra signal.  Eligible sessions flow through the batch API
+    (*n_workers* threads).
     """
     max_k = max(ks)
     curves = {"ppr": _Curve(), "hpr": _Curve()}
-    eligible = 0
     answered = 0
-    for session in test_sessions:
-        if len(session) < 2:
-            continue
-        eligible += 1
+    eligible_sessions = [s for s in test_sessions if len(s) >= 2]
+    eligible = len(eligible_sessions)
+    requests = []
+    for session in eligible_sessions:
         position = len(session) - 1
         target = session.records[position]
-        context = session.search_context(position)
-        suggestions = suggester.suggest(
-            target.query,
-            k=max_k,
-            user_id=session.user_id,
-            context=context,
-            timestamp=target.timestamp,
+        requests.append(
+            SuggestRequest(
+                query=target.query,
+                k=max_k,
+                user_id=session.user_id,
+                context=tuple(session.search_context(position)),
+                timestamp=target.timestamp,
+            )
         )
+    batch = _suggest_batch(suggester, requests, n_workers)
+    for session, suggestions in zip(eligible_sessions, batch):
         if not suggestions:
             continue
         answered += 1

@@ -27,6 +27,7 @@ class Bipartite:
     def __init__(self) -> None:
         self._edges: dict[str, dict[str, float]] = {}
         self._facet_edges: dict[str, dict[str, float]] = {}
+        self._facet_sets: dict[str, frozenset[str]] = {}
 
     # -- construction --------------------------------------------------------------
 
@@ -42,6 +43,7 @@ class Bipartite:
         self._facet_edges[facet][query] = (
             self._facet_edges[facet].get(query, 0.0) + weight
         )
+        self._facet_sets.pop(query, None)
 
     def scale_facet(self, facet: str, factor: float) -> None:
         """Multiply every edge incident to *facet* by *factor* (> 0)."""
@@ -75,6 +77,20 @@ class Bipartite:
     def facets_of(self, query: str) -> dict[str, float]:
         """Facet -> weight for one query (copy; empty if query unknown)."""
         return dict(self._edges.get(query, {}))
+
+    def facet_set(self, query: str) -> frozenset[str]:
+        """The facets of *query* as a memoized frozenset.
+
+        For the query-term bipartite this is exactly the query's token
+        set, which lets hot paths (e.g. the term-backoff Jaccard scoring)
+        skip re-tokenizing candidates; the memo entry is invalidated when
+        an edge is added for the query.
+        """
+        cached = self._facet_sets.get(query)
+        if cached is None:
+            cached = frozenset(self._edges.get(query, ()))
+            self._facet_sets[query] = cached
+        return cached
 
     def queries_of(self, facet: str) -> dict[str, float]:
         """Query -> weight for one facet (copy; empty if facet unknown)."""

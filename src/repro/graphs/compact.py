@@ -20,11 +20,29 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
-from repro.graphs.matrices import BipartiteMatrices, build_matrices
-from repro.graphs.multibipartite import MultiBipartite
+from repro.graphs.matrices import BipartiteMatrices, build_matrices, row_normalize
+from repro.graphs.multibipartite import BIPARTITE_KINDS, MultiBipartite
 from repro.utils.text import normalize_query
 
+try:  # scipy's C kernel for v @ CSR (the CSR read column-wise as a CSC).
+    from scipy.sparse._sparsetools import csc_matvec as _csc_matvec
+except ImportError:  # pragma: no cover - exercised only on exotic scipy
+    _csc_matvec = None
+
 __all__ = ["CompactConfig", "RandomWalkExpander", "compact_subgraph"]
+
+
+def _vec_times_csr(vector: np.ndarray, matrix: sparse.csr_matrix) -> np.ndarray:
+    """``vector @ matrix`` for a dense row vector and a CSR matrix."""
+    if _csc_matvec is None:
+        return np.asarray(vector @ matrix).ravel()
+    n_rows, n_cols = matrix.shape
+    out = np.zeros(n_cols)
+    # A CSR's (indptr, indices, data) read as CSC describe its transpose.
+    _csc_matvec(
+        n_cols, n_rows, matrix.indptr, matrix.indices, matrix.data, vector, out
+    )
+    return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,7 +74,20 @@ class RandomWalkExpander:
     def __init__(self, multibipartite: MultiBipartite) -> None:
         self._multibipartite = multibipartite
         self._matrices: BipartiteMatrices = build_matrices(multibipartite)
-        self._mixture: sparse.csr_matrix = self._matrices.mean_transition()
+        # The walk iterates through the factored two-step transition
+        # (query -> facet -> query) instead of the precomputed query-query
+        # mixture: the incidence matrices hold ~an order of magnitude fewer
+        # nonzeros than the mixture, so each power-iteration step is
+        # correspondingly cheaper.  The three bipartites are stacked along
+        # the facet axis (forward side by side, backward on top of each
+        # other, pre-scaled by 1/3) so one step is two thin matvecs.
+        forwards, backwards = [], []
+        for kind in BIPARTITE_KINDS:
+            incidence = self._matrices.incidence[kind]
+            forwards.append(row_normalize(incidence))
+            backwards.append(row_normalize(incidence.T) / len(BIPARTITE_KINDS))
+        self._forward_stack = sparse.hstack(forwards, format="csr")
+        self._backward_stack = sparse.vstack(backwards, format="csr")
 
     @property
     def matrices(self) -> BipartiteMatrices:
@@ -84,9 +115,9 @@ class RandomWalkExpander:
 
         mass = start.copy()
         for _ in range(config.iterations):
-            mass = config.restart * start + (1 - config.restart) * (
-                mass @ self._mixture
-            )
+            facet_mass = _vec_times_csr(mass, self._forward_stack)
+            stepped = _vec_times_csr(facet_mass, self._backward_stack)
+            mass = config.restart * start + (1 - config.restart) * stepped
             # Zero-out-degree rows leak mass; renormalize to keep a ranking.
             total = mass.sum()
             if total > 0:

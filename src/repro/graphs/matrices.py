@@ -9,10 +9,17 @@ For each bipartite ``X ∈ {U, S, T}`` the diversification component needs:
   is what makes the Eq. 15 system positive definite);
 * ``P^X`` — the row-stochastic two-step transition
   ``query → facet → query`` used by the cross-bipartite walker.
+
+The helpers here sit on the online serving path (a compact representation
+is derived per request), so they avoid scipy's Python-level dispatch where
+it matters: row sums go through the ``csr_matvec`` kernel, diagonal
+scalings operate on the CSR ``data`` array directly, and intermediate
+matrices are assembled without re-validating their index structure.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,15 +27,116 @@ from scipy import sparse
 
 from repro.graphs.multibipartite import BIPARTITE_KINDS, MultiBipartite
 
+try:  # scipy's C kernels; private but stable, guarded for safety.
+    from scipy.sparse._sparsetools import csr_matvec as _csr_matvec
+except ImportError:  # pragma: no cover - exercised only on exotic scipy
+    _csr_matvec = None
+
 __all__ = ["BipartiteMatrices", "build_matrices", "row_normalize"]
+
+
+def _raw_csr(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    shape: tuple[int, int],
+    sorted_indices: bool = False,
+) -> sparse.csr_matrix:
+    """Assemble a csr_matrix from parts already known to be consistent.
+
+    Bypasses ``csr_matrix.__init__`` (and its format validation), which is
+    measurable overhead when deriving a compact representation per request.
+    Callers must guarantee the arrays form a valid CSR structure.
+    """
+    matrix = sparse.csr_matrix.__new__(sparse.csr_matrix)
+    matrix.data = data
+    matrix.indices = indices
+    matrix.indptr = indptr
+    matrix._shape = shape
+    if sorted_indices:
+        matrix.has_sorted_indices = True
+    return matrix
+
+
+def _row_sums(matrix: sparse.csr_matrix) -> np.ndarray:
+    """Row sums of a CSR matrix, same accumulation order as ``M @ 1``."""
+    if _csr_matvec is None:
+        return np.asarray(matrix.sum(axis=1)).ravel()
+    n_rows, n_cols = matrix.shape
+    out = np.zeros(n_rows)
+    _csr_matvec(
+        n_rows,
+        n_cols,
+        matrix.indptr,
+        matrix.indices,
+        matrix.data,
+        np.ones(n_cols),
+        out,
+    )
+    return out
+
+
+def _scale_rows(matrix: sparse.csr_matrix, scale: np.ndarray) -> sparse.csr_matrix:
+    """``diag(scale) @ matrix`` without building the diagonal matrix."""
+    per_entry = np.repeat(scale, np.diff(matrix.indptr))
+    return _raw_csr(
+        per_entry * matrix.data,
+        matrix.indices,
+        matrix.indptr,
+        matrix.shape,
+        sorted_indices=bool(matrix.has_sorted_indices),
+    )
 
 
 def row_normalize(matrix: sparse.spmatrix) -> sparse.csr_matrix:
     """Row-stochastic copy of *matrix*; all-zero rows stay zero."""
     matrix = matrix.tocsr()
-    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    sums = _row_sums(matrix)
     inverse = np.divide(1.0, sums, out=np.zeros_like(sums), where=sums > 0)
-    return (sparse.diags(inverse) @ matrix).tocsr()
+    return _scale_rows(matrix, inverse)
+
+
+def _take_rows(
+    matrix: sparse.csr_matrix, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR row gather: (indices, data, indptr) of ``matrix[rows, :]``.
+
+    Preserves the within-row entry order of the parent, so sorted parents
+    yield sorted slices.
+    """
+    starts = matrix.indptr[rows]
+    counts = matrix.indptr[rows + 1] - starts
+    indptr = np.zeros(rows.size + 1, dtype=matrix.indptr.dtype)
+    np.cumsum(counts, out=indptr[1:])
+    take = np.repeat(starts - indptr[:-1], counts) + np.arange(
+        int(indptr[-1]), dtype=matrix.indptr.dtype
+    )
+    return matrix.indices[take], matrix.data[take], indptr
+
+
+class _LazyTransitions(Mapping):
+    """Kind -> ``P^X`` mapping that derives each transition on first access.
+
+    The serving fast path never reads the per-kind transitions — the
+    cross-bipartite walker assembles its mixed transition straight from the
+    incidence matrices — so :meth:`BipartiteMatrices.restrict` defers the
+    three two-step matmuls until somebody actually asks for one.
+    """
+
+    def __init__(self, incidence: Mapping[str, sparse.csr_matrix]) -> None:
+        self._incidence = incidence
+        self._cache: dict[str, sparse.csr_matrix] = {}
+
+    def __getitem__(self, kind: str) -> sparse.csr_matrix:
+        if kind not in self._cache:
+            self._cache[kind] = _transition_of(self._incidence[kind])
+        return self._cache[kind]
+
+    def __iter__(self):
+        return iter(self._incidence)
+
+    def __len__(self) -> int:
+        return len(self._incidence)
 
 
 @dataclass(frozen=True)
@@ -43,6 +151,10 @@ class BipartiteMatrices:
             spectral radius <= 1.
         transition: Kind -> ``P^X`` (n_queries, n_queries), row-stochastic
             (zero rows for queries with no facet in X).
+        gram: Kind -> ``W^X W^{X⊤}`` (n_queries, n_queries).  Cached by
+            :func:`build_matrices` so :meth:`restrict` can derive compact
+            affinities by slicing instead of re-multiplying; None on
+            hand-assembled instances (restrict then recomputes it).
     """
 
     queries: list[str]
@@ -50,6 +162,7 @@ class BipartiteMatrices:
     incidence: dict[str, sparse.csr_matrix]
     affinity: dict[str, sparse.csr_matrix]
     transition: dict[str, sparse.csr_matrix]
+    gram: dict[str, sparse.csr_matrix] | None = None
 
     @property
     def n_queries(self) -> int:
@@ -61,23 +174,129 @@ class BipartiteMatrices:
         mixed = sum(self.transition[kind] for kind in BIPARTITE_KINDS)
         return (mixed / len(BIPARTITE_KINDS)).tocsr()
 
+    def restrict(self, ordinals: Sequence[int]) -> "BipartiteMatrices":
+        """Compact matrices over the query rows *ordinals*, by slicing.
 
-def _affinity_of(incidence: sparse.csr_matrix) -> sparse.csr_matrix:
-    """``L = D^{-1/2} W W^T D^{-1/2}`` with D the row sums of ``W W^T``."""
+        The serving fast path: the compact incidence ``W^X`` is a CSR row
+        slice of the full incidence (with facet columns that lost all their
+        edges dropped), and the compact gram ``W^X W^{X⊤}`` is a row+column
+        slice of the cached full gram — restricting the query set removes
+        whole rows but never touches the facets a kept query is connected
+        to, so every gram entry between kept queries is unchanged.  Only
+        the cheap derived matrices (degree scalings and the two-step
+        transition, whose facet-side normalizer genuinely depends on the
+        kept set) are recomputed.
+
+        The result is numerically identical to
+        ``build_matrices(multibipartite.restrict_queries(queries))`` for
+        the same query set.
+        """
+        rows = np.unique(np.asarray(list(ordinals), dtype=np.intp))
+        if rows.size == 0:
+            raise ValueError("ordinals must be non-empty")
+        if rows[0] < 0 or rows[-1] >= self.n_queries:
+            raise ValueError("ordinals out of range")
+        queries = [self.queries[int(i)] for i in rows]
+        query_index = {query: i for i, query in enumerate(queries)}
+        # Old ordinal -> compact ordinal (-1 = dropped); shared by the
+        # per-kind gram slicing below.
+        lookup = np.full(self.n_queries, -1, dtype=np.intp)
+        lookup[rows] = np.arange(rows.size, dtype=np.intp)
+        incidence: dict[str, sparse.csr_matrix] = {}
+        affinity: dict[str, sparse.csr_matrix] = {}
+        gram: dict[str, sparse.csr_matrix] = {}
+        for kind in BIPARTITE_KINDS:
+            full = self.incidence[kind]
+            indices, data, indptr = _take_rows(full, rows)
+            # Every surviving column index appears in the slice, so column
+            # compaction is a pure renumbering — no entry is dropped.
+            live_columns = np.unique(indices)
+            if live_columns.size < full.shape[1]:
+                indices = np.searchsorted(live_columns, indices).astype(
+                    indices.dtype
+                )
+            sliced = _raw_csr(
+                data,
+                indices,
+                indptr,
+                (rows.size, int(live_columns.size)),
+                sorted_indices=bool(full.has_sorted_indices),
+            )
+            if self.gram is not None:
+                sub_gram = _slice_square(self.gram[kind], rows, lookup)
+            else:
+                sub_gram = _gram_of(sliced)
+            incidence[kind] = sliced
+            gram[kind] = sub_gram
+            affinity[kind] = _affinity_from_gram(sub_gram)
+        return BipartiteMatrices(
+            queries=queries,
+            query_index=query_index,
+            incidence=incidence,
+            affinity=affinity,
+            transition=_LazyTransitions(incidence),
+            gram=gram,
+        )
+
+
+def _slice_square(
+    matrix: sparse.csr_matrix, rows: np.ndarray, lookup: np.ndarray
+) -> sparse.csr_matrix:
+    """``matrix[rows, :][:, rows]`` with columns renumbered to 0..len(rows).
+
+    *rows* must be sorted unique ordinals and *lookup* the old->new ordinal
+    map (-1 for dropped ordinals); entry order within rows is preserved, so
+    a sorted parent yields a sorted (canonical) slice.
+    """
+    indices, data, _ = _take_rows(matrix, rows)
+    position = lookup[indices]
+    keep = position >= 0
+    counts = matrix.indptr[rows + 1] - matrix.indptr[rows]
+    row_of_entry = np.repeat(
+        np.arange(rows.size, dtype=np.intp), counts.astype(np.intp)
+    )
+    kept_counts = np.bincount(row_of_entry[keep], minlength=rows.size)
+    indptr = np.zeros(rows.size + 1, dtype=matrix.indptr.dtype)
+    np.cumsum(kept_counts, out=indptr[1:])
+    return _raw_csr(
+        data[keep],
+        position[keep].astype(matrix.indices.dtype),
+        indptr,
+        (int(rows.size), int(rows.size)),
+        sorted_indices=bool(matrix.has_sorted_indices),
+    )
+
+
+def _gram_of(incidence: sparse.csr_matrix) -> sparse.csr_matrix:
+    """``W W^T`` in canonical (sorted-indices) CSR form."""
     gram = (incidence @ incidence.T).tocsr()
-    degrees = np.asarray(gram.sum(axis=1)).ravel()
+    gram.sort_indices()
+    return gram
+
+
+def _affinity_from_gram(gram: sparse.csr_matrix) -> sparse.csr_matrix:
+    """``L = D^{-1/2} G D^{-1/2}`` with D the row sums of ``G = W W^T``."""
+    degrees = _row_sums(gram)
     scale = np.divide(
         1.0, np.sqrt(degrees), out=np.zeros_like(degrees), where=degrees > 0
     )
-    diagonal = sparse.diags(scale)
-    return (diagonal @ gram @ diagonal).tocsr()
+    per_entry = np.repeat(scale, np.diff(gram.indptr))
+    return _raw_csr(
+        (per_entry * gram.data) * scale[gram.indices],
+        gram.indices,
+        gram.indptr,
+        gram.shape,
+        sorted_indices=bool(gram.has_sorted_indices),
+    )
 
 
 def _transition_of(incidence: sparse.csr_matrix) -> sparse.csr_matrix:
     """Two-step ``query -> facet -> query`` row-stochastic transition."""
     forward = row_normalize(incidence)
     backward = row_normalize(incidence.T)
-    return (forward @ backward).tocsr()
+    product = (forward @ backward).tocsr()
+    product.sort_indices()
+    return product
 
 
 def build_matrices(multibipartite: MultiBipartite) -> BipartiteMatrices:
@@ -87,10 +306,13 @@ def build_matrices(multibipartite: MultiBipartite) -> BipartiteMatrices:
     incidence: dict[str, sparse.csr_matrix] = {}
     affinity: dict[str, sparse.csr_matrix] = {}
     transition: dict[str, sparse.csr_matrix] = {}
+    gram: dict[str, sparse.csr_matrix] = {}
     for kind in BIPARTITE_KINDS:
         matrix, _ = multibipartite.bipartite(kind).to_matrix(query_index)
+        matrix.sort_indices()
         incidence[kind] = matrix
-        affinity[kind] = _affinity_of(matrix)
+        gram[kind] = _gram_of(matrix)
+        affinity[kind] = _affinity_from_gram(gram[kind])
         transition[kind] = _transition_of(matrix)
     return BipartiteMatrices(
         queries=list(queries),
@@ -98,4 +320,5 @@ def build_matrices(multibipartite: MultiBipartite) -> BipartiteMatrices:
         incidence=incidence,
         affinity=affinity,
         transition=transition,
+        gram=gram,
     )

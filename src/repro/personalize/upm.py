@@ -32,6 +32,7 @@ from repro.personalize.hyperopt import (
     optimize_dirichlet_lbfgs,
 )
 from repro.topicmodels.corpus import SessionCorpus
+from repro.utils.rng import sample_index
 from repro.utils.text import tokenize
 
 __all__ = ["UPMConfig", "UPM"]
@@ -273,9 +274,7 @@ class UPM:
             self._apply_session(d, s, current, -1)
             logits = self._session_log_prob(d, s)
             logits -= logits.max()
-            probs = np.exp(logits)
-            probs /= probs.sum()
-            new = int(rng.choice(self.config.n_topics, p=probs))
+            new = sample_index(rng, np.exp(logits))
             self._assignments[d][s] = new
             self._apply_session(d, s, new, +1)
 

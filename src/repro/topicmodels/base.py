@@ -22,7 +22,7 @@ from scipy.special import betaln, gammaln
 
 from repro.personalize.hyperopt import optimize_dirichlet_fixed_point
 from repro.topicmodels.corpus import SessionCorpus
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, sample_index
 
 __all__ = ["TopicModelConfig", "StructuredTopicModel"]
 
@@ -241,16 +241,13 @@ class StructuredTopicModel:
         return logits
 
     def _sweep(self, rng: np.random.Generator) -> None:
-        K = self.config.n_topics
         for d, units in enumerate(self._units):
             z = self._assignments[d]
             for i, unit in enumerate(units):
                 self._apply(d, unit, int(z[i]), -1)
                 logits = self._log_prob(d, unit)
                 logits -= logits.max()
-                probs = np.exp(logits)
-                probs /= probs.sum()
-                z[i] = int(rng.choice(K, p=probs))
+                z[i] = sample_index(rng, np.exp(logits))
                 self._apply(d, unit, int(z[i]), +1)
 
     def _refit_tau(self) -> None:

@@ -12,7 +12,24 @@ import zlib
 
 import numpy as np
 
-__all__ = ["ensure_rng", "derive_rng"]
+__all__ = ["ensure_rng", "derive_rng", "sample_index"]
+
+
+def sample_index(rng: np.random.Generator, weights: np.ndarray) -> int:
+    """Draw an index proportionally to non-negative *weights*.
+
+    Inverse-CDF sampling on the unnormalized cumulative sum with a single
+    uniform draw — the Gibbs-sweep inner loop's replacement for
+    ``rng.choice(K, p=weights / weights.sum())``, which re-validates and
+    normalizes the distribution on every call.
+    """
+    cumulative = np.cumsum(weights)
+    total = cumulative[-1]
+    if not total > 0:
+        raise ValueError("weights must have positive sum")
+    draw = rng.random() * total
+    index = int(np.searchsorted(cumulative, draw, side="right"))
+    return min(index, len(cumulative) - 1)
 
 
 def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:

@@ -1,0 +1,182 @@
+"""Tests for the serving fast path: CompactCache, batching, cold vs warm."""
+
+import time
+
+import pytest
+
+from repro.core import PQSDA, PQSDAConfig
+from repro.core.serving import CompactCache, cache_key
+from repro.baselines.base import SuggestRequest
+from repro.diversify.candidates import DiversifyConfig
+from repro.diversify.regularization import RegularizationConfig
+from repro.graphs.compact import CompactConfig
+from repro.graphs.multibipartite import build_multibipartite
+from repro.graphs.compact import RandomWalkExpander
+from repro.logs.sessionizer import sessionize
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def synthetic_log():
+    world = make_world(seed=0)
+    return generate_log(
+        world,
+        GeneratorConfig(n_users=25, mean_sessions_per_user=8, seed=11),
+    ).log
+
+
+def _build(log, cache_size=64):
+    return PQSDA.build(
+        log,
+        config=PQSDAConfig(
+            compact=CompactConfig(size=60),
+            diversify=DiversifyConfig(k=8, candidate_pool=15),
+            personalize=False,
+            cache_size=cache_size,
+        ),
+    )
+
+
+def _probe_queries(log, n=8):
+    seen: list[str] = []
+    for record in log:
+        if record.has_click and record.query not in seen:
+            seen.append(record.query)
+        if len(seen) >= n:
+            break
+    return seen
+
+
+class TestSuggestBatch:
+    def test_batch_matches_sequential(self, synthetic_log):
+        suggester = _build(synthetic_log)
+        probes = _probe_queries(synthetic_log)
+        requests = [SuggestRequest(query=q, k=8) for q in probes]
+        sequential = [suggester.suggest(q, k=8) for q in probes]
+        assert suggester.suggest_batch(requests) == sequential
+        assert suggester.suggest_batch(requests, n_workers=4) == sequential
+
+    def test_batch_matches_sequential_with_users(self, synthetic_log):
+        suggester = _build(synthetic_log)
+        probes = _probe_queries(synthetic_log, n=4)
+        users = sorted(synthetic_log.users)[:2]
+        requests = [
+            SuggestRequest(query=q, k=5, user_id=users[i % 2])
+            for i, q in enumerate(probes)
+        ]
+        sequential = [
+            suggester.suggest(r.query, k=r.k, user_id=r.user_id)
+            for r in requests
+        ]
+        assert suggester.suggest_batch(requests, n_workers=3) == sequential
+
+    def test_unknown_query_in_batch(self, synthetic_log):
+        suggester = _build(synthetic_log)
+        requests = [SuggestRequest(query="zzz unseen zzz qqq", k=5)]
+        batch = suggester.suggest_batch(requests)
+        assert batch == [suggester.suggest("zzz unseen zzz qqq", k=5)]
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            SuggestRequest(query="a", k=0)
+
+    def test_worker_validation(self, synthetic_log):
+        suggester = _build(synthetic_log)
+        with pytest.raises(ValueError):
+            suggester.suggest_batch([SuggestRequest(query="a")], n_workers=0)
+
+
+class TestCompactCache:
+    def test_hit_returns_same_entry(self, synthetic_log):
+        suggester = _build(synthetic_log)
+        probes = _probe_queries(synthetic_log, n=3)
+        for q in probes:
+            suggester.suggest(q, k=5)
+        stats = suggester.cache_stats
+        assert stats.misses == len(probes)
+        assert stats.hits == 0
+        for q in probes:
+            suggester.suggest(q, k=5)
+        stats = suggester.cache_stats
+        assert stats.hits == len(probes)
+        assert stats.misses == len(probes)
+        assert stats.size == len(probes)
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_warm_results_equal_cold(self, synthetic_log):
+        suggester = _build(synthetic_log)
+        probes = _probe_queries(synthetic_log)
+        cold = [suggester.suggest(q, k=8) for q in probes]
+        warm = [suggester.suggest(q, k=8) for q in probes]
+        assert warm == cold
+
+    def test_warm_not_slower_than_cold(self, synthetic_log):
+        suggester = _build(synthetic_log)
+        probes = _probe_queries(synthetic_log)
+        suggester.suggest(probes[0], k=8)  # absorb one-time lazy costs
+        suggester.serving_cache.clear()
+        start = time.perf_counter()
+        for q in probes:
+            suggester.suggest(q, k=8)
+        cold_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        for q in probes:
+            suggester.suggest(q, k=8)
+        warm_elapsed = time.perf_counter() - start
+        # The warm path skips expansion + restriction entirely; generous
+        # slack keeps the assertion robust on noisy CI machines.
+        assert warm_elapsed < cold_elapsed * 1.5
+
+    def test_lru_eviction_bound(self, synthetic_log):
+        suggester = _build(synthetic_log, cache_size=2)
+        probes = _probe_queries(synthetic_log, n=4)
+        for q in probes:
+            suggester.suggest(q, k=5)
+        stats = suggester.cache_stats
+        assert stats.size <= 2
+        assert stats.maxsize == 2
+        assert stats.evictions >= len(probes) - 2
+
+    def test_evicted_entry_rebuilt_identically(self, synthetic_log):
+        suggester = _build(synthetic_log, cache_size=1)
+        probes = _probe_queries(synthetic_log, n=2)
+        first = suggester.suggest(probes[0], k=5)
+        suggester.suggest(probes[1], k=5)  # evicts probes[0]'s entry
+        assert suggester.suggest(probes[0], k=5) == first
+
+    def test_cache_size_validation(self, synthetic_log):
+        mb = build_multibipartite(synthetic_log, sessionize(synthetic_log))
+        expander = RandomWalkExpander(mb)
+        with pytest.raises(ValueError):
+            CompactCache(expander, maxsize=0)
+
+    def test_clear_keeps_counters(self, synthetic_log):
+        suggester = _build(synthetic_log)
+        probes = _probe_queries(synthetic_log, n=2)
+        for q in probes:
+            suggester.suggest(q, k=5)
+        suggester.serving_cache.clear()
+        stats = suggester.cache_stats
+        assert stats.size == 0
+        assert stats.misses == len(probes)
+
+
+class TestCacheKey:
+    def test_distinguishes_configs(self):
+        seeds = {"sun": 1.0}
+        base = cache_key(seeds, CompactConfig(size=50), RegularizationConfig())
+        assert base == cache_key(
+            seeds, CompactConfig(size=50), RegularizationConfig()
+        )
+        assert base != cache_key(
+            seeds, CompactConfig(size=60), RegularizationConfig()
+        )
+        assert base != cache_key(
+            {"sun": 0.5}, CompactConfig(size=50), RegularizationConfig()
+        )
+        assert base != cache_key(
+            seeds,
+            CompactConfig(size=50),
+            RegularizationConfig(alphas={"U": 2.0, "S": 1.0, "T": 1.0}),
+        )
