@@ -1,14 +1,21 @@
 #!/usr/bin/env python
-"""Quick Fig. 7 latency smoke run; writes ``BENCH_fig7.json``.
+"""Quick latency smoke run; writes ``BENCH_fig7.json`` (and ``BENCH_ingest.json``).
 
 Runs the Fig. 7 efficiency protocol (mean per-suggestion latency of
 PQS-DA and the DQS/HT/CM baselines on a fixed probe workload) and
 records the numbers as JSON.  By default only the smallest scale runs,
 which finishes in seconds; ``--full`` sweeps every Fig. 7 scale.
 
+``--ingest`` additionally benchmarks the streaming subsystem: bootstrap a
+live suggester from 70% of the log, stream the remaining 30% through the
+incremental ingestion path, and record ingestion throughput plus the
+post-ingest warm-cache suggestion latency against a from-scratch batch
+build over the same full log (acceptance: within 2x).  ``--quick`` is the
+CI profile: smallest Fig. 7 scale plus the ingest benchmark.
+
 Usage::
 
-    PYTHONPATH=src python scripts/bench_smoke.py [--full] [--output PATH]
+    PYTHONPATH=src python scripts/bench_smoke.py [--full|--quick] [--ingest]
 """
 
 from __future__ import annotations
@@ -112,6 +119,79 @@ def run_sweep(scales: tuple[int, ...]) -> dict:
     return result
 
 
+def run_ingest_bench(n_users: int = 60) -> dict:
+    """Stream 30% of a log into a 70% bootstrap; record throughput + latency."""
+    from repro.stream import IngestConfig, replay, streaming_pqsda
+
+    world = make_world(seed=0, pages_per_leaf=24)
+    config = GeneratorConfig(
+        n_users=n_users,
+        mean_sessions_per_user=12,
+        click_probability=0.55,
+        noise_click_probability=0.12,
+        hub_click_probability=0.15,
+        seed=42,
+    )
+    log = generate_log(world, config).log
+    records = sorted(log.records, key=lambda r: (r.timestamp, r.record_id))
+    split = int(len(records) * 0.7)
+    bootstrap, tail = QueryLog(records[:split]), records[split:]
+
+    pq_config = PQSDAConfig(
+        compact=CompactConfig(size=150),
+        diversify=DiversifyConfig(k=10, candidate_pool=25),
+        personalize=False,
+    )
+    suggester, ingestor, manager = streaming_pqsda(
+        bootstrap,
+        config=pq_config,
+        ingest=IngestConfig(batch_size=256, epoch_every=1, clean=False),
+    )
+    report = ingestor.ingest(replay(tail))
+
+    probes = _probe_queries(log, N_PROBES)
+    requests = [SuggestRequest(query=q, k=10) for q in probes]
+    measure_batch_latency(suggester, requests)  # cold pass fills the cache
+    warm_stream = measure_batch_latency(suggester, requests)
+
+    reference = PQSDA.build(QueryLog(records), config=pq_config)
+    measure_batch_latency(reference, requests)  # cold pass fills the cache
+    warm_batch = measure_batch_latency(reference, requests)
+
+    epochs = manager.stats
+    cache = suggester.cache_stats
+    row = {
+        "n_users": n_users,
+        "n_records": len(records),
+        "bootstrap_records": split,
+        "streamed_records": report.records_ingested,
+        "ingest_seconds": report.elapsed_seconds,
+        "ingest_records_per_second": report.records_per_second,
+        "micro_batches": report.batches,
+        "epochs_published": epochs.published,
+        "epochs_retired": epochs.retired,
+        "cache": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "invalidations": cache.invalidations,
+        },
+        "stream_warm_batch_ms": warm_stream.mean_seconds * 1000,
+        "batch_warm_batch_ms": warm_batch.mean_seconds * 1000,
+        "warm_ratio_stream_vs_batch": round(
+            warm_stream.mean_seconds / warm_batch.mean_seconds, 3
+        ),
+    }
+    print(
+        f"ingest: {report.records_ingested} records at "
+        f"{report.records_per_second:,.0f} records/s, "
+        f"{epochs.published} epochs; warm stream="
+        f"{row['stream_warm_batch_ms']:.2f}ms vs batch="
+        f"{row['batch_warm_batch_ms']:.2f}ms "
+        f"(ratio {row['warm_ratio_stream_vs_batch']})"
+    )
+    return row
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -119,10 +199,24 @@ def main() -> int:
         help="sweep every Fig. 7 scale (default: smallest only)",
     )
     parser.add_argument(
+        "--quick", action="store_true",
+        help="CI profile: smallest Fig. 7 scale plus the ingest benchmark",
+    )
+    parser.add_argument(
+        "--ingest", action="store_true",
+        help="also run the streaming-ingestion benchmark",
+    )
+    parser.add_argument(
         "--output", default="BENCH_fig7.json",
-        help="where to write the JSON record",
+        help="where to write the Fig. 7 JSON record",
+    )
+    parser.add_argument(
+        "--ingest-output", default="BENCH_ingest.json",
+        help="where to write the ingest JSON record",
     )
     args = parser.parse_args()
+    if args.quick:
+        args.ingest = True
     scales = USER_SCALES if args.full else USER_SCALES[:1]
     record = {
         "benchmark": "fig7_efficiency",
@@ -137,6 +231,24 @@ def main() -> int:
     }
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.output}")
+    if args.ingest:
+        ingest_record = {
+            "benchmark": "stream_ingest",
+            "protocol": {
+                "bootstrap_fraction": 0.7,
+                "batch_size": 256,
+                "epoch_every": 1,
+                "probes": N_PROBES,
+                "compact_size": 150,
+                "k": 10,
+            },
+            "python": platform.python_version(),
+            **run_ingest_bench(),
+        }
+        Path(args.ingest_output).write_text(
+            json.dumps(ingest_record, indent=2) + "\n"
+        )
+        print(f"wrote {args.ingest_output}")
     return 0
 
 

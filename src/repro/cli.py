@@ -6,7 +6,10 @@ Commands:
 * ``suggest``  — build PQS-DA over an AOL-format log and print suggestions
   for a query (optionally personalized for a user);
 * ``stats``    — print summary statistics of an AOL-format log;
-* ``perplexity`` — run the Fig. 4 protocol for chosen models over a log.
+* ``perplexity`` — run the Fig. 4 protocol for chosen models over a log;
+* ``ingest``   — bootstrap a live suggester from a log prefix, then stream
+  the remainder through the incremental ingestion path (epoch snapshots +
+  targeted cache invalidation) and report throughput.
 
 Every command is deterministic given ``--seed``.
 """
@@ -90,6 +93,28 @@ def build_parser() -> argparse.ArgumentParser:
     perplexity.add_argument("--observed", type=float, default=0.7)
     perplexity.add_argument("--seed", type=int, default=0)
     perplexity.add_argument("--max-records", type=int, default=None)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream an AOL-format log through the incremental ingestion path",
+    )
+    ingest.add_argument("log", help="AOL TSV file")
+    ingest.add_argument("--bootstrap", type=float, default=0.7,
+                        help="fraction of the log (time-ordered) used to "
+                             "bootstrap epoch 0; the rest is streamed")
+    ingest.add_argument("--batch-size", type=int, default=256,
+                        help="records per micro-batch")
+    ingest.add_argument("--epoch-every", type=int, default=1,
+                        help="micro-batches per published epoch")
+    ingest.add_argument("--replay", type=float, default=0.0, metavar="SPEEDUP",
+                        help="pace the stream by timestamp gaps compressed "
+                             "by this factor (0 = as fast as possible)")
+    ingest.add_argument("--probe", default=None,
+                        help="query to suggest for before and after the "
+                             "stream (default: most frequent bootstrap query)")
+    ingest.add_argument("--k", type=int, default=10)
+    ingest.add_argument("--compact-size", type=int, default=150)
+    ingest.add_argument("--max-records", type=int, default=None)
 
     report = sub.add_parser(
         "report", help="run the full evaluation battery, print markdown"
@@ -202,6 +227,81 @@ def _cmd_perplexity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.logs.storage import QueryLog
+    from repro.stream import IngestConfig, replay, streaming_pqsda
+    from repro.utils.text import normalize_query
+
+    cleaned = _load_cleaned(args.log, args.max_records)
+    if len(cleaned) == 0:
+        print("error: log is empty after cleaning", file=sys.stderr)
+        return 1
+    if not 0.0 < args.bootstrap < 1.0:
+        print("error: --bootstrap must be in (0, 1)", file=sys.stderr)
+        return 1
+    records = sorted(
+        cleaned.records, key=lambda r: (r.timestamp, r.record_id)
+    )
+    split = max(1, int(len(records) * args.bootstrap))
+    bootstrap, tail = QueryLog(records[:split]), records[split:]
+    if not tail:
+        print("error: nothing left to stream after the bootstrap split",
+              file=sys.stderr)
+        return 1
+
+    config = PQSDAConfig(
+        compact=CompactConfig(size=args.compact_size),
+        diversify=DiversifyConfig(k=args.k),
+        personalize=False,
+    )
+    suggester, ingestor, manager = streaming_pqsda(
+        bootstrap,
+        config=config,
+        # The log is already cleaned once, wholesale; don't re-gate online.
+        ingest=IngestConfig(
+            batch_size=args.batch_size,
+            epoch_every=args.epoch_every,
+            clean=False,
+        ),
+    )
+    probe = args.probe
+    if probe is None:
+        frequency = Counter(normalize_query(r.query) for r in bootstrap)
+        probe = frequency.most_common(1)[0][0]
+    print(f"bootstrap: {split} records, epoch 0 published")
+    before = suggester.suggest(probe, k=args.k)
+    report = ingestor.ingest(replay(tail, speedup=args.replay))
+    after = suggester.suggest(probe, k=args.k)
+
+    print(
+        f"streamed {report.records_ingested} records in "
+        f"{report.elapsed_seconds:.2f}s "
+        f"({report.records_per_second:,.0f} records/s), "
+        f"{report.batches} micro-batches, "
+        f"{report.epochs_published} epochs"
+    )
+    epochs = manager.stats
+    print(
+        f"epochs: current={epochs.current_epoch} "
+        f"published={epochs.published} retired={epochs.retired} "
+        f"live={epochs.live}"
+    )
+    cache = suggester.cache_stats
+    print(
+        f"cache: {cache.hits} hits, {cache.misses} misses, "
+        f"{cache.invalidations} targeted invalidations"
+    )
+    print(f"[{probe}] before the stream:")
+    for rank, suggestion in enumerate(before, start=1):
+        print(f"{rank:2d}. {suggestion}")
+    print(f"[{probe}] after the stream:")
+    for rank, suggestion in enumerate(after, start=1):
+        print(f"{rank:2d}. {suggestion}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.eval.report import ReportConfig, run_report
 
@@ -232,6 +332,7 @@ _COMMANDS = {
     "suggest": _cmd_suggest,
     "stats": _cmd_stats,
     "perplexity": _cmd_perplexity,
+    "ingest": _cmd_ingest,
     "report": _cmd_report,
 }
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 from repro.diversify.cross_bipartite import CrossBipartiteWalker, SwitchMatrix
@@ -62,6 +62,10 @@ class CacheStats:
         evictions: Entries dropped by the LRU size bound.
         size: Entries currently held.
         maxsize: The size bound.
+        invalidations: Entries evicted by targeted invalidation
+            (:meth:`CompactCache.invalidate` / epoch rebinds), i.e. entries
+            whose cached neighbourhood intersected a delta's touched-query
+            set.
     """
 
     hits: int
@@ -69,6 +73,7 @@ class CacheStats:
     evictions: int
     size: int
     maxsize: int
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -86,12 +91,16 @@ class CompactEntry:
         matrices: Compact matrices over those queries (sorted row order).
         solver: Prebuilt Eq. 15 solver on ``matrices``.
         walker: Prebuilt cross-bipartite walker on ``matrices``.
+        query_set: The neighbourhood as a frozenset — the per-entry
+            touched-query index that targeted invalidation intersects
+            against.
     """
 
     queries: list[str]
     matrices: BipartiteMatrices
     solver: RelevanceSolver
     walker: CrossBipartiteWalker
+    query_set: frozenset[str] = frozenset()
 
 
 class CompactCache:
@@ -122,6 +131,7 @@ class CompactCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     @property
     def maxsize(self) -> int:
@@ -138,6 +148,7 @@ class CompactCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 maxsize=self._maxsize,
+                invalidations=self._invalidations,
             )
 
     def clear(self) -> None:
@@ -145,13 +156,66 @@ class CompactCache:
         with self._lock:
             self._entries.clear()
 
+    def invalidate(self, queries: Iterable[str]) -> int:
+        """Evict entries whose cached neighbourhood intersects *queries*.
+
+        The targeted-invalidation contract of the streaming layer: a
+        :class:`~repro.stream.delta.GraphDelta` reports the queries it
+        touched, and only entries that actually cached one of them are
+        rebuilt — everything else survives the epoch swap.  Returns the
+        number of evicted entries (also accumulated in
+        ``CacheStats.invalidations``).
+        """
+        touched = frozenset(queries)
+        if not touched:
+            return 0
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if not touched.isdisjoint(entry.query_set)
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def rebind(
+        self,
+        expander: RandomWalkExpander,
+        touched: Iterable[str] | None = None,
+    ) -> int:
+        """Point the cache at a new epoch's *expander*.
+
+        Future misses build against the new epoch's full-graph structures;
+        existing entries are self-contained slices of their own epoch and
+        keep serving.  With *touched* given, only entries intersecting it
+        are evicted (targeted invalidation); with ``None`` the cache is
+        flushed wholesale.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            self._expander = expander
+        if touched is None:
+            with self._lock:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+        return self.invalidate(touched)
+
     def get(
         self,
         seeds: Mapping[str, float],
         compact: CompactConfig,
         regularization: RegularizationConfig,
+        expander: RandomWalkExpander | None = None,
     ) -> CompactEntry:
-        """The entry for *seeds*, building (and caching) it on a miss."""
+        """The entry for *seeds*, building (and caching) it on a miss.
+
+        *expander* overrides the cache's bound expander for this build —
+        the epoch-pinned serving path passes the pinned epoch's expander so
+        a request is served consistently even if a writer publishes a new
+        epoch mid-request.
+        """
         key = cache_key(seeds, compact, regularization)
         with self._lock:
             entry = self._entries.get(key)
@@ -160,7 +224,7 @@ class CompactCache:
                 self._hits += 1
                 return entry
             self._misses += 1
-        entry = self._build(seeds, compact, regularization)
+        entry = self._build(seeds, compact, regularization, expander)
         with self._lock:
             if key not in self._entries:
                 self._entries[key] = entry
@@ -174,14 +238,19 @@ class CompactCache:
         seeds: Mapping[str, float],
         compact: CompactConfig,
         regularization: RegularizationConfig,
+        expander: RandomWalkExpander | None = None,
     ) -> CompactEntry:
-        chosen = self._expander.expand(seeds, compact)
-        full_index = self._expander.matrices.query_index
+        if expander is None:
+            with self._lock:
+                expander = self._expander
+        chosen = expander.expand(seeds, compact)
+        full_index = expander.matrices.query_index
         ordinals = sorted(full_index[query] for query in chosen)
-        matrices = self._expander.matrices.restrict(ordinals)
+        matrices = expander.matrices.restrict(ordinals)
         return CompactEntry(
             queries=chosen,
             matrices=matrices,
             solver=RelevanceSolver(matrices, regularization),
             walker=CrossBipartiteWalker(matrices, self._switch),
+            query_set=frozenset(chosen),
         )

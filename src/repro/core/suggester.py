@@ -65,6 +65,7 @@ class PQSDA(Suggester):
         self._expander = expander
         self._profiles = profiles
         self._config = config
+        self._epochs = None  # EpochManager once attach_epochs is called
         self._cache = CompactCache(
             expander,
             maxsize=config.cache_size,
@@ -80,12 +81,14 @@ class PQSDA(Suggester):
         sessions: list[Session] | None = None,
         config: PQSDAConfig | None = None,
         multibipartite: MultiBipartite | None = None,
+        expander: RandomWalkExpander | None = None,
     ) -> "PQSDA":
         """Run the full offline pipeline over *log*.
 
         Pass a prebuilt *multibipartite* to supply a custom representation
         (e.g. an alternative weighting scheme) while reusing the rest of
-        the pipeline.
+        the pipeline; pass a matching prebuilt *expander* too when the
+        matrices already exist (the streaming bootstrap path does).
         """
         if config is None:
             config = PQSDAConfig()
@@ -95,7 +98,8 @@ class PQSDA(Suggester):
             multibipartite = build_multibipartite(
                 log, sessions, weighted=config.weighted
             )
-        expander = RandomWalkExpander(multibipartite)
+        if expander is None:
+            expander = RandomWalkExpander(multibipartite)
         profiles: UserProfileStore | None = None
         if config.personalize:
             corpus = build_corpus(log, sessions)
@@ -131,6 +135,29 @@ class PQSDA(Suggester):
         """Hit/miss/eviction counters of the serving cache."""
         return self._cache.stats
 
+    # -- streaming epochs --------------------------------------------------------------
+
+    def attach_epochs(self, manager) -> None:
+        """Serve from the epochs of an :class:`~repro.stream.epoch.EpochManager`.
+
+        Adopts the manager's current epoch immediately and subscribes to
+        future publishes: each publish atomically swaps the representation
+        and expander and runs targeted cache invalidation against the
+        epoch's touched-query set.  Each request pins one epoch for its
+        whole duration (see :meth:`diversified_candidates`), so concurrent
+        ``suggest_batch`` readers are never blocked — nor served a mix of
+        two generations — by a mid-request publish.
+        """
+        self._epochs = manager
+        self._apply_epoch(manager.current())
+        manager.subscribe(self._apply_epoch)
+
+    def _apply_epoch(self, epoch) -> None:
+        """Adopt *epoch* for future requests; invalidate stale cache entries."""
+        self._multibipartite = epoch.multibipartite
+        self._expander = epoch.expander
+        self._cache.rebind(epoch.expander, epoch.touched_queries)
+
     # -- online suggestion -----------------------------------------------------------
 
     def _context_seeds(
@@ -148,7 +175,9 @@ class PQSDA(Suggester):
             seeds[candidate] = max(seeds.get(candidate, 0.0), weight)
         return seeds
 
-    def _backoff_seeds(self, normalized: str) -> dict[str, float]:
+    def _backoff_seeds(
+        self, normalized: str, multibipartite: MultiBipartite
+    ) -> dict[str, float]:
         """Seed log queries for an unseen input, by shared-term Jaccard.
 
         A candidate's token set is exactly its facet set in the query-term
@@ -159,7 +188,7 @@ class PQSDA(Suggester):
         terms = tokenize(normalized)
         if not terms:
             return {}
-        term_bipartite = self._multibipartite.bipartite("T")
+        term_bipartite = multibipartite.bipartite("T")
         candidates: set[str] = set()
         for term in terms:
             candidates.update(term_bipartite.queries_of(term))
@@ -180,15 +209,36 @@ class PQSDA(Suggester):
 
         Unseen input queries fall back to term-matched seeds when
         ``config.term_backoff`` is on; otherwise (or when no term matches
-        either) the result is empty.
+        either) the result is empty.  Under an attached epoch manager the
+        request pins one epoch for its whole duration, so a concurrent
+        publish can neither block it nor split it across generations.
         """
+        if self._epochs is None:
+            return self._diversified(
+                self._multibipartite, None, query, context, timestamp
+            )
+        with self._epochs.pin() as epoch:
+            return self._diversified(
+                epoch.multibipartite, epoch.expander, query, context, timestamp
+            )
+
+    def _diversified(
+        self,
+        multibipartite: MultiBipartite,
+        expander: RandomWalkExpander | None,
+        query: str,
+        context: Sequence[QueryRecord],
+        timestamp: float,
+    ) -> DiversifiedSuggestions:
+        """Algorithm 1 against one consistent representation generation."""
         normalized = normalize_query(query)
-        if normalized in self._multibipartite:
+        if normalized in multibipartite:
             seeds = self._context_seeds(normalized, context, timestamp)
             entry = self._cache.get(
                 seeds,
                 self._config.compact,
                 self._config.diversify.regularization,
+                expander=expander,
             )
             return diversify(
                 entry.matrices,
@@ -202,13 +252,14 @@ class PQSDA(Suggester):
 
         if not self._config.term_backoff:
             return DiversifiedSuggestions([], {}, normalized)
-        seeds = self._backoff_seeds(normalized)
+        seeds = self._backoff_seeds(normalized, multibipartite)
         if not seeds:
             return DiversifiedSuggestions([], {}, normalized)
         entry = self._cache.get(
             seeds,
             self._config.compact,
             self._config.diversify.regularization,
+            expander=expander,
         )
         matrices = entry.matrices
         f0 = np.zeros(matrices.n_queries)

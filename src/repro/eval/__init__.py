@@ -17,6 +17,7 @@ from repro.eval.efficiency import EfficiencyResult, measure_latency
 from repro.eval.harness import (
     TrainTestSplit,
     evaluate_personalized,
+    evaluate_prequential,
     evaluate_suggester,
     split_train_test,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "RelevanceMetric",
     "TrainTestSplit",
     "evaluate_personalized",
+    "evaluate_prequential",
     "evaluate_suggester",
     "measure_latency",
     "split_train_test",

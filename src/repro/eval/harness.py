@@ -26,6 +26,7 @@ __all__ = [
     "evaluate_suggester",
     "evaluate_personalized",
     "evaluate_in_session",
+    "evaluate_prequential",
 ]
 
 
@@ -246,6 +247,123 @@ def evaluate_personalized(
         result["ppr"] = curves["ppr"].means()
     if hpr is not None:
         result["hpr"] = curves["hpr"].means()
+    return result
+
+
+def evaluate_prequential(
+    suggester: Suggester,
+    ingestor,
+    test_sessions: Sequence[Session],
+    ks: Sequence[int],
+    diversity: DiversityMetric | None = None,
+    ppr: PPRMetric | None = None,
+    hpr: HPRMetric | None = None,
+    n_windows: int = 4,
+) -> dict:
+    """Streaming protocol: predict each test session, *then* ingest it.
+
+    Test sessions are replayed in start-time order.  For each one the
+    suggester answers its first query from the representation built over
+    everything that arrived earlier (bootstrap plus already-replayed
+    sessions); the session's records are then folded in through
+    *ingestor* (any object with an ``ingest(records)`` method — a
+    :class:`repro.stream.ingest.LogIngestor`), so later sessions see it.
+    This interleaving is inherently sequential and bypasses the batch API.
+
+    Metrics are reported overall and per contiguous time window: the
+    replayed span is cut into *n_windows* equal-width windows by session
+    start time, so drift — early windows answered mostly from the
+    bootstrap graph, late windows mostly from streamed data — is visible
+    in the curve sequence.
+    """
+    if n_windows < 1:
+        raise ValueError(f"n_windows must be >= 1, got {n_windows}")
+    sessions = sorted(
+        test_sessions, key=lambda s: (s.start_time, s.session_id)
+    )
+    if not sessions:
+        return {"overall": {"coverage": {0: 0.0}}, "windows": []}
+    max_k = max(ks)
+
+    t0 = sessions[0].start_time
+    t1 = sessions[-1].start_time
+    width = (t1 - t0) / n_windows
+
+    def window_of(session: Session) -> int:
+        if width <= 0.0:
+            return 0
+        return min(int((session.start_time - t0) / width), n_windows - 1)
+
+    metric_names = [
+        name
+        for name, metric in (
+            ("diversity", diversity),
+            ("ppr", ppr),
+            ("hpr", hpr),
+        )
+        if metric is not None
+    ]
+    overall = {name: _Curve() for name in metric_names}
+    per_window = [
+        {
+            "curves": {name: _Curve() for name in metric_names},
+            "sessions": 0,
+            "answered": 0,
+        }
+        for _ in range(n_windows)
+    ]
+    answered_total = 0
+    for session in sessions:
+        window = per_window[window_of(session)]
+        window["sessions"] += 1
+        suggestions = suggester.suggest(
+            session.records[0].query,
+            k=max_k,
+            user_id=session.user_id,
+            timestamp=session.start_time,
+        )
+        if suggestions:
+            answered_total += 1
+            window["answered"] += 1
+            values: dict[str, dict[int, float]] = {}
+            if diversity is not None:
+                values["diversity"] = {
+                    k: diversity.list_diversity(suggestions, k) for k in ks
+                }
+            if ppr is not None:
+                values["ppr"] = {
+                    k: ppr.list_ppr(suggestions, session, k) for k in ks
+                }
+            if hpr is not None:
+                values["hpr"] = {
+                    k: hpr.list_hpr(suggestions, session, k) for k in ks
+                }
+            for name, curve_values in values.items():
+                overall[name].add(curve_values)
+                window["curves"][name].add(curve_values)
+        ingestor.ingest(iter(session.records))
+
+    result: dict = {
+        "overall": {"coverage": {0: answered_total / len(sessions)}}
+    }
+    for name in metric_names:
+        result["overall"][name] = overall[name].means()
+    windows = []
+    for i, window in enumerate(per_window):
+        entry: dict = {
+            "start": t0 + i * width,
+            "end": t1 if i == n_windows - 1 else t0 + (i + 1) * width,
+            "sessions": window["sessions"],
+            "coverage": {
+                0: window["answered"] / window["sessions"]
+                if window["sessions"]
+                else 0.0
+            },
+        }
+        for name in metric_names:
+            entry[name] = window["curves"][name].means()
+        windows.append(entry)
+    result["windows"] = windows
     return result
 
 

@@ -69,11 +69,22 @@ class CompactConfig:
 
 
 class RandomWalkExpander:
-    """Caches the full-graph walk matrices and expands seed sets on demand."""
+    """Caches the full-graph walk matrices and expands seed sets on demand.
 
-    def __init__(self, multibipartite: MultiBipartite) -> None:
+    Pass prebuilt *matrices* to skip the ``build_matrices`` derivation —
+    the streaming layer does this with incrementally patched epoch matrices
+    (the multibipartite is then only kept as the representation handle).
+    """
+
+    def __init__(
+        self,
+        multibipartite: MultiBipartite,
+        matrices: BipartiteMatrices | None = None,
+    ) -> None:
         self._multibipartite = multibipartite
-        self._matrices: BipartiteMatrices = build_matrices(multibipartite)
+        if matrices is None:
+            matrices = build_matrices(multibipartite)
+        self._matrices: BipartiteMatrices = matrices
         # The walk iterates through the factored two-step transition
         # (query -> facet -> query) instead of the precomputed query-query
         # mixture: the incidence matrices hold ~an order of magnitude fewer

@@ -6,10 +6,10 @@ search sessions, cleaning in the spirit of Wang & Zhai (SIGIR 2007), and
 round-tripping of the public AOL query-log TSV format.
 """
 
-from repro.logs.aol import read_aol, write_aol
+from repro.logs.aol import parse_aol_line, read_aol, write_aol
 from repro.logs.cleaning import CleaningReport, CleaningRules, clean_log
 from repro.logs.schema import QueryRecord, Session
-from repro.logs.sessionizer import SessionizerConfig, sessionize
+from repro.logs.sessionizer import SessionizerConfig, continues_session, sessionize
 from repro.logs.spam import UserClickStats, click_profile, detect_click_spammers
 from repro.logs.storage import QueryLog
 
@@ -23,7 +23,9 @@ __all__ = [
     "UserClickStats",
     "clean_log",
     "click_profile",
+    "continues_session",
     "detect_click_spammers",
+    "parse_aol_line",
     "read_aol",
     "sessionize",
     "write_aol",

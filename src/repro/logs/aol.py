@@ -19,9 +19,38 @@ from pathlib import Path
 from repro.logs.schema import QueryRecord, format_timestamp, parse_timestamp
 from repro.logs.storage import QueryLog
 
-__all__ = ["read_aol", "write_aol", "AOL_HEADER"]
+__all__ = ["read_aol", "write_aol", "parse_aol_line", "AOL_HEADER"]
 
 AOL_HEADER = "AnonID\tQuery\tQueryTime\tItemRank\tClickURL"
+
+
+def parse_aol_line(line: str) -> QueryRecord | None:
+    """Parse one AOL TSV row into a :class:`QueryRecord`.
+
+    Returns ``None`` for the header, blank lines, and malformed rows (wrong
+    column count, unparsable timestamp) — the skip rules of
+    :func:`read_aol`, shared with the streaming file-tail source.
+    """
+    line = line.rstrip("\n")
+    if not line or line.startswith("AnonID"):
+        return None
+    parts = line.split("\t")
+    if len(parts) not in (3, 5):
+        return None
+    anon_id, query, query_time = parts[0], parts[1], parts[2]
+    click_url = None
+    if len(parts) == 5 and parts[4]:
+        click_url = parts[4]
+    try:
+        timestamp = parse_timestamp(query_time)
+    except ValueError:
+        return None
+    return QueryRecord(
+        user_id=anon_id,
+        query=query,
+        timestamp=timestamp,
+        clicked_url=click_url,
+    )
 
 
 def _open_text(source: str | Path | io.TextIOBase, mode: str):
@@ -42,34 +71,11 @@ def read_aol(
     handle, should_close = _open_text(source, "r")
     records: list[QueryRecord] = []
     try:
-        first = True
         for line in handle:
-            line = line.rstrip("\n")
-            if first:
-                first = False
-                if line.startswith("AnonID"):
-                    continue
-            if not line:
+            record = parse_aol_line(line)
+            if record is None:
                 continue
-            parts = line.split("\t")
-            if len(parts) not in (3, 5):
-                continue
-            anon_id, query, query_time = parts[0], parts[1], parts[2]
-            click_url = None
-            if len(parts) == 5 and parts[4]:
-                click_url = parts[4]
-            try:
-                timestamp = parse_timestamp(query_time)
-            except ValueError:
-                continue
-            records.append(
-                QueryRecord(
-                    user_id=anon_id,
-                    query=query,
-                    timestamp=timestamp,
-                    clicked_url=click_url,
-                )
-            )
+            records.append(record)
             if max_records is not None and len(records) >= max_records:
                 break
     finally:

@@ -15,7 +15,7 @@ from repro.logs.schema import QueryRecord, Session
 from repro.logs.storage import QueryLog
 from repro.utils.text import jaccard, tokenize
 
-__all__ = ["SessionizerConfig", "sessionize"]
+__all__ = ["SessionizerConfig", "continues_session", "sessionize"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,12 +46,18 @@ class SessionizerConfig:
             raise ValueError("min_term_overlap must be in [0, 1]")
 
 
-def _continues_session(
+def continues_session(
     session_terms: set[str],
     record: QueryRecord,
     pause: float,
     config: SessionizerConfig,
 ) -> bool:
+    """Whether *record* continues a session with *session_terms* after *pause*.
+
+    The single decision rule shared by the batch :func:`sessionize` and the
+    online sessionizer of the streaming layer (:mod:`repro.stream.ingest`),
+    so both segmentations are identical on the same record order.
+    """
     if pause > config.gap_seconds:
         return False
     if pause <= config.soft_gap_seconds:
@@ -80,7 +86,7 @@ def sessionize(
         for record in records:
             if current:
                 pause = record.timestamp - current[-1].timestamp
-                if not _continues_session(current_terms, record, pause, config):
+                if not continues_session(current_terms, record, pause, config):
                     sessions.append(
                         Session(f"{user_id}/{ordinal}", user_id, current)
                     )

@@ -18,11 +18,19 @@ __all__ = ["QueryLog"]
 
 
 class QueryLog:
-    """An immutable-after-construction collection of query records.
+    """An immutable collection of query records.
 
     Records are stored in timestamp order per user (the global order is the
     input order).  All analytics — unique queries, vocabularies, click counts
     — are computed once at construction.
+
+    A log never changes after construction; growing a log produces a *new*
+    log.  :meth:`extend` is the supported extension path — it appends fresh
+    records without re-scanning the existing ones, which is what the
+    streaming ingestion layer (:mod:`repro.stream`) leans on to fold live
+    traffic into epoch snapshots.  In-place mutation is loudly rejected:
+    :meth:`append` raises, and :attr:`records` returns a defensive copy so
+    the internal indexes cannot be corrupted from outside.
     """
 
     def __init__(self, records: Iterable[QueryRecord]) -> None:
@@ -65,8 +73,8 @@ class QueryLog:
 
     @property
     def records(self) -> list[QueryRecord]:
-        """All records in insertion order (do not mutate)."""
-        return self._records
+        """All records in insertion order (a copy; the log is immutable)."""
+        return list(self._records)
 
     @property
     def users(self) -> list[str]:
@@ -118,6 +126,58 @@ class QueryLog:
         return min(stamps), max(stamps)
 
     # -- derived logs --------------------------------------------------------------
+
+    def append(self, record: QueryRecord) -> None:
+        """Unsupported: a :class:`QueryLog` is immutable after construction.
+
+        Raises ``TypeError`` pointing at :meth:`extend`, the documented way
+        to grow a log (it returns a new log and leaves this one untouched).
+        """
+        raise TypeError(
+            "QueryLog is immutable after construction; use "
+            "QueryLog.extend(records), which returns a new log"
+        )
+
+    def extend(self, records: Iterable[QueryRecord]) -> "QueryLog":
+        """New log with *records* appended after this log's records.
+
+        Equivalent to ``QueryLog(self.records + list(records))`` but
+        incremental: existing indexes are copied and only the new records
+        are scanned, so the cost is ``O(existing + new)`` pointer work plus
+        ``O(new)`` analysis instead of a full re-scan.  Record ids continue
+        this log's sequence; the original log is not modified.  This is the
+        extension path the streaming layer (:mod:`repro.stream`) uses to
+        snapshot the cumulative log per epoch.
+        """
+        appended: list[QueryRecord] = []
+        for record in records:
+            appended.append(
+                record.with_record_id(len(self._records) + len(appended))
+            )
+
+        clone = QueryLog.__new__(QueryLog)
+        clone._records = self._records + appended
+        clone._query_counts = self._query_counts.copy()
+        clone._term_counts = self._term_counts.copy()
+        clone._url_counts = self._url_counts.copy()
+        # Copy-on-write per-user lists: untouched users share this log's
+        # (never-mutated) lists; only users with new records get a fresh,
+        # re-sorted list — the same (timestamp, record_id) order the batch
+        # constructor produces.
+        clone._by_user = defaultdict(list, self._by_user)
+        fresh: dict[str, list[QueryRecord]] = {}
+        for record in appended:
+            fresh.setdefault(record.user_id, []).append(record)
+            query = normalize_query(record.query)
+            clone._query_counts[query] += 1
+            clone._term_counts.update(set(tokenize(query)))
+            if record.clicked_url is not None:
+                clone._url_counts[record.clicked_url] += 1
+        for user_id, new_records in fresh.items():
+            merged = list(self._by_user.get(user_id, [])) + new_records
+            merged.sort(key=lambda r: (r.timestamp, r.record_id))
+            clone._by_user[user_id] = merged
+        return clone
 
     def filter(self, predicate) -> "QueryLog":
         """New :class:`QueryLog` of the records satisfying *predicate*.

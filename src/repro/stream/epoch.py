@@ -1,0 +1,199 @@
+"""Epoch snapshots: atomic publish, reader pinning, targeted retirement.
+
+The streaming writer and the serving readers never share mutable matrix
+state.  Each :class:`Epoch` is an immutable bundle of one
+:class:`~repro.stream.delta.StreamSnapshot` plus the prebuilt
+:class:`~repro.graphs.compact.RandomWalkExpander` over it.  The
+:class:`EpochManager` swaps the current epoch with a single reference
+assignment under a lock — readers that pinned the previous epoch keep
+serving from it (its arrays are copy-on-write: patches allocate fresh
+ones), and the old epoch is retired from the registry once its last
+reader unpins.
+
+Pinning is cheap (one dict increment) and **never blocks a publish**, and
+a publish never blocks readers — the acceptance property the concurrency
+tests exercise.  Cached :class:`~repro.core.serving.CompactEntry` objects
+are self-contained slices, so entries built under a retired epoch remain
+valid until targeted invalidation evicts them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.graphs.compact import RandomWalkExpander
+from repro.graphs.matrices import BipartiteMatrices
+from repro.graphs.multibipartite import MultiBipartite
+from repro.logs.storage import QueryLog
+from repro.stream.delta import StreamSnapshot
+
+__all__ = ["Epoch", "EpochManager", "EpochStats"]
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One immutable serving generation of the streaming representation.
+
+    Attributes:
+        epoch_id: Monotonic publish ordinal (0 = bootstrap).
+        log: Cumulative log snapshot at publish time.
+        multibipartite: Representation handle (membership, term backoff).
+        matrices: Full-graph matrices of this generation.
+        expander: Walk expander bound to ``matrices``.
+        touched_queries: Queries changed relative to the previous epoch —
+            what the serving cache's targeted invalidation consumes.
+    """
+
+    epoch_id: int
+    log: QueryLog
+    multibipartite: MultiBipartite
+    matrices: BipartiteMatrices
+    expander: RandomWalkExpander
+    touched_queries: frozenset[str]
+
+    @classmethod
+    def from_snapshot(cls, epoch_id: int, snapshot: StreamSnapshot) -> "Epoch":
+        """Wrap *snapshot* with a prebuilt expander as epoch *epoch_id*."""
+        return cls(
+            epoch_id=epoch_id,
+            log=snapshot.log,
+            multibipartite=snapshot.multibipartite,
+            matrices=snapshot.matrices,
+            expander=RandomWalkExpander(
+                snapshot.multibipartite, matrices=snapshot.matrices
+            ),
+            touched_queries=snapshot.touched_queries,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class EpochStats:
+    """Counters of one :class:`EpochManager` (a point-in-time snapshot).
+
+    Attributes:
+        current_epoch: Id of the epoch readers pin right now.
+        published: Epochs published so far (including the initial one).
+        retired: Superseded epochs whose last reader has unpinned.
+        live: Epochs still registered (current + superseded-but-pinned).
+        pinned_readers: Readers currently holding a pin, across epochs.
+    """
+
+    current_epoch: int
+    published: int
+    retired: int
+    live: int
+    pinned_readers: int
+
+
+class _Pin:
+    """Context manager returned by :meth:`EpochManager.pin`."""
+
+    __slots__ = ("_manager", "epoch")
+
+    def __init__(self, manager: "EpochManager", epoch: Epoch) -> None:
+        self._manager = manager
+        self.epoch = epoch
+
+    def __enter__(self) -> Epoch:
+        return self.epoch
+
+    def __exit__(self, *exc_info) -> None:
+        self._manager._unpin(self.epoch.epoch_id)
+
+
+class EpochManager:
+    """Publishes epochs atomically and tracks reader pins for retirement.
+
+    One writer calls :meth:`publish`; any number of readers call
+    :meth:`pin` around each request.  Subscribers (e.g.
+    ``PQSDA.apply_epoch``) are notified after every publish, *outside* the
+    manager lock, so a subscriber may itself pin or touch the serving
+    cache without deadlocking.
+    """
+
+    def __init__(self, initial: Epoch) -> None:
+        self._lock = threading.Lock()
+        self._current = initial
+        self._live: dict[int, Epoch] = {initial.epoch_id: initial}
+        self._pins: dict[int, int] = {initial.epoch_id: 0}
+        self._published = 1
+        self._retired = 0
+        self._subscribers: list = []
+
+    # -- reader side ------------------------------------------------------------
+
+    def current(self) -> Epoch:
+        """The latest published epoch (unpinned peek)."""
+        with self._lock:
+            return self._current
+
+    def pin(self) -> _Pin:
+        """Pin the current epoch for the duration of a ``with`` block.
+
+        The pinned epoch stays registered (and all its structures alive)
+        until the block exits, however many epochs are published meanwhile.
+        """
+        with self._lock:
+            epoch = self._current
+            self._pins[epoch.epoch_id] += 1
+            return _Pin(self, epoch)
+
+    def _unpin(self, epoch_id: int) -> None:
+        with self._lock:
+            remaining = self._pins.get(epoch_id)
+            if remaining is None:  # already retired defensively
+                return
+            remaining -= 1
+            self._pins[epoch_id] = remaining
+            if remaining <= 0 and epoch_id != self._current.epoch_id:
+                self._retire(epoch_id)
+
+    # -- writer side ------------------------------------------------------------
+
+    def publish(self, epoch: Epoch) -> None:
+        """Atomically make *epoch* current; retire unpinned predecessors.
+
+        Raises ``ValueError`` on a non-monotonic epoch id (stale writer).
+        """
+        with self._lock:
+            previous = self._current
+            if epoch.epoch_id <= previous.epoch_id:
+                raise ValueError(
+                    f"epoch id must increase: {epoch.epoch_id} after "
+                    f"{previous.epoch_id}"
+                )
+            self._current = epoch
+            self._live[epoch.epoch_id] = epoch
+            self._pins.setdefault(epoch.epoch_id, 0)
+            self._published += 1
+            if self._pins.get(previous.epoch_id, 0) <= 0:
+                self._retire(previous.epoch_id)
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(epoch)
+
+    def _retire(self, epoch_id: int) -> None:
+        """Drop a superseded, unpinned epoch (caller holds the lock)."""
+        if self._live.pop(epoch_id, None) is not None:
+            self._retired += 1
+        self._pins.pop(epoch_id, None)
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback(epoch)`` after every future publish."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def stats(self) -> EpochStats:
+        """Publish/retire/pin counters."""
+        with self._lock:
+            return EpochStats(
+                current_epoch=self._current.epoch_id,
+                published=self._published,
+                retired=self._retired,
+                live=len(self._live),
+                pinned_readers=sum(self._pins.values()),
+            )

@@ -101,6 +101,34 @@ class TestSuggest:
         assert code == 1
 
 
+class TestIngest:
+    def test_streams_tail_and_reports(self, log_path, capsys):
+        code = main(
+            [
+                "ingest", str(log_path),
+                "--batch-size", "32",
+                "--epoch-every", "2",
+                "--k", "5",
+                "--compact-size", "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch 0 published" in out
+        assert "records/s" in out
+        assert "targeted invalidations" in out
+        assert "after the stream" in out
+
+    def test_rejects_bad_bootstrap_fraction(self, log_path, capsys):
+        assert main(["ingest", str(log_path), "--bootstrap", "1.5"]) == 1
+        assert "--bootstrap" in capsys.readouterr().err
+
+    def test_empty_log_error(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n")
+        assert main(["ingest", str(empty)]) == 1
+
+
 class TestReport:
     def test_report_wiring(self, tmp_path, capsys, monkeypatch):
         # Stub the heavy battery: this test checks only the CLI plumbing

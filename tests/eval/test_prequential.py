@@ -1,0 +1,88 @@
+"""Prequential (predict-then-ingest) evaluation over the streaming path."""
+
+import pytest
+
+from repro.core import PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.eval.harness import evaluate_prequential, split_train_test
+from repro.eval.ppr import PPRMetric
+from repro.graphs.compact import CompactConfig
+from repro.stream import IngestConfig, streaming_pqsda
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def setup():
+    world = make_world(seed=0)
+    synthetic = generate_log(
+        world, GeneratorConfig(n_users=20, mean_sessions_per_user=8, seed=13)
+    )
+    return world, synthetic
+
+
+def _streaming(split):
+    return streaming_pqsda(
+        split.train_log,
+        config=PQSDAConfig(
+            compact=CompactConfig(size=40),
+            diversify=DiversifyConfig(k=8, candidate_pool=15),
+            personalize=False,
+        ),
+        ingest=IngestConfig(batch_size=32, clean=False),
+    )
+
+
+class TestEvaluatePrequential:
+    def test_windows_and_overall_curves(self, setup):
+        world, synthetic = setup
+        split = split_train_test(synthetic, n_test_sessions=3)
+        suggester, ingestor, manager = _streaming(split)
+        ppr = PPRMetric(world.web)
+        result = evaluate_prequential(
+            suggester,
+            ingestor,
+            split.test_sessions,
+            ks=[1, 5],
+            ppr=ppr,
+            n_windows=3,
+        )
+        assert 0.0 < result["overall"]["coverage"][0] <= 1.0
+        assert set(result["overall"]["ppr"]) <= {1, 5}
+        for value in result["overall"]["ppr"].values():
+            assert 0.0 <= value <= 1.0
+        assert len(result["windows"]) == 3
+        assert sum(w["sessions"] for w in result["windows"]) == len(
+            split.test_sessions
+        )
+        for earlier, later in zip(result["windows"], result["windows"][1:]):
+            assert earlier["start"] <= later["start"]
+            assert earlier["end"] <= later["end"]
+
+    def test_sessions_are_ingested_as_replayed(self, setup):
+        _, synthetic = setup
+        split = split_train_test(synthetic, n_test_sessions=2)
+        suggester, ingestor, manager = _streaming(split)
+        test_records = sum(len(s) for s in split.test_sessions)
+        evaluate_prequential(
+            suggester, ingestor, split.test_sessions, ks=[5], n_windows=2
+        )
+        final = manager.current()
+        assert final.epoch_id == len(split.test_sessions)
+        assert len(final.log) == len(split.train_log) + test_records
+
+    def test_empty_sessions(self, setup):
+        _, synthetic = setup
+        split = split_train_test(synthetic, n_test_sessions=2)
+        suggester, ingestor, _ = _streaming(split)
+        result = evaluate_prequential(suggester, ingestor, [], ks=[5])
+        assert result == {"overall": {"coverage": {0: 0.0}}, "windows": []}
+
+    def test_rejects_bad_windows(self, setup):
+        _, synthetic = setup
+        split = split_train_test(synthetic, n_test_sessions=2)
+        suggester, ingestor, _ = _streaming(split)
+        with pytest.raises(ValueError, match="n_windows"):
+            evaluate_prequential(
+                suggester, ingestor, split.test_sessions, ks=[5], n_windows=0
+            )

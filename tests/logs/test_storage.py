@@ -1,5 +1,7 @@
 """Tests for repro.logs.storage."""
 
+import pytest
+
 from repro.logs.schema import QueryRecord
 from repro.logs.storage import QueryLog
 
@@ -85,6 +87,69 @@ class TestQueryLogDerivation:
             pass
         else:  # pragma: no cover
             raise AssertionError("expected ValueError")
+
+
+class TestQueryLogExtend:
+    """The documented extension path: ``extend`` builds, mutation is rejected."""
+
+    def _new_records(self):
+        return [
+            QueryRecord(
+                user_id="u1",
+                query="solar flare",
+                timestamp=1_355_400_000.0,
+                clicked_url="space.example.com",
+            ),
+            QueryRecord(
+                user_id="u4",
+                query="sun",
+                timestamp=1_355_400_100.0,
+            ),
+        ]
+
+    def test_extend_returns_new_log(self, table1_log):
+        extended = table1_log.extend(self._new_records())
+        assert extended is not table1_log
+        assert len(extended) == 9
+        assert len(table1_log) == 7  # original untouched
+        assert extended.users == ["u1", "u2", "u3", "u4"]
+
+    def test_extend_continues_record_ids(self, table1_log):
+        extended = table1_log.extend(self._new_records())
+        assert [r.record_id for r in extended] == list(range(9))
+
+    def test_extend_updates_indexes(self, table1_log):
+        extended = table1_log.extend(self._new_records())
+        assert extended.query_frequency("sun") == 3
+        assert extended.query_frequency("solar flare") == 1
+        assert extended.term_frequency("solar") == 2  # "solar cell" + new
+        assert extended.url_frequency("space.example.com") == 1
+        # The source log's indexes are unchanged.
+        assert table1_log.query_frequency("sun") == 2
+        assert table1_log.url_frequency("space.example.com") == 0
+
+    def test_extend_keeps_per_user_time_order(self, table1_log):
+        extended = table1_log.extend(self._new_records())
+        for user in extended.users:
+            stamps = [r.timestamp for r in extended.records_of(user)]
+            assert stamps == sorted(stamps)
+
+    def test_extend_empty_is_equivalent_copy(self, table1_log):
+        extended = table1_log.extend([])
+        assert len(extended) == len(table1_log)
+        assert extended.unique_queries == table1_log.unique_queries
+
+    def test_append_is_loudly_rejected(self, table1_log):
+        record = self._new_records()[0]
+        with pytest.raises(TypeError, match="immutable after construction"):
+            table1_log.append(record)
+        assert len(table1_log) == 7
+
+    def test_records_property_is_defensive_copy(self, table1_log):
+        records = table1_log.records
+        records.clear()
+        assert len(table1_log) == 7
+        assert len(table1_log.records) == 7
 
 
 def test_duplicate_rows_counted_independently():

@@ -1,0 +1,181 @@
+"""Epoch lifecycle: atomic publish, reader pinning, retirement, concurrency.
+
+The acceptance property of ISSUE 2: an epoch swap never blocks concurrent
+``suggest_batch`` readers, each request is served from exactly one epoch,
+and superseded epochs are retired only after their last reader unpins.
+"""
+
+import threading
+
+import pytest
+
+from repro.baselines.base import SuggestRequest
+from repro.core import PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.graphs.compact import CompactConfig
+from repro.logs.storage import QueryLog
+from repro.stream import Epoch, EpochManager, IngestConfig, StreamState, streaming_pqsda
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def synthetic_log():
+    world = make_world(seed=0)
+    return generate_log(
+        world,
+        GeneratorConfig(n_users=25, mean_sessions_per_user=8, seed=11),
+    ).log
+
+
+def _epoch_from(records, epoch_id=0):
+    state = StreamState()
+    state.apply(list(records))
+    return Epoch.from_snapshot(epoch_id, state.build_snapshot()), state
+
+
+class TestEpochManager:
+    def test_publish_swaps_current_and_retires(self, synthetic_log):
+        records = synthetic_log.records
+        epoch0, state = _epoch_from(records[:50])
+        manager = EpochManager(epoch0)
+        assert manager.current() is epoch0
+        assert manager.stats.published == 1
+
+        state.apply(records[50:80])
+        epoch1 = Epoch.from_snapshot(1, state.build_snapshot())
+        manager.publish(epoch1)
+        assert manager.current() is epoch1
+        stats = manager.stats
+        assert stats.current_epoch == 1
+        assert stats.published == 2
+        assert stats.retired == 1  # epoch 0 had no readers
+        assert stats.live == 1
+
+    def test_pinned_epoch_outlives_publishes(self, synthetic_log):
+        records = synthetic_log.records
+        epoch0, state = _epoch_from(records[:50])
+        manager = EpochManager(epoch0)
+        with manager.pin() as pinned:
+            assert pinned is epoch0
+            state.apply(records[50:80])
+            manager.publish(Epoch.from_snapshot(1, state.build_snapshot()))
+            state.apply(records[80:110])
+            manager.publish(Epoch.from_snapshot(2, state.build_snapshot()))
+            stats = manager.stats
+            assert stats.current_epoch == 2
+            assert stats.live == 2  # epoch 0 pinned + epoch 2 current
+            assert stats.retired == 1  # epoch 1: superseded, never pinned
+            assert stats.pinned_readers == 1
+            # The pinned snapshot still answers from its own generation.
+            assert pinned.log is epoch0.log
+        stats = manager.stats
+        assert stats.live == 1
+        assert stats.retired == 2
+        assert stats.pinned_readers == 0
+
+    def test_nested_pins_refcount(self, synthetic_log):
+        records = synthetic_log.records
+        epoch0, state = _epoch_from(records[:50])
+        manager = EpochManager(epoch0)
+        with manager.pin():
+            with manager.pin():
+                state.apply(records[50:70])
+                manager.publish(
+                    Epoch.from_snapshot(1, state.build_snapshot())
+                )
+                assert manager.stats.pinned_readers == 2
+                assert manager.stats.live == 2
+            assert manager.stats.live == 2  # one pin still holds epoch 0
+        assert manager.stats.live == 1
+
+    def test_non_monotonic_publish_rejected(self, synthetic_log):
+        epoch0, state = _epoch_from(synthetic_log.records[:50])
+        manager = EpochManager(epoch0)
+        state.apply(synthetic_log.records[50:60])
+        stale = Epoch.from_snapshot(0, state.build_snapshot())
+        with pytest.raises(ValueError, match="must increase"):
+            manager.publish(stale)
+
+    def test_subscribers_see_every_publish(self, synthetic_log):
+        records = synthetic_log.records
+        epoch0, state = _epoch_from(records[:50])
+        manager = EpochManager(epoch0)
+        seen = []
+        manager.subscribe(lambda epoch: seen.append(epoch.epoch_id))
+        for i, lo in enumerate(range(50, 110, 20), start=1):
+            state.apply(records[lo : lo + 20])
+            manager.publish(Epoch.from_snapshot(i, state.build_snapshot()))
+        assert seen == [1, 2, 3]
+
+
+class TestConcurrentServing:
+    def test_epoch_swaps_never_block_batch_readers(self, synthetic_log):
+        """Readers hammer suggest_batch while a writer publishes epochs.
+
+        Every reader must complete with answers drawn from one consistent
+        epoch each — no exceptions, no empty results for known queries,
+        no deadlock (bounded join).
+        """
+        records = sorted(
+            synthetic_log.records, key=lambda r: (r.timestamp, r.record_id)
+        )
+        split = int(len(records) * 0.6)
+        suggester, ingestor, manager = streaming_pqsda(
+            QueryLog(records[:split]),
+            config=PQSDAConfig(
+                compact=CompactConfig(size=40),
+                diversify=DiversifyConfig(k=8, candidate_pool=15),
+                personalize=False,
+            ),
+            ingest=IngestConfig(batch_size=16, clean=False),
+        )
+        probes: list[str] = []
+        for record in records[:split]:
+            if record.has_click and record.query not in probes:
+                probes.append(record.query)
+            if len(probes) >= 6:
+                break
+        requests = [SuggestRequest(query=q, k=8) for q in probes]
+
+        errors: list[BaseException] = []
+        empty = threading.Event()
+        stop_readers = threading.Event()
+
+        def reader() -> None:
+            try:
+                while not stop_readers.is_set():
+                    batch = suggester.suggest_batch(requests, n_workers=2)
+                    if any(not suggestions for suggestions in batch):
+                        empty.set()
+            except BaseException as exc:  # noqa: BLE001 - test harness
+                errors.append(exc)
+
+        def writer() -> None:
+            try:
+                tail = records[split:]
+                for lo in range(0, len(tail), 16):
+                    ingestor.ingest(iter(tail[lo : lo + 16]))
+            except BaseException as exc:  # noqa: BLE001 - test harness
+                errors.append(exc)
+            finally:
+                stop_readers.set()
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in readers:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(timeout=120)
+        assert not writer_thread.is_alive(), "writer deadlocked"
+        stop_readers.set()
+        for thread in readers:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "reader deadlocked"
+
+        assert not errors, errors
+        # Probes were in the bootstrap log and queries only accumulate, so
+        # every batch answer must have been non-empty in every epoch.
+        assert not empty.is_set(), "a known query got no suggestions"
+        assert manager.current().epoch_id > 0
+        assert manager.stats.pinned_readers == 0
