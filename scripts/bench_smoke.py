@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quick latency smoke run; writes ``BENCH_fig7.json`` (and ``BENCH_ingest.json``).
+"""Quick latency smoke run; writes ``BENCH_fig7.json`` (and friends).
 
 Runs the Fig. 7 efficiency protocol (mean per-suggestion latency of
 PQS-DA and the DQS/HT/CM baselines on a fixed probe workload) and
@@ -10,20 +10,31 @@ which finishes in seconds; ``--full`` sweeps every Fig. 7 scale.
 live suggester from 70% of the log, stream the remaining 30% through the
 incremental ingestion path, and record ingestion throughput plus the
 post-ingest warm-cache suggestion latency against a from-scratch batch
-build over the same full log (acceptance: within 2x).  ``--quick`` is the
-CI profile: smallest Fig. 7 scale plus the ingest benchmark.
+build over the same full log (acceptance: within 2x).
+
+``--upm`` benchmarks UPM offline training (``BENCH_upm.json``): the
+reference Gibbs sampler vs. the vectorized fast engine (serial and
+4-worker), sweep throughput in sessions/s, the bit-identity check, and
+serving-time ``preference_score`` latency.  ``--quick`` is the CI
+profile: smallest Fig. 7 scale, the ingest benchmark, and a small UPM
+training benchmark.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_smoke.py [--full|--quick] [--ingest]
+    PYTHONPATH=src python scripts/bench_smoke.py [--full|--quick]
+        [--ingest] [--upm]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.baselines.base import SuggestRequest
 from repro.baselines.registry import build_baseline
@@ -192,6 +203,158 @@ def run_ingest_bench(n_users: int = 60) -> dict:
     return row
 
 
+#: Default UPM training benchmark scale — AOL-like shape: a vocabulary far
+#: larger than any one user's working set, so the reference sampler's
+#: per-session dense ``beta.sum(axis=1)`` recompute (K x W) dominates.  The
+#: quick profile is sized for CI.
+UPM_SCALE = {
+    "n_users": 1200, "sessions_per_user": 10, "vocab": 20000,
+    "urls": 2000, "n_topics": 50, "iterations": 3,
+}
+UPM_QUICK_SCALE = {
+    "n_users": 200, "sessions_per_user": 8, "vocab": 4000,
+    "urls": 600, "n_topics": 12, "iterations": 4,
+}
+
+
+def build_upm_corpus(
+    n_users: int, sessions_per_user: int, vocab: int, urls: int, seed: int = 0
+):
+    """A session corpus with real-log shape for the training benchmark.
+
+    Each user draws from a narrow 400-word slice of the vocabulary plus a
+    small global head — per-user vocabularies stay tiny (sparse emission
+    counts) while the realized global vocabulary approaches *vocab*, which
+    is the regime the fast path is built for.  Built directly rather than
+    through the synthetic world generator because the generator's browse
+    model caps the realized vocabulary far below AOL-like scale.
+    """
+    from repro.topicmodels.corpus import Document, SessionCorpus, SessionData
+
+    rng = np.random.default_rng(seed)
+    docs = []
+    for d in range(n_users):
+        lo = int(rng.integers(0, max(vocab - 400, 1)))
+        sessions = []
+        for _ in range(sessions_per_user):
+            n = int(rng.integers(3, 8))
+            local = rng.integers(lo, min(lo + 400, vocab), size=n)
+            head = rng.integers(0, 200, size=max(n // 3, 1))
+            words = tuple(int(w) for w in np.concatenate([local, head])[:n])
+            m = int(rng.integers(0, 3))
+            session_urls = tuple(
+                int(u) for u in rng.integers(0, urls, size=m)
+            )
+            sessions.append(
+                SessionData(
+                    words=words, urls=session_urls,
+                    timestamp=float(rng.random()),
+                )
+            )
+        docs.append(
+            Document(user_id=f"user{d:05d}", sessions=tuple(sessions))
+        )
+    return SessionCorpus(
+        documents=tuple(docs),
+        word_of_id=tuple(f"w{i}" for i in range(vocab)),
+        id_of_word={f"w{i}": i for i in range(vocab)},
+        url_of_id=tuple(f"u{i}" for i in range(urls)),
+        id_of_url={f"u{i}": i for i in range(urls)},
+    )
+
+
+def run_upm_bench(quick: bool = False) -> dict:
+    """Time UPM.fit: reference vs. fast serial vs. fast 4-worker."""
+    from repro.personalize.upm import UPM, UPMConfig
+
+    scale = UPM_QUICK_SCALE if quick else UPM_SCALE
+    corpus = build_upm_corpus(
+        scale["n_users"], scale["sessions_per_user"],
+        scale["vocab"], scale["urls"],
+    )
+    n_sessions = sum(len(d.sessions) for d in corpus.documents)
+    # hyperopt_every=0 isolates the sampler: both engines share the same
+    # sparse hyperparameter-optimization code, so barriers add identical
+    # wall-clock to each and only dilute the sampler comparison.
+    base = {
+        "n_topics": scale["n_topics"], "iterations": scale["iterations"],
+        "hyperopt_every": 0, "seed": 0,
+    }
+
+    def timed_fit(engine: str, n_workers: int):
+        model = UPM(
+            UPMConfig(engine=engine, n_workers=n_workers, **base)
+        )
+        start = time.perf_counter()
+        model.fit(corpus)
+        return model, time.perf_counter() - start
+
+    reference, t_reference = timed_fit("reference", 1)
+    fast, t_fast = timed_fit("fast", 1)
+    fast4, t_fast4 = timed_fit("fast", 4)
+    bit_identical = (
+        np.array_equal(reference.theta, fast.theta)
+        and np.array_equal(reference.beta, fast.beta)
+        and np.array_equal(reference.theta, fast4.theta)
+        and np.array_equal(reference.beta, fast4.beta)
+    )
+
+    def throughput(model) -> float:
+        stats = model.fit_stats
+        return n_sessions * stats.n_sweeps / sum(stats.sweep_seconds)
+
+    # Serving-time scoring latency on the fitted fast model: p50 over a
+    # fixed probe workload (25 users keeps the memoized per-user (K, W)
+    # tables bounded).
+    rng = np.random.default_rng(1)
+    latencies = []
+    for _ in range(200):
+        user = f"user{int(rng.integers(0, min(scale['n_users'], 25))):05d}"
+        query = " ".join(
+            f"w{int(w)}" for w in rng.integers(0, scale["vocab"], size=3)
+        )
+        start = time.perf_counter()
+        fast.preference_score(user, query)
+        latencies.append(time.perf_counter() - start)
+
+    row = {
+        "corpus": {
+            "n_users": scale["n_users"],
+            "n_sessions": n_sessions,
+            "vocab": corpus.n_words,
+            "urls": corpus.n_urls,
+        },
+        "config": dict(base),
+        "cpu_count": os.cpu_count(),
+        "bit_identical": bit_identical,
+        "fit_seconds": {
+            "reference": round(t_reference, 3),
+            "fast_serial": round(t_fast, 3),
+            "fast_4_workers": round(t_fast4, 3),
+        },
+        "speedup_fast_vs_reference": round(t_reference / t_fast, 2),
+        "speedup_4_workers_vs_serial": round(t_fast / t_fast4, 2),
+        "sweep_sessions_per_second": {
+            "reference": round(throughput(reference), 1),
+            "fast_serial": round(throughput(fast), 1),
+            "fast_4_workers": round(throughput(fast4), 1),
+        },
+        "preference_score_p50_ms": round(
+            float(np.percentile(latencies, 50)) * 1000, 4
+        ),
+    }
+    print(
+        f"upm: D={scale['n_users']} W={corpus.n_words} "
+        f"K={scale['n_topics']} x{scale['iterations']} sweeps: "
+        f"reference={t_reference:.2f}s fast={t_fast:.2f}s "
+        f"(x{row['speedup_fast_vs_reference']}), "
+        f"4-worker={t_fast4:.2f}s on {os.cpu_count()} cpus; "
+        f"bit_identical={bit_identical}; "
+        f"score p50={row['preference_score_p50_ms']:.3f}ms"
+    )
+    return row
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -200,11 +363,17 @@ def main() -> int:
     )
     parser.add_argument(
         "--quick", action="store_true",
-        help="CI profile: smallest Fig. 7 scale plus the ingest benchmark",
+        help="CI profile: smallest Fig. 7 scale, ingest, and a small "
+        "UPM training benchmark",
     )
     parser.add_argument(
         "--ingest", action="store_true",
         help="also run the streaming-ingestion benchmark",
+    )
+    parser.add_argument(
+        "--upm", action="store_true",
+        help="also run the UPM training benchmark (reference vs. fast "
+        "engine)",
     )
     parser.add_argument(
         "--output", default="BENCH_fig7.json",
@@ -214,9 +383,14 @@ def main() -> int:
         "--ingest-output", default="BENCH_ingest.json",
         help="where to write the ingest JSON record",
     )
+    parser.add_argument(
+        "--upm-output", default="BENCH_upm.json",
+        help="where to write the UPM training JSON record",
+    )
     args = parser.parse_args()
     if args.quick:
         args.ingest = True
+        args.upm = True
     scales = USER_SCALES if args.full else USER_SCALES[:1]
     record = {
         "benchmark": "fig7_efficiency",
@@ -249,6 +423,17 @@ def main() -> int:
             json.dumps(ingest_record, indent=2) + "\n"
         )
         print(f"wrote {args.ingest_output}")
+    if args.upm:
+        upm_record = {
+            "benchmark": "upm_training",
+            "profile": "quick" if args.quick else "default",
+            "python": platform.python_version(),
+            **run_upm_bench(quick=args.quick),
+        }
+        Path(args.upm_output).write_text(
+            json.dumps(upm_record, indent=2) + "\n"
+        )
+        print(f"wrote {args.upm_output}")
     return 0
 
 

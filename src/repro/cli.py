@@ -73,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip UPM training (diversification only)")
     suggest.add_argument("--compact-size", type=int, default=150)
     suggest.add_argument("--topics", type=int, default=10)
+    suggest.add_argument("--upm-engine", default="fast",
+                         choices=("fast", "reference"),
+                         help="UPM sampler implementation (bit-identical; "
+                              "'reference' is the executable specification)")
+    suggest.add_argument("--upm-workers", type=int, default=1,
+                         help="document-parallel UPM training workers "
+                              "(processes for the fast engine)")
+    suggest.add_argument("--verbose", action="store_true",
+                         help="print per-fit UPM training statistics")
     suggest.add_argument("--seed", type=int, default=0)
     suggest.add_argument("--max-records", type=int, default=None)
 
@@ -90,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perplexity.add_argument("--topics", type=int, default=10)
     perplexity.add_argument("--iterations", type=int, default=30)
+    perplexity.add_argument("--upm-engine", default="fast",
+                            choices=("fast", "reference"),
+                            help="UPM sampler implementation")
     perplexity.add_argument("--observed", type=float, default=0.7)
     perplexity.add_argument("--seed", type=int, default=0)
     perplexity.add_argument("--max-records", type=int, default=None)
@@ -162,10 +174,29 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
         weighted=not args.raw,
         compact=CompactConfig(size=args.compact_size),
         diversify=DiversifyConfig(k=args.k),
-        upm=UPMConfig(n_topics=args.topics, iterations=30, seed=args.seed),
+        upm=UPMConfig(
+            n_topics=args.topics,
+            iterations=30,
+            engine=args.upm_engine,
+            n_workers=args.upm_workers,
+            seed=args.seed,
+        ),
         personalize=not args.no_personalize,
     )
     suggester = PQSDA.build(cleaned, config=config)
+    if args.verbose and suggester.profiles is not None:
+        stats = suggester.profiles.model.fit_stats
+        lls = stats.sweep_log_likelihood
+        print(
+            f"UPM fit: engine={stats.engine} workers={stats.n_workers} "
+            f"{stats.n_sweeps} sweeps in {stats.total_seconds:.2f}s "
+            f"({stats.mean_sweep_seconds * 1000:.1f} ms/sweep sampling)",
+            file=sys.stderr,
+        )
+        print(
+            f"UPM fit: pseudo-log-likelihood {lls[0]:.1f} -> {lls[-1]:.1f}",
+            file=sys.stderr,
+        )
     requests = [
         SuggestRequest(query=query, k=args.k, user_id=args.user)
         for query in args.query
@@ -221,6 +252,7 @@ def _cmd_perplexity(args: argparse.Namespace) -> int:
             n_topics=args.topics,
             iterations=args.iterations,
             seed=args.seed,
+            upm_engine=args.upm_engine,
         )
         value = evaluate_perplexity(model, corpus, args.observed)
         print(f"{name:6s} {value:10.1f}")

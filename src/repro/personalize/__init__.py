@@ -17,13 +17,15 @@ from repro.personalize.hyperopt import (
     optimize_dirichlet_lbfgs,
 )
 from repro.personalize.profiles import UserProfile, UserProfileStore
-from repro.personalize.upm import UPM, UPMConfig
+from repro.personalize.upm import UPM, UPMConfig, UPMFitStats, fit_beta_moments
 
 __all__ = [
     "UPM",
     "UPMConfig",
+    "UPMFitStats",
     "UserProfile",
     "UserProfileStore",
+    "fit_beta_moments",
     "dirichlet_log_likelihood",
     "optimize_dirichlet_fixed_point",
     "optimize_dirichlet_lbfgs",

@@ -1,0 +1,423 @@
+"""Vectorized, process-parallel Gibbs kernel behind ``UPM.fit`` (fast engine).
+
+The reference sampler (``UPM._session_log_prob`` / ``UPM._sweep_document``)
+is the specification: per session it rebuilds a unique-token dict, calls
+``gammaln`` twice per unique token on a ``(K,)`` vector, and recomputes the
+``β``/``δ`` row sums — a full ``(K, W)`` reduction — on *every* session
+evaluation.  This module evaluates the identical Eq. 23 quantities an
+order of magnitude faster while remaining **bit-identical**:
+
+* per-session token structure (unique ids in first-occurrence order, their
+  multiplicities, local column indices) is precomputed once per fit
+  (:func:`repro.topicmodels.corpus.first_occurrence_counts`);
+* the ``2·(n_unique)+2`` (plus URL) ``gammaln`` arguments of one session
+  are assembled into a single matrix and evaluated with one ufunc call
+  into a preallocated buffer; ``gammaln`` is elementwise, so each output
+  value equals the per-token call of the reference exactly;
+* the whole Eq. 23 computation is one left-to-right chain of ``(K,)``
+  additions — prior, time term, per-token terms, totals terms — so the
+  kernel lays the terms out as rows of a ``(width, K)`` matrix and folds
+  them with a single ``np.add.accumulate``, which is *sequential by
+  definition* (``r[i] = r[i-1] + a[i]``, never pairwise) and therefore
+  reproduces the reference's ``+=`` chain bit for bit;
+* ``β``/``δ`` row sums, per-session ``β``/``δ`` column gathers, and the
+  Beta-time log density are cached and refreshed only at hyperparameter
+  barriers — the only points where they can change;
+* count updates apply a session's whole token vector at once (integer
+  counts are exact in float64, so ``+= n`` equals ``n`` repetitions of
+  ``+= 1`` bitwise).
+
+The bit-identity contract (enforced by ``tests/personalize/``):
+
+1. the per-``(document, sweep)`` RNG streams are shared with the reference
+   engine (:func:`doc_rng`), so draws depend on neither the engine nor the
+   worker count;
+2. addition order follows the reference exactly (floating-point addition
+   is not associative): the accumulate chain lists the terms in the
+   reference's accumulation order, and every term is produced by exact
+   elementwise operations (copies, ``+``, ``-``) from values the reference
+   also computes;
+3. values the reference computes through transcendental ufuncs
+   (``log``/``log1p``/``exp``) are evaluated on inputs with the same
+   memory layout (contiguous ``(K,)``) so potentially SIMD-divergent
+   strided paths are never involved, and cached scalars (the time logit)
+   reuse the reference's exact scalar expressions.
+
+**Process parallelism.**  The paper notes the UPM "can take advantage of
+parallel Gibbs sampling paradigms [31]" (AD-LDA-style document
+partitioning).  For the UPM the partition is *exact*, not an
+approximation: all cross-document coupling flows through ``α``/``β``/
+``δ``/``τ``, which are frozen between hyperopt barriers.  Workers
+therefore sample disjoint document shards for a whole barrier-to-barrier
+segment with no communication, and the master merges their count deltas
+(in canonical document order) before optimizing hyperparameters.  The
+module-level worker entrypoints are spawn-safe; the fork start method is
+preferred when the platform offers it because it shares the read-only
+corpus with workers for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import betaln, gammaln
+
+from repro.topicmodels.corpus import SessionCorpus, first_occurrence_counts
+from repro.utils.rng import sample_index_with_total
+
+__all__ = [
+    "TIME_EPS",
+    "doc_rng",
+    "barrier_segments",
+    "FastKernel",
+    "ShardState",
+]
+
+#: Session timestamps are clipped into [TIME_EPS, 1 - TIME_EPS] before the
+#: Beta density is evaluated (shared with the reference engine in upm.py).
+TIME_EPS = 1e-3
+
+
+def doc_rng(seed: int, sweep: int, d: int) -> np.random.Generator:
+    """The per-``(document, sweep)`` RNG stream of document *d*.
+
+    Documents only interact through the hyperparameters, which are frozen
+    within a sweep — deriving independent streams per document makes
+    document-parallel sampling *bit-identical* to the serial run for any
+    worker count, in either engine.
+    """
+    return np.random.default_rng(np.random.SeedSequence([seed, sweep, d]))
+
+
+def barrier_segments(
+    iterations: int, hyperopt_every: int
+) -> list[tuple[int, int]]:
+    """Split sweeps ``1..iterations`` at hyperparameter barriers.
+
+    Returns inclusive ``(start, stop)`` ranges such that every multiple of
+    *hyperopt_every* ends a segment; between barriers no cross-document
+    state changes, so each segment can run fully in parallel.
+    """
+    if not hyperopt_every:
+        return [(1, iterations)]
+    segments: list[tuple[int, int]] = []
+    start = 1
+    while start <= iterations:
+        stop = min(iterations, ((start - 1) // hyperopt_every + 1)
+                   * hyperopt_every)
+        segments.append((start, stop))
+        start = stop + 1
+    return segments
+
+
+class _SessionView:
+    """Precomputed per-session structure: the session's unique-token CSR row
+    plus barrier-cached hyperparameter gathers and buffer widths."""
+
+    __slots__ = (
+        "w_loc", "w_cnt", "w_cnt_col", "w_gid", "n_words",
+        "u_loc", "u_cnt", "u_cnt_col", "u_gid", "n_urls",
+        "t", "time_logit", "beta_rows", "delta_rows",
+        "args_width", "chain_width",
+    )
+
+    def __init__(self) -> None:
+        self.u_loc = None
+        self.time_logit = None
+        self.beta_rows = None
+        self.delta_rows = None
+
+
+@dataclass
+class ShardState:
+    """Mutable sampler state of one document shard (rows in shard order).
+
+    This is the unit shipped between master and worker processes at
+    segment boundaries: everything a worker needs beyond the read-only
+    corpus and the frozen hyperparameters.
+    """
+
+    doc_topic: np.ndarray  # (n_docs, K)
+    word_totals: np.ndarray  # (n_docs, K)
+    url_totals: np.ndarray  # (n_docs, K)
+    word_counts: list  # per doc: (K, W_d)
+    url_counts: list  # per doc: (K, max(U_d, 1))
+    assignments: list  # per doc: (S_d,) int
+
+
+class FastKernel:
+    """Vectorized Gibbs sweeps over one shard of documents.
+
+    The kernel binds *references* to the sampler state (it mutates the
+    arrays in place) and caches every quantity that is constant between
+    hyperparameter barriers.  ``set_hyperparameters`` must be called after
+    every barrier to refresh the caches.
+    """
+
+    def __init__(
+        self,
+        corpus: SessionCorpus,
+        config,
+        doc_ids,
+        local_word: list | None = None,
+        local_url: list | None = None,
+    ) -> None:
+        self._seed = config.seed
+        self._K = config.n_topics
+        self._use_time = config.use_time
+        self._use_urls = config.use_urls
+        self._doc_ids = list(doc_ids)
+        self._views: list[list[_SessionView]] = []
+        # Chain row 0 is the topic prior; the time logit, when enabled,
+        # is row 1 and every Eq. 23 evidence term follows.
+        self._terms_at = 2 if self._use_time else 1
+        max_args = 1
+        max_chain = 1
+        for d in self._doc_ids:
+            doc = corpus.documents[d]
+            if local_word is not None:
+                word_map = local_word[d]
+            else:
+                words = sorted({w for s in doc.sessions for w in s.words})
+                word_map = {w: i for i, w in enumerate(words)}
+            if local_url is not None:
+                url_map = local_url[d]
+            else:
+                urls = sorted({u for s in doc.sessions for u in s.urls})
+                url_map = {u: i for i, u in enumerate(urls)}
+            views: list[_SessionView] = []
+            for session in doc.sessions:
+                view = _SessionView()
+                gids, counts = first_occurrence_counts(session.words)
+                view.w_gid = gids
+                view.w_cnt = counts
+                view.w_cnt_col = counts[:, None].copy()
+                view.w_loc = np.array(
+                    [word_map[w] for w in gids], dtype=np.intp
+                )
+                view.n_words = float(len(session.words))
+                n = gids.size
+                view.args_width = 2 * n + 2
+                view.chain_width = self._terms_at + n + 1
+                if self._use_urls and session.urls:
+                    ugids, ucounts = first_occurrence_counts(session.urls)
+                    view.u_gid = ugids
+                    view.u_cnt = ucounts
+                    view.u_cnt_col = ucounts[:, None].copy()
+                    view.u_loc = np.array(
+                        [url_map[u] for u in ugids], dtype=np.intp
+                    )
+                    view.n_urls = float(len(session.urls))
+                    view.args_width += 2 * ugids.size + 2
+                    view.chain_width += ugids.size + 1
+                view.t = min(max(session.timestamp, TIME_EPS), 1.0 - TIME_EPS)
+                max_args = max(max_args, view.args_width)
+                max_chain = max(max_chain, view.chain_width)
+                views.append(view)
+            self._views.append(views)
+        # Scratch buffers shared by every session (sliced to each session's
+        # width); rows are (K,) vectors so the hot unary ufuncs always see
+        # contiguous memory, like the reference's fresh arrays.
+        self._args = np.empty((max_args, self._K))
+        self._gammas = np.empty((max_args, self._K))
+        self._chain = np.empty((max_chain, self._K))
+
+    # -- state + hyperparameter binding ----------------------------------------------
+
+    def bind_state(self, state: ShardState) -> None:
+        """Attach the mutable sampler state (mutated in place, by row)."""
+        self._state = state
+
+    def set_hyperparameters(
+        self,
+        alpha: np.ndarray,
+        beta: np.ndarray,
+        delta: np.ndarray,
+        tau: np.ndarray,
+    ) -> None:
+        """Bind current hyperparameters and refresh the barrier caches."""
+        self._alpha = alpha
+        self._beta_sums = beta.sum(axis=1)
+        self._delta_sums = delta.sum(axis=1)
+        beta_t = beta.T
+        delta_t = delta.T
+        if self._use_time:
+            a, b = tau[:, 0], tau[:, 1]
+            log_beta_norm = betaln(a, b)
+        for views in self._views:
+            for view in views:
+                view.beta_rows = beta_t[view.w_gid]
+                if view.u_loc is not None:
+                    view.delta_rows = delta_t[view.u_gid]
+                if self._use_time:
+                    # Scalar-input expressions, exactly as the reference
+                    # engine evaluates them per session.
+                    t = view.t
+                    view.time_logit = (
+                        (a - 1.0) * np.log(t)
+                        + (b - 1.0) * np.log1p(-t)
+                        - log_beta_norm
+                    )
+
+    # -- sweeps ----------------------------------------------------------------------
+
+    def sweep(self, sweep_index: int) -> np.ndarray:
+        """One Gibbs sweep over the shard; returns per-document pseudo-LL."""
+        out = np.empty(len(self._doc_ids))
+        for pos, d in enumerate(self._doc_ids):
+            out[pos] = self.sweep_document(
+                pos, doc_rng(self._seed, sweep_index, d)
+            )
+        return out
+
+    def sweep_document(self, pos: int, rng: np.random.Generator) -> float:
+        """Resample every session of the document at shard position *pos*.
+
+        Returns the document's Gibbs pseudo-log-likelihood: the summed log
+        posterior probability of the drawn assignments, a free byproduct
+        of the already-computed logits.
+        """
+        state = self._state
+        doc_topic = state.doc_topic[pos]
+        word_counts = state.word_counts[pos]
+        url_counts = state.url_counts[pos]
+        word_totals = state.word_totals[pos]
+        url_totals = state.url_totals[pos]
+        word_counts_t = word_counts.T
+        url_counts_t = url_counts.T
+        z = state.assignments[pos]
+        alpha = self._alpha
+        beta_sums = self._beta_sums
+        delta_sums = self._delta_sums
+        terms_at = self._terms_at
+        log_likelihood = 0.0
+
+        for s, view in enumerate(self._views[pos]):
+            k_old = int(z[s])
+            has_urls = view.u_loc is not None
+            doc_topic[k_old] -= 1.0
+            word_counts[k_old, view.w_loc] -= view.w_cnt
+            word_totals[k_old] -= view.n_words
+            if has_urls:
+                url_counts[k_old, view.u_loc] -= view.u_cnt
+                url_totals[k_old] -= view.n_urls
+
+            chain = self._chain[: view.chain_width]
+            args = self._args[: view.args_width]
+
+            prior = chain[0]
+            np.add(doc_topic, alpha, out=prior)
+            np.log(prior, out=prior)
+            if view.time_logit is not None:
+                chain[1] = view.time_logit
+
+            # Rows of ``args``: [base + count | base | totals | totals + len]
+            # per channel, where base = counts + hyperparameter gather.
+            n = view.w_loc.size
+            base = args[n: 2 * n]
+            np.add(word_counts_t[view.w_loc], view.beta_rows, out=base)
+            np.add(base, view.w_cnt_col, out=args[:n])
+            totals = args[2 * n]
+            np.add(word_totals, beta_sums, out=totals)
+            np.add(totals, view.n_words, out=args[2 * n + 1])
+            if has_urls:
+                offset = 2 * n + 2
+                m = view.u_loc.size
+                url_base = args[offset + m: offset + 2 * m]
+                np.add(
+                    url_counts_t[view.u_loc], view.delta_rows, out=url_base
+                )
+                np.add(url_base, view.u_cnt_col, out=args[offset: offset + m])
+                url_tot = args[offset + 2 * m]
+                np.add(url_totals, delta_sums, out=url_tot)
+                np.add(url_tot, view.n_urls, out=args[offset + 2 * m + 1])
+
+            gammas = self._gammas[: view.args_width]
+            gammaln(args, out=gammas)
+
+            # Lay the Eq. 23 terms out in the reference's accumulation
+            # order; subtraction is exact, so each chain row holds the
+            # identical term the reference adds with ``+=``.
+            np.subtract(
+                gammas[:n], gammas[n: 2 * n],
+                out=chain[terms_at: terms_at + n],
+            )
+            np.subtract(
+                gammas[2 * n], gammas[2 * n + 1], out=chain[terms_at + n]
+            )
+            if has_urls:
+                at = terms_at + n + 1
+                np.subtract(
+                    gammas[offset: offset + m],
+                    gammas[offset + m: offset + 2 * m],
+                    out=chain[at: at + m],
+                )
+                np.subtract(
+                    gammas[offset + 2 * m], gammas[offset + 2 * m + 1],
+                    out=chain[at + m],
+                )
+
+            # Sequential left-to-right fold == the reference's += chain.
+            np.add.accumulate(chain, axis=0, out=chain)
+            logits = chain[view.chain_width - 1]
+            logits -= logits.max()
+            weights = np.exp(logits)
+            k_new, total = sample_index_with_total(rng, weights)
+            log_likelihood += float(logits[k_new]) - math.log(total)
+
+            z[s] = k_new
+            doc_topic[k_new] += 1.0
+            word_counts[k_new, view.w_loc] += view.w_cnt
+            word_totals[k_new] += view.n_words
+            if has_urls:
+                url_counts[k_new, view.u_loc] += view.u_cnt
+                url_totals[k_new] += view.n_urls
+        return log_likelihood
+
+
+# -- process-worker entrypoints (spawn-safe: module level, no closures) --------------
+
+_WORKER: dict = {}
+
+
+def init_worker(corpus: SessionCorpus, config) -> None:
+    """Process-pool initializer: pin the read-only corpus and config."""
+    _WORKER["corpus"] = corpus
+    _WORKER["config"] = config
+    _WORKER["kernels"] = {}
+
+
+def run_shard_segment(
+    doc_ids: tuple,
+    state: ShardState,
+    hyperparameters: tuple,
+    sweep_start: int,
+    sweep_stop: int,
+):
+    """Run sweeps ``sweep_start..sweep_stop`` over one document shard.
+
+    Returns ``(state, log_likelihoods, seconds)`` where *log_likelihoods*
+    is ``(n_sweeps, n_docs)`` in shard order and *seconds* the per-sweep
+    wall clock of this shard.  The kernel (per-session precompute) is
+    cached across segments in the worker process; only the mutable state
+    and the refreshed hyperparameters travel.
+    """
+    from time import perf_counter
+
+    kernels = _WORKER["kernels"]
+    kernel = kernels.get(doc_ids)
+    if kernel is None:
+        kernel = FastKernel(_WORKER["corpus"], _WORKER["config"], doc_ids)
+        kernels[doc_ids] = kernel
+    kernel.bind_state(state)
+    kernel.set_hyperparameters(*hyperparameters)
+    n_sweeps = sweep_stop - sweep_start + 1
+    log_likelihoods = np.empty((n_sweeps, len(doc_ids)))
+    seconds = np.empty(n_sweeps)
+    for i, sweep in enumerate(range(sweep_start, sweep_stop + 1)):
+        start = perf_counter()
+        log_likelihoods[i] = kernel.sweep(sweep)
+        seconds[i] = perf_counter() - start
+    return state, log_likelihoods, seconds

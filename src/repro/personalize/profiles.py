@@ -58,6 +58,11 @@ class UserProfileStore:
             for i, doc in enumerate(model.corpus.documents)
         }
 
+    @property
+    def model(self) -> UPM:
+        """The fitted UPM behind the store (e.g. for ``fit_stats``)."""
+        return self._model
+
     def __contains__(self, user_id: str) -> bool:
         return user_id in self._profiles
 

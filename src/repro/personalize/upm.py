@@ -18,27 +18,85 @@ Timestamp convention: the paper's Eq. 22 writes the Beta density with
 standard parameterization; we use ``t^{τ₁-1} (1-t)^{τ₂-1}`` with
 ``τ₁ = t̄(t̄(1-t̄)/s² - 1)`` and ``τ₂ = (1-t̄)(...)``, i.e. the standard
 method-of-moments Beta fit (same resolution as Topics-over-Time).
+
+**Engines.**  ``UPMConfig.engine`` selects how ``fit`` runs the sampler:
+
+* ``"fast"`` (default) — the vectorized kernel of
+  :mod:`repro.personalize.gibbs_fast`; with ``n_workers > 1`` documents are
+  sharded across *processes* (the document partition is exact for the UPM,
+  so this is true parallelism, not AD-LDA approximation);
+* ``"reference"`` — the straightforward per-session implementation below,
+  kept as the executable specification; with ``n_workers > 1`` it uses the
+  historical (GIL-bound) thread pool.
+
+Both engines share the per-``(document, sweep)`` RNG streams and every
+hyperparameter-optimization code path, and are **bit-identical**: exactly
+equal assignments, ``theta``, ``beta``, ``delta`` and ``tau`` for any
+worker count (pinned by ``tests/personalize/test_fast_engine.py``).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
+
+import math
 
 import numpy as np
+from scipy import sparse
 from scipy.special import betaln, gammaln
 
+from repro.personalize.gibbs_fast import (
+    TIME_EPS as _TIME_EPS,
+    FastKernel,
+    ShardState,
+    barrier_segments,
+    doc_rng,
+    init_worker,
+    run_shard_segment,
+)
 from repro.personalize.hyperopt import (
     optimize_dirichlet_fixed_point,
     optimize_dirichlet_lbfgs,
 )
 from repro.topicmodels.corpus import SessionCorpus
-from repro.utils.rng import sample_index
+from repro.utils.rng import sample_index_with_total
 from repro.utils.text import tokenize
 
-__all__ = ["UPMConfig", "UPM"]
+__all__ = ["UPMConfig", "UPM", "UPMFitStats", "fit_beta_moments"]
 
-_TIME_EPS = 1e-3
 _MIN_TAU = 1.0
+
+#: Bound on the number of per-document ``(K, W)`` topic-word tables kept by
+#: the ``topic_word_distribution`` memo (LRU beyond it).
+_TWD_CACHE_SIZE = 512
+
+
+def fit_beta_moments(values: np.ndarray) -> tuple[float, float]:
+    """Method-of-moments Beta fit over *values* in [0, 1] (Eqs. 28-29).
+
+    Returns the flat ``(1.0, 1.0)`` for the degenerate cases: fewer than
+    two observations, or a spread so large that the common factor
+    ``t̄(1-t̄)/s² - 1`` is non-positive (only possible for two-point mass
+    at the interval ends).  Zero variance is floored at ``1e-4`` — a very
+    concentrated but proper fit.  Fitted parameters are floored at 1.0 so
+    a topic's density never diverges at the interval ends.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        return (1.0, 1.0)
+    mean = float(np.clip(values.mean(), _TIME_EPS, 1 - _TIME_EPS))
+    var = float(values.var())
+    if var <= 0:
+        var = 1e-4
+    common = mean * (1 - mean) / var - 1.0
+    if common <= 0:
+        return (1.0, 1.0)
+    return (
+        max(mean * common, _MIN_TAU),
+        max((1 - mean) * common, _MIN_TAU),
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,9 +116,12 @@ class UPMConfig:
             ``"fixed_point"`` (Minka's iteration; much cheaper).
         use_urls: Include the URL channel (ablation knob).
         use_time: Include the timestamp channel (ablation knob).
-        n_workers: Worker threads for document-parallel Gibbs (see
-            ``UPM._fit_parallel``); results are identical to the serial
-            run for any worker count.
+        engine: ``"fast"`` (vectorized kernel, process-parallel) or
+            ``"reference"`` (the executable specification).  Both produce
+            bit-identical fits.
+        n_workers: Document-parallel workers — processes for the fast
+            engine, threads for the reference engine.  Results are
+            identical to the serial run for any worker count.
         seed: RNG seed.
     """
 
@@ -73,6 +134,7 @@ class UPMConfig:
     hyperopt_method: str = "fixed_point"
     use_urls: bool = True
     use_time: bool = True
+    engine: str = "fast"
     n_workers: int = 1
     seed: int = 0
 
@@ -91,8 +153,48 @@ class UPMConfig:
                 "hyperopt_method must be 'lbfgs' or 'fixed_point', got "
                 f"{self.hyperopt_method!r}"
             )
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"engine must be 'reference' or 'fast', got {self.engine!r}"
+            )
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class UPMFitStats:
+    """Training observability for one ``UPM.fit`` run.
+
+    Attributes:
+        engine: Which sampler ran (``"reference"`` or ``"fast"``).
+        n_workers: Configured worker count.
+        sweep_log_likelihood: Per-sweep Gibbs pseudo-log-likelihood — the
+            summed log posterior probability of the drawn session topics,
+            a free byproduct of the sweep.  Rises (noisily) as the chain
+            mixes; identical across engines and worker counts.
+        sweep_seconds: Per-sweep sampling wall clock (excluding the
+            hyperopt barriers; for process-parallel fits, the slowest
+            shard — the critical path).
+        total_seconds: End-to-end ``fit`` wall clock including barriers.
+    """
+
+    engine: str
+    n_workers: int
+    sweep_log_likelihood: tuple[float, ...]
+    sweep_seconds: tuple[float, ...]
+    total_seconds: float
+
+    @property
+    def n_sweeps(self) -> int:
+        """Number of recorded sweeps."""
+        return len(self.sweep_log_likelihood)
+
+    @property
+    def mean_sweep_seconds(self) -> float:
+        """Mean sampling seconds per sweep."""
+        if not self.sweep_seconds:
+            return 0.0
+        return float(np.mean(self.sweep_seconds))
 
 
 class UPM:
@@ -109,6 +211,8 @@ class UPM:
     def __init__(self, config: UPMConfig | None = None) -> None:
         self.config = config if config is not None else UPMConfig()
         self._fitted = False
+        self._fit_stats: UPMFitStats | None = None
+        self._twd_cache: OrderedDict[int, np.ndarray] = OrderedDict()
 
     # -- fitting -------------------------------------------------------------------
 
@@ -118,6 +222,8 @@ class UPM:
             raise ValueError("corpus has no documents")
         config = self.config
         K = config.n_topics
+        self._fitted = False
+        self._twd_cache = OrderedDict()
         self._corpus = corpus
         D, W, U = corpus.n_documents, corpus.n_words, corpus.n_urls
 
@@ -151,26 +257,51 @@ class UPM:
             for s, session in enumerate(doc.sessions):
                 self._apply_session(d, s, int(z[s]), +1)
 
-        if config.n_workers > 1:
-            self._fit_parallel()
+        # Global-id gathers of each document's local vocabulary — the CSR
+        # structure the sparse hyperparameter optimization slots counts
+        # into (column order == local index order by construction).
+        self._doc_word_gids = [
+            np.fromiter(m.keys(), dtype=np.int64, count=len(m))
+            for m in self._local_word
+        ]
+        self._doc_url_gids = [
+            np.fromiter(m.keys(), dtype=np.int64, count=len(m))
+            for m in self._local_url
+        ]
+        self._word_indices = np.concatenate(self._doc_word_gids)
+        self._word_indptr = np.zeros(D + 1, dtype=np.int64)
+        np.cumsum(
+            [g.size for g in self._doc_word_gids], out=self._word_indptr[1:]
+        )
+        self._url_indices = np.concatenate(self._doc_url_gids)
+        self._url_indptr = np.zeros(D + 1, dtype=np.int64)
+        np.cumsum(
+            [g.size for g in self._doc_url_gids], out=self._url_indptr[1:]
+        )
+
+        start_time = perf_counter()
+        if config.engine == "fast":
+            if config.n_workers > 1 and D > 1:
+                lls, secs = self._fit_fast_parallel()
+            else:
+                lls, secs = self._fit_fast_serial()
+        elif config.n_workers > 1:
+            lls, secs = self._fit_parallel()
         else:
-            for sweep in range(1, config.iterations + 1):
-                for d in range(corpus.n_documents):
-                    self._sweep_document(d, self._doc_rng(d, sweep))
-                self._maybe_optimize(sweep)
+            lls, secs = self._fit_reference_serial()
+        self._fit_stats = UPMFitStats(
+            engine=config.engine,
+            n_workers=config.n_workers,
+            sweep_log_likelihood=tuple(lls),
+            sweep_seconds=tuple(secs),
+            total_seconds=perf_counter() - start_time,
+        )
         self._fitted = True
         return self
 
     def _doc_rng(self, d: int, sweep: int) -> np.random.Generator:
-        """Per-(document, sweep) RNG stream.
-
-        Documents only interact through the hyperparameters, which are
-        frozen within a sweep — deriving independent streams per document
-        makes document-parallel sampling *bit-identical* to the serial run.
-        """
-        return np.random.default_rng(
-            np.random.SeedSequence([self.config.seed, sweep, d])
-        )
+        """Per-(document, sweep) RNG stream (see ``gibbs_fast.doc_rng``)."""
+        return doc_rng(self.config.seed, sweep, d)
 
     def _maybe_optimize(self, sweep: int) -> None:
         config = self.config
@@ -179,14 +310,30 @@ class UPM:
             if config.use_time:
                 self._refit_tau()
 
-    def _fit_parallel(self) -> None:
-        """Document-parallel Gibbs over worker threads.
+    # -- reference engine ------------------------------------------------------------
 
-        The paper notes the UPM "can take advantage of parallel Gibbs
-        sampling paradigms [31]".  For the UPM the document partition is
-        exact (not an AD-LDA approximation): all cross-document coupling
-        goes through the hyperparameters, which only change at the
-        synchronization barrier between sweeps.
+    def _fit_reference_serial(self) -> tuple[list[float], list[float]]:
+        """Serial per-session sweeps — the executable specification."""
+        config = self.config
+        D = self._corpus.n_documents
+        lls: list[float] = []
+        secs: list[float] = []
+        for sweep in range(1, config.iterations + 1):
+            start = perf_counter()
+            per_doc = np.empty(D)
+            for d in range(D):
+                per_doc[d] = self._sweep_document(d, self._doc_rng(d, sweep))
+            secs.append(perf_counter() - start)
+            lls.append(float(per_doc.sum()))
+            self._maybe_optimize(sweep)
+        return lls, secs
+
+    def _fit_parallel(self) -> tuple[list[float], list[float]]:
+        """Document-parallel Gibbs over worker *threads* (reference engine).
+
+        Kept as the historical parallel path: correct and bit-identical,
+        but GIL-bound — the fast engine's process sharding is the one that
+        actually scales (see ``_fit_fast_parallel``).
         """
         from concurrent.futures import ThreadPoolExecutor
 
@@ -194,19 +341,149 @@ class UPM:
         D = self._corpus.n_documents
         n_workers = min(config.n_workers, D)
         blocks = [list(range(D))[i::n_workers] for i in range(n_workers)]
+        lls: list[float] = []
+        secs: list[float] = []
 
-        def run_block(block: list[int], sweep: int) -> None:
+        def run_block(
+            block: list[int], sweep: int, per_doc: np.ndarray
+        ) -> None:
             for d in block:
-                self._sweep_document(d, self._doc_rng(d, sweep))
+                per_doc[d] = self._sweep_document(d, self._doc_rng(d, sweep))
 
         with ThreadPoolExecutor(max_workers=n_workers) as pool:
             for sweep in range(1, config.iterations + 1):
+                start = perf_counter()
+                per_doc = np.empty(D)
                 futures = [
-                    pool.submit(run_block, block, sweep) for block in blocks
+                    pool.submit(run_block, block, sweep, per_doc)
+                    for block in blocks
                 ]
                 for future in futures:
                     future.result()
+                secs.append(perf_counter() - start)
+                lls.append(float(per_doc.sum()))
                 self._maybe_optimize(sweep)
+        return lls, secs
+
+    # -- fast engine -----------------------------------------------------------------
+
+    def _bound_kernel(self) -> FastKernel:
+        """A kernel over all documents bound directly to this model's state."""
+        kernel = FastKernel(
+            self._corpus,
+            self.config,
+            range(self._corpus.n_documents),
+            local_word=self._local_word,
+            local_url=self._local_url,
+        )
+        kernel.bind_state(
+            ShardState(
+                doc_topic=self._doc_topic,
+                word_totals=self._word_totals,
+                url_totals=self._url_totals,
+                word_counts=self._word_counts,
+                url_counts=self._url_counts,
+                assignments=self._assignments,
+            )
+        )
+        kernel.set_hyperparameters(
+            self._alpha, self._beta, self._delta, self._tau
+        )
+        return kernel
+
+    def _fit_fast_serial(self) -> tuple[list[float], list[float]]:
+        """Vectorized kernel, one process (see ``gibbs_fast.FastKernel``)."""
+        config = self.config
+        kernel = self._bound_kernel()
+        lls: list[float] = []
+        secs: list[float] = []
+        for sweep in range(1, config.iterations + 1):
+            start = perf_counter()
+            per_doc = kernel.sweep(sweep)
+            secs.append(perf_counter() - start)
+            lls.append(float(per_doc.sum()))
+            if config.hyperopt_every and sweep % config.hyperopt_every == 0:
+                self._maybe_optimize(sweep)
+                kernel.set_hyperparameters(
+                    self._alpha, self._beta, self._delta, self._tau
+                )
+        return lls, secs
+
+    def _fit_fast_parallel(self) -> tuple[list[float], list[float]]:
+        """Process-based document sharding between hyperopt barriers.
+
+        Workers hold disjoint document shards and sample a whole
+        barrier-to-barrier segment without communication (the partition is
+        exact — see :mod:`repro.personalize.gibbs_fast`).  At each barrier
+        the master merges shard states in canonical document order, runs
+        the hyperparameter updates, and rebroadcasts.
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        config = self.config
+        D = self._corpus.n_documents
+        n_workers = min(config.n_workers, D)
+        shards = [list(range(D))[i::n_workers] for i in range(n_workers)]
+        segments = barrier_segments(config.iterations, config.hyperopt_every)
+        ll_rows = np.empty((config.iterations, D))
+        secs = np.zeros(config.iterations)
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=context,
+            initializer=init_worker,
+            initargs=(self._corpus, config),
+        ) as pool:
+            for sweep_start, sweep_stop in segments:
+                hyper = (self._alpha, self._beta, self._delta, self._tau)
+                futures = [
+                    (
+                        shard,
+                        pool.submit(
+                            run_shard_segment,
+                            tuple(shard),
+                            self._extract_shard(shard),
+                            hyper,
+                            sweep_start,
+                            sweep_stop,
+                        ),
+                    )
+                    for shard in shards
+                ]
+                rows = slice(sweep_start - 1, sweep_stop)
+                for shard, future in futures:
+                    state, shard_lls, shard_secs = future.result()
+                    self._merge_shard(shard, state)
+                    ll_rows[rows, shard] = shard_lls
+                    np.maximum(secs[rows], shard_secs, out=secs[rows])
+                self._maybe_optimize(sweep_stop)
+        lls = [float(row.sum()) for row in ll_rows]
+        return lls, list(secs)
+
+    def _extract_shard(self, shard: list[int]) -> ShardState:
+        return ShardState(
+            doc_topic=self._doc_topic[shard],
+            word_totals=self._word_totals[shard],
+            url_totals=self._url_totals[shard],
+            word_counts=[self._word_counts[d] for d in shard],
+            url_counts=[self._url_counts[d] for d in shard],
+            assignments=[self._assignments[d] for d in shard],
+        )
+
+    def _merge_shard(self, shard: list[int], state: ShardState) -> None:
+        self._doc_topic[shard] = state.doc_topic
+        self._word_totals[shard] = state.word_totals
+        self._url_totals[shard] = state.url_totals
+        for pos, d in enumerate(shard):
+            self._word_counts[d] = state.word_counts[pos]
+            self._url_counts[d] = state.url_counts[pos]
+            self._assignments[d] = state.assignments[pos]
+
+    # -- reference sampler internals ---------------------------------------------------
 
     def _apply_session(self, d: int, s: int, k: int, sign: int) -> None:
         doc = self._corpus.documents[d]
@@ -227,7 +504,6 @@ class UPM:
         config = self.config
         doc = self._corpus.documents[d]
         session = doc.sessions[s]
-        K = config.n_topics
 
         logits = np.log(self._doc_topic[d] + self._alpha)
 
@@ -266,19 +542,37 @@ class UPM:
             )
         return logits
 
-    def _sweep_document(self, d: int, rng: np.random.Generator) -> None:
-        """One Gibbs sweep over the sessions of document *d*."""
+    def _sweep_document(self, d: int, rng: np.random.Generator) -> float:
+        """One Gibbs sweep over the sessions of document *d*.
+
+        Returns the document's Gibbs pseudo-log-likelihood (the summed log
+        posterior probability of the drawn topics).
+        """
         doc = self._corpus.documents[d]
+        log_likelihood = 0.0
         for s in range(len(doc.sessions)):
             current = int(self._assignments[d][s])
             self._apply_session(d, s, current, -1)
             logits = self._session_log_prob(d, s)
             logits -= logits.max()
-            new = sample_index(rng, np.exp(logits))
+            weights = np.exp(logits)
+            new, total = sample_index_with_total(rng, weights)
+            log_likelihood += float(logits[new]) - math.log(total)
             self._assignments[d][s] = new
             self._apply_session(d, s, new, +1)
+        return log_likelihood
+
+    # -- hyperparameter updates --------------------------------------------------------
 
     def _optimize_hyperparameters(self) -> None:
+        """Evidence-maximize ``α``, ``β``, ``δ`` on the current counts.
+
+        The per-topic count matrices are assembled as CSR over each
+        document's local vocabulary (nnz = Σ_d W_d) instead of dense
+        ``(D, W)`` tables — zero cells contribute exactly nothing to the
+        Dirichlet-multinomial evidence, so the sparse optimizers in
+        :mod:`repro.personalize.hyperopt` never look at them.
+        """
         config = self.config
         optimize = (
             optimize_dirichlet_lbfgs
@@ -294,18 +588,25 @@ class UPM:
         D = self._corpus.n_documents
         W = self._corpus.n_words
         for k in range(K):
-            counts = np.zeros((D, W))
-            for d in range(D):
-                for w, local in self._local_word[d].items():
-                    counts[d, w] = self._word_counts[d][k, local]
+            data = np.concatenate(
+                [self._word_counts[d][k] for d in range(D)]
+            )
+            counts = sparse.csr_matrix(
+                (data, self._word_indices, self._word_indptr), shape=(D, W)
+            )
             self._beta[k] = optimize(counts, self._beta[k])
         if config.use_urls and self._corpus.n_urls > 0:
             U = self._corpus.n_urls
             for k in range(K):
-                counts = np.zeros((D, U))
-                for d in range(D):
-                    for u, local in self._local_url[d].items():
-                        counts[d, u] = self._url_counts[d][k, local]
+                data = np.concatenate(
+                    [
+                        self._url_counts[d][k, : self._doc_url_gids[d].size]
+                        for d in range(D)
+                    ]
+                )
+                counts = sparse.csr_matrix(
+                    (data, self._url_indices, self._url_indptr), shape=(D, U)
+                )
                 self._delta[k] = optimize(counts, self._delta[k])
 
     def _refit_tau(self) -> None:
@@ -316,20 +617,7 @@ class UPM:
             for s, session in enumerate(doc.sessions):
                 stamps[int(self._assignments[d][s])].append(session.timestamp)
         for k in range(K):
-            values = np.asarray(stamps[k])
-            if values.size < 2:
-                self._tau[k] = (1.0, 1.0)
-                continue
-            mean = float(np.clip(values.mean(), _TIME_EPS, 1 - _TIME_EPS))
-            var = float(values.var())
-            if var <= 0:
-                var = 1e-4
-            common = mean * (1 - mean) / var - 1.0
-            if common <= 0:
-                self._tau[k] = (1.0, 1.0)
-                continue
-            self._tau[k, 0] = max(mean * common, _MIN_TAU)
-            self._tau[k, 1] = max((1 - mean) * common, _MIN_TAU)
+            self._tau[k] = fit_beta_moments(np.asarray(stamps[k]))
 
     # -- fitted accessors ------------------------------------------------------------
 
@@ -342,6 +630,13 @@ class UPM:
         """The training corpus."""
         self._require_fitted()
         return self._corpus
+
+    @property
+    def fit_stats(self) -> UPMFitStats:
+        """Per-sweep observability of the last ``fit`` run."""
+        self._require_fitted()
+        assert self._fit_stats is not None
+        return self._fit_stats
 
     @property
     def alpha(self) -> np.ndarray:
@@ -386,15 +681,28 @@ class UPM:
         ``φ̂_kwd = (C_kwd + β_kw) / (C_k·d + Σ_w β_kw)`` — the document-
         specific word distributions of Algorithm 2 (``φ_kd``), reconstructed
         from counts and learned ``β``.
+
+        Memoized per document (LRU over the last ``512`` documents) so
+        serving-time scoring does not rebuild the dense table per query;
+        the cache is invalidated by ``fit``.  Treat the returned array as
+        read-only.
         """
         self._require_fitted()
+        cached = self._twd_cache.get(d)
+        if cached is not None:
+            self._twd_cache.move_to_end(d)
+            return cached
         W = self._corpus.n_words
         K = self.config.n_topics
         counts = np.zeros((K, W))
         for w, local in self._local_word[d].items():
             counts[:, w] = self._word_counts[d][:, local]
         smoothed = counts + self._beta
-        return smoothed / smoothed.sum(axis=1, keepdims=True)
+        smoothed /= smoothed.sum(axis=1, keepdims=True)
+        self._twd_cache[d] = smoothed
+        if len(self._twd_cache) > _TWD_CACHE_SIZE:
+            self._twd_cache.popitem(last=False)
+        return smoothed
 
     def predictive_word_distribution(self, d: int) -> np.ndarray:
         """``p(w | d) = Σ_k θ_dk φ̂_kwd`` — the Eq. 35 predictive."""
@@ -419,18 +727,7 @@ class UPM:
             stamps[int(self._assignments[d][s])].append(session.timestamp)
         tau = np.ones((K, 2))
         for k in range(K):
-            values = np.asarray(stamps[k])
-            if values.size < 2:
-                continue
-            mean = float(np.clip(values.mean(), _TIME_EPS, 1 - _TIME_EPS))
-            var = float(values.var())
-            if var <= 0:
-                var = 1e-4
-            common = mean * (1 - mean) / var - 1.0
-            if common <= 0:
-                continue
-            tau[k, 0] = max(mean * common, _MIN_TAU)
-            tau[k, 1] = max((1 - mean) * common, _MIN_TAU)
+            tau[k] = fit_beta_moments(np.asarray(stamps[k]))
         return tau
 
     def profile_at(self, user_id: str, t_norm: float) -> np.ndarray:
@@ -486,4 +783,4 @@ class UPM:
         else:
             mixture = self.profile_at(user_id, t_norm)
         predictive = mixture @ self.topic_word_distribution(d)
-        return float(np.mean([predictive[w] for w in word_ids]))
+        return float(np.mean(predictive[word_ids]))

@@ -46,11 +46,15 @@ def build_model(
     n_topics: int = 12,
     iterations: int = 60,
     seed: int = 0,
+    upm_engine: str = "fast",
 ):
     """Build the Fig. 4 model *name*; returns an unfitted model object.
 
     Every returned object implements ``fit(corpus)`` and
     ``predictive_word_distribution(d)`` — the perplexity protocol.
+    *upm_engine* selects the UPM sampler implementation (``"fast"`` or
+    ``"reference"``; the two are bit-identical) and is ignored for the
+    baselines.
     """
     if name == "UPM":
         # Imported lazily: repro.personalize.upm itself depends on this
@@ -62,6 +66,7 @@ def build_model(
                 n_topics=n_topics,
                 iterations=iterations,
                 hyperopt_every=max(iterations // 3, 1),
+                engine=upm_engine,
                 seed=seed,
             )
         )

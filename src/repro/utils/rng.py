@@ -12,7 +12,31 @@ import zlib
 
 import numpy as np
 
-__all__ = ["ensure_rng", "derive_rng", "sample_index"]
+__all__ = [
+    "ensure_rng",
+    "derive_rng",
+    "sample_index",
+    "sample_index_with_total",
+]
+
+
+def sample_index_with_total(
+    rng: np.random.Generator, weights: np.ndarray
+) -> tuple[int, float]:
+    """:func:`sample_index` that also returns the weight total.
+
+    The Gibbs samplers need the normalizer anyway (to record the log
+    probability of the drawn index); returning the cumulative sum's last
+    element avoids a second pass over the weights.  The drawn index is
+    bit-identical to :func:`sample_index` for the same generator state.
+    """
+    cumulative = np.asarray(weights).cumsum()
+    total = cumulative[-1]
+    if not total > 0:
+        raise ValueError("weights must have positive sum")
+    draw = rng.random() * total
+    index = int(cumulative.searchsorted(draw, side="right"))
+    return min(index, len(cumulative) - 1), float(total)
 
 
 def sample_index(rng: np.random.Generator, weights: np.ndarray) -> int:
@@ -23,13 +47,7 @@ def sample_index(rng: np.random.Generator, weights: np.ndarray) -> int:
     ``rng.choice(K, p=weights / weights.sum())``, which re-validates and
     normalizes the distribution on every call.
     """
-    cumulative = np.cumsum(weights)
-    total = cumulative[-1]
-    if not total > 0:
-        raise ValueError("weights must have positive sum")
-    draw = rng.random() * total
-    index = int(np.searchsorted(cumulative, draw, side="right"))
-    return min(index, len(cumulative) - 1)
+    return sample_index_with_total(rng, weights)[0]
 
 
 def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:

@@ -87,6 +87,24 @@ class TestSuggest:
         assert code == 0
         assert " 1. " in capsys.readouterr().out
 
+    def test_verbose_prints_fit_stats(self, log_path, capsys):
+        from repro.logs.aol import read_aol
+
+        log = read_aol(log_path)
+        probe = max(log.unique_queries, key=log.query_frequency)
+        code = main(
+            [
+                "suggest", str(log_path), probe,
+                "--k", "5", "--topics", "3", "--compact-size", "60",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "UPM fit: engine=fast" in err
+        assert "sweeps" in err
+        assert "pseudo-log-likelihood" in err
+
     def test_unknown_query_message(self, log_path, capsys):
         code = main(
             ["suggest", str(log_path), "zzzz qqqq", "--no-personalize"]

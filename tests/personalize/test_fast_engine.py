@@ -1,0 +1,211 @@
+"""Tests for the UPM fast engine: bit-identity, fit stats, Beta moments.
+
+The fast engine (vectorized kernel + process sharding) is required to be
+**bit-identical** to the reference sampler — exact array equality, not
+approximate — for any worker count.  That contract is what makes the
+"fast" default safe: every qualitative result in the rest of the suite is
+automatically a test of both engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.logs.sessionizer import sessionize
+from repro.personalize.gibbs_fast import barrier_segments
+from repro.personalize.upm import UPM, UPMConfig, fit_beta_moments
+from repro.topicmodels.corpus import build_corpus
+from tests.personalize.test_upm import two_topic_log
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    log = two_topic_log(sessions_per_user=6, users=8)
+    return build_corpus(log, sessionize(log))
+
+
+@pytest.fixture(scope="module")
+def reference(corpus):
+    return UPM(
+        UPMConfig(
+            n_topics=2, iterations=14, hyperopt_every=5, seed=3,
+            engine="reference", n_workers=1,
+        )
+    ).fit(corpus)
+
+
+class TestEngineConfig:
+    def test_default_is_fast(self):
+        assert UPMConfig().engine == "fast"
+
+    def test_engine_validated(self):
+        with pytest.raises(ValueError):
+            UPMConfig(engine="turbo")
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_workers", [1, 2, 5])
+    def test_fast_engine_exactly_equals_reference(
+        self, corpus, reference, n_workers
+    ):
+        fast = UPM(
+            UPMConfig(
+                n_topics=2, iterations=14, hyperopt_every=5, seed=3,
+                engine="fast", n_workers=n_workers,
+            )
+        ).fit(corpus)
+        for a, b in zip(reference._assignments, fast._assignments):
+            assert np.array_equal(a, b)
+        assert np.array_equal(reference.theta, fast.theta)
+        assert np.array_equal(reference.alpha, fast.alpha)
+        assert np.array_equal(reference.beta, fast.beta)
+        assert np.array_equal(reference.delta, fast.delta)
+        assert np.array_equal(reference.tau, fast.tau)
+
+    @pytest.mark.parametrize("n_workers", [2, 5])
+    def test_log_likelihood_identical_across_workers(
+        self, corpus, reference, n_workers
+    ):
+        # The observability channel must not depend on the worker count
+        # either — per-document terms are summed in canonical order.
+        fast = UPM(
+            UPMConfig(
+                n_topics=2, iterations=14, hyperopt_every=5, seed=3,
+                engine="fast", n_workers=n_workers,
+            )
+        ).fit(corpus)
+        assert (
+            fast.fit_stats.sweep_log_likelihood
+            == reference.fit_stats.sweep_log_likelihood
+        )
+
+    def test_ablations_identical(self, corpus):
+        # The URL/time channels take different code paths in the kernel;
+        # each ablation must match the reference too.
+        for kwargs in (
+            dict(use_urls=False),
+            dict(use_time=False),
+            dict(use_urls=False, use_time=False),
+            dict(hyperopt_every=0),
+        ):
+            ref = UPM(
+                UPMConfig(
+                    n_topics=2, iterations=8, seed=1, engine="reference",
+                    **kwargs,
+                )
+            ).fit(corpus)
+            fast = UPM(
+                UPMConfig(
+                    n_topics=2, iterations=8, seed=1, engine="fast",
+                    n_workers=2, **kwargs,
+                )
+            ).fit(corpus)
+            assert np.array_equal(ref.theta, fast.theta), kwargs
+            assert np.array_equal(ref.beta, fast.beta), kwargs
+            assert np.array_equal(ref.tau, fast.tau), kwargs
+
+
+class TestBarrierSegments:
+    def test_splits_at_hyperopt_multiples(self):
+        assert barrier_segments(60, 20) == [(1, 20), (21, 40), (41, 60)]
+
+    def test_partial_tail_segment(self):
+        assert barrier_segments(25, 10) == [(1, 10), (11, 20), (21, 25)]
+
+    def test_no_hyperopt_is_one_segment(self):
+        assert barrier_segments(30, 0) == [(1, 30)]
+
+    def test_segments_cover_all_sweeps_exactly_once(self):
+        for iterations, every in [(1, 1), (7, 3), (60, 20), (5, 100)]:
+            segments = barrier_segments(iterations, every)
+            sweeps = [
+                s for start, stop in segments
+                for s in range(start, stop + 1)
+            ]
+            assert sweeps == list(range(1, iterations + 1))
+
+
+class TestFitBetaMoments:
+    def test_fewer_than_two_observations_is_flat(self):
+        assert fit_beta_moments(np.array([])) == (1.0, 1.0)
+        assert fit_beta_moments(np.array([0.4])) == (1.0, 1.0)
+
+    def test_zero_variance_is_concentrated_proper_fit(self):
+        a, b = fit_beta_moments(np.array([0.3, 0.3, 0.3]))
+        assert np.isfinite(a) and np.isfinite(b)
+        assert a >= 1.0 and b >= 1.0
+        # Variance floored at 1e-4 -> very concentrated around 0.3.
+        assert a / (a + b) == pytest.approx(0.3, abs=1e-3)
+
+    def test_non_positive_common_factor_is_flat(self):
+        # Two-point mass at the interval ends: variance equals the Bernoulli
+        # maximum, so t(1-t)/var - 1 <= 0 and the fit degenerates.
+        assert fit_beta_moments(np.array([0.0, 1.0])) == (1.0, 1.0)
+
+    def test_moments_recovered(self):
+        rng = np.random.default_rng(0)
+        values = rng.beta(6.0, 2.0, size=4000)
+        a, b = fit_beta_moments(values)
+        assert a / (a + b) == pytest.approx(values.mean(), abs=1e-6)
+        assert a == pytest.approx(6.0, rel=0.15)
+        assert b == pytest.approx(2.0, rel=0.15)
+
+    def test_parameters_floored(self):
+        # Wide spread inside (0, 1) -> tiny raw parameters; floored at 1.
+        a, b = fit_beta_moments(np.array([0.02, 0.98, 0.03, 0.97]))
+        assert a >= 1.0 and b >= 1.0
+
+    def test_model_paths_share_the_helper(self, corpus):
+        # user_tau and the global tau refit go through fit_beta_moments:
+        # every produced pair respects its floor/degeneracy contract.
+        model = UPM(
+            UPMConfig(n_topics=2, iterations=10, hyperopt_every=5, seed=0)
+        ).fit(corpus)
+        assert (model.tau >= 1.0).all()
+        for user in ("u0", "u1"):
+            assert (model.user_tau(user) >= 1.0).all()
+
+
+class TestFitStats:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            UPM().fit_stats
+
+    def test_shapes_and_metadata(self, reference):
+        stats = reference.fit_stats
+        assert stats.engine == "reference"
+        assert stats.n_workers == 1
+        assert stats.n_sweeps == 14
+        assert len(stats.sweep_seconds) == 14
+        assert all(s >= 0 for s in stats.sweep_seconds)
+        assert stats.total_seconds >= sum(stats.sweep_seconds) * 0.5
+        assert stats.mean_sweep_seconds > 0
+
+    def test_log_likelihood_improves(self, corpus):
+        # Monotone-ish: the chain's pseudo-log-likelihood is noisy sweep to
+        # sweep but must clearly rise from the random initialization on a
+        # separable corpus.
+        model = UPM(
+            UPMConfig(n_topics=2, iterations=30, hyperopt_every=10, seed=0)
+        ).fit(corpus)
+        lls = model.fit_stats.sweep_log_likelihood
+        assert np.mean(lls[-10:]) > np.mean(lls[:5])
+        assert all(np.isfinite(v) for v in lls)
+
+
+class TestTopicWordMemoization:
+    def test_repeated_calls_return_cached_array(self, corpus):
+        model = UPM(UPMConfig(n_topics=2, iterations=5, seed=0)).fit(corpus)
+        first = model.topic_word_distribution(0)
+        assert model.topic_word_distribution(0) is first
+
+    def test_refit_invalidates_cache(self, corpus):
+        model = UPM(UPMConfig(n_topics=2, iterations=5, seed=0)).fit(corpus)
+        before = model.topic_word_distribution(0)
+        model.fit(corpus)
+        assert model.topic_word_distribution(0) is not before
+
+    def test_scores_unchanged_by_caching(self, corpus):
+        model = UPM(UPMConfig(n_topics=2, iterations=5, seed=0)).fit(corpus)
+        cold = model.preference_score("u0", "java jvm")
+        warm = model.preference_score("u0", "java jvm")
+        assert cold == warm > 0

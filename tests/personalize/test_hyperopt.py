@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from scipy import sparse
 
 from repro.personalize.hyperopt import (
     dirichlet_log_likelihood,
@@ -115,6 +116,101 @@ class TestOptimizers:
         counts = np.zeros((5, 4))
         eta = optimize_dirichlet_fixed_point(counts, np.ones(4))
         assert (eta > 0).all()
+
+    def test_fixed_point_matches_lbfgs_for_large_eta(self):
+        # Regression: with the absolute-only stopping rule, strongly
+        # concentrated evidence (optimal eta components in the tens) left
+        # the fixed-point iteration running out its budget while the
+        # components still drifted by more than 1e-6 per step.  The mixed
+        # absolute/relative criterion converges; the optimum must agree
+        # with L-BFGS on the shared fixture.
+        counts, _ = sample_counts(
+            seed=11, docs=150,
+            concentration=np.array([60.0, 45.0, 30.0, 25.0, 20.0, 15.0]),
+        )
+        eta0 = np.ones(counts.shape[1])
+        a = optimize_dirichlet_lbfgs(counts, eta0, max_iterations=200)
+        b = optimize_dirichlet_fixed_point(counts, eta0, max_iterations=500)
+        assert (b > 5.0).any()  # the fixture really is in the large regime
+        lla = dirichlet_log_likelihood(counts, a)
+        llb = dirichlet_log_likelihood(counts, b)
+        assert llb == pytest.approx(lla, rel=1e-4)
+
+
+def _explicit_zero_csr(dense: np.ndarray) -> sparse.csr_matrix:
+    """A CSR storing *every* cell of *dense*, zeros included."""
+    docs, items = dense.shape
+    matrix = sparse.csr_matrix(
+        (
+            dense.ravel().astype(float),
+            np.tile(np.arange(items), docs),
+            np.arange(0, docs * items + 1, items),
+        ),
+        shape=(docs, items),
+    )
+    assert matrix.nnz == dense.size
+    return matrix
+
+
+class TestSparseCounts:
+    """The sparse path must agree with the dense one (zero cells contribute
+    exactly nothing to the evidence and its gradient)."""
+
+    @pytest.fixture()
+    def dense(self):
+        counts, _ = sample_counts(seed=7, docs=40)
+        counts[counts < 3] = 0.0  # make it actually sparse
+        return counts
+
+    def test_log_likelihood_matches_dense(self, dense):
+        value = dirichlet_log_likelihood(
+            sparse.csr_matrix(dense), np.array([1.0, 0.5, 2.0, 0.3, 1.5, 0.7])
+        )
+        expected = dirichlet_log_likelihood(
+            dense, np.array([1.0, 0.5, 2.0, 0.3, 1.5, 0.7])
+        )
+        assert value == pytest.approx(expected, rel=1e-12)
+
+    def test_gradient_matches_dense(self, dense):
+        eta = np.array([1.0, 0.5, 2.0, 0.3, 1.5, 0.7])
+        got = dirichlet_log_likelihood_gradient(sparse.csr_matrix(dense), eta)
+        expected = dirichlet_log_likelihood_gradient(dense, eta)
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_explicit_stored_zeros_are_harmless(self, dense):
+        # The UPM ships CSR matrices whose sparsity pattern is each user's
+        # local vocabulary — cells can be structurally present but zero.
+        eta = np.array([1.0, 0.5, 2.0, 0.3, 1.5, 0.7])
+        pruned = sparse.csr_matrix(dense)
+        padded = _explicit_zero_csr(dense)
+        assert dirichlet_log_likelihood(padded, eta) == pytest.approx(
+            dirichlet_log_likelihood(pruned, eta), rel=1e-12
+        )
+        np.testing.assert_allclose(
+            dirichlet_log_likelihood_gradient(padded, eta),
+            dirichlet_log_likelihood_gradient(pruned, eta),
+            rtol=1e-12,
+        )
+
+    @pytest.mark.parametrize(
+        "optimize",
+        [optimize_dirichlet_lbfgs, optimize_dirichlet_fixed_point],
+    )
+    def test_optimizers_match_dense(self, dense, optimize):
+        eta0 = np.ones(dense.shape[1])
+        np.testing.assert_allclose(
+            optimize(sparse.csr_matrix(dense), eta0),
+            optimize(dense, eta0),
+            rtol=1e-8,
+        )
+
+    def test_sparse_validation(self):
+        bad = sparse.csr_matrix(np.array([[1.0, -2.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            dirichlet_log_likelihood(bad, np.ones(2))
+        good = sparse.csr_matrix(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            dirichlet_log_likelihood(good, np.ones(3))  # shape mismatch
 
 
 @settings(max_examples=20, deadline=None)

@@ -1,4 +1,9 @@
-"""Tests for document-parallel UPM Gibbs sampling."""
+"""Tests for document-parallel UPM Gibbs sampling (reference engine).
+
+These pin ``engine="reference"`` to keep the historical thread-pool path
+covered; the fast engine's process sharding has its own bit-identity suite
+in ``test_fast_engine.py``.
+"""
 
 import numpy as np
 import pytest
@@ -24,10 +29,15 @@ class TestParallelGibbs:
     def test_parallel_bit_identical_to_serial(self, corpus, n_workers):
         # The document partition is exact for the UPM: any worker count
         # must give the same posterior state as the serial run.
-        base = UPMConfig(n_topics=2, iterations=12, seed=3, n_workers=1)
+        base = UPMConfig(
+            n_topics=2, iterations=12, seed=3, engine="reference", n_workers=1
+        )
         serial = UPM(base).fit(corpus)
         parallel = UPM(
-            UPMConfig(n_topics=2, iterations=12, seed=3, n_workers=n_workers)
+            UPMConfig(
+                n_topics=2, iterations=12, seed=3, engine="reference",
+                n_workers=n_workers,
+            )
         ).fit(corpus)
         assert np.array_equal(serial.theta, parallel.theta)
         assert np.array_equal(serial.beta, parallel.beta)
@@ -38,25 +48,31 @@ class TestParallelGibbs:
         serial = UPM(
             UPMConfig(
                 n_topics=2, iterations=10, hyperopt_every=5, seed=0,
-                n_workers=1,
+                engine="reference", n_workers=1,
             )
         ).fit(corpus)
         parallel = UPM(
             UPMConfig(
                 n_topics=2, iterations=10, hyperopt_every=5, seed=0,
-                n_workers=3,
+                engine="reference", n_workers=3,
             )
         ).fit(corpus)
         assert np.array_equal(serial.theta, parallel.theta)
 
     def test_more_workers_than_documents(self, corpus):
         model = UPM(
-            UPMConfig(n_topics=2, iterations=3, seed=0, n_workers=100)
+            UPMConfig(
+                n_topics=2, iterations=3, seed=0, engine="reference",
+                n_workers=100,
+            )
         ).fit(corpus)
         assert model.theta.shape[0] == corpus.n_documents
 
     def test_parallel_scoring_works(self, corpus):
         model = UPM(
-            UPMConfig(n_topics=2, iterations=10, seed=0, n_workers=2)
+            UPMConfig(
+                n_topics=2, iterations=10, seed=0, engine="reference",
+                n_workers=2,
+            )
         ).fit(corpus)
         assert model.preference_score("u0", "java jvm") > 0
