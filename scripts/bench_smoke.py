@@ -15,14 +15,26 @@ build over the same full log (acceptance: within 2x).
 ``--upm`` benchmarks UPM offline training (``BENCH_upm.json``): the
 reference Gibbs sampler vs. the vectorized fast engine (serial and
 4-worker), sweep throughput in sessions/s, the bit-identity check, and
-serving-time ``preference_score`` latency.  ``--quick`` is the CI
-profile: smallest Fig. 7 scale, the ingest benchmark, and a small UPM
-training benchmark.
+serving-time ``preference_score`` latency.
+
+``--obs`` benchmarks the observability layer (``BENCH_metrics.json``):
+one warm suggester serves the same probe workload detached (the
+null-registry default) and with a live
+:class:`~repro.obs.registry.MetricsRegistry` + tracer attached, paired
+back to back each round; the median of the per-round latency ratios is
+the measured instrumentation overhead.
+``--max-overhead-ratio`` turns the measurement into a guard (exit 1 when
+exceeded; CI uses 1.05 = 5%).  The record also carries the per-stage
+span breakdown and the full metrics snapshot.
+
+``--quick`` is the CI profile: smallest Fig. 7 scale, the ingest
+benchmark, a small UPM training benchmark, and the observability
+benchmark.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py [--full|--quick]
-        [--ingest] [--upm]
+        [--ingest] [--upm] [--obs] [--max-overhead-ratio R]
 """
 
 from __future__ import annotations
@@ -65,6 +77,30 @@ def _probe_queries(log: QueryLog, n: int) -> list[str]:
         if len(probes) >= n:
             break
     return probes
+
+
+def _stage_breakdown(snapshot: dict) -> dict:
+    """Per-stage span timings out of a registry snapshot.
+
+    Collapses the ``trace.span.seconds`` histogram family (one series per
+    ``span`` label) into ``{stage: {count, mean_ms, total_ms}}`` — the
+    Fig. 7 latency decomposed into expand / solve / walk / rerank.
+    """
+    from repro.obs.trace import SPAN_HISTOGRAM
+
+    stages: dict = {}
+    for entry in snapshot.get("metrics", ()):
+        if entry["name"] != SPAN_HISTOGRAM or entry["type"] != "histogram":
+            continue
+        span = entry.get("labels", {}).get("span", "?")
+        count = entry["count"]
+        total = entry["sum"]
+        stages[span] = {
+            "count": count,
+            "mean_ms": round(total / count * 1000, 4) if count else 0.0,
+            "total_ms": round(total * 1000, 3),
+        }
+    return stages
 
 
 def run_sweep(scales: tuple[int, ...]) -> dict:
@@ -118,6 +154,19 @@ def run_sweep(scales: tuple[int, ...]) -> dict:
             row["pqsda_speedup_vs_seed"] = round(
                 seed_ms / row["mean_latency_ms"]["PQS-DA"], 2
             )
+        # Stage-level breakdown: attach a registry only AFTER the timed
+        # measurements above (so they run with the null-object default),
+        # serve the probe workload once traced, read the span histograms.
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        pqsda.attach_metrics(registry)
+        for query in probes:
+            pqsda.suggest(query, k=10)
+        pqsda.attach_metrics(None)
+        row["pqsda_stage_breakdown_ms"] = _stage_breakdown(
+            registry.snapshot()
+        )
         result["scales"].append(row)
         print(
             f"n_users={n_users:4d} (n={n_queries}): "
@@ -355,6 +404,97 @@ def run_upm_bench(quick: bool = False) -> dict:
     return row
 
 
+def run_obs_bench(n_users: int = 60, rounds: int = 7) -> dict:
+    """Measure end-to-end instrumentation overhead on a warm workload.
+
+    ONE warm suggester, alternating between detached (the null-registry
+    default every subsystem boots with) and a live registry + tracer via
+    ``attach_metrics`` each round.  Using the same instance for both
+    sides keeps the comparison to exactly the instrumentation delta —
+    two separately built suggesters differ by several percent from
+    allocator/layout drift alone, which would swamp the span cost.
+
+    The estimator is the *median of paired per-round ratios*: each round
+    times both sides back to back (order flipping every round so neither
+    side systematically rides a warm-up or frequency ramp), and the
+    per-round ratio cancels the drift the two adjacent measurements
+    share.  The median then discards rounds a scheduler hiccup split
+    down the middle — machine noise here is +/- 8 %, the measured effect
+    under 1 %, so an unpaired mean would be dominated by noise.
+    """
+    from repro.obs.export import to_prometheus
+    from repro.obs.registry import MetricsRegistry
+
+    world = make_world(seed=0, pages_per_leaf=24)
+    config = GeneratorConfig(
+        n_users=n_users,
+        mean_sessions_per_user=12,
+        click_probability=0.55,
+        noise_click_probability=0.12,
+        hub_click_probability=0.15,
+        seed=42,
+    )
+    log = generate_log(world, config).log
+    probes = _probe_queries(log, N_PROBES)
+    pq_config = PQSDAConfig(
+        compact=CompactConfig(size=150),
+        diversify=DiversifyConfig(k=10, candidate_pool=25),
+        personalize=False,
+    )
+    suggester = PQSDA.build(log, config=pq_config)
+    registry = MetricsRegistry()
+
+    for query in probes:
+        suggester.suggest(query, k=10)
+
+    def measure_side(attach) -> float:
+        suggester.attach_metrics(attach)
+        suggester.suggest(probes[0], k=10)  # settle the new binding
+        return measure_latency(suggester, probes, k=10).mean_seconds
+
+    plain_means: list[float] = []
+    instrumented_means: list[float] = []
+    ratios: list[float] = []
+    for index in range(rounds):
+        if index % 2 == 0:
+            plain = measure_side(None)
+            live = measure_side(registry)
+        else:
+            live = measure_side(registry)
+            plain = measure_side(None)
+        plain_means.append(plain)
+        instrumented_means.append(live)
+        ratios.append(live / plain if plain > 0 else 1.0)
+    suggester.attach_metrics(None)
+    best_plain = min(plain_means)
+    best_instrumented = min(instrumented_means)
+    ratios.sort()
+    ratio = ratios[len(ratios) // 2]
+
+    snapshot = registry.snapshot()
+    row = {
+        "n_users": n_users,
+        "rounds": rounds,
+        "probes": len(probes),
+        "plain_mean_ms": round(best_plain * 1000, 4),
+        "instrumented_mean_ms": round(best_instrumented * 1000, 4),
+        "overhead_ratio": round(ratio, 4),
+        "stage_breakdown_ms": _stage_breakdown(snapshot),
+        "n_metrics": len(snapshot["metrics"]),
+        "prometheus_lines": len(
+            to_prometheus(snapshot).strip().splitlines()
+        ),
+        "snapshot": snapshot,
+    }
+    print(
+        f"obs: plain={row['plain_mean_ms']:.3f}ms "
+        f"instrumented={row['instrumented_mean_ms']:.3f}ms "
+        f"(overhead x{row['overhead_ratio']}), "
+        f"{row['n_metrics']} metrics exported"
+    )
+    return row
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -376,6 +516,15 @@ def main() -> int:
         "engine)",
     )
     parser.add_argument(
+        "--obs", action="store_true",
+        help="also run the observability overhead benchmark",
+    )
+    parser.add_argument(
+        "--max-overhead-ratio", type=float, default=None, metavar="R",
+        help="fail (exit 1) when the instrumented/plain latency ratio "
+        "of the --obs benchmark exceeds R (CI uses 1.05)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_fig7.json",
         help="where to write the Fig. 7 JSON record",
     )
@@ -387,10 +536,17 @@ def main() -> int:
         "--upm-output", default="BENCH_upm.json",
         help="where to write the UPM training JSON record",
     )
+    parser.add_argument(
+        "--obs-output", default="BENCH_metrics.json",
+        help="where to write the observability JSON record",
+    )
     args = parser.parse_args()
     if args.quick:
         args.ingest = True
         args.upm = True
+        args.obs = True
+    if args.max_overhead_ratio is not None:
+        args.obs = True
     scales = USER_SCALES if args.full else USER_SCALES[:1]
     record = {
         "benchmark": "fig7_efficiency",
@@ -434,6 +590,27 @@ def main() -> int:
             json.dumps(upm_record, indent=2) + "\n"
         )
         print(f"wrote {args.upm_output}")
+    if args.obs:
+        obs_row = run_obs_bench()
+        obs_record = {
+            "benchmark": "observability_overhead",
+            "max_overhead_ratio": args.max_overhead_ratio,
+            "python": platform.python_version(),
+            **obs_row,
+        }
+        Path(args.obs_output).write_text(
+            json.dumps(obs_record, indent=2) + "\n"
+        )
+        print(f"wrote {args.obs_output}")
+        if (
+            args.max_overhead_ratio is not None
+            and obs_row["overhead_ratio"] > args.max_overhead_ratio
+        ):
+            print(
+                f"FAIL: instrumentation overhead x{obs_row['overhead_ratio']}"
+                f" exceeds the x{args.max_overhead_ratio} bound"
+            )
+            return 1
     return 0
 
 

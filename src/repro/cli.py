@@ -5,7 +5,9 @@ Commands:
 * ``generate`` — build the synthetic world and write an AOL-format log;
 * ``suggest``  — build PQS-DA over an AOL-format log and print suggestions
   for a query (optionally personalized for a user);
-* ``stats``    — print summary statistics of an AOL-format log;
+* ``stats``    — print summary statistics of an AOL-format log, or render a
+  ``--metrics-out`` snapshot (``--metrics``) as a table, JSON, or
+  Prometheus text;
 * ``perplexity`` — run the Fig. 4 protocol for chosen models over a log;
 * ``ingest``   — bootstrap a live suggester from a log prefix, then stream
   the remainder through the incremental ingestion path (epoch snapshots +
@@ -82,12 +84,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "(processes for the fast engine)")
     suggest.add_argument("--verbose", action="store_true",
                          help="print per-fit UPM training statistics")
+    suggest.add_argument("--metrics-out", default=None, metavar="JSON",
+                         help="attach a metrics registry to the whole "
+                              "pipeline and write its snapshot here")
     suggest.add_argument("--seed", type=int, default=0)
     suggest.add_argument("--max-records", type=int, default=None)
 
-    stats = sub.add_parser("stats", help="summarize an AOL-format log")
-    stats.add_argument("log", help="AOL TSV file")
+    stats = sub.add_parser(
+        "stats",
+        help="summarize an AOL-format log or render a metrics snapshot",
+    )
+    stats.add_argument("log", nargs="?", default=None, help="AOL TSV file")
     stats.add_argument("--max-records", type=int, default=None)
+    stats.add_argument("--metrics", default=None, metavar="JSON",
+                       help="render this --metrics-out snapshot instead of "
+                            "summarizing a log")
+    stats.add_argument("--format", default="table",
+                       choices=("table", "json", "prometheus"),
+                       help="metrics rendering (with --metrics)")
 
     perplexity = sub.add_parser(
         "perplexity", help="Fig. 4 perplexity protocol over a log"
@@ -126,6 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "stream (default: most frequent bootstrap query)")
     ingest.add_argument("--k", type=int, default=10)
     ingest.add_argument("--compact-size", type=int, default=150)
+    ingest.add_argument("--metrics-out", default=None, metavar="JSON",
+                        help="attach a metrics registry to the streaming "
+                             "stack and write its snapshot here")
     ingest.add_argument("--max-records", type=int, default=None)
 
     report = sub.add_parser(
@@ -165,6 +182,24 @@ def _load_cleaned(path: str, max_records: int | None):
     return cleaned
 
 
+def _make_registry(metrics_out: str | None):
+    """A live registry when *metrics_out* is set, else ``None``."""
+    if metrics_out is None:
+        return None
+    from repro.obs.registry import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics(registry, metrics_out: str | None) -> None:
+    if registry is None or metrics_out is None:
+        return
+    from repro.obs.export import write_json
+
+    write_json(registry.snapshot(), metrics_out)
+    print(f"wrote metrics snapshot to {metrics_out}", file=sys.stderr)
+
+
 def _cmd_suggest(args: argparse.Namespace) -> int:
     cleaned = _load_cleaned(args.log, args.max_records)
     if len(cleaned) == 0:
@@ -183,7 +218,8 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
         ),
         personalize=not args.no_personalize,
     )
-    suggester = PQSDA.build(cleaned, config=config)
+    registry = _make_registry(args.metrics_out)
+    suggester = PQSDA.build(cleaned, config=config, registry=registry)
     if args.verbose and suggester.profiles is not None:
         stats = suggester.profiles.model.fit_stats
         lls = stats.sweep_log_likelihood
@@ -217,10 +253,53 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
             f"{stats.evictions} evictions, {stats.size}/{stats.maxsize} "
             "entries"
         )
+    _write_metrics(registry, args.metrics_out)
     return 0
 
 
+def _render_metrics_table(snapshot: dict) -> None:
+    for entry in snapshot.get("metrics", ()):
+        labels = entry.get("labels", {})
+        rendered = ""
+        if labels:
+            body = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+            rendered = "{" + body + "}"
+        name = f"{entry['name']}{rendered}"
+        kind = entry["type"]
+        if kind in ("counter", "gauge"):
+            print(f"{name:48s} {kind:9s} {entry['value']}")
+        elif kind == "histogram":
+            count = entry["count"]
+            total = entry["sum"]
+            mean = total / count if count else 0.0
+            print(
+                f"{name:48s} {kind:9s} count={count} sum={total:.6f} "
+                f"mean={mean:.6f}"
+            )
+        else:  # series
+            values = entry.get("values", [])
+            last = f" last={values[-1]:.4f}" if values else ""
+            print(f"{name:48s} {kind:9s} samples={len(values)}{last}")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.metrics is not None:
+        import json
+
+        from repro.obs.export import to_json, to_prometheus
+
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        if args.format == "json":
+            print(to_json(snapshot), end="")
+        elif args.format == "prometheus":
+            print(to_prometheus(snapshot), end="")
+        else:
+            _render_metrics_table(snapshot)
+        return 0
+    if args.log is None:
+        print("error: a log path (or --metrics) is required", file=sys.stderr)
+        return 1
     log = read_aol(args.log, max_records=args.max_records)
     cleaned, report = clean_log(log)
     sessions = sessionize(cleaned)
@@ -288,6 +367,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         diversify=DiversifyConfig(k=args.k),
         personalize=False,
     )
+    registry = _make_registry(args.metrics_out)
     suggester, ingestor, manager = streaming_pqsda(
         bootstrap,
         config=config,
@@ -297,6 +377,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             epoch_every=args.epoch_every,
             clean=False,
         ),
+        registry=registry,
     )
     probe = args.probe
     if probe is None:
@@ -331,6 +412,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     print(f"[{probe}] after the stream:")
     for rank, suggestion in enumerate(after, start=1):
         print(f"{rank:2d}. {suggestion}")
+    _write_metrics(registry, args.metrics_out)
     return 0
 
 

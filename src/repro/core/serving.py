@@ -12,6 +12,21 @@ The cache is thread-safe: :meth:`CompactCache.get` may be called
 concurrently from the worker pool behind ``Suggester.suggest_batch``.
 Entry construction is deterministic, so two threads racing on the same key
 build identical entries and the loser's work is simply discarded.
+
+**Generation invariant.**  Entry builds run outside the lock, so a build
+can straddle an epoch swap: ``get`` snapshots the cache *generation*
+(bumped by every :meth:`CompactCache.rebind` and targeted
+:meth:`CompactCache.invalidate`) together with the expander, and an
+entry whose build saw an older generation is served to its own caller
+but **never inserted** — it belongs to a dead epoch and would otherwise
+survive the flush forever (its ``query_set`` can no longer intersect any
+future delta of the new epoch).  Discards are counted in
+``CacheStats.stale_discards``.
+
+Attach a :class:`~repro.obs.registry.MetricsRegistry` via
+:meth:`CompactCache.attach_metrics` to mirror the counters into the
+observability layer (``serving.cache.*``); the default binding is the
+no-op null registry.
 """
 
 from __future__ import annotations
@@ -25,6 +40,7 @@ from repro.diversify.cross_bipartite import CrossBipartiteWalker, SwitchMatrix
 from repro.diversify.regularization import RegularizationConfig, RelevanceSolver
 from repro.graphs.compact import CompactConfig, RandomWalkExpander
 from repro.graphs.matrices import BipartiteMatrices
+from repro.obs.registry import NULL_REGISTRY
 
 __all__ = ["CacheStats", "CompactCache", "CompactEntry", "cache_key"]
 
@@ -66,6 +82,10 @@ class CacheStats:
             (:meth:`CompactCache.invalidate` / epoch rebinds), i.e. entries
             whose cached neighbourhood intersected a delta's touched-query
             set.
+        stale_discards: Entries built concurrently with an epoch swap and
+            therefore discarded instead of inserted (see the generation
+            invariant in the module docstring).  Each discard's lookup is
+            already counted as a miss.
     """
 
     hits: int
@@ -74,6 +94,12 @@ class CacheStats:
     size: int
     maxsize: int
     invalidations: int = 0
+    stale_discards: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups; always exactly ``hits + misses``."""
+        return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
@@ -132,11 +158,46 @@ class CompactCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._stale_discards = 0
+        # Bumped by every rebind / targeted invalidation; builds that
+        # straddle a bump are served but never inserted.
+        self._generation = 0
+        self.attach_metrics(None)
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror the cache counters into *registry* (``serving.cache.*``).
+
+        ``None`` (the initial binding) detaches — every instrument becomes
+        a shared no-op.  Registry counters count events *since attach*;
+        the internal :attr:`stats` counters always cover the cache's whole
+        lifetime.
+        """
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_hits = registry.counter("serving.cache.hits")
+        self._m_misses = registry.counter("serving.cache.misses")
+        self._m_evictions = registry.counter("serving.cache.evictions")
+        self._m_invalidations = registry.counter("serving.cache.invalidations")
+        self._m_stale_discards = registry.counter(
+            "serving.cache.stale_discards"
+        )
+        self._m_size = registry.gauge("serving.cache.size")
+        self._m_fanout = registry.histogram(
+            "serving.cache.invalidation_fanout",
+            buckets=(0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0),
+        )
+        with self._lock:
+            self._m_size.set(len(self._entries))
 
     @property
     def maxsize(self) -> int:
         """The LRU size bound."""
         return self._maxsize
+
+    @property
+    def generation(self) -> int:
+        """The epoch-swap generation counter (see the module docstring)."""
+        with self._lock:
+            return self._generation
 
     @property
     def stats(self) -> CacheStats:
@@ -149,12 +210,14 @@ class CompactCache:
                 size=len(self._entries),
                 maxsize=self._maxsize,
                 invalidations=self._invalidations,
+                stale_discards=self._stale_discards,
             )
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._m_size.set(0)
 
     def invalidate(self, queries: Iterable[str]) -> int:
         """Evict entries whose cached neighbourhood intersects *queries*.
@@ -170,6 +233,7 @@ class CompactCache:
         if not touched:
             return 0
         with self._lock:
+            self._generation += 1
             stale = [
                 key
                 for key, entry in self._entries.items()
@@ -178,7 +242,10 @@ class CompactCache:
             for key in stale:
                 del self._entries[key]
             self._invalidations += len(stale)
-            return len(stale)
+            self._m_size.set(len(self._entries))
+        self._m_invalidations.inc(len(stale))
+        self._m_fanout.observe(len(stale))
+        return len(stale)
 
     def rebind(
         self,
@@ -191,15 +258,23 @@ class CompactCache:
         existing entries are self-contained slices of their own epoch and
         keep serving.  With *touched* given, only entries intersecting it
         are evicted (targeted invalidation); with ``None`` the cache is
-        flushed wholesale.  Returns the number of entries dropped.
+        flushed wholesale.  Either way the generation counter is bumped,
+        so entry builds in flight across the swap are discarded instead
+        of inserted (see the module docstring).  Returns the number of
+        entries dropped.
         """
-        with self._lock:
-            self._expander = expander
         if touched is None:
             with self._lock:
+                self._expander = expander
+                self._generation += 1
                 dropped = len(self._entries)
                 self._entries.clear()
-                return dropped
+                self._m_size.set(0)
+            self._m_fanout.observe(dropped)
+            return dropped
+        with self._lock:
+            self._expander = expander
+            self._generation += 1
         return self.invalidate(touched)
 
     def get(
@@ -215,6 +290,14 @@ class CompactCache:
         the epoch-pinned serving path passes the pinned epoch's expander so
         a request is served consistently even if a writer publishes a new
         epoch mid-request.
+
+        The build runs outside the lock; if a :meth:`rebind` or targeted
+        :meth:`invalidate` lands in between (the generation snapshot no
+        longer matches at insert time), the freshly built entry is
+        returned to the caller — it is consistent with the epoch the
+        request started under — but **not** inserted, so a pre-swap entry
+        can never be resurrected past the flush (``stale_discards``
+        counts these).
         """
         key = cache_key(seeds, compact, regularization)
         with self._lock:
@@ -222,15 +305,27 @@ class CompactCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                self._m_hits.inc()
                 return entry
             self._misses += 1
-        entry = self._build(seeds, compact, regularization, expander)
+            generation = self._generation
+            build_expander = expander if expander is not None else self._expander
+        self._m_misses.inc()
+        entry = self._build(seeds, compact, regularization, build_expander)
+        evicted = 0
         with self._lock:
+            if self._generation != generation:
+                self._stale_discards += 1
+                self._m_stale_discards.inc()
+                return entry
             if key not in self._entries:
                 self._entries[key] = entry
                 while len(self._entries) > self._maxsize:
                     self._entries.popitem(last=False)
                     self._evictions += 1
+                    evicted += 1
+                self._m_size.set(len(self._entries))
+        self._m_evictions.inc(evicted)
         return entry
 
     def _build(
@@ -238,11 +333,8 @@ class CompactCache:
         seeds: Mapping[str, float],
         compact: CompactConfig,
         regularization: RegularizationConfig,
-        expander: RandomWalkExpander | None = None,
+        expander: RandomWalkExpander,
     ) -> CompactEntry:
-        if expander is None:
-            with self._lock:
-                expander = self._expander
         chosen = expander.expand(seeds, compact)
         full_index = expander.matrices.query_index
         ordinals = sorted(full_index[query] for query in chosen)

@@ -35,6 +35,8 @@ from repro.diversify.candidates import (
     diversify,
     diversify_from_seed_vector,
 )
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.graphs.compact import RandomWalkExpander
 from repro.graphs.multibipartite import MultiBipartite, build_multibipartite
 from repro.logs.schema import QueryRecord, Session
@@ -71,6 +73,9 @@ class PQSDA(Suggester):
             maxsize=config.cache_size,
             switch=config.diversify.switch,
         )
+        self._registry = NULL_REGISTRY
+        self._tracer = NULL_TRACER
+        self._batch_depth = NULL_REGISTRY.gauge("serving.batch.queue_depth")
 
     # -- construction ----------------------------------------------------------------
 
@@ -82,6 +87,7 @@ class PQSDA(Suggester):
         config: PQSDAConfig | None = None,
         multibipartite: MultiBipartite | None = None,
         expander: RandomWalkExpander | None = None,
+        registry=None,
     ) -> "PQSDA":
         """Run the full offline pipeline over *log*.
 
@@ -89,6 +95,11 @@ class PQSDA(Suggester):
         (e.g. an alternative weighting scheme) while reusing the rest of
         the pipeline; pass a matching prebuilt *expander* too when the
         matrices already exist (the streaming bootstrap path does).
+
+        Pass a :class:`~repro.obs.registry.MetricsRegistry` as *registry*
+        to observe the whole lifecycle: UPM training routes its per-sweep
+        metrics there, and the returned suggester comes pre-attached
+        (see :meth:`attach_metrics`).
         """
         if config is None:
             config = PQSDAConfig()
@@ -104,9 +115,15 @@ class PQSDA(Suggester):
         if config.personalize:
             corpus = build_corpus(log, sessions)
             if corpus.n_documents > 0:
-                model = UPM(config.upm).fit(corpus)
+                model = UPM(config.upm)
+                if registry is not None:
+                    model.attach_metrics(registry)
+                model.fit(corpus)
                 profiles = UserProfileStore(model)
-        return cls(multibipartite, expander, profiles, config)
+        instance = cls(multibipartite, expander, profiles, config)
+        if registry is not None:
+            instance.attach_metrics(registry)
+        return instance
 
     # -- accessors -------------------------------------------------------------------
 
@@ -134,6 +151,34 @@ class PQSDA(Suggester):
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction counters of the serving cache."""
         return self._cache.stats
+
+    # -- observability -----------------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Route serving metrics and trace spans into *registry*.
+
+        Attaches the compact-entry cache's counters
+        (``serving.cache.*``), the batch queue-depth gauge
+        (``serving.batch.queue_depth``), and a
+        :class:`~repro.obs.trace.Tracer` whose per-stage spans
+        (``suggest`` → ``expand``/``solve``/``walk``/``rerank``) feed the
+        ``trace.span.seconds`` histogram.  With no registry attached
+        (the default) every instrumentation point is a shared no-op.
+        """
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self._tracer = Tracer(registry) if registry is not None else NULL_TRACER
+        self._cache.attach_metrics(registry)
+        self._batch_depth = self._registry.gauge("serving.batch.queue_depth")
+
+    @property
+    def metrics(self):
+        """The attached registry (the shared null registry by default)."""
+        return self._registry
+
+    @property
+    def last_trace(self) -> Span | None:
+        """Span tree of the calling thread's last completed ``suggest``."""
+        return self._tracer.last_trace
 
     # -- streaming epochs --------------------------------------------------------------
 
@@ -234,12 +279,13 @@ class PQSDA(Suggester):
         normalized = normalize_query(query)
         if normalized in multibipartite:
             seeds = self._context_seeds(normalized, context, timestamp)
-            entry = self._cache.get(
-                seeds,
-                self._config.compact,
-                self._config.diversify.regularization,
-                expander=expander,
-            )
+            with self._tracer.span("expand"):
+                entry = self._cache.get(
+                    seeds,
+                    self._config.compact,
+                    self._config.diversify.regularization,
+                    expander=expander,
+                )
             return diversify(
                 entry.matrices,
                 normalized,
@@ -248,6 +294,7 @@ class PQSDA(Suggester):
                 config=self._config.diversify,
                 solver=entry.solver,
                 walker=entry.walker,
+                tracer=self._tracer,
             )
 
         if not self._config.term_backoff:
@@ -255,12 +302,13 @@ class PQSDA(Suggester):
         seeds = self._backoff_seeds(normalized, multibipartite)
         if not seeds:
             return DiversifiedSuggestions([], {}, normalized)
-        entry = self._cache.get(
-            seeds,
-            self._config.compact,
-            self._config.diversify.regularization,
-            expander=expander,
-        )
+        with self._tracer.span("expand"):
+            entry = self._cache.get(
+                seeds,
+                self._config.compact,
+                self._config.diversify.regularization,
+                expander=expander,
+            )
         matrices = entry.matrices
         f0 = np.zeros(matrices.n_queries)
         for seed, weight in seeds.items():
@@ -275,6 +323,7 @@ class PQSDA(Suggester):
             config=self._config.diversify,
             solver=entry.solver,
             walker=entry.walker,
+            tracer=self._tracer,
         )
 
     def suggest(
@@ -285,23 +334,45 @@ class PQSDA(Suggester):
         context: Sequence[QueryRecord] = (),
         timestamp: float = 0.0,
     ) -> list[str]:
-        diversified = self.diversified_candidates(
-            query, context=context, timestamp=timestamp
-        )
-        candidates = diversified.top(max(k, self._config.diversify.k))
-        if not candidates:
-            return []
-        if (
-            not self._config.personalize
-            or self._profiles is None
-            or user_id is None
-            or user_id not in self._profiles
-        ):
-            return candidates[:k]
-        scores = self._profiles.score_candidates(user_id, candidates)
-        final = personalize_ranking(
-            candidates,
-            scores,
-            personalization_weight=self._config.personalization_weight,
-        )
-        return final.top(k)
+        with self._tracer.span("suggest"):
+            diversified = self.diversified_candidates(
+                query, context=context, timestamp=timestamp
+            )
+            candidates = diversified.top(max(k, self._config.diversify.k))
+            if not candidates:
+                return []
+            if (
+                not self._config.personalize
+                or self._profiles is None
+                or user_id is None
+                or user_id not in self._profiles
+            ):
+                return candidates[:k]
+            with self._tracer.span("rerank"):
+                scores = self._profiles.score_candidates(user_id, candidates)
+                final = personalize_ranking(
+                    candidates,
+                    scores,
+                    personalization_weight=self._config.personalization_weight,
+                )
+                return final.top(k)
+
+    def suggest_batch(
+        self,
+        requests,
+        n_workers: int = 1,
+    ) -> list[list[str]]:
+        """Batched suggestion (see :meth:`Suggester.suggest_batch`).
+
+        Additionally tracks the in-flight request count in the
+        ``serving.batch.queue_depth`` gauge when a registry is attached:
+        incremented by the batch size at submit, decremented when the
+        batch drains (so concurrent batches sum their depths).
+        """
+        requests = list(requests)
+        depth = self._batch_depth
+        depth.inc(len(requests))
+        try:
+            return super().suggest_batch(requests, n_workers=n_workers)
+        finally:
+            depth.dec(len(requests))

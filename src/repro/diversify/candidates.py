@@ -28,6 +28,7 @@ from repro.diversify.hitting_time import HittingTimeEngine
 from repro.diversify.regularization import RegularizationConfig, RelevanceSolver
 from repro.graphs.matrices import BipartiteMatrices
 from repro.logs.schema import QueryRecord
+from repro.obs.trace import NULL_TRACER
 from repro.utils.text import normalize_query
 
 __all__ = [
@@ -115,11 +116,15 @@ def diversify(
     config: DiversifyConfig | None = None,
     solver: RelevanceSolver | None = None,
     walker: CrossBipartiteWalker | None = None,
+    tracer=None,
 ) -> DiversifiedSuggestions:
     """Run Algorithm 1 on a compact representation's *matrices*.
 
     *solver* and *walker* accept per-representation state prebuilt by the
     serving cache; both must have been constructed over *matrices*.
+    *tracer* (a :class:`repro.obs.trace.Tracer`) wraps the Eq. 15 solve
+    and the hitting-time walk in ``solve``/``walk`` spans; ``None`` uses
+    the no-op null tracer.
     """
     if config is None:
         config = DiversifyConfig()
@@ -140,7 +145,7 @@ def diversify(
     )
     return diversify_from_seed_vector(
         matrices, f0, excluded, normalized_input, config,
-        solver=solver, walker=walker,
+        solver=solver, walker=walker, tracer=tracer,
     )
 
 
@@ -152,6 +157,7 @@ def diversify_from_seed_vector(
     config: DiversifyConfig | None = None,
     solver: RelevanceSolver | None = None,
     walker: CrossBipartiteWalker | None = None,
+    tracer=None,
 ) -> DiversifiedSuggestions:
     """Algorithm 1 starting from an arbitrary seed vector ``F⁰``.
 
@@ -163,9 +169,12 @@ def diversify_from_seed_vector(
     """
     if config is None:
         config = DiversifyConfig()
+    if tracer is None:
+        tracer = NULL_TRACER
     if solver is None:
         solver = RelevanceSolver(matrices, config.regularization)
-    f_star = solver.solve(f0)
+    with tracer.span("solve"):
+        f_star = solver.solve(f0)
     index = matrices.query_index
 
     def relevance_of(query: str) -> float:
@@ -185,23 +194,30 @@ def diversify_from_seed_vector(
     # Steps 2..K-1: maximum truncated hitting time to the selected set.
     if walker is None:
         walker = CrossBipartiteWalker(matrices, config.switch)
-    engine = HittingTimeEngine(walker.transition, config.hitting_iterations)
-    while len(ranking) < min(config.k, len(eligible)):
-        absorbing = [index[q] for q in selected]
-        hitting = engine.compute(absorbing)
-        best: str | None = None
-        best_key: tuple[float, float, str] | None = None
-        for query in eligible:
-            if query in selected:
-                continue
-            key = (float(hitting[index[query]]), relevance_of(query), query)
-            if best_key is None or key > best_key:
-                best_key = key
-                best = query
-        if best is None:
-            break
-        ranking.append(best)
-        selected.add(best)
+    with tracer.span("walk"):
+        engine = HittingTimeEngine(
+            walker.transition, config.hitting_iterations
+        )
+        while len(ranking) < min(config.k, len(eligible)):
+            absorbing = [index[q] for q in selected]
+            hitting = engine.compute(absorbing)
+            best: str | None = None
+            best_key: tuple[float, float, str] | None = None
+            for query in eligible:
+                if query in selected:
+                    continue
+                key = (
+                    float(hitting[index[query]]),
+                    relevance_of(query),
+                    query,
+                )
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best = query
+            if best is None:
+                break
+            ranking.append(best)
+            selected.add(best)
 
     relevance = {query: relevance_of(query) for query in ranking}
     return DiversifiedSuggestions(

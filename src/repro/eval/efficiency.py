@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -28,9 +29,19 @@ class EfficiencyResult:
     mean_seconds: float
 
     def relative_to(self, baseline: "EfficiencyResult") -> float:
-        """This suggester's mean latency as a multiple of *baseline*'s."""
-        if baseline.mean_seconds <= 0:
-            raise ValueError("baseline latency must be positive")
+        """This suggester's mean latency as a multiple of *baseline*'s.
+
+        Contract for a zero-latency baseline — possible when a coarse
+        platform clock measures a trivial workload (``--quick`` bench
+        mode) as 0.0 seconds: returns ``math.inf`` (this suggester is
+        unboundedly slower), or ``1.0`` when this measurement is *also*
+        0.0 (both below clock resolution — indistinguishable).  A
+        negative baseline is still a caller error.
+        """
+        if baseline.mean_seconds < 0:
+            raise ValueError("baseline latency must be non-negative")
+        if baseline.mean_seconds == 0.0:
+            return 1.0 if self.mean_seconds == 0.0 else math.inf
         return self.mean_seconds / baseline.mean_seconds
 
 
@@ -69,8 +80,12 @@ def measure_batch_latency(
 
     ``mean_seconds`` is the per-request wall-clock share of the batch —
     with ``n_workers > 1`` it reflects throughput, not individual request
-    latency.  The first request is warmed up beforehand, mirroring
-    :func:`measure_latency`.
+    latency.  Warm-up runs **only the first request** (one
+    ``suggest_batch`` over ``requests[:1]``): enough to absorb lazy
+    one-time costs (pool spin-up, allocator warm-up) without serving the
+    whole workload twice — unlike :func:`measure_latency`, the other
+    requests hit the timed run cold unless the suggester's own cache
+    already holds them.
     """
     if not requests:
         raise ValueError("requests must be non-empty")

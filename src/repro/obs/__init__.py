@@ -1,0 +1,53 @@
+"""Observability: metrics registry, trace spans, JSON/Prometheus export.
+
+Zero-dependency, thread-safe, and null-object-by-default: every
+instrumented subsystem (serving cache, suggester stages, streaming
+ingest/epochs, UPM training) is born bound to :data:`NULL_REGISTRY` /
+:data:`NULL_TRACER` and pays only a no-op method call per event until a
+real registry is attached::
+
+    from repro.obs import MetricsRegistry
+    from repro.obs.export import to_prometheus, write_json
+
+    registry = MetricsRegistry()
+    suggester.attach_metrics(registry)       # PQSDA, CompactCache, tracer
+    suggester.suggest("sun java", k=10)
+
+    print(suggester.last_trace.to_dict())    # span tree of that call
+    write_json(registry.snapshot(), "metrics.json")
+    print(to_prometheus(registry.snapshot()))
+
+The metric name catalogue and the span hierarchy of one ``suggest``
+call are documented in ``docs/algorithms.md`` ("Observability").
+"""
+
+from repro.obs.export import to_json, to_prometheus, write_json
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    Series,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "Series",
+    "Span",
+    "Tracer",
+    "to_json",
+    "to_prometheus",
+    "write_json",
+]

@@ -1,0 +1,130 @@
+"""Exporters: registry snapshots as JSON or Prometheus text format.
+
+Both exporters consume the plain-dict snapshot of
+:meth:`repro.obs.registry.MetricsRegistry.snapshot` (or the same dict
+loaded back from a ``--metrics-out`` JSON file), so the two formats are
+guaranteed to render identical values — the acceptance property the
+export-parity tests pin.
+
+Prometheus rendering follows the text exposition format: dotted metric
+names become ``repro_``-prefixed underscore names, counters gain the
+``_total`` suffix, histograms emit cumulative ``_bucket{le=...}`` lines
+plus ``_sum``/``_count``.  Series (which Prometheus has no native type
+for) are flattened to a ``_last`` gauge and a ``_samples`` counter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["to_json", "to_prometheus", "write_json"]
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    """Render a registry *snapshot* as a JSON document."""
+    return json.dumps(snapshot, indent=indent, sort_keys=False) + "\n"
+
+
+def write_json(snapshot: dict, path: str | Path) -> Path:
+    """Write :func:`to_json` of *snapshot* to *path*; return the path."""
+    path = Path(path)
+    path.write_text(to_json(snapshot), encoding="utf-8")
+    return path
+
+
+def _prom_name(name: str) -> str:
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{sanitized}"
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_prom_escape(merged[key])}"' for key in sorted(merged)
+    )
+    return "{" + body + "}"
+
+
+def _prom_number(value) -> str:
+    if value == "+Inf":
+        return "+Inf"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a registry *snapshot* in the Prometheus text format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, prom_type: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {prom_type}")
+
+    for entry in snapshot.get("metrics", ()):
+        kind = entry["type"]
+        labels = entry.get("labels", {})
+        if kind == "counter":
+            name = _prom_name(entry["name"]) + "_total"
+            declare(name, "counter")
+            lines.append(
+                f"{name}{_prom_labels(labels)} "
+                f"{_prom_number(entry['value'])}"
+            )
+        elif kind == "gauge":
+            name = _prom_name(entry["name"])
+            declare(name, "gauge")
+            lines.append(
+                f"{name}{_prom_labels(labels)} "
+                f"{_prom_number(entry['value'])}"
+            )
+        elif kind == "histogram":
+            name = _prom_name(entry["name"])
+            declare(name, "histogram")
+            for bound, cumulative in entry["buckets"]:
+                le = "+Inf" if bound == "+Inf" else _prom_number(bound)
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, {'le': le})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)} "
+                f"{_prom_number(entry['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(labels)} {entry['count']}"
+            )
+        elif kind == "series":
+            name = _prom_name(entry["name"])
+            values = entry.get("values", [])
+            declare(name + "_last", "gauge")
+            if values:
+                lines.append(
+                    f"{name}_last{_prom_labels(labels)} "
+                    f"{_prom_number(values[-1])}"
+                )
+            declare(name + "_samples", "counter")
+            lines.append(
+                f"{name}_samples{_prom_labels(labels)} {len(values)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

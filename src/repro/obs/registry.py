@@ -1,0 +1,379 @@
+"""Thread-safe metrics primitives: counters, gauges, histograms, series.
+
+The registry is the write-side of the observability layer.  Hot paths
+hold direct references to their instruments (one attribute access + one
+lock-guarded addition per event); readers call
+:meth:`MetricsRegistry.snapshot` to get a consistent, immutable,
+JSON-serializable view that the exporters in :mod:`repro.obs.export`
+render.
+
+**Null-object default.**  Every instrumented subsystem starts bound to
+:data:`NULL_REGISTRY`, whose instruments are shared no-op singletons —
+instrumentation with no registry attached costs one no-op method call
+per event (the overhead guard in ``scripts/bench_smoke.py`` pins this
+below 5 % end to end).  Attach a real :class:`MetricsRegistry` to turn
+the same call sites into live metrics.
+
+Metric identity is ``(name, labels)``: asking the registry twice for the
+same name and labels returns the same instrument; the same name with a
+different type (or different histogram buckets) is an error.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Mapping
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Series",
+]
+
+#: Default histogram bucket upper bounds (seconds): spans sub-millisecond
+#: cache hits through multi-second training sweeps.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labels: Mapping[str, str] | None) -> tuple:
+    return tuple(sorted(labels.items())) if labels else ()
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        """Add *n* (must be >= 0) to the count."""
+        if n < 0:
+            raise ValueError(f"counters only go up, got inc({n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int | float:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, live-object counts)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, value: int | float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: int | float = 1) -> None:
+        """Add *n* to the gauge."""
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: int | float = 1) -> None:
+        """Subtract *n* from the gauge."""
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> int | float:
+        """The current value."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution (Prometheus-style, cumulative).
+
+    Bucket bounds are upper bounds: an observation lands in the first
+    bucket whose bound is >= the value; values above the largest bound
+    land in the implicit ``+Inf`` overflow bucket.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_lock", "_sum")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self._bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self._bounds) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """The finite bucket upper bounds."""
+        return self._bounds
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        with self._lock:
+            return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 before the first observation)."""
+        with self._lock:
+            total = sum(self._counts)
+            return self._sum / total if total else 0.0
+
+    def _snapshot(self) -> tuple[list[int], float]:
+        """(per-bucket counts incl. +Inf, sum) under the lock."""
+        with self._lock:
+            return list(self._counts), self._sum
+
+
+class Series:
+    """An append-only sample log (per-sweep training curves).
+
+    Unlike a histogram, a series keeps every sample in order — what the
+    UPM pseudo-log-likelihood curve needs.  Bounded use only: one sample
+    per Gibbs sweep / ingest run, never per request.
+    """
+
+    __slots__ = ("_lock", "_values")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: list[float] = []
+
+    def append(self, value: float) -> None:
+        """Append one sample."""
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """All samples, in append order."""
+        with self._lock:
+            return tuple(self._values)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+
+_TYPE_NAMES = {
+    Counter: "counter",
+    Gauge: "gauge",
+    Histogram: "histogram",
+    Series: "series",
+}
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with a consistent snapshot view.
+
+    ``counter``/``gauge``/``histogram``/``series`` are
+    get-or-create: the first call fixes the metric's type (and a
+    histogram's buckets); later calls with the same name and labels
+    return the same instrument, and conflicting re-registrations raise
+    ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> (type name, buckets | None, {label key -> instrument})
+        self._families: dict[str, tuple[str, tuple | None, dict]] = {}
+
+    def _get(
+        self,
+        cls,
+        name: str,
+        labels: Mapping[str, str] | None,
+        buckets: tuple[float, ...] | None = None,
+    ):
+        type_name = _TYPE_NAMES[cls]
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (type_name, buckets, {})
+                self._families[name] = family
+            elif family[0] != type_name:
+                raise ValueError(
+                    f"metric {name!r} is a {family[0]}, not a {type_name}"
+                )
+            elif buckets is not None and family[1] != buckets:
+                raise ValueError(
+                    f"histogram {name!r} already registered with buckets "
+                    f"{family[1]}"
+                )
+            instruments = family[2]
+            instrument = instruments.get(key)
+            if instrument is None:
+                if cls is Histogram:
+                    bounds = family[1] or DEFAULT_LATENCY_BUCKETS
+                    instrument = Histogram(bounds)
+                else:
+                    instrument = cls()
+                instruments[key] = instrument
+            return instrument
+
+    def counter(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        """Get or create the counter *name* with *labels*."""
+        return self._get(Counter, name, labels)
+
+    def gauge(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        """Get or create the gauge *name* with *labels*."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        """Get or create the histogram *name*; *buckets* fixes the bounds."""
+        if buckets is None:
+            buckets = DEFAULT_LATENCY_BUCKETS
+        else:
+            buckets = tuple(float(b) for b in buckets)
+        return self._get(Histogram, name, labels, buckets)
+
+    def series(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Series:
+        """Get or create the series *name* with *labels*."""
+        return self._get(Series, name, labels)
+
+    def snapshot(self) -> dict:
+        """A point-in-time, JSON-serializable view of every metric.
+
+        Deterministic ordering (by name, then sorted labels); histogram
+        buckets are rendered *cumulatively* with a final ``"+Inf"`` bound,
+        matching the Prometheus exposition convention so both exporters
+        read the same structure.
+        """
+        with self._lock:
+            families = {
+                name: (type_name, dict(instruments))
+                for name, (type_name, _, instruments) in self._families.items()
+            }
+        metrics: list[dict] = []
+        for name in sorted(families):
+            type_name, instruments = families[name]
+            for key in sorted(instruments):
+                instrument = instruments[key]
+                entry: dict = {
+                    "name": name,
+                    "type": type_name,
+                    "labels": dict(key),
+                }
+                if type_name in ("counter", "gauge"):
+                    entry["value"] = instrument.value
+                elif type_name == "histogram":
+                    counts, total = instrument._snapshot()
+                    cumulative: list[list] = []
+                    running = 0
+                    for bound, count in zip(instrument.bounds, counts):
+                        running += count
+                        cumulative.append([bound, running])
+                    cumulative.append(["+Inf", running + counts[-1]])
+                    entry["buckets"] = cumulative
+                    entry["count"] = cumulative[-1][1]
+                    entry["sum"] = total
+                else:  # series
+                    values = list(instrument.values)
+                    entry["values"] = values
+                    entry["count"] = len(values)
+                metrics.append(entry)
+        return {"metrics": metrics}
+
+
+class _NullInstrument:
+    """Shared no-op instrument: every mutator is a pass-through."""
+
+    __slots__ = ()
+
+    def inc(self, n: int | float = 1) -> None:
+        pass
+
+    def dec(self, n: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def append(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The null-object registry: hands out shared no-op instruments.
+
+    Every lookup returns the same do-nothing singleton, so the
+    instrumented hot paths pay only a no-op method call per event when
+    observability is not attached.
+    """
+
+    __slots__ = ()
+
+    def counter(self, name, labels=None) -> _NullInstrument:
+        """A shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, labels=None) -> _NullInstrument:
+        """A shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, labels=None, buckets=None) -> _NullInstrument:
+        """A shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def series(self, name, labels=None) -> _NullInstrument:
+        """A shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        """Always empty."""
+        return {"metrics": []}
+
+
+#: Process-wide null registry — the default binding of every
+#: instrumented subsystem.
+NULL_REGISTRY = NullRegistry()

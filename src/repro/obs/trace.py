@@ -1,0 +1,194 @@
+"""Trace spans: nested per-stage wall-clock for one request.
+
+A :class:`Tracer` hands out context-manager spans.  Spans opened while
+another span is active on the same thread become its children, so one
+``suggest`` call yields a tree::
+
+    suggest
+    ├── expand          (cache lookup / compact-entry build)
+    ├── solve           (Eq. 15 regularization system)
+    ├── walk            (truncated cross-bipartite hitting time)
+    └── rerank          (UPM scoring + Borda fusion)
+
+Each span is opened and closed exactly once on the thread that created
+it, so it is clocked by a pair of plain ``perf_counter`` reads (no lock,
+no allocation beyond the span itself) and, on exit, observes its
+duration into the bound registry's ``trace.span.seconds`` histogram
+labelled by span name — which is how the per-stage latency breakdown
+reaches the JSON / Prometheus exporters.  Cross-span nesting safety
+comes from the thread-local span stack, not from the clock.
+
+The span stack is thread-local: concurrent requests in a
+``suggest_batch`` worker pool each grow their own tree, and
+:attr:`Tracer.last_trace` returns the calling thread's most recently
+completed root span.
+
+:data:`NULL_TRACER` is the null object bound by default: ``span()``
+returns a shared no-op context manager, keeping untraced hot paths at
+one method call of overhead per stage.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+from repro.obs.registry import NULL_REGISTRY
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer"]
+
+#: Metric name of the per-span duration histogram.
+SPAN_HISTOGRAM = "trace.span.seconds"
+
+
+class Span:
+    """One timed stage, with child spans opened while it was active.
+
+    Attributes:
+        name: Stage label (``"suggest"``, ``"expand"``, ...).
+        children: Sub-spans in open order.
+    """
+
+    __slots__ = ("children", "name", "_elapsed", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.children: list[Span] = []
+        self._start = 0.0
+        self._elapsed = 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock seconds of this span (0.0 while still open)."""
+        return self._elapsed
+
+    def find(self, name: str) -> "Span | None":
+        """This span or its first descendant (depth-first) named *name*."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable tree: name, seconds, children."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.seconds * 1000:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _ActiveSpan:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_name", "_span", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        span = Span(self._name)
+        stack = self._tracer._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        self._span = span
+        span._start = perf_counter()
+        return span
+
+    def __exit__(self, *exc_info: object) -> None:
+        stop = perf_counter()
+        span = self._span
+        assert span is not None
+        span._elapsed = stop - span._start
+        stack = self._tracer._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._tracer._finish(span, root=not stack)
+
+
+class Tracer:
+    """Produces nested spans and routes their timings into a registry."""
+
+    def __init__(self, registry=None) -> None:
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self._local = threading.local()
+        # Per-name histogram instruments, cached so span exit skips the
+        # registry's get-or-create path (label normalization + lock).  A
+        # racing first-miss is benign: the registry hands back the same
+        # instrument for the same identity.
+        self._histograms: dict[str, object] = {}
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str) -> _ActiveSpan:
+        """A context manager timing one *name* stage (nested under the
+        thread's currently open span, if any)."""
+        return _ActiveSpan(self, name)
+
+    def _finish(self, span: Span, root: bool) -> None:
+        histogram = self._histograms.get(span.name)
+        if histogram is None:
+            histogram = self._histograms[span.name] = self._registry.histogram(
+                SPAN_HISTOGRAM, labels={"span": span.name}
+            )
+        histogram.observe(span._elapsed)
+        if root:
+            self._local.last = span
+
+    @property
+    def last_trace(self) -> Span | None:
+        """The calling thread's most recently completed root span."""
+        return getattr(self._local, "last", None)
+
+
+class _NullSpan:
+    """Shared no-op span context manager."""
+
+    __slots__ = ()
+    name = ""
+    seconds = 0.0
+    children: list = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The null-object tracer: spans are shared no-ops, no tree is kept."""
+
+    __slots__ = ()
+
+    def span(self, name: str) -> _NullSpan:
+        """A shared no-op context manager."""
+        return _NULL_SPAN
+
+    @property
+    def last_trace(self) -> None:
+        """Always ``None``."""
+        return None
+
+
+#: Process-wide null tracer — the default binding of traced hot paths.
+NULL_TRACER = NullTracer()

@@ -56,6 +56,7 @@ from repro.personalize.gibbs_fast import (
     init_worker,
     run_shard_segment,
 )
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.personalize.hyperopt import (
     optimize_dirichlet_fixed_point,
     optimize_dirichlet_lbfgs,
@@ -213,6 +214,49 @@ class UPM:
         self._fitted = False
         self._fit_stats: UPMFitStats | None = None
         self._twd_cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._fit_registry = MetricsRegistry()
+        self._s_ll = self._fit_registry.series("upm.sweep.log_likelihood")
+        self._s_secs = self._fit_registry.series("upm.sweep.seconds")
+        self.attach_metrics(None)
+
+    # -- observability -------------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror per-sweep training metrics into *registry* (``upm.*``).
+
+        Every fit already routes its per-sweep pseudo-log-likelihood and
+        wall clock through an internal registry (see :attr:`fit_metrics`);
+        attaching an external one additionally feeds the
+        ``upm.sweep.seconds`` histogram, the ``upm.sweep.log_likelihood``
+        gauge (last sweep's value) and the ``upm.sweeps`` / ``upm.fits``
+        counters.  ``None`` detaches (the default no-op binding).
+        """
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_sweep_seconds = registry.histogram("upm.sweep.seconds")
+        self._m_sweep_ll = registry.gauge("upm.sweep.log_likelihood")
+        self._m_sweeps = registry.counter("upm.sweeps")
+        self._m_fits = registry.counter("upm.fits")
+        self._m_fit_seconds = registry.histogram(
+            "upm.fit.seconds", buckets=(0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0)
+        )
+
+    @property
+    def fit_metrics(self) -> MetricsRegistry:
+        """The last fit's internal registry (``upm.sweep.*`` series).
+
+        Replaces the ad-hoc per-engine list accumulators: all four engine
+        paths observe each sweep through :meth:`_observe_sweep`, and
+        :class:`UPMFitStats` is assembled from these series.
+        """
+        return self._fit_registry
+
+    def _observe_sweep(self, log_likelihood: float, seconds: float) -> None:
+        """Record one completed Gibbs sweep (all engines funnel here)."""
+        self._s_ll.append(log_likelihood)
+        self._s_secs.append(seconds)
+        self._m_sweep_seconds.observe(seconds)
+        self._m_sweep_ll.set(log_likelihood)
+        self._m_sweeps.inc()
 
     # -- fitting -------------------------------------------------------------------
 
@@ -279,23 +323,29 @@ class UPM:
             [g.size for g in self._doc_url_gids], out=self._url_indptr[1:]
         )
 
+        self._fit_registry = MetricsRegistry()
+        self._s_ll = self._fit_registry.series("upm.sweep.log_likelihood")
+        self._s_secs = self._fit_registry.series("upm.sweep.seconds")
         start_time = perf_counter()
         if config.engine == "fast":
             if config.n_workers > 1 and D > 1:
-                lls, secs = self._fit_fast_parallel()
+                self._fit_fast_parallel()
             else:
-                lls, secs = self._fit_fast_serial()
+                self._fit_fast_serial()
         elif config.n_workers > 1:
-            lls, secs = self._fit_parallel()
+            self._fit_parallel()
         else:
-            lls, secs = self._fit_reference_serial()
+            self._fit_reference_serial()
+        total_seconds = perf_counter() - start_time
         self._fit_stats = UPMFitStats(
             engine=config.engine,
             n_workers=config.n_workers,
-            sweep_log_likelihood=tuple(lls),
-            sweep_seconds=tuple(secs),
-            total_seconds=perf_counter() - start_time,
+            sweep_log_likelihood=self._s_ll.values,
+            sweep_seconds=self._s_secs.values,
+            total_seconds=total_seconds,
         )
+        self._m_fit_seconds.observe(total_seconds)
+        self._m_fits.inc()
         self._fitted = True
         return self
 
@@ -312,23 +362,19 @@ class UPM:
 
     # -- reference engine ------------------------------------------------------------
 
-    def _fit_reference_serial(self) -> tuple[list[float], list[float]]:
+    def _fit_reference_serial(self) -> None:
         """Serial per-session sweeps — the executable specification."""
         config = self.config
         D = self._corpus.n_documents
-        lls: list[float] = []
-        secs: list[float] = []
         for sweep in range(1, config.iterations + 1):
             start = perf_counter()
             per_doc = np.empty(D)
             for d in range(D):
                 per_doc[d] = self._sweep_document(d, self._doc_rng(d, sweep))
-            secs.append(perf_counter() - start)
-            lls.append(float(per_doc.sum()))
+            self._observe_sweep(float(per_doc.sum()), perf_counter() - start)
             self._maybe_optimize(sweep)
-        return lls, secs
 
-    def _fit_parallel(self) -> tuple[list[float], list[float]]:
+    def _fit_parallel(self) -> None:
         """Document-parallel Gibbs over worker *threads* (reference engine).
 
         Kept as the historical parallel path: correct and bit-identical,
@@ -341,8 +387,6 @@ class UPM:
         D = self._corpus.n_documents
         n_workers = min(config.n_workers, D)
         blocks = [list(range(D))[i::n_workers] for i in range(n_workers)]
-        lls: list[float] = []
-        secs: list[float] = []
 
         def run_block(
             block: list[int], sweep: int, per_doc: np.ndarray
@@ -360,10 +404,10 @@ class UPM:
                 ]
                 for future in futures:
                     future.result()
-                secs.append(perf_counter() - start)
-                lls.append(float(per_doc.sum()))
+                self._observe_sweep(
+                    float(per_doc.sum()), perf_counter() - start
+                )
                 self._maybe_optimize(sweep)
-        return lls, secs
 
     # -- fast engine -----------------------------------------------------------------
 
@@ -391,25 +435,21 @@ class UPM:
         )
         return kernel
 
-    def _fit_fast_serial(self) -> tuple[list[float], list[float]]:
+    def _fit_fast_serial(self) -> None:
         """Vectorized kernel, one process (see ``gibbs_fast.FastKernel``)."""
         config = self.config
         kernel = self._bound_kernel()
-        lls: list[float] = []
-        secs: list[float] = []
         for sweep in range(1, config.iterations + 1):
             start = perf_counter()
             per_doc = kernel.sweep(sweep)
-            secs.append(perf_counter() - start)
-            lls.append(float(per_doc.sum()))
+            self._observe_sweep(float(per_doc.sum()), perf_counter() - start)
             if config.hyperopt_every and sweep % config.hyperopt_every == 0:
                 self._maybe_optimize(sweep)
                 kernel.set_hyperparameters(
                     self._alpha, self._beta, self._delta, self._tau
                 )
-        return lls, secs
 
-    def _fit_fast_parallel(self) -> tuple[list[float], list[float]]:
+    def _fit_fast_parallel(self) -> None:
         """Process-based document sharding between hyperopt barriers.
 
         Workers hold disjoint document shards and sample a whole
@@ -460,9 +500,11 @@ class UPM:
                     self._merge_shard(shard, state)
                     ll_rows[rows, shard] = shard_lls
                     np.maximum(secs[rows], shard_secs, out=secs[rows])
+                for row in range(sweep_start - 1, sweep_stop):
+                    self._observe_sweep(
+                        float(ll_rows[row].sum()), float(secs[row])
+                    )
                 self._maybe_optimize(sweep_stop)
-        lls = [float(row.sum()) for row in ll_rows]
-        return lls, list(secs)
 
     def _extract_shard(self, shard: list[int]) -> ShardState:
         return ShardState(

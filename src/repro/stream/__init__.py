@@ -57,6 +57,7 @@ def streaming_pqsda(
     config: PQSDAConfig | None = None,
     ingest: IngestConfig | None = None,
     sessionizer: SessionizerConfig | None = None,
+    registry=None,
 ) -> tuple[PQSDA, LogIngestor, EpochManager]:
     """Build a live suggester over *bootstrap_log*; return its stream plumbing.
 
@@ -66,6 +67,10 @@ def streaming_pqsda(
     epoch 0 of a fresh :class:`EpochManager`, attaches the suggester to the
     manager, and wraps the state in a :class:`LogIngestor` ready to drain
     live sources.  Returns ``(suggester, ingestor, manager)``.
+
+    Pass a :class:`~repro.obs.registry.MetricsRegistry` as *registry* to
+    observe the whole stack at once: UPM training, serving cache + spans,
+    epoch lifecycle, and the ingest loop all feed the same registry.
 
     Note the UPM personalization stage remains batch-fitted on the
     bootstrap log: profiles are not updated online (the paper's profiles
@@ -80,14 +85,15 @@ def streaming_pqsda(
     state.apply(records)
     snapshot = state.build_snapshot()
     epoch0 = Epoch.from_snapshot(0, snapshot)
-    manager = EpochManager(epoch0)
+    manager = EpochManager(epoch0, registry=registry)
     suggester = PQSDA.build(
         snapshot.log,
         sessions=None if config.personalize else [],
         config=config,
         multibipartite=snapshot.multibipartite,
         expander=epoch0.expander,
+        registry=registry,
     )
     suggester.attach_epochs(manager)
-    ingestor = LogIngestor(state, manager, ingest)
+    ingestor = LogIngestor(state, manager, ingest, registry=registry)
     return suggester, ingestor, manager

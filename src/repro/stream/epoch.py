@@ -26,6 +26,7 @@ from repro.graphs.compact import RandomWalkExpander
 from repro.graphs.matrices import BipartiteMatrices
 from repro.graphs.multibipartite import MultiBipartite
 from repro.logs.storage import QueryLog
+from repro.obs.registry import NULL_REGISTRY
 from repro.stream.delta import StreamSnapshot
 
 __all__ = ["Epoch", "EpochManager", "EpochStats"]
@@ -112,7 +113,7 @@ class EpochManager:
     cache without deadlocking.
     """
 
-    def __init__(self, initial: Epoch) -> None:
+    def __init__(self, initial: Epoch, registry=None) -> None:
         self._lock = threading.Lock()
         self._current = initial
         self._live: dict[int, Epoch] = {initial.epoch_id: initial}
@@ -120,6 +121,26 @@ class EpochManager:
         self._published = 1
         self._retired = 0
         self._subscribers: list = []
+        self.attach_metrics(registry)
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror the epoch lifecycle into *registry* (``stream.epochs.*``).
+
+        Counters (``published``/``retired``) count events since attach;
+        gauges (``current``/``live``/``pinned_readers``) are seeded from
+        the manager's present state.  ``None`` detaches (no-op
+        instruments, the default binding).
+        """
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_published = registry.counter("stream.epochs.published")
+        self._m_retired = registry.counter("stream.epochs.retired")
+        self._m_current = registry.gauge("stream.epochs.current")
+        self._m_live = registry.gauge("stream.epochs.live")
+        self._m_pinned = registry.gauge("stream.epochs.pinned_readers")
+        with self._lock:
+            self._m_current.set(self._current.epoch_id)
+            self._m_live.set(len(self._live))
+            self._m_pinned.set(sum(self._pins.values()))
 
     # -- reader side ------------------------------------------------------------
 
@@ -137,6 +158,7 @@ class EpochManager:
         with self._lock:
             epoch = self._current
             self._pins[epoch.epoch_id] += 1
+            self._m_pinned.inc()
             return _Pin(self, epoch)
 
     def _unpin(self, epoch_id: int) -> None:
@@ -146,6 +168,7 @@ class EpochManager:
                 return
             remaining -= 1
             self._pins[epoch_id] = remaining
+            self._m_pinned.dec()
             if remaining <= 0 and epoch_id != self._current.epoch_id:
                 self._retire(epoch_id)
 
@@ -167,8 +190,11 @@ class EpochManager:
             self._live[epoch.epoch_id] = epoch
             self._pins.setdefault(epoch.epoch_id, 0)
             self._published += 1
+            self._m_published.inc()
+            self._m_current.set(epoch.epoch_id)
             if self._pins.get(previous.epoch_id, 0) <= 0:
                 self._retire(previous.epoch_id)
+            self._m_live.set(len(self._live))
             subscribers = list(self._subscribers)
         for callback in subscribers:
             callback(epoch)
@@ -177,6 +203,8 @@ class EpochManager:
         """Drop a superseded, unpinned epoch (caller holds the lock)."""
         if self._live.pop(epoch_id, None) is not None:
             self._retired += 1
+            self._m_retired.inc()
+            self._m_live.set(len(self._live))
         self._pins.pop(epoch_id, None)
 
     def subscribe(self, callback) -> None:

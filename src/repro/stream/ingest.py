@@ -29,6 +29,7 @@ from pathlib import Path
 from repro.logs.aol import parse_aol_line
 from repro.logs.cleaning import CleaningRules
 from repro.logs.schema import QueryRecord
+from repro.obs.registry import NULL_REGISTRY
 from repro.stream.delta import StreamState
 from repro.stream.epoch import Epoch, EpochManager
 from repro.utils.text import normalize_query, tokenize
@@ -95,6 +96,9 @@ class LogIngestor:
             applied and snapshotted, typically via ``streaming_pqsda``).
         manager: Epoch registry the loop publishes to.
         config: Batching / cleaning knobs.
+        registry: Optional :class:`~repro.obs.registry.MetricsRegistry`
+            the writer loop's ``stream.ingest.*`` metrics feed; ``None``
+            binds the no-op null registry.
     """
 
     def __init__(
@@ -102,6 +106,7 @@ class LogIngestor:
         state: StreamState,
         manager: EpochManager,
         config: IngestConfig | None = None,
+        registry=None,
     ) -> None:
         self._state = state
         self._manager = manager
@@ -109,6 +114,22 @@ class LogIngestor:
         self._buffer: list[QueryRecord] = []
         self._batches_since_publish = 0
         self._user_volume: dict[str, int] = {}
+        self.attach_metrics(registry)
+
+    def attach_metrics(self, registry) -> None:
+        """Bind the ingest counters/histograms to *registry* (or detach)."""
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_seen = registry.counter("stream.ingest.records_seen")
+        self._m_ingested = registry.counter("stream.ingest.records_ingested")
+        self._m_dropped_terms = registry.counter("stream.ingest.dropped_terms")
+        self._m_dropped_robot = registry.counter("stream.ingest.dropped_robot")
+        self._m_declicked = registry.counter("stream.ingest.declicked_urls")
+        self._m_batches = registry.counter("stream.ingest.batches")
+        self._m_epochs = registry.counter("stream.ingest.epochs_published")
+        self._m_fold_seconds = registry.histogram(
+            "stream.ingest.batch_fold_seconds"
+        )
+        self._m_rps = registry.gauge("stream.ingest.records_per_second")
 
     @property
     def config(self) -> IngestConfig:
@@ -132,11 +153,13 @@ class LogIngestor:
         started = time.perf_counter()
         for record in source:
             report.records_seen += 1
+            self._m_seen.inc()
             admitted = self._admit(record, report)
             if admitted is None:
                 continue
             self._buffer.append(admitted)
             report.records_ingested += 1
+            self._m_ingested.inc()
             if len(self._buffer) >= self._config.batch_size:
                 self._flush(report)
         if self._buffer and publish_remainder:
@@ -144,6 +167,7 @@ class LogIngestor:
         if publish_remainder and self._state.n_pending:
             self._publish(report)
         report.elapsed_seconds = time.perf_counter() - started
+        self._m_rps.set(report.records_per_second)
         return report
 
     # -- cleaning gate -----------------------------------------------------------
@@ -159,16 +183,19 @@ class LogIngestor:
         self._user_volume[record.user_id] = volume
         if volume > rules.max_user_queries:
             report.dropped_robot += 1
+            self._m_dropped_robot.inc()
             return None
         normalized = normalize_query(record.query)
         n_terms = len(tokenize(normalized))
         if n_terms < rules.min_query_terms or n_terms > rules.max_query_terms:
             report.dropped_terms += 1
+            self._m_dropped_terms.inc()
             return None
         clicked = record.clicked_url
         if clicked is not None and clicked in rules.drop_urls:
             clicked = None
             report.declicked_urls += 1
+            self._m_declicked.inc()
         return QueryRecord(
             user_id=record.user_id,
             query=normalized,
@@ -179,9 +206,12 @@ class LogIngestor:
     # -- batching ----------------------------------------------------------------
 
     def _flush(self, report: IngestReport) -> None:
+        fold_started = time.perf_counter()
         self._state.apply(self._buffer)
+        self._m_fold_seconds.observe(time.perf_counter() - fold_started)
         self._buffer = []
         report.batches += 1
+        self._m_batches.inc()
         self._batches_since_publish += 1
         if self._batches_since_publish >= self._config.epoch_every:
             self._publish(report)
@@ -194,6 +224,7 @@ class LogIngestor:
         self._manager.publish(epoch)
         self._batches_since_publish = 0
         report.epochs_published += 1
+        self._m_epochs.inc()
 
 
 # -- sources ---------------------------------------------------------------------

@@ -1,7 +1,13 @@
-"""Wall-clock timing helper used by the efficiency experiments (Fig. 7)."""
+"""Wall-clock timing helper used by the efficiency experiments (Fig. 7).
+
+Also the clock behind the observability trace spans
+(:mod:`repro.obs.trace`), which nest and run concurrently — hence the
+per-thread start stacks below.
+"""
 
 from __future__ import annotations
 
+import threading
 import time
 
 __all__ = ["Timer"]
@@ -19,23 +25,40 @@ class Timer:
             with timer:
                 suggester.suggest(query)
         mean_latency = timer.elapsed / len(workload)
+
+    Entries may nest and may run concurrently from multiple threads:
+    each thread keeps its own stack of start times, so an inner block
+    never clobbers the outer block's start (nested blocks therefore
+    *both* accumulate — the outer block's time includes the inner's),
+    and concurrent blocks in different threads are timed independently.
+    The ``elapsed``/``calls`` accumulators are lock-guarded.
     """
 
     def __init__(self) -> None:
         self.elapsed = 0.0
         self.calls = 0
-        self._started_at: float | None = None
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[float]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def __enter__(self) -> "Timer":
-        self._started_at = time.perf_counter()
+        self._stack().append(time.perf_counter())
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        if self._started_at is None:
+        stack = self._stack()
+        if not stack:
             raise RuntimeError("Timer.__exit__ called without __enter__")
-        self.elapsed += time.perf_counter() - self._started_at
-        self.calls += 1
-        self._started_at = None
+        started_at = stack.pop()
+        duration = time.perf_counter() - started_at
+        with self._lock:
+            self.elapsed += duration
+            self.calls += 1
 
     @property
     def mean(self) -> float:
@@ -45,7 +68,11 @@ class Timer:
         return self.elapsed / self.calls
 
     def reset(self) -> None:
-        """Zero the accumulated time and call count."""
-        self.elapsed = 0.0
-        self.calls = 0
-        self._started_at = None
+        """Zero the accumulated time and call count.
+
+        Blocks already entered (in any thread) keep their start times and
+        will still accumulate when they exit.
+        """
+        with self._lock:
+            self.elapsed = 0.0
+            self.calls = 0

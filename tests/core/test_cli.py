@@ -179,6 +179,86 @@ class TestReport:
         assert "# PQS-DA evaluation report" in capsys.readouterr().out
 
 
+class TestMetricsFlow:
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, log_path, tmp_path_factory):
+        """Run ``suggest --metrics-out`` once; reuse the snapshot file."""
+        from repro.logs.aol import read_aol
+
+        log = read_aol(log_path)
+        probe = max(log.unique_queries, key=log.query_frequency)
+        path = tmp_path_factory.mktemp("metrics") / "metrics.json"
+        code = main(
+            [
+                "suggest", str(log_path), probe,
+                "--no-personalize", "--k", "5", "--compact-size", "60",
+                "--metrics-out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_suggest_writes_loadable_snapshot(self, snapshot_path, capsys):
+        import json
+
+        capsys.readouterr()
+        snapshot = json.loads(snapshot_path.read_text())
+        names = {entry["name"] for entry in snapshot["metrics"]}
+        assert "serving.cache.misses" in names
+        assert "trace.span.seconds" in names
+
+    def test_stats_renders_metrics_table(self, snapshot_path, capsys):
+        assert main(["stats", "--metrics", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serving.cache.misses" in out
+        assert "counter" in out
+
+    def test_stats_metrics_prometheus(self, snapshot_path, capsys):
+        code = main(
+            ["stats", "--metrics", str(snapshot_path),
+             "--format", "prometheus"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_serving_cache_misses_total" in out
+        assert "# TYPE" in out
+
+    def test_stats_metrics_json_round_trips(self, snapshot_path, capsys):
+        import json
+
+        code = main(
+            ["stats", "--metrics", str(snapshot_path), "--format", "json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert json.loads(out) == json.loads(snapshot_path.read_text())
+
+    def test_stats_requires_log_or_metrics(self, capsys):
+        assert main(["stats"]) == 1
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_ingest_metrics_out(self, log_path, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "stream_metrics.json"
+        code = main(
+            [
+                "ingest", str(log_path),
+                "--batch-size", "32", "--epoch-every", "2",
+                "--k", "5", "--compact-size", "40",
+                "--metrics-out", str(path),
+            ]
+        )
+        assert code == 0
+        names = {
+            entry["name"]
+            for entry in json.loads(path.read_text())["metrics"]
+        }
+        assert "stream.ingest.records_ingested" in names
+        assert "stream.epochs.current" in names
+        assert "serving.cache.invalidation_fanout" in names
+
+
 class TestPerplexity:
     def test_runs_selected_models(self, log_path, capsys):
         code = main(

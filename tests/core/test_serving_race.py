@@ -1,0 +1,205 @@
+"""CompactCache generation invariant: rebind/get races never resurrect entries.
+
+The bug these tests pin: ``get`` builds entries *outside* the lock, so a
+build can start under epoch A, have a ``rebind``/``invalidate`` flush the
+cache mid-build, and then insert an epoch-A entry into the post-flush
+cache — where nothing can ever evict it (its ``query_set`` no longer
+intersects any future delta of the new epoch).  The fix snapshots a
+generation counter at build start and discards (but still serves) the
+entry when the generation moved by insert time.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.serving import CompactCache
+from repro.diversify.regularization import RegularizationConfig
+from repro.graphs.compact import CompactConfig, RandomWalkExpander
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.sessionizer import sessionize
+from repro.obs.registry import MetricsRegistry
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+
+@pytest.fixture(scope="module")
+def expander():
+    world = make_world(seed=0)
+    log = generate_log(
+        world,
+        GeneratorConfig(n_users=20, mean_sessions_per_user=8, seed=7),
+    ).log
+    multibipartite = build_multibipartite(log, sessionize(log))
+    return RandomWalkExpander(multibipartite)
+
+
+@pytest.fixture(scope="module")
+def probes(expander):
+    queries = sorted(expander.matrices.query_index)
+    assert len(queries) >= 8
+    return queries[:8]
+
+
+class _GatedExpander:
+    """Wraps an expander so ``expand`` blocks until released.
+
+    Lets a test force the exact interleaving: build starts (``entered``
+    fires), the test mutates the cache, then the build finishes
+    (``release``).
+    """
+
+    def __init__(self, inner: RandomWalkExpander) -> None:
+        self._inner = inner
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    @property
+    def matrices(self):
+        return self._inner.matrices
+
+    def expand(self, seeds, compact):
+        self.entered.set()
+        assert self.release.wait(10.0), "gated build never released"
+        return self._inner.expand(seeds, compact)
+
+
+COMPACT = CompactConfig(size=30)
+REG = RegularizationConfig()
+
+
+class TestDeterministicRace:
+    def _racing_get(self, cache, query):
+        """Run one ``cache.get`` in a thread; return (thread, results)."""
+        results = {}
+
+        def run():
+            results["entry"] = cache.get({query: 1.0}, COMPACT, REG)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        return thread, results
+
+    def test_build_straddling_rebind_is_served_but_not_inserted(
+        self, expander, probes
+    ):
+        gated = _GatedExpander(expander)
+        cache = CompactCache(gated, maxsize=8)
+        thread, results = self._racing_get(cache, probes[0])
+        assert gated.entered.wait(10.0)
+        # The epoch swap lands while the build is in flight.
+        cache.rebind(expander, None)
+        gated.release.set()
+        thread.join(10.0)
+
+        entry = results["entry"]
+        assert entry is not None  # the caller is still served
+        assert probes[0] in entry.query_set
+        stats = cache.stats
+        assert stats.size == 0  # the stale build was NOT inserted
+        assert stats.stale_discards == 1
+        assert stats.misses == 1
+        assert stats.hits == 0
+        assert stats.lookups == 1
+        # A fresh lookup misses again and builds under the new epoch.
+        rebuilt = cache.get({probes[0]: 1.0}, COMPACT, REG)
+        assert rebuilt.query_set == entry.query_set
+        assert cache.stats.size == 1
+        assert cache.stats.stale_discards == 1
+
+    def test_build_straddling_targeted_invalidate_is_discarded(
+        self, expander, probes
+    ):
+        gated = _GatedExpander(expander)
+        cache = CompactCache(gated, maxsize=8)
+        thread, results = self._racing_get(cache, probes[0])
+        assert gated.entered.wait(10.0)
+        cache.invalidate([probes[0]])
+        gated.release.set()
+        thread.join(10.0)
+        assert results["entry"] is not None
+        assert cache.stats.size == 0
+        assert cache.stats.stale_discards == 1
+
+    def test_generation_bumps(self, expander):
+        cache = CompactCache(expander, maxsize=4)
+        assert cache.generation == 0
+        cache.rebind(expander, None)
+        assert cache.generation == 1
+        cache.invalidate(["anything"])
+        assert cache.generation == 2
+        cache.rebind(expander, ["anything"])
+        # Targeted rebind bumps once itself and once via invalidate.
+        assert cache.generation == 4
+        cache.invalidate([])  # empty set is a no-op
+        assert cache.generation == 4
+
+    def test_stale_discard_counted_in_registry(self, expander, probes):
+        gated = _GatedExpander(expander)
+        cache = CompactCache(gated, maxsize=8)
+        registry = MetricsRegistry()
+        cache.attach_metrics(registry)
+        thread, _ = self._racing_get(cache, probes[0])
+        assert gated.entered.wait(10.0)
+        cache.rebind(expander, None)
+        gated.release.set()
+        thread.join(10.0)
+        assert registry.counter("serving.cache.stale_discards").value == 1
+        assert registry.gauge("serving.cache.size").value == 0
+
+
+class TestStressAccounting:
+    def test_concurrent_get_invalidate_rebind(self, expander, probes):
+        """Hammer get/invalidate/rebind; the counters must add up exactly.
+
+        Accounting invariant: every ``get`` is counted exactly once as a
+        hit or a miss, whatever rebinds land around it — and after the
+        readers drain and a final flush, nothing stale survives in the
+        cache.
+        """
+        cache = CompactCache(expander, maxsize=4)
+        n_readers = 4
+        gets_per_reader = 30
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                for i in range(gets_per_reader):
+                    query = probes[i % len(probes)]
+                    entry = cache.get({query: 1.0}, COMPACT, REG)
+                    assert query in entry.query_set
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                if i % 3 == 0:
+                    cache.rebind(expander, None)
+                elif i % 3 == 1:
+                    cache.invalidate([probes[i % len(probes)]])
+                else:
+                    cache.rebind(expander, [probes[i % len(probes)]])
+                i += 1
+
+        readers = [threading.Thread(target=reader) for _ in range(n_readers)]
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        for t in readers:
+            t.start()
+        for t in readers:
+            t.join(60.0)
+        stop.set()
+        writer_thread.join(10.0)
+        assert not errors
+
+        stats = cache.stats
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.lookups == n_readers * gets_per_reader
+        assert stats.size <= stats.maxsize
+        # Nothing in flight anymore: a wholesale flush must leave the
+        # cache truly empty (a pre-fix stale insert would survive here
+        # as an unevictable entry).
+        cache.rebind(expander, None)
+        assert cache.stats.size == 0

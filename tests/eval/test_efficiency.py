@@ -1,0 +1,80 @@
+"""EfficiencyResult contract and the latency-measurement harness."""
+
+import math
+
+import pytest
+
+from repro.baselines.base import Suggester, SuggestRequest
+from repro.eval.efficiency import (
+    EfficiencyResult,
+    measure_batch_latency,
+    measure_latency,
+)
+
+
+def _result(mean: float) -> EfficiencyResult:
+    return EfficiencyResult(
+        name="x", n_queries=10, total_seconds=mean * 10, mean_seconds=mean
+    )
+
+
+class TestRelativeTo:
+    def test_normal_ratio(self):
+        assert _result(0.02).relative_to(_result(0.01)) == pytest.approx(2.0)
+
+    def test_zero_baseline_is_inf(self):
+        """Sub-resolution baseline: the comparison is unboundedly slower.
+
+        A coarse platform clock can measure a trivial ``--quick`` workload
+        as exactly 0.0s; that used to raise and kill the whole bench run.
+        """
+        assert _result(0.01).relative_to(_result(0.0)) == math.inf
+
+    def test_both_zero_is_one(self):
+        assert _result(0.0).relative_to(_result(0.0)) == 1.0
+
+    def test_negative_baseline_still_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _result(0.01).relative_to(_result(-0.001))
+
+
+class _CountingSuggester(Suggester):
+    """Counts calls so warm-up behaviour is observable."""
+
+    name = "counting"
+
+    def __init__(self) -> None:
+        self.calls: list[str] = []
+
+    def suggest(self, query, k=10, user_id=None, context=(), timestamp=0.0):
+        self.calls.append(query)
+        return [f"{query} s{i}" for i in range(k)]
+
+
+class TestMeasureLatency:
+    def test_counts_and_warm_up(self):
+        suggester = _CountingSuggester()
+        result = measure_latency(suggester, ["a", "b"], k=3)
+        assert result.n_queries == 2
+        # warm-up repeats the first query before the timed pass
+        assert suggester.calls == ["a", "a", "b"]
+        assert result.total_seconds >= 0.0
+        assert result.mean_seconds == pytest.approx(result.total_seconds / 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            measure_latency(_CountingSuggester(), [])
+
+
+class TestMeasureBatchLatency:
+    def test_warms_only_first_request(self):
+        """The documented contract: warm-up serves ``requests[:1]`` only."""
+        suggester = _CountingSuggester()
+        requests = [SuggestRequest(query=q, k=3) for q in ("a", "b", "c")]
+        result = measure_batch_latency(suggester, requests)
+        assert suggester.calls == ["a", "a", "b", "c"]
+        assert result.n_queries == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            measure_batch_latency(_CountingSuggester(), [])

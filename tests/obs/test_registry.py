@@ -1,0 +1,160 @@
+"""MetricsRegistry: instrument semantics, identity, snapshots, null object."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_thread_safety(self):
+        counter = MetricsRegistry().counter("c")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec(5)
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        histogram = Histogram(bounds=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 4.0, 9.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(114.5)
+        assert histogram.mean == pytest.approx(114.5 / 5)
+        counts, total = histogram._snapshot()
+        # 0.5 and 1.0 land in <=1.0; 4.0 in <=5.0; 9.0 in <=10.0; 100 in +Inf
+        assert counts == [2, 1, 1, 1]
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(5.0, 1.0))
+
+    def test_default_buckets(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.bounds == DEFAULT_LATENCY_BUCKETS
+
+
+class TestSeries:
+    def test_keeps_order(self):
+        series = MetricsRegistry().series("s")
+        for value in (3.0, 1.0, 2.0):
+            series.append(value)
+        assert series.values == (3.0, 1.0, 2.0)
+        assert len(series) == 3
+
+
+class TestIdentity:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_labels_distinguish(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", labels={"span": "a"})
+        b = registry.counter("x", labels={"span": "b"})
+        assert a is not b
+        assert a is registry.counter("x", labels={"span": "a"})
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_default_buckets_are_not_a_conflict(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h")
+        assert registry.histogram("h", buckets=DEFAULT_LATENCY_BUCKETS) is first
+
+
+class TestSnapshot:
+    def test_shape_and_ordering(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.depth").set(7)
+        registry.histogram("c.seconds", buckets=(1.0, 2.0)).observe(1.5)
+        registry.series("d.curve").append(0.25)
+        snapshot = registry.snapshot()
+        names = [entry["name"] for entry in snapshot["metrics"]]
+        assert names == sorted(names)
+        by_name = {entry["name"]: entry for entry in snapshot["metrics"]}
+        assert by_name["b.count"]["value"] == 2
+        assert by_name["a.depth"]["value"] == 7
+        hist = by_name["c.seconds"]
+        assert hist["buckets"] == [[1.0, 0], [2.0, 1], ["+Inf", 1]]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(1.5)
+        assert by_name["d.curve"]["values"] == [0.25]
+
+    def test_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 2.5, 9.0):
+            histogram.observe(value)
+        (entry,) = registry.snapshot()["metrics"]
+        assert entry["buckets"] == [
+            [1.0, 1], [2.0, 2], [3.0, 3], ["+Inf", 4],
+        ]
+
+    def test_json_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"k": "v"}).inc()
+        registry.histogram("h").observe(0.1)
+        assert json.loads(json.dumps(registry.snapshot()))
+
+
+class TestNullRegistry:
+    def test_all_instruments_are_noops(self):
+        counter = NULL_REGISTRY.counter("anything")
+        counter.inc()
+        counter.inc(-5)  # even invalid input is swallowed
+        NULL_REGISTRY.gauge("g").set(1)
+        NULL_REGISTRY.histogram("h").observe(0.5)
+        NULL_REGISTRY.series("s").append(1.0)
+        assert NULL_REGISTRY.snapshot() == {"metrics": []}
+
+    def test_shared_singleton(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.gauge("b")

@@ -1,0 +1,115 @@
+"""Tracer spans: nesting, thread-locality, histogram routing, null object."""
+
+import threading
+import time
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, SPAN_HISTOGRAM, Tracer
+
+
+class TestSpanTree:
+    def test_nesting_builds_tree(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        root = tracer.last_trace
+        assert root is not None
+        assert root.name == "root"
+        assert [child.name for child in root.children] == [
+            "child_a", "child_b",
+        ]
+        assert root.children[0].children[0].name == "grandchild"
+
+    def test_timings_non_zero_and_nested(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.005)
+        root = tracer.last_trace
+        inner = root.find("inner")
+        assert inner.seconds >= 0.005
+        assert root.seconds >= inner.seconds
+
+    def test_find_depth_first(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        root = tracer.last_trace
+        assert root.find("a") is root
+        assert root.find("b") is root.children[0]
+        assert root.find("missing") is None
+
+    def test_to_dict(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        tree = tracer.last_trace.to_dict()
+        assert tree["name"] == "a"
+        assert tree["children"][0]["name"] == "b"
+        assert tree["seconds"] >= 0.0
+
+    def test_last_trace_is_latest_root(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert tracer.last_trace.name == "second"
+
+
+class TestHistogramRouting:
+    def test_each_span_observed_by_label(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.span("suggest"):
+            with tracer.span("expand"):
+                pass
+            with tracer.span("expand"):
+                pass
+        assert registry.histogram(
+            SPAN_HISTOGRAM, labels={"span": "expand"}
+        ).count == 2
+        assert registry.histogram(
+            SPAN_HISTOGRAM, labels={"span": "suggest"}
+        ).count == 1
+
+
+class TestThreadLocality:
+    def test_concurrent_threads_grow_independent_trees(self):
+        tracer = Tracer(MetricsRegistry())
+        barrier = threading.Barrier(4)
+        roots = {}
+
+        def worker(name):
+            barrier.wait()
+            with tracer.span(name):
+                with tracer.span(f"{name}.child"):
+                    pass
+            roots[name] = tracer.last_trace
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for name, root in roots.items():
+            assert root.name == name
+            assert [c.name for c in root.children] == [f"{name}.child"]
+
+
+class TestNullTracer:
+    def test_spans_are_noops(self):
+        with NULL_TRACER.span("anything") as span:
+            assert span.seconds == 0.0
+        assert NULL_TRACER.last_trace is None
+
+    def test_shared_span_object(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

@@ -1,5 +1,6 @@
 """Tests for repro.utils.timer and repro.utils.validation."""
 
+import threading
 import time
 
 import pytest
@@ -41,6 +42,47 @@ class TestTimer:
     def test_exit_without_enter(self):
         with pytest.raises(RuntimeError):
             Timer().__exit__(None, None, None)
+
+    def test_nested_blocks_keep_outer_start(self):
+        """The clobbering bug: an inner ``with`` must not reset the outer
+        block's start time (both blocks accumulate, outer >= inner)."""
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+            with timer:
+                time.sleep(0.01)
+        assert timer.calls == 2
+        # inner ~0.01 + outer ~0.02; a clobbered start would lose the
+        # outer block's first 0.01s and total ~0.02 only.
+        assert timer.elapsed >= 0.03
+
+    def test_concurrent_threads_time_independently(self):
+        timer = Timer()
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            with timer:
+                time.sleep(0.02)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert timer.calls == 4
+        # Each overlapping block contributes its own full duration; with
+        # one shared start slot the first exits would subtract a later
+        # thread's (re-written) start and undercount badly.
+        assert timer.elapsed >= 4 * 0.02
+
+    def test_reset_during_open_block(self):
+        timer = Timer()
+        with timer:
+            timer.reset()
+            time.sleep(0.005)
+        assert timer.calls == 1
+        assert timer.elapsed >= 0.005
 
 
 class TestValidation:
