@@ -27,14 +27,27 @@ the measured instrumentation overhead.
 exceeded; CI uses 1.05 = 5%).  The record also carries the per-stage
 span breakdown and the full metrics snapshot.
 
+``--serve`` benchmarks the scale-out serving plane (``BENCH_serve.json``):
+one shared-memory publication of the representation, then pooled QPS at
+1, 2 and 4 suggest workers on a warm probe workload, the bit-identity
+check of every pooled batch against the single-process path, and the
+memory ledger (segment bytes once + per-worker RSS).
+``--min-serve-scaling`` turns the 2-worker/1-worker QPS ratio into a
+guard (exit 1 below the bound; auto-skipped when the machine has fewer
+than 2 CPUs, where no scaling is physically available).
+
 ``--quick`` is the CI profile: smallest Fig. 7 scale, the ingest
-benchmark, a small UPM training benchmark, and the observability
-benchmark.
+benchmark, a small UPM training benchmark, the observability benchmark,
+and the serve benchmark.
+
+Every ``BENCH_*.json`` record carries ``"mode": "quick" | "full"`` so a
+reader can tell a CI smoke number from a full-protocol sweep.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py [--full|--quick]
-        [--ingest] [--upm] [--obs] [--max-overhead-ratio R]
+        [--ingest] [--upm] [--obs] [--serve]
+        [--max-overhead-ratio R] [--min-serve-scaling R]
 """
 
 from __future__ import annotations
@@ -495,6 +508,107 @@ def run_obs_bench(n_users: int = 60, rounds: int = 7) -> dict:
     return row
 
 
+SERVE_WORKER_COUNTS = (1, 2, 4)
+
+
+def _rss_kb() -> int:
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    return 0
+
+
+def run_serve_bench(n_users: int = 60, rounds: int = 3) -> dict:
+    """Pooled QPS at 1/2/4 workers vs. the single-process serving path.
+
+    One representation build, one shared-memory publication per pool; the
+    probe workload is served warm (a priming pass first) so the numbers
+    measure the steady serving state, not compact-cache fills.  Every
+    pooled batch is checked bit-identical against the single-process
+    reference.  ``segment_mb`` counts the shared matrix bytes once — the
+    marginal per-worker memory is each worker's own RSS (interpreter +
+    caches), not another copy of the matrices.
+    """
+    from repro.serve.pool import SuggestWorkerPool
+
+    world = make_world(seed=0, pages_per_leaf=24)
+    config = GeneratorConfig(
+        n_users=n_users,
+        mean_sessions_per_user=12,
+        click_probability=0.55,
+        noise_click_probability=0.12,
+        hub_click_probability=0.15,
+        seed=42,
+    )
+    log = generate_log(world, config).log
+    probes = _probe_queries(log, 40)
+    pq_config = PQSDAConfig(
+        compact=CompactConfig(size=150),
+        diversify=DiversifyConfig(k=10, candidate_pool=25),
+        personalize=False,
+    )
+    suggester = PQSDA.build(log, config=pq_config)
+    requests = [SuggestRequest(query=q, k=10) for q in probes]
+
+    suggester.suggest_batch(requests)  # warm the single-process cache
+    start = time.perf_counter()
+    for _ in range(rounds):
+        expected = suggester.suggest_batch(requests)
+    single_qps = len(requests) * rounds / (time.perf_counter() - start)
+
+    row = {
+        "n_users": n_users,
+        "n_unique_queries": len(log.unique_queries),
+        "probes": len(probes),
+        "rounds": rounds,
+        "cpu_count": os.cpu_count(),
+        "parent_rss_kb": _rss_kb(),
+        "single_process_qps": round(single_qps, 1),
+        "workers": [],
+    }
+    for n_workers in SERVE_WORKER_COUNTS:
+        with SuggestWorkerPool.from_suggester(
+            suggester, n_workers=n_workers, prefix=f"bench{n_workers}"
+        ) as pool:
+            identical = pool.suggest_many(requests) == expected  # warm pass
+            start = time.perf_counter()
+            for _ in range(rounds):
+                identical = (
+                    pool.suggest_many(requests) == expected and identical
+                )
+            qps = len(requests) * rounds / (time.perf_counter() - start)
+            stats = pool.stats()
+            entry = {
+                "n_workers": n_workers,
+                "qps": round(qps, 1),
+                "scaling_vs_1_worker": None,  # filled below
+                "bit_identical": identical,
+                "segment_mb": round(pool.segment_bytes / 1e6, 3),
+                "worker_rss_kb": [w.rss_kb for w in stats.workers],
+                "shares_memory": all(w.shares_memory for w in stats.workers),
+                "attach_seconds": [
+                    round(info["attach_seconds"], 4)
+                    for _, info in sorted(pool.ready_info.items())
+                ],
+            }
+            row["workers"].append(entry)
+            print(
+                f"serve: {n_workers} workers: {qps:7.1f} QPS "
+                f"(single-process {single_qps:.1f}), "
+                f"bit_identical={identical}, "
+                f"segment={entry['segment_mb']}MB, "
+                f"rss={[round(k / 1024) for k in entry['worker_rss_kb']]}MB"
+            )
+    base_qps = row["workers"][0]["qps"]
+    for entry in row["workers"]:
+        entry["scaling_vs_1_worker"] = round(entry["qps"] / base_qps, 2)
+    return row
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -525,6 +639,16 @@ def main() -> int:
         "of the --obs benchmark exceeds R (CI uses 1.05)",
     )
     parser.add_argument(
+        "--serve", action="store_true",
+        help="also run the scale-out serving benchmark (pooled QPS at "
+        "1/2/4 workers over one shared-memory segment)",
+    )
+    parser.add_argument(
+        "--min-serve-scaling", type=float, default=None, metavar="R",
+        help="fail (exit 1) when 2-worker QPS is below R x 1-worker QPS "
+        "(CI uses 1.3; auto-skipped on machines with fewer than 2 CPUs)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_fig7.json",
         help="where to write the Fig. 7 JSON record",
     )
@@ -540,16 +664,25 @@ def main() -> int:
         "--obs-output", default="BENCH_metrics.json",
         help="where to write the observability JSON record",
     )
+    parser.add_argument(
+        "--serve-output", default="BENCH_serve.json",
+        help="where to write the scale-out serving JSON record",
+    )
     args = parser.parse_args()
     if args.quick:
         args.ingest = True
         args.upm = True
         args.obs = True
+        args.serve = True
     if args.max_overhead_ratio is not None:
         args.obs = True
+    if args.min_serve_scaling is not None:
+        args.serve = True
+    mode = "full" if args.full else "quick"
     scales = USER_SCALES if args.full else USER_SCALES[:1]
     record = {
         "benchmark": "fig7_efficiency",
+        "mode": mode,
         "protocol": {
             "probes": N_PROBES,
             "compact_size": 150,
@@ -564,6 +697,7 @@ def main() -> int:
     if args.ingest:
         ingest_record = {
             "benchmark": "stream_ingest",
+            "mode": mode,
             "protocol": {
                 "bootstrap_fraction": 0.7,
                 "batch_size": 256,
@@ -582,6 +716,7 @@ def main() -> int:
     if args.upm:
         upm_record = {
             "benchmark": "upm_training",
+            "mode": mode,
             "profile": "quick" if args.quick else "default",
             "python": platform.python_version(),
             **run_upm_bench(quick=args.quick),
@@ -594,6 +729,7 @@ def main() -> int:
         obs_row = run_obs_bench()
         obs_record = {
             "benchmark": "observability_overhead",
+            "mode": mode,
             "max_overhead_ratio": args.max_overhead_ratio,
             "python": platform.python_version(),
             **obs_row,
@@ -611,6 +747,41 @@ def main() -> int:
                 f" exceeds the x{args.max_overhead_ratio} bound"
             )
             return 1
+    if args.serve:
+        serve_row = run_serve_bench(rounds=2 if args.quick else 3)
+        serve_record = {
+            "benchmark": "serve_scaleout",
+            "mode": mode,
+            "min_serve_scaling": args.min_serve_scaling,
+            "python": platform.python_version(),
+            **serve_row,
+        }
+        Path(args.serve_output).write_text(
+            json.dumps(serve_record, indent=2) + "\n"
+        )
+        print(f"wrote {args.serve_output}")
+        if not all(entry["bit_identical"] for entry in serve_row["workers"]):
+            print("FAIL: pooled output diverged from the single-process path")
+            return 1
+        if args.min_serve_scaling is not None:
+            cpus = serve_row["cpu_count"] or 1
+            if cpus < 2:
+                print(
+                    f"serve scaling gate skipped: {cpus} CPU(s) — no "
+                    "parallel speedup is physically available"
+                )
+            else:
+                by_workers = {
+                    entry["n_workers"]: entry["qps"]
+                    for entry in serve_row["workers"]
+                }
+                scaling = by_workers[2] / by_workers[1]
+                if scaling < args.min_serve_scaling:
+                    print(
+                        f"FAIL: 2-worker scaling x{scaling:.2f} below the "
+                        f"x{args.min_serve_scaling} bound"
+                    )
+                    return 1
     return 0
 
 

@@ -11,7 +11,10 @@ Commands:
 * ``perplexity`` — run the Fig. 4 protocol for chosen models over a log;
 * ``ingest``   — bootstrap a live suggester from a log prefix, then stream
   the remainder through the incremental ingestion path (epoch snapshots +
-  targeted cache invalidation) and report throughput.
+  targeted cache invalidation) and report throughput;
+* ``serve``    — build the representation once, publish it into shared
+  memory, and serve a request set from ``--workers`` suggest processes
+  (zero-copy scale-out; reports per-worker throughput and memory).
 
 Every command is deterministic given ``--seed``.
 """
@@ -144,6 +147,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="attach a metrics registry to the streaming "
                              "stack and write its snapshot here")
     ingest.add_argument("--max-records", type=int, default=None)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve suggestions from a shared-memory multi-process pool",
+    )
+    serve.add_argument("log", help="AOL TSV file")
+    serve.add_argument("query", nargs="*",
+                       help="queries to serve (default: the 20 most "
+                            "frequent log queries)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="suggest worker processes")
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--rounds", type=int, default=1,
+                       help="times to replay the request set "
+                            "(throughput measurement)")
+    serve.add_argument("--compact-size", type=int, default=150)
+    serve.add_argument("--quiet", action="store_true",
+                       help="skip printing the per-query suggestions")
+    serve.add_argument("--metrics-out", default=None, metavar="JSON",
+                       help="write the merged pool+worker metrics snapshot "
+                            "here")
+    serve.add_argument("--max-records", type=int, default=None)
 
     report = sub.add_parser(
         "report", help="run the full evaluation battery, print markdown"
@@ -416,6 +441,70 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+    from collections import Counter
+
+    from repro.serve.pool import SuggestWorkerPool
+    from repro.utils.text import normalize_query
+
+    cleaned = _load_cleaned(args.log, args.max_records)
+    if len(cleaned) == 0:
+        print("error: log is empty after cleaning", file=sys.stderr)
+        return 1
+    config = PQSDAConfig(
+        compact=CompactConfig(size=args.compact_size),
+        diversify=DiversifyConfig(k=args.k),
+        personalize=False,
+    )
+    suggester = PQSDA.build(cleaned, config=config)
+    queries = args.query
+    if not queries:
+        frequency = Counter(normalize_query(r.query) for r in cleaned)
+        queries = [query for query, _ in frequency.most_common(20)]
+    requests = [SuggestRequest(query=query, k=args.k) for query in queries]
+
+    registry = _make_registry(args.metrics_out)
+    with SuggestWorkerPool.from_suggester(
+        suggester, n_workers=args.workers, registry=registry
+    ) as pool:
+        print(
+            f"pool: {pool.n_workers} workers over a "
+            f"{pool.segment_bytes / 1e6:.1f} MB shared segment "
+            f"({pool.segment_name})"
+        )
+        start = time.perf_counter()
+        for _ in range(args.rounds):
+            batch = pool.suggest_many(requests)
+        elapsed = time.perf_counter() - start
+        served = len(requests) * args.rounds
+        print(
+            f"served {served} requests in {elapsed:.2f}s "
+            f"({served / elapsed:,.0f} QPS)"
+        )
+        for worker in pool.stats().workers:
+            print(
+                f"worker {worker.worker_id}: {worker.requests} requests, "
+                f"{worker.qps:.0f} QPS, rss {worker.rss_kb / 1024:.0f} MB, "
+                f"cache {worker.cache.hits}/{worker.cache.hits + worker.cache.misses} hits, "
+                f"shared views: {worker.shares_memory}"
+            )
+        if not args.quiet:
+            for query, suggestions in zip(queries, batch):
+                print(f"[{query}]")
+                if not suggestions:
+                    print("(no suggestions)")
+                for rank, suggestion in enumerate(suggestions, start=1):
+                    print(f"{rank:2d}. {suggestion}")
+        if registry is not None and args.metrics_out is not None:
+            from repro.obs.export import write_json
+
+            write_json(pool.merged_metrics(), args.metrics_out)
+            print(f"wrote metrics snapshot to {args.metrics_out}",
+                  file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.eval.report import ReportConfig, run_report
 
@@ -447,6 +536,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "perplexity": _cmd_perplexity,
     "ingest": _cmd_ingest,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

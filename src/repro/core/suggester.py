@@ -138,6 +138,11 @@ class PQSDA(Suggester):
         return self._multibipartite
 
     @property
+    def expander(self) -> RandomWalkExpander:
+        """The full-graph walk expander behind the online path."""
+        return self._expander
+
+    @property
     def profiles(self) -> UserProfileStore | None:
         """The UPM profile store (None when personalization is disabled)."""
         return self._profiles
@@ -199,9 +204,30 @@ class PQSDA(Suggester):
 
     def _apply_epoch(self, epoch) -> None:
         """Adopt *epoch* for future requests; invalidate stale cache entries."""
-        self._multibipartite = epoch.multibipartite
-        self._expander = epoch.expander
-        self._cache.rebind(epoch.expander, epoch.touched_queries)
+        self.rebind_representation(
+            epoch.multibipartite, epoch.expander, epoch.touched_queries
+        )
+
+    def rebind_representation(
+        self,
+        multibipartite,
+        expander: RandomWalkExpander,
+        touched_queries=None,
+    ) -> None:
+        """Swap the serving representation in place.
+
+        Future requests expand against *expander* (whose matrices define
+        the new generation); cached compact entries intersecting
+        *touched_queries* are evicted (``None`` flushes wholesale).  This
+        is the single swap point shared by the in-process epoch
+        subscription (:meth:`attach_epochs`) and the cross-process
+        generation handshake of :class:`repro.serve.pool.SuggestWorkerPool`
+        workers — both paths inherit the cache's generation invariant, so
+        entry builds straddling the swap are served but never inserted.
+        """
+        self._multibipartite = multibipartite
+        self._expander = expander
+        self._cache.rebind(expander, touched_queries)
 
     # -- online suggestion -----------------------------------------------------------
 

@@ -83,6 +83,10 @@ class SwitchMatrix:
         prior = np.asarray(prior, dtype=float)
         if prior.shape != (3,) or not np.isclose(prior.sum(), 1.0):
             raise ValueError("prior must be a 3-element distribution")
+        if (prior < 0).any():
+            raise ValueError(
+                f"prior components must be non-negative, got {prior}"
+            )
         return prior @ self._matrix
 
 

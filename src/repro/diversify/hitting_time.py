@@ -65,11 +65,11 @@ class HittingTimeEngine:
         row_mass = np.asarray(transition.sum(axis=1)).ravel()
         self._leak = np.clip(1.0 - row_mass, 0.0, None)
         # The per-step additive term 1 + leak·(step-1) is independent of
-        # the absorbing set, so it is shared across every compute() call.
-        self._additive = [
-            1.0 + self._leak * float(step - 1)
-            for step in range(1, iterations + 1)
-        ]
+        # the absorbing set; it is re-derived from the leak vector and the
+        # step scalar inside compute() — O(n) state instead of the O(l·n)
+        # a materialized per-step table would cost, which matters because
+        # one engine is built per request on the serving hot path.
+        self._has_leak = bool(self._leak.any())
 
     @property
     def transition(self) -> sparse.csr_matrix:
@@ -107,7 +107,13 @@ class HittingTimeEngine:
         swap = np.zeros(self._n)
         for step in range(1, self._iterations + 1):
             self._matvec(h, swap)
-            swap += self._additive[step - 1]
+            # Same elementwise values (and addition order) as adding a
+            # precomputed 1 + leak·(step-1) row: leak-free transitions
+            # reduce the term to the exact scalar 1.0.
+            if self._has_leak:
+                swap += 1.0 + self._leak * float(step - 1)
+            else:
+                swap += 1.0
             swap[absorbing_idx] = 0.0
             h, swap = swap, h
         return np.minimum(h, float(self._iterations))

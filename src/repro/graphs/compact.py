@@ -80,6 +80,7 @@ class RandomWalkExpander:
         self,
         multibipartite: MultiBipartite,
         matrices: BipartiteMatrices | None = None,
+        stacks: tuple[sparse.csr_matrix, sparse.csr_matrix] | None = None,
     ) -> None:
         self._multibipartite = multibipartite
         if matrices is None:
@@ -92,18 +93,36 @@ class RandomWalkExpander:
         # correspondingly cheaper.  The three bipartites are stacked along
         # the facet axis (forward side by side, backward on top of each
         # other, pre-scaled by 1/3) so one step is two thin matvecs.
-        forwards, backwards = [], []
-        for kind in BIPARTITE_KINDS:
-            incidence = self._matrices.incidence[kind]
-            forwards.append(row_normalize(incidence))
-            backwards.append(row_normalize(incidence.T) / len(BIPARTITE_KINDS))
-        self._forward_stack = sparse.hstack(forwards, format="csr")
-        self._backward_stack = sparse.vstack(backwards, format="csr")
+        # Prebuilt *stacks* skip the derivation entirely — the
+        # shared-memory serving plane publishes them once and workers
+        # attach views instead of re-normalizing per process.
+        if stacks is not None:
+            self._forward_stack, self._backward_stack = stacks
+        else:
+            forwards, backwards = [], []
+            for kind in BIPARTITE_KINDS:
+                incidence = self._matrices.incidence[kind]
+                forwards.append(row_normalize(incidence))
+                backwards.append(
+                    row_normalize(incidence.T) / len(BIPARTITE_KINDS)
+                )
+            self._forward_stack = sparse.hstack(forwards, format="csr")
+            self._backward_stack = sparse.vstack(backwards, format="csr")
 
     @property
     def matrices(self) -> BipartiteMatrices:
         """The full-representation matrices (shared query ordering)."""
         return self._matrices
+
+    @property
+    def walk_stacks(self) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """The factored (forward, backward) walk stacks.
+
+        The backward stack carries the 1/3 mixture pre-scaling; together
+        they reproduce one power-iteration step as two thin matvecs.
+        Exposed so the shared-memory plane can publish them verbatim.
+        """
+        return self._forward_stack, self._backward_stack
 
     def walk_mass(
         self, seeds: Mapping[str, float], config: CompactConfig

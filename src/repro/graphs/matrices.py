@@ -32,7 +32,13 @@ try:  # scipy's C kernels; private but stable, guarded for safety.
 except ImportError:  # pragma: no cover - exercised only on exotic scipy
     _csr_matvec = None
 
-__all__ = ["BipartiteMatrices", "build_matrices", "row_normalize"]
+__all__ = [
+    "BipartiteMatrices",
+    "LazyAffinities",
+    "build_matrices",
+    "csr_from_parts",
+    "row_normalize",
+]
 
 
 def _raw_csr(
@@ -112,6 +118,49 @@ def _take_rows(
         int(indptr[-1]), dtype=matrix.indptr.dtype
     )
     return matrix.indices[take], matrix.data[take], indptr
+
+
+def csr_from_parts(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    shape: tuple[int, int],
+    sorted_indices: bool = False,
+) -> sparse.csr_matrix:
+    """Public validation-free CSR assembly over existing buffers.
+
+    The shared-memory serving plane (:mod:`repro.serve.shm`) wraps
+    attached read-only views with this — ``csr_matrix.__init__`` would
+    both re-validate and, for non-writable inputs, copy the arrays,
+    defeating the zero-copy layout.  Callers must guarantee the arrays
+    form a valid CSR structure.
+    """
+    return _raw_csr(data, indices, indptr, shape, sorted_indices)
+
+
+class LazyAffinities(Mapping):
+    """Kind -> ``L^X`` mapping derived from the cached grams on demand.
+
+    The serving hot path never reads the full-graph affinities —
+    :meth:`BipartiteMatrices.restrict` derives compact affinities from the
+    sliced grams — so a worker that attaches shared full-graph structures
+    defers (and usually never pays) the ``D^{-1/2} G D^{-1/2}`` scaling.
+    """
+
+    def __init__(self, gram: Mapping) -> None:
+        self._gram = gram
+        self._cache: dict[str, sparse.csr_matrix] = {}
+
+    def __getitem__(self, kind: str) -> sparse.csr_matrix:
+        if kind not in self._cache:
+            self._cache[kind] = _affinity_from_gram(self._gram[kind])
+        return self._cache[kind]
+
+    def __iter__(self):
+        return iter(self._gram)
+
+    def __len__(self) -> int:
+        return len(self._gram)
 
 
 class _LazyTransitions(Mapping):

@@ -1,0 +1,32 @@
+"""Scale-out serving: zero-copy shared memory + multi-process workers.
+
+:mod:`repro.serve.shm` publishes one generation of the serving plane (the
+CSR incidences/grams, the walk stacks, the vocabularies) into a single
+``multiprocessing`` shared-memory segment; :mod:`repro.serve.pool` spawns
+suggest workers that attach read-only views over it, route requests by
+query hash for cache affinity, and swap generations through an
+epoch-consistent handshake.  See ``docs/algorithms.md`` ("Scale-out
+serving") for the layout and protocol.
+"""
+
+from repro.serve.pool import PoolStats, SuggestWorkerPool, WorkerStats
+from repro.serve.shm import (
+    AttachedPlane,
+    SharedMatrixStore,
+    SharedPlaneMeta,
+    SharedRepresentation,
+    SharedTermBipartite,
+    attach,
+)
+
+__all__ = [
+    "AttachedPlane",
+    "PoolStats",
+    "SharedMatrixStore",
+    "SharedPlaneMeta",
+    "SharedRepresentation",
+    "SharedTermBipartite",
+    "SuggestWorkerPool",
+    "WorkerStats",
+    "attach",
+]

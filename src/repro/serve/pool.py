@@ -1,0 +1,714 @@
+"""Multi-process suggest workers over the shared-memory matrix plane.
+
+:class:`SuggestWorkerPool` scales the serving fast path across CPU cores
+without duplicating the representation: the parent publishes one
+:class:`~repro.serve.shm.SharedMatrixStore` generation, spawns N workers,
+and each worker attaches read-only views (see :mod:`repro.serve.shm`) and
+builds its own :class:`~repro.core.suggester.PQSDA` plus
+:class:`~repro.core.serving.CompactCache` over them.  Matrix bytes exist
+once per generation however many workers serve.
+
+Routing and affinity
+    Requests are routed by ``crc32(normalized_query) % n_workers`` — a
+    process-stable hash (builtin ``hash`` is salted per process), so
+    repeats of a query land on the same worker and hit its compact-entry
+    cache.  :meth:`~SuggestWorkerPool.suggest_many` preserves
+    ``suggest_batch`` semantics: results come back in request order and
+    are bit-identical to the single-process path (workers serve without
+    profile stores, so construct the pool from a non-personalized
+    configuration — :meth:`~SuggestWorkerPool.from_suggester` enforces
+    this).
+
+Generation handshake (epoch-consistent publication)
+    :meth:`~SuggestWorkerPool.publish_plane` shares the next generation as
+    a fresh segment and sends a swap control message down every worker's
+    *request queue*.  Workers are single-threaded loops, so the swap is
+    processed strictly between requests — no request ever observes half of
+    each generation (torn view).  The publisher unlinks the superseded
+    segment only after every worker acks the swap, so a slow worker can
+    finish in-flight requests against arrays that are guaranteed to stay
+    mapped.  :meth:`~SuggestWorkerPool.attach_epochs` wires this to an
+    :class:`~repro.stream.epoch.EpochManager` publish stream.
+
+Observability
+    Workers run their own :class:`~repro.obs.registry.MetricsRegistry`;
+    :meth:`~SuggestWorkerPool.merged_metrics` fetches the per-worker
+    snapshots, relabels them with ``worker=<id>``, and merges them with
+    the pool-level registry (queue-depth gauge, request counter,
+    attach/swap latency histograms) into one deterministic snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import threading
+import time
+import traceback
+import zlib
+from dataclasses import asdict, dataclass
+from multiprocessing import get_context
+from typing import Sequence
+
+from repro.baselines.base import SuggestRequest
+from repro.core.config import PQSDAConfig
+from repro.core.serving import CacheStats
+from repro.core.suggester import PQSDA
+from repro.graphs.compact import RandomWalkExpander
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.serve.shm import AttachedPlane, SharedMatrixStore, SharedPlaneMeta
+from repro.utils.text import normalize_query
+
+__all__ = ["PoolStats", "SuggestWorkerPool", "WorkerStats"]
+
+
+def _rss_kb() -> int:
+    """This process's resident set size in kB (0 where /proc is absent)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return 0
+
+
+def _worker_main(
+    worker_id: int,
+    meta: SharedPlaneMeta,
+    config: PQSDAConfig,
+    request_queue,
+    reply_queue,
+    ack_queue,
+) -> None:
+    """One suggest worker: attach, serve, swap on command, report stats.
+
+    The loop is strictly serial, which is the torn-view guarantee: a swap
+    message is only ever handled between two requests, so every request
+    runs start-to-finish against exactly one generation's views.
+    """
+    started = time.perf_counter()
+    # multiprocessing children (spawn and fork alike, on POSIX) inherit the
+    # publisher's resource_tracker fd, so attach-time registrations land in
+    # the publisher's registry where they are idempotent — no untracking.
+    attach_start = time.perf_counter()
+    plane = AttachedPlane(meta)
+    attach_seconds = time.perf_counter() - attach_start
+    registry = MetricsRegistry()
+    pqsda = PQSDA(plane.representation, plane.expander, None, config)
+    pqsda.attach_metrics(registry)
+    requests_served = 0
+    busy_seconds = 0.0
+    generation = 0
+    ack_queue.put(
+        (
+            "ready",
+            worker_id,
+            {
+                "pid": os.getpid(),
+                "attach_seconds": attach_seconds,
+                "shares_memory": plane.shares_memory(),
+                "rss_kb": _rss_kb(),
+                "epoch_id": plane.epoch_id,
+            },
+        )
+    )
+    try:
+        while True:
+            message = request_queue.get()
+            kind = message[0]
+            if kind == "req":
+                _, request_id, request = message
+                begin = time.perf_counter()
+                try:
+                    result = pqsda.suggest(
+                        request.query,
+                        k=request.k,
+                        user_id=request.user_id,
+                        context=request.context,
+                        timestamp=request.timestamp,
+                    )
+                    error = None
+                except Exception:
+                    result = None
+                    error = traceback.format_exc()
+                busy_seconds += time.perf_counter() - begin
+                requests_served += 1
+                reply_queue.put(("res", request_id, worker_id, result, error))
+            elif kind == "swap":
+                _, new_meta, new_generation, touched = message
+                swap_start = time.perf_counter()
+                error = None
+                try:
+                    new_plane = AttachedPlane(new_meta)
+                    pqsda.rebind_representation(
+                        new_plane.representation, new_plane.expander, touched
+                    )
+                    plane.close()
+                    plane = new_plane
+                    generation = new_generation
+                except Exception:
+                    error = traceback.format_exc()
+                ack_queue.put(
+                    (
+                        "ack",
+                        worker_id,
+                        new_generation,
+                        {
+                            "swap_seconds": time.perf_counter() - swap_start,
+                            "error": error,
+                        },
+                    )
+                )
+            elif kind == "stats":
+                (_, token) = message
+                uptime = time.perf_counter() - started
+                ack_queue.put(
+                    (
+                        "stats",
+                        worker_id,
+                        token,
+                        {
+                            "pid": os.getpid(),
+                            "requests": requests_served,
+                            "busy_seconds": busy_seconds,
+                            "uptime_seconds": uptime,
+                            "generation": generation,
+                            "epoch_id": plane.epoch_id,
+                            "rss_kb": _rss_kb(),
+                            "shares_memory": plane.shares_memory(),
+                            "cache": asdict(pqsda.cache_stats),
+                            "snapshot": registry.snapshot(),
+                        },
+                    )
+                )
+            elif kind == "stop":
+                break
+    finally:
+        plane.close()
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerStats:
+    """Point-in-time counters of one pool worker.
+
+    Attributes:
+        worker_id: Routing slot of the worker (0-based).
+        pid: OS process id.
+        requests: Requests served since spawn.
+        busy_seconds: Wall time spent inside ``suggest`` calls.
+        uptime_seconds: Wall time since the worker process started.
+        qps: ``requests / uptime_seconds``.
+        generation: Last plane generation the worker acked.
+        epoch_id: Epoch ordinal of the attached plane.
+        rss_kb: Worker resident set size (kB).
+        shares_memory: Whether every matrix payload is still a shared view.
+        cache: The worker's compact-entry cache counters.
+    """
+
+    worker_id: int
+    pid: int
+    requests: int
+    busy_seconds: float
+    uptime_seconds: float
+    qps: float
+    generation: int
+    epoch_id: int
+    rss_kb: int
+    shares_memory: bool
+    cache: CacheStats
+
+
+@dataclass(frozen=True, slots=True)
+class PoolStats:
+    """Pool-level snapshot: one :class:`WorkerStats` per worker.
+
+    Attributes:
+        n_workers: Worker count.
+        generation: Current plane generation (0 = the bootstrap plane).
+        epoch_id: Epoch ordinal of the current plane.
+        segment_bytes: Bytes of the current shared segment (counted once,
+            however many workers attach).
+        workers: Per-worker counters, ordered by ``worker_id``.
+    """
+
+    n_workers: int
+    generation: int
+    epoch_id: int
+    segment_bytes: int
+    workers: tuple[WorkerStats, ...]
+
+    @property
+    def total_requests(self) -> int:
+        """Requests served across all workers."""
+        return sum(worker.requests for worker in self.workers)
+
+
+class SuggestWorkerPool:
+    """N suggest workers sharing one zero-copy matrix plane.
+
+    Args:
+        expander: Full-graph expander whose matrices and walk stacks seed
+            the first published generation.
+        config: Serving configuration for every worker's ``PQSDA``.
+            Workers have no profile store, so *config* must not expect
+            one (``personalize=False`` keeps results bit-identical to a
+            single-process suggester built the same way).
+        multibipartite: Representation handle; publishes the query-term
+            adjacency so workers serve the unseen-query backoff.  ``None``
+            disables the backoff in workers.
+        n_workers: Worker process count.
+        registry: Optional pool-level metrics registry.
+        start_method: ``multiprocessing`` start method.  The default
+            ``"spawn"`` is the honest zero-copy demonstration — children
+            inherit nothing, every shared byte travels through the
+            segment.  (``"fork"`` also works and attaches faster.)
+        ready_timeout: Seconds to wait for workers to attach at startup.
+        ack_timeout: Seconds to wait for swap acks and stats replies.
+        prefix: Shared-memory segment name prefix.
+
+    Use as a context manager (or call :meth:`close`): shutdown stops the
+    workers and unlinks the current segment, leaving nothing in
+    ``/dev/shm``.
+    """
+
+    def __init__(
+        self,
+        expander: RandomWalkExpander,
+        config: PQSDAConfig,
+        multibipartite=None,
+        n_workers: int = 2,
+        registry=None,
+        start_method: str = "spawn",
+        ready_timeout: float = 120.0,
+        ack_timeout: float = 120.0,
+        prefix: str = "pqsda",
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self._n_workers = n_workers
+        self._config = config
+        self._multibipartite = multibipartite
+        self._ack_timeout = ack_timeout
+        self._prefix = prefix
+        self._generation = 0
+        self._closed = False
+
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._registry = registry
+        self._m_requests = registry.counter("serve.pool.requests")
+        self._m_depth = registry.gauge("serve.pool.queue_depth")
+        self._m_workers = registry.gauge("serve.pool.workers")
+        self._m_generations = registry.counter("serve.pool.generations")
+        self._m_attach = registry.histogram("serve.pool.attach_seconds")
+        self._m_swap = registry.histogram("serve.pool.swap_seconds")
+        self._m_workers.set(n_workers)
+
+        self._store = SharedMatrixStore.publish(
+            expander.matrices,
+            expander,
+            multibipartite,
+            epoch_id=0,
+            prefix=prefix,
+        )
+        context = get_context(start_method)
+        self._request_queues = [context.Queue() for _ in range(n_workers)]
+        self._reply_queue = context.Queue()
+        self._ack_queue = context.Queue()
+        # _control_lock serializes publish/stats round-trips over the ack
+        # queue; _reply_lock serializes suggest_many over the reply queue.
+        self._control_lock = threading.Lock()
+        self._reply_lock = threading.Lock()
+        self._next_request_id = 0
+        self._workers = []
+        try:
+            for worker_id in range(n_workers):
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id,
+                        self._store.meta,
+                        config,
+                        self._request_queues[worker_id],
+                        self._reply_queue,
+                        self._ack_queue,
+                    ),
+                    daemon=True,
+                    name=f"suggest-worker-{worker_id}",
+                )
+                process.start()
+                self._workers.append(process)
+            self._ready_info = self._collect_ready(ready_timeout)
+        except Exception:
+            self.close()
+            raise
+
+    def _check_workers_alive(self) -> None:
+        dead = [
+            f"{process.name} (exit {process.exitcode})"
+            for process in self._workers
+            if process.exitcode is not None
+        ]
+        if dead:
+            raise RuntimeError(f"worker process died: {', '.join(dead)}")
+
+    def _collect_ready(self, timeout: float) -> dict[int, dict]:
+        deadline = time.monotonic() + timeout
+        ready: dict[int, dict] = {}
+        while len(ready) < self._n_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"only {len(ready)}/{self._n_workers} workers attached "
+                    f"within {timeout:.0f}s"
+                )
+            try:
+                kind, worker_id, info = self._ack_queue.get(
+                    timeout=min(remaining, 1.0)
+                )
+            except queue_module.Empty:
+                self._check_workers_alive()
+                continue
+            if kind != "ready":  # pragma: no cover - defensive
+                continue
+            ready[worker_id] = info
+            self._m_attach.observe(info["attach_seconds"])
+        return ready
+
+    # -- properties --------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        """Worker process count."""
+        return self._n_workers
+
+    @property
+    def generation(self) -> int:
+        """Current plane generation (bumped by each publish)."""
+        return self._generation
+
+    @property
+    def segment_name(self) -> str:
+        """Name of the current generation's shared-memory segment."""
+        return self._store.segment_name
+
+    @property
+    def segment_bytes(self) -> int:
+        """Bytes of the current shared segment."""
+        return self._store.total_bytes
+
+    @property
+    def ready_info(self) -> dict[int, dict]:
+        """Per-worker attach facts gathered at startup (pid, timings, rss)."""
+        return dict(self._ready_info)
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def from_suggester(
+        cls, suggester: PQSDA, n_workers: int = 2, **kwargs
+    ) -> "SuggestWorkerPool":
+        """Pool serving the same representation as a built *suggester*.
+
+        Raises ``ValueError`` when the suggester carries a profile store:
+        profiles do not cross the process boundary, so pooled results
+        could not match the single-process personalized ranking.
+        """
+        if suggester.profiles is not None:
+            raise ValueError(
+                "worker pools serve without profile stores; build the "
+                "suggester with personalize=False (or strip its profiles) "
+                "for bit-identical pooled results"
+            )
+        return cls(
+            suggester.expander,
+            suggester.config,
+            multibipartite=suggester.representation,
+            n_workers=n_workers,
+            **kwargs,
+        )
+
+    # -- request path ------------------------------------------------------------
+
+    def _route(self, query: str) -> int:
+        """Stable query-hash routing: repeats hit the same worker's cache."""
+        normalized = normalize_query(query)
+        return zlib.crc32(normalized.encode("utf-8")) % self._n_workers
+
+    def suggest_many(
+        self, requests: Sequence[SuggestRequest]
+    ) -> list[list[str]]:
+        """Suggestions for *requests*, in order (``suggest_batch`` semantics).
+
+        Requests fan out to workers by query hash and results are
+        reassembled in request order; a worker-side exception re-raises
+        here with the worker traceback attached.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._reply_lock:
+            self._m_depth.inc(len(requests))
+            self._m_requests.inc(len(requests))
+            try:
+                pending: dict[int, int] = {}
+                for position, request in enumerate(requests):
+                    request_id = self._next_request_id
+                    self._next_request_id += 1
+                    pending[request_id] = position
+                    self._request_queues[self._route(request.query)].put(
+                        ("req", request_id, request)
+                    )
+                results: list = [None] * len(requests)
+                while pending:
+                    try:
+                        _, request_id, worker_id, result, error = (
+                            self._reply_queue.get(timeout=self._ack_timeout)
+                        )
+                    except queue_module.Empty:
+                        raise TimeoutError(
+                            f"{len(pending)} replies outstanding after "
+                            f"{self._ack_timeout:.0f}s"
+                        ) from None
+                    if error is not None:
+                        raise RuntimeError(
+                            f"worker {worker_id} failed:\n{error}"
+                        )
+                    results[pending.pop(request_id)] = result
+                    self._m_depth.dec()
+                return results
+            finally:
+                self._m_depth.set(0)
+
+    def suggest(
+        self,
+        query: str,
+        k: int = 10,
+        user_id: str | None = None,
+        context=(),
+        timestamp: float = 0.0,
+    ) -> list[str]:
+        """Single-request convenience over :meth:`suggest_many`."""
+        request = SuggestRequest(
+            query=query,
+            k=k,
+            user_id=user_id,
+            context=tuple(context),
+            timestamp=timestamp,
+        )
+        return self.suggest_many([request])[0]
+
+    # -- generation handshake ----------------------------------------------------
+
+    def publish_plane(
+        self,
+        expander: RandomWalkExpander,
+        multibipartite=None,
+        touched=None,
+        epoch_id: int | None = None,
+    ) -> None:
+        """Publish the next generation and swap every worker onto it.
+
+        Shares *expander*'s matrices as a fresh segment, sends an in-band
+        swap message down each worker's request queue (processed strictly
+        between requests — no torn views), waits for every worker's ack,
+        and only then unlinks the superseded segment.  *touched* flows
+        into each worker's targeted cache invalidation (``None`` flushes
+        the caches wholesale).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._control_lock:
+            generation = self._generation + 1
+            if epoch_id is None:
+                epoch_id = generation
+            new_store = SharedMatrixStore.publish(
+                expander.matrices,
+                expander,
+                multibipartite
+                if multibipartite is not None
+                else self._multibipartite,
+                epoch_id=epoch_id,
+                prefix=self._prefix,
+            )
+            touched_payload = (
+                frozenset(touched) if touched is not None else None
+            )
+            for request_queue in self._request_queues:
+                request_queue.put(
+                    ("swap", new_store.meta, generation, touched_payload)
+                )
+            acked: set[int] = set()
+            errors: list[str] = []
+            deadline = time.monotonic() + self._ack_timeout
+            while len(acked) < self._n_workers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    new_store.unlink()
+                    new_store.close()
+                    raise TimeoutError(
+                        f"only {len(acked)}/{self._n_workers} workers acked "
+                        f"generation {generation} within "
+                        f"{self._ack_timeout:.0f}s"
+                    )
+                try:
+                    kind, worker_id, gen, info = self._ack_queue.get(
+                        timeout=remaining
+                    )
+                except queue_module.Empty:
+                    continue
+                if kind != "ack" or gen != generation:  # pragma: no cover
+                    continue
+                acked.add(worker_id)
+                if info.get("error"):
+                    errors.append(f"worker {worker_id}: {info['error']}")
+                else:
+                    self._m_swap.observe(info["swap_seconds"])
+            if errors:
+                new_store.unlink()
+                new_store.close()
+                raise RuntimeError(
+                    "generation swap failed:\n" + "\n".join(errors)
+                )
+            # Every worker acked: nobody can still be serving from the old
+            # segment, so removing it is safe now and not a moment before.
+            old_store = self._store
+            self._store = new_store
+            self._generation = generation
+            self._m_generations.inc()
+            old_store.unlink()
+            old_store.close()
+
+    def publish_epoch(self, epoch) -> None:
+        """Swap the pool onto a streaming :class:`~repro.stream.epoch.Epoch`."""
+        self.publish_plane(
+            epoch.expander,
+            multibipartite=epoch.multibipartite,
+            touched=epoch.touched_queries,
+            epoch_id=epoch.epoch_id,
+        )
+
+    def attach_epochs(self, manager) -> None:
+        """Republish to the workers after every epoch-manager publish."""
+        manager.subscribe(self.publish_epoch)
+
+    # -- introspection -----------------------------------------------------------
+
+    def _collect_stats_payloads(self) -> dict[int, dict]:
+        """One stats round-trip to every worker (serialized by caller)."""
+        token = self._next_request_id
+        self._next_request_id += 1
+        for request_queue in self._request_queues:
+            request_queue.put(("stats", token))
+        payloads: dict[int, dict] = {}
+        deadline = time.monotonic() + self._ack_timeout
+        while len(payloads) < self._n_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"only {len(payloads)}/{self._n_workers} stats replies "
+                    f"within {self._ack_timeout:.0f}s"
+                )
+            try:
+                kind, worker_id, got_token, payload = self._ack_queue.get(
+                    timeout=remaining
+                )
+            except queue_module.Empty:
+                continue
+            if kind != "stats" or got_token != token:  # pragma: no cover
+                continue
+            payloads[worker_id] = payload
+        return payloads
+
+    def stats(self) -> PoolStats:
+        """Live per-worker counters, one round-trip to every worker."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._control_lock:
+            payloads = self._collect_stats_payloads()
+        workers = tuple(
+            WorkerStats(
+                worker_id=worker_id,
+                pid=payload["pid"],
+                requests=payload["requests"],
+                busy_seconds=payload["busy_seconds"],
+                uptime_seconds=payload["uptime_seconds"],
+                qps=(
+                    payload["requests"] / payload["uptime_seconds"]
+                    if payload["uptime_seconds"] > 0
+                    else 0.0
+                ),
+                generation=payload["generation"],
+                epoch_id=payload["epoch_id"],
+                rss_kb=payload["rss_kb"],
+                shares_memory=payload["shares_memory"],
+                cache=CacheStats(**payload["cache"]),
+            )
+            for worker_id, payload in sorted(payloads.items())
+        )
+        return PoolStats(
+            n_workers=self._n_workers,
+            generation=self._generation,
+            epoch_id=self._store.meta.epoch_id,
+            segment_bytes=self._store.total_bytes,
+            workers=workers,
+        )
+
+    def merged_metrics(self) -> dict:
+        """Pool + per-worker metric snapshots as one deterministic view.
+
+        Worker metrics carry a ``worker=<id>`` label; pool-level metrics
+        (queue depth, request counter, attach/swap histograms) come from
+        the pool's own registry.  Entries are sorted by (name, labels),
+        matching :meth:`~repro.obs.registry.MetricsRegistry.snapshot`.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._control_lock:
+            payloads = self._collect_stats_payloads()
+        merged: list[dict] = []
+        for worker_id, payload in sorted(payloads.items()):
+            for entry in payload["snapshot"]["metrics"]:
+                entry = dict(entry)
+                labels = dict(entry.get("labels", {}))
+                labels["worker"] = str(worker_id)
+                entry["labels"] = labels
+                merged.append(entry)
+        if self._registry is not NULL_REGISTRY:
+            merged.extend(self._registry.snapshot()["metrics"])
+        merged.sort(
+            key=lambda entry: (
+                entry["name"],
+                sorted(entry.get("labels", {}).items()),
+            )
+        )
+        return {"metrics": merged}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self, join_timeout: float = 30.0) -> None:
+        """Stop the workers and unlink the current segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for request_queue in self._request_queues:
+            try:
+                request_queue.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in self._workers:
+            process.join(timeout=join_timeout)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+        self._store.unlink()
+        self._store.close()
+
+    def __enter__(self) -> "SuggestWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

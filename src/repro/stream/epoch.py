@@ -121,6 +121,7 @@ class EpochManager:
         self._published = 1
         self._retired = 0
         self._subscribers: list = []
+        self._retire_subscribers: list = []
         self.attach_metrics(registry)
 
     def attach_metrics(self, registry) -> None:
@@ -162,6 +163,7 @@ class EpochManager:
             return _Pin(self, epoch)
 
     def _unpin(self, epoch_id: int) -> None:
+        retired: Epoch | None = None
         with self._lock:
             remaining = self._pins.get(epoch_id)
             if remaining is None:  # already retired defensively
@@ -170,7 +172,8 @@ class EpochManager:
             self._pins[epoch_id] = remaining
             self._m_pinned.dec()
             if remaining <= 0 and epoch_id != self._current.epoch_id:
-                self._retire(epoch_id)
+                retired = self._retire(epoch_id)
+        self._notify_retired(retired)
 
     # -- writer side ------------------------------------------------------------
 
@@ -179,6 +182,7 @@ class EpochManager:
 
         Raises ``ValueError`` on a non-monotonic epoch id (stale writer).
         """
+        retired: Epoch | None = None
         with self._lock:
             previous = self._current
             if epoch.epoch_id <= previous.epoch_id:
@@ -193,24 +197,51 @@ class EpochManager:
             self._m_published.inc()
             self._m_current.set(epoch.epoch_id)
             if self._pins.get(previous.epoch_id, 0) <= 0:
-                self._retire(previous.epoch_id)
+                retired = self._retire(previous.epoch_id)
             self._m_live.set(len(self._live))
             subscribers = list(self._subscribers)
         for callback in subscribers:
             callback(epoch)
+        self._notify_retired(retired)
 
-    def _retire(self, epoch_id: int) -> None:
-        """Drop a superseded, unpinned epoch (caller holds the lock)."""
-        if self._live.pop(epoch_id, None) is not None:
+    def _retire(self, epoch_id: int) -> Epoch | None:
+        """Drop a superseded, unpinned epoch (caller holds the lock).
+
+        Returns the retired epoch so the caller can notify retirement
+        subscribers *outside* the lock, or ``None`` if nothing was live.
+        """
+        epoch = self._live.pop(epoch_id, None)
+        if epoch is not None:
             self._retired += 1
             self._m_retired.inc()
             self._m_live.set(len(self._live))
         self._pins.pop(epoch_id, None)
+        return epoch
+
+    def _notify_retired(self, epoch: Epoch | None) -> None:
+        if epoch is None:
+            return
+        with self._lock:
+            subscribers = list(self._retire_subscribers)
+        for callback in subscribers:
+            callback(epoch)
 
     def subscribe(self, callback) -> None:
         """Call ``callback(epoch)`` after every future publish."""
         with self._lock:
             self._subscribers.append(callback)
+
+    def subscribe_retire(self, callback) -> None:
+        """Call ``callback(epoch)`` after an epoch fully retires.
+
+        Retirement means the epoch is superseded *and* its last in-process
+        reader has unpinned — the point at which resources tied to that
+        generation (e.g. the shared-memory segments the scale-out serving
+        plane publishes per epoch) can be reclaimed for local readers.
+        Callbacks run outside the manager lock.
+        """
+        with self._lock:
+            self._retire_subscribers.append(callback)
 
     # -- introspection ----------------------------------------------------------
 

@@ -259,6 +259,30 @@ class TestMetricsFlow:
         assert "serving.cache.invalidation_fanout" in names
 
 
+class TestServe:
+    def test_serves_from_worker_pool(self, log_path, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "serve_metrics.json"
+        code = main(
+            [
+                "serve", str(log_path), "amazon",
+                "--workers", "1", "--k", "5", "--compact-size", "40",
+                "--quiet", "--metrics-out", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 workers" in out
+        assert "shared views: True" in out
+        names = {
+            entry["name"]
+            for entry in json.loads(path.read_text())["metrics"]
+        }
+        assert "serve.pool.requests" in names
+        assert "serving.cache.hits" in names
+
+
 class TestPerplexity:
     def test_runs_selected_models(self, log_path, capsys):
         code = main(

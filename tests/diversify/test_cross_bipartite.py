@@ -98,3 +98,19 @@ class TestCrossBipartiteWalker:
         walker = CrossBipartiteWalker(matrices, switch)
         assert walker.matrices is matrices
         assert walker.switch is switch
+
+
+class TestMixtureWeightsPrior:
+    def test_negative_prior_component_rejected(self):
+        # [-0.5, 0.75, 0.75] sums to 1 but is not a distribution; the old
+        # shape+sum check let it through into the walk mixture.
+        switch = SwitchMatrix.uniform()
+        with pytest.raises(ValueError, match="non-negative"):
+            switch.mixture_weights(np.array([-0.5, 0.75, 0.75]))
+
+    def test_valid_prior_accepted(self):
+        switch = SwitchMatrix.sticky(0.6)
+        weights = switch.mixture_weights(np.array([0.5, 0.25, 0.25]))
+        assert weights.shape == (3,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights >= 0).all()

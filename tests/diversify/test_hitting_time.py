@@ -4,7 +4,10 @@ import numpy as np
 import pytest
 from scipy import sparse
 
-from repro.diversify.hitting_time import truncated_hitting_times
+from repro.diversify.hitting_time import (
+    HittingTimeEngine,
+    truncated_hitting_times,
+)
 
 
 def T(rows):
@@ -89,3 +92,59 @@ class TestValidation:
     def test_zero_iterations_rejected(self):
         with pytest.raises(ValueError, match="iterations"):
             truncated_hitting_times(T([[1]]), [0], iterations=0)
+
+
+class TestFusedAdditiveTerm:
+    """The per-step additive term is fused (leak vector + step scalar).
+
+    Regression for the O(l·n) ``_additive`` table the engine used to
+    materialize: the fused form must stay bit-identical to the reference
+    ``swap += 1 + leak·(step-1)`` row while holding only O(n) state.
+    """
+
+    def _reference_compute(self, transition, absorbing, iterations):
+        """The pre-fusion implementation, additive rows materialized."""
+        transition = transition.tocsr()
+        n = transition.shape[0]
+        row_mass = np.asarray(transition.sum(axis=1)).ravel()
+        leak = np.clip(1.0 - row_mass, 0.0, None)
+        additive = [
+            1.0 + leak * float(step - 1)
+            for step in range(1, iterations + 1)
+        ]
+        absorbing_idx = np.asarray(sorted(set(absorbing)), dtype=int)
+        h = np.zeros(n)
+        swap = np.zeros(n)
+        for step in range(1, iterations + 1):
+            swap[:] = transition @ h
+            swap += additive[step - 1]
+            swap[absorbing_idx] = 0.0
+            h, swap = swap, h
+        return np.minimum(h, float(iterations))
+
+    def test_bit_identical_with_leaky_rows(self):
+        rng = np.random.default_rng(7)
+        raw = rng.random((30, 30)) * (rng.random((30, 30)) < 0.3)
+        # Sub-stochastic: scale rows to sums in (0, 1].
+        sums = raw.sum(axis=1, keepdims=True)
+        sums[sums == 0] = 1.0
+        scale = rng.uniform(0.4, 1.0, size=(30, 1))
+        transition = sparse.csr_matrix(raw / sums * scale)
+        engine = HittingTimeEngine(transition, iterations=25)
+        for absorbing in ([0], [1, 5, 9], list(range(10))):
+            expected = self._reference_compute(transition, absorbing, 25)
+            assert np.array_equal(engine.compute(absorbing), expected)
+
+    def test_bit_identical_with_stochastic_rows(self):
+        rng = np.random.default_rng(3)
+        raw = rng.random((20, 20))
+        transition = sparse.csr_matrix(
+            raw / raw.sum(axis=1, keepdims=True)
+        )
+        engine = HittingTimeEngine(transition, iterations=15)
+        expected = self._reference_compute(transition, [2, 4], 15)
+        assert np.array_equal(engine.compute([2, 4]), expected)
+
+    def test_no_materialized_additive_table(self):
+        engine = HittingTimeEngine(T([[0, 1], [1, 0]]), iterations=50)
+        assert not hasattr(engine, "_additive")

@@ -1,0 +1,43 @@
+"""Shared serving-plane fixtures: one small synthetic world per module."""
+
+import pytest
+
+from repro.core import PQSDA, PQSDAConfig
+from repro.diversify.candidates import DiversifyConfig
+from repro.graphs.compact import CompactConfig, RandomWalkExpander
+from repro.graphs.multibipartite import build_multibipartite
+from repro.logs.sessionizer import sessionize
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+SERVE_CONFIG = PQSDAConfig(
+    compact=CompactConfig(size=60),
+    diversify=DiversifyConfig(k=8, candidate_pool=15),
+    personalize=False,
+    cache_size=64,
+)
+
+
+@pytest.fixture(scope="package")
+def synthetic_log():
+    world = make_world(seed=0)
+    return generate_log(
+        world,
+        GeneratorConfig(n_users=25, mean_sessions_per_user=8, seed=11),
+    ).log
+
+
+@pytest.fixture(scope="package")
+def multibipartite(synthetic_log):
+    return build_multibipartite(synthetic_log, sessionize(synthetic_log))
+
+
+@pytest.fixture(scope="package")
+def expander(multibipartite):
+    return RandomWalkExpander(multibipartite)
+
+
+@pytest.fixture(scope="package")
+def single_suggester(multibipartite, expander):
+    """The single-process reference every pooled result must match."""
+    return PQSDA(multibipartite, expander, None, SERVE_CONFIG)
