@@ -28,13 +28,16 @@ exceeded; CI uses 1.05 = 5%).  The record also carries the per-stage
 span breakdown and the full metrics snapshot.
 
 ``--serve`` benchmarks the scale-out serving plane (``BENCH_serve.json``):
-one shared-memory publication of the representation, then pooled QPS at
-1, 2 and 4 suggest workers on a warm probe workload, the bit-identity
-check of every pooled batch against the single-process path, and the
-memory ledger (segment bytes once + per-worker RSS).
-``--min-serve-scaling`` turns the 2-worker/1-worker QPS ratio into a
-guard (exit 1 below the bound; auto-skipped when the machine has fewer
-than 2 CPUs, where no scaling is physically available).
+pooled QPS at 1, 2 and 4 suggest workers on a warm probe workload with
+the hot-query fast tier off (batched envelopes only) and on (head
+queries answered O(1) in the parent from the shared table), the
+per-request IPC overhead vs. the single-process path, the hot-tier hit
+rate, separate bit-identity checks for batched-tail and hot-tier
+answers against the single-process path, and the memory ledger (segment
+bytes once + per-worker RSS).
+``--min-serve-scaling`` turns the 2-worker/1-worker tier-off QPS ratio
+into a guard (exit 1 below the bound; auto-skipped when the machine has
+fewer than 2 CPUs, where no scaling is physically available).
 
 ``--quick`` is the CI profile: smallest Fig. 7 scale, the ingest
 benchmark, a small UPM training benchmark, the observability benchmark,
@@ -522,18 +525,29 @@ def _rss_kb() -> int:
     return 0
 
 
+SERVE_HOT_TOP = 20
+
+
 def run_serve_bench(n_users: int = 60, rounds: int = 3) -> dict:
     """Pooled QPS at 1/2/4 workers vs. the single-process serving path.
 
-    One representation build, one shared-memory publication per pool; the
-    probe workload is served warm (a priming pass first) so the numbers
-    measure the steady serving state, not compact-cache fills.  Every
-    pooled batch is checked bit-identical against the single-process
-    reference.  ``segment_mb`` counts the shared matrix bytes once — the
-    marginal per-worker memory is each worker's own RSS (interpreter +
-    caches), not another copy of the matrices.
+    One representation build; per worker count, two pools are measured:
+    hot tier **off** (batched per-worker envelopes only — the tail path)
+    and hot tier **on** (top-``SERVE_HOT_TOP`` head queries precomputed
+    into the shared segment, answered O(1) in the parent).  The probe
+    workload is served warm (a priming pass first) so the numbers
+    measure the steady serving state, not compact-cache fills.  Batched
+    tail answers and hot-tier answers are separately checked
+    bit-identical against the single-process reference;
+    ``ipc_overhead_ms`` is the per-request cost the pool adds over the
+    single-process path (negative once parallelism wins).
+    ``segment_mb`` counts the shared matrix bytes once — the marginal
+    per-worker memory is each worker's own RSS (interpreter + caches),
+    not another copy of the matrices.
     """
+    from repro.core.suggester import head_queries
     from repro.serve.pool import SuggestWorkerPool
+    from repro.utils.text import normalize_query
 
     world = make_world(seed=0, pages_per_leaf=24)
     config = GeneratorConfig(
@@ -553,6 +567,14 @@ def run_serve_bench(n_users: int = 60, rounds: int = 3) -> dict:
     )
     suggester = PQSDA.build(log, config=pq_config)
     requests = [SuggestRequest(query=q, k=10) for q in probes]
+    hot_queries = head_queries(log, SERVE_HOT_TOP)
+    hot_set = set(hot_queries)
+    hot_positions = [
+        i for i, q in enumerate(probes) if normalize_query(q) in hot_set
+    ]
+    tail_positions = [
+        i for i, q in enumerate(probes) if normalize_query(q) not in hot_set
+    ]
 
     suggester.suggest_batch(requests)  # warm the single-process cache
     start = time.perf_counter()
@@ -560,11 +582,22 @@ def run_serve_bench(n_users: int = 60, rounds: int = 3) -> dict:
         expected = suggester.suggest_batch(requests)
     single_qps = len(requests) * rounds / (time.perf_counter() - start)
 
+    def timed_qps(pool):
+        identical = pool.suggest_many(requests) == expected  # warm pass
+        start = time.perf_counter()
+        got = None
+        for _ in range(rounds):
+            got = pool.suggest_many(requests)
+            identical = got == expected and identical
+        qps = len(requests) * rounds / (time.perf_counter() - start)
+        return qps, identical, got
+
     row = {
         "n_users": n_users,
         "n_unique_queries": len(log.unique_queries),
         "probes": len(probes),
         "rounds": rounds,
+        "hot_top": SERVE_HOT_TOP,
         "cpu_count": os.cpu_count(),
         "parent_rss_kb": _rss_kb(),
         "single_process_qps": round(single_qps, 1),
@@ -574,35 +607,57 @@ def run_serve_bench(n_users: int = 60, rounds: int = 3) -> dict:
         with SuggestWorkerPool.from_suggester(
             suggester, n_workers=n_workers, prefix=f"bench{n_workers}"
         ) as pool:
-            identical = pool.suggest_many(requests) == expected  # warm pass
-            start = time.perf_counter()
-            for _ in range(rounds):
-                identical = (
-                    pool.suggest_many(requests) == expected and identical
-                )
-            qps = len(requests) * rounds / (time.perf_counter() - start)
+            qps, tail_identical, _ = timed_qps(pool)
             stats = pool.stats()
-            entry = {
-                "n_workers": n_workers,
-                "qps": round(qps, 1),
-                "scaling_vs_1_worker": None,  # filled below
-                "bit_identical": identical,
-                "segment_mb": round(pool.segment_bytes / 1e6, 3),
-                "worker_rss_kb": [w.rss_kb for w in stats.workers],
-                "shares_memory": all(w.shares_memory for w in stats.workers),
-                "attach_seconds": [
-                    round(info["attach_seconds"], 4)
-                    for _, info in sorted(pool.ready_info.items())
-                ],
-            }
-            row["workers"].append(entry)
-            print(
-                f"serve: {n_workers} workers: {qps:7.1f} QPS "
-                f"(single-process {single_qps:.1f}), "
-                f"bit_identical={identical}, "
-                f"segment={entry['segment_mb']}MB, "
-                f"rss={[round(k / 1024) for k in entry['worker_rss_kb']]}MB"
+            segment_mb = round(pool.segment_bytes / 1e6, 3)
+            worker_rss = [w.rss_kb for w in stats.workers]
+            shares = all(w.shares_memory for w in stats.workers)
+            attach = [
+                round(info["attach_seconds"], 4)
+                for _, info in sorted(pool.ready_info.items())
+            ]
+        with SuggestWorkerPool.from_suggester(
+            suggester,
+            n_workers=n_workers,
+            prefix=f"benchhot{n_workers}",
+            hot_queries=hot_queries,
+        ) as pool:
+            qps_hot, _, got_hot = timed_qps(pool)
+            hot_stats = pool.stats()
+            hot_identical = all(
+                got_hot[i] == expected[i] for i in hot_positions
             )
+            tail_identical = tail_identical and all(
+                got_hot[i] == expected[i] for i in tail_positions
+            )
+            served = len(requests) * (rounds + 1)
+            hit_rate = hot_stats.hot_hits / served if served else 0.0
+        entry = {
+            "n_workers": n_workers,
+            "qps": round(qps, 1),
+            "qps_hot_tier": round(qps_hot, 1),
+            "scaling_vs_1_worker": None,  # filled below
+            "ipc_overhead_ms": round(1000.0 / qps - 1000.0 / single_qps, 3),
+            "hot_entries": hot_stats.hot_entries,
+            "hot_hit_rate": round(hit_rate, 3),
+            "bit_identical_tail": tail_identical,
+            "bit_identical_hot": hot_identical,
+            "bit_identical": tail_identical and hot_identical,
+            "segment_mb": segment_mb,
+            "worker_rss_kb": worker_rss,
+            "shares_memory": shares,
+            "attach_seconds": attach,
+        }
+        row["workers"].append(entry)
+        print(
+            f"serve: {n_workers} workers: {qps:7.1f} QPS tail / "
+            f"{qps_hot:7.1f} QPS hot-tier "
+            f"(single-process {single_qps:.1f}), "
+            f"hot hit rate {hit_rate:.0%}, "
+            f"bit_identical={entry['bit_identical']}, "
+            f"segment={segment_mb}MB, "
+            f"rss={[round(k / 1024) for k in worker_rss]}MB"
+        )
     base_qps = row["workers"][0]["qps"]
     for entry in row["workers"]:
         entry["scaling_vs_1_worker"] = round(entry["qps"] / base_qps, 2)

@@ -163,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="times to replay the request set "
                             "(throughput measurement)")
     serve.add_argument("--compact-size", type=int, default=150)
+    serve.add_argument("--hot-top", type=int, default=0, metavar="N",
+                       help="precompute the N most frequent log queries "
+                            "into the shared hot-query table; hits are "
+                            "answered O(1) in the parent (0 = tier off)")
     serve.add_argument("--quiet", action="store_true",
                        help="skip printing the per-query suggestions")
     serve.add_argument("--metrics-out", default=None, metavar="JSON",
@@ -464,15 +468,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queries = [query for query, _ in frequency.most_common(20)]
     requests = [SuggestRequest(query=query, k=args.k) for query in queries]
 
+    hot_queries = None
+    if args.hot_top > 0:
+        from repro.core.suggester import head_queries
+
+        hot_queries = head_queries(cleaned, args.hot_top)
     registry = _make_registry(args.metrics_out)
     with SuggestWorkerPool.from_suggester(
-        suggester, n_workers=args.workers, registry=registry
+        suggester,
+        n_workers=args.workers,
+        registry=registry,
+        hot_queries=hot_queries,
+        hot_top=args.hot_top,
     ) as pool:
         print(
             f"pool: {pool.n_workers} workers over a "
             f"{pool.segment_bytes / 1e6:.1f} MB shared segment "
             f"({pool.segment_name})"
         )
+        if pool.hot_entries:
+            print(f"hot tier: {pool.hot_entries} precomputed head queries")
         start = time.perf_counter()
         for _ in range(args.rounds):
             batch = pool.suggest_many(requests)
@@ -482,7 +497,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"served {served} requests in {elapsed:.2f}s "
             f"({served / elapsed:,.0f} QPS)"
         )
-        for worker in pool.stats().workers:
+        pool_stats = pool.stats()
+        if pool_stats.hot_entries:
+            print(
+                f"hot tier: {pool_stats.hot_hits}/{served} hits "
+                f"({pool_stats.hot_hits / served:.0%}) answered O(1) "
+                f"from the shared table"
+            )
+        for worker in pool_stats.workers:
             print(
                 f"worker {worker.worker_id}: {worker.requests} requests, "
                 f"{worker.qps:.0f} QPS, rss {worker.rss_kb / 1024:.0f} MB, "

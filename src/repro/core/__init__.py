@@ -12,7 +12,7 @@ personalization — behind one ``build`` + ``suggest`` API::
 
 from repro.core.config import PQSDAConfig
 from repro.core.serving import CacheStats, CompactCache, CompactEntry
-from repro.core.suggester import PQSDA
+from repro.core.suggester import PQSDA, head_queries
 
 __all__ = [
     "CacheStats",
@@ -20,4 +20,5 @@ __all__ = [
     "CompactEntry",
     "PQSDA",
     "PQSDAConfig",
+    "head_queries",
 ]

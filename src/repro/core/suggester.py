@@ -48,7 +48,26 @@ from repro.personalize.upm import UPM
 from repro.topicmodels.corpus import build_corpus
 from repro.utils.text import jaccard, normalize_query, tokenize
 
-__all__ = ["PQSDA"]
+__all__ = ["PQSDA", "head_queries"]
+
+
+def head_queries(log: QueryLog, n: int) -> list[str]:
+    """The *n* most frequent normalized queries of *log*, hottest first.
+
+    Real query streams are heavily head-skewed, so a small top-``n`` by
+    submission frequency covers a large traffic share.  Ties break
+    lexicographically for a deterministic table across rebuilds.  This is
+    the extraction behind the scale-out pool's precomputed hot-query tier
+    (:class:`repro.serve.pool.SuggestWorkerPool` ``hot_queries`` /
+    ``hot_top``) and :meth:`repro.stream.epoch.Epoch.head_queries`.
+    """
+    if n <= 0:
+        return []
+    ranked = sorted(
+        log.unique_queries,
+        key=lambda query: (-log.query_frequency(query), query),
+    )
+    return ranked[:n]
 
 
 class PQSDA(Suggester):

@@ -1,17 +1,21 @@
 """Scale-out serving: zero-copy shared memory + multi-process workers.
 
 :mod:`repro.serve.shm` publishes one generation of the serving plane (the
-CSR incidences/grams, the walk stacks, the vocabularies) into a single
-``multiprocessing`` shared-memory segment; :mod:`repro.serve.pool` spawns
-suggest workers that attach read-only views over it, route requests by
-query hash for cache affinity, and swap generations through an
-epoch-consistent handshake.  See ``docs/algorithms.md`` ("Scale-out
-serving") for the layout and protocol.
+CSR incidences/grams, the walk stacks, the vocabularies, and optionally a
+precomputed hot-query table) into a single ``multiprocessing``
+shared-memory segment; :mod:`repro.serve.pool` spawns suggest workers
+that attach read-only views over it, route requests by query hash for
+cache affinity, batch each call into one envelope per worker, answer
+head queries O(1) from the hot table in the parent, and swap generations
+through an epoch-consistent handshake.  See ``docs/algorithms.md``
+("Scale-out serving" and "Batched IPC & hot-query fast tier") for the
+layout and protocols.
 """
 
 from repro.serve.pool import PoolStats, SuggestWorkerPool, WorkerStats
 from repro.serve.shm import (
     AttachedPlane,
+    SharedHotTable,
     SharedMatrixStore,
     SharedPlaneMeta,
     SharedRepresentation,
@@ -22,6 +26,7 @@ from repro.serve.shm import (
 __all__ = [
     "AttachedPlane",
     "PoolStats",
+    "SharedHotTable",
     "SharedMatrixStore",
     "SharedPlaneMeta",
     "SharedRepresentation",

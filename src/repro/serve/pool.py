@@ -8,16 +8,39 @@ builds its own :class:`~repro.core.suggester.PQSDA` plus
 :class:`~repro.core.serving.CompactCache` over them.  Matrix bytes exist
 once per generation however many workers serve.
 
-Routing and affinity
+Routing, affinity and batched envelopes
     Requests are routed by ``crc32(normalized_query) % n_workers`` — a
     process-stable hash (builtin ``hash`` is salted per process), so
     repeats of a query land on the same worker and hit its compact-entry
-    cache.  :meth:`~SuggestWorkerPool.suggest_many` preserves
-    ``suggest_batch`` semantics: results come back in request order and
-    are bit-identical to the single-process path (workers serve without
-    profile stores, so construct the pool from a non-personalized
-    configuration — :meth:`~SuggestWorkerPool.from_suggester` enforces
-    this).
+    cache.  :meth:`~SuggestWorkerPool.suggest_many` groups the requests
+    of one call by route and sends **one** compact envelope per worker —
+    a batch id plus primitive-encoded request tuples, never a pickled
+    :class:`~repro.baselines.base.SuggestRequest` per request — and each
+    worker replies with one envelope per batch, so the per-request IPC
+    tax (queue hop + pickle) is amortized across the batch.  Results
+    come back in request order and are bit-identical to the
+    single-process path (workers serve without profile stores, so
+    construct the pool from a non-personalized configuration —
+    :meth:`~SuggestWorkerPool.from_suggester` enforces this).  Reply
+    envelopes are tagged with their batch id: envelopes surfacing late
+    from a timed-out batch are drained, never matched against the next
+    call.
+
+Hot-query fast tier
+    Real query streams are head-skewed.  Given ``hot_queries`` (or
+    ``hot_top`` over streaming epochs), the pool precomputes the full
+    expand/solve/walk pipeline for those head queries at publish time,
+    packs the results into the same shared segment as the matrices (see
+    :class:`~repro.serve.shm.SharedHotTable`), verifies the packed bytes
+    round-trip bit-identically, and answers context-free hits O(1) in
+    the parent — head traffic never touches a worker queue.  The table
+    stores each query's full diversified ranking, which never depends on
+    the request's ``k`` (``suggest`` slices ``ranking[:k]``), so any
+    ``k`` is served from the same entry; requests carrying a search
+    context take the full worker path.  Every
+    :meth:`~SuggestWorkerPool.publish_plane` / epoch swap rebuilds the
+    table against the new generation and swaps it atomically with the
+    segment, so no stale answer survives an epoch.
 
 Generation handshake (epoch-consistent publication)
     :meth:`~SuggestWorkerPool.publish_plane` shares the next generation as
@@ -55,11 +78,76 @@ from repro.core.config import PQSDAConfig
 from repro.core.serving import CacheStats
 from repro.core.suggester import PQSDA
 from repro.graphs.compact import RandomWalkExpander
+from repro.logs.schema import QueryRecord
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
-from repro.serve.shm import AttachedPlane, SharedMatrixStore, SharedPlaneMeta
+from repro.serve.shm import (
+    AttachedPlane,
+    SharedHotTable,
+    SharedMatrixStore,
+    SharedPlaneMeta,
+    SharedRepresentation,
+)
 from repro.utils.text import normalize_query
 
 __all__ = ["PoolStats", "SuggestWorkerPool", "WorkerStats"]
+
+#: Batch-size histogram bounds (requests per worker envelope).
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def _encode_request(request: SuggestRequest) -> tuple:
+    """Primitive-tuple encoding of one request for a worker envelope.
+
+    Dataclass pickling (class lookup + per-field ``__reduce__``) is the
+    measurable per-request cost of the old one-message-per-request path;
+    plain tuples of builtins keep the envelope compact.
+    """
+    return (
+        request.query,
+        request.k,
+        request.user_id,
+        tuple(
+            (r.user_id, r.query, r.timestamp, r.clicked_url, r.record_id)
+            for r in request.context
+        ),
+        request.timestamp,
+    )
+
+
+def _verified_hot_table(
+    store: SharedMatrixStore, computed: dict[str, list[str]] | None
+) -> SharedHotTable | None:
+    """The store's packed hot table, bit-identity-checked entry by entry.
+
+    Every ranking that went in must come back out of the packed segment
+    bytes verbatim — this is the publish-time proof that a hot hit equals
+    the full expand/solve/walk path it was precomputed from.
+    """
+    if not computed:
+        return None
+    packed = store.hot_table()
+    for query, ranking in computed.items():
+        unpacked = packed.lookup(query)
+        if unpacked != list(ranking):
+            raise RuntimeError(
+                f"hot-table round-trip mismatch for {query!r}: packed "
+                f"{unpacked!r} != computed {list(ranking)!r}"
+            )
+    return packed
+
+
+def _decode_context(encoded: tuple) -> tuple[QueryRecord, ...]:
+    """Rebuild the context records a worker passes into ``suggest``."""
+    return tuple(
+        QueryRecord(
+            user_id=user_id,
+            query=query,
+            timestamp=timestamp,
+            clicked_url=clicked_url,
+            record_id=record_id,
+        )
+        for user_id, query, timestamp, clicked_url, record_id in encoded
+    )
 
 
 def _rss_kb() -> int:
@@ -118,24 +206,25 @@ def _worker_main(
         while True:
             message = request_queue.get()
             kind = message[0]
-            if kind == "req":
-                _, request_id, request = message
+            if kind == "batch":
+                _, batch_id, items = message
                 begin = time.perf_counter()
-                try:
-                    result = pqsda.suggest(
-                        request.query,
-                        k=request.k,
-                        user_id=request.user_id,
-                        context=request.context,
-                        timestamp=request.timestamp,
-                    )
-                    error = None
-                except Exception:
-                    result = None
-                    error = traceback.format_exc()
+                replies = []
+                for query, k, user_id, context, timestamp in items:
+                    try:
+                        result = pqsda.suggest(
+                            query,
+                            k=k,
+                            user_id=user_id,
+                            context=_decode_context(context),
+                            timestamp=timestamp,
+                        )
+                        replies.append((result, None))
+                    except Exception:
+                        replies.append((None, traceback.format_exc()))
                 busy_seconds += time.perf_counter() - begin
-                requests_served += 1
-                reply_queue.put(("res", request_id, worker_id, result, error))
+                requests_served += len(items)
+                reply_queue.put(("bres", batch_id, worker_id, replies))
             elif kind == "swap":
                 _, new_meta, new_generation, touched = message
                 swap_start = time.perf_counter()
@@ -231,6 +320,11 @@ class PoolStats:
         segment_bytes: Bytes of the current shared segment (counted once,
             however many workers attach).
         workers: Per-worker counters, ordered by ``worker_id``.
+        hot_entries: Entries in the current generation's hot-query table
+            (0 when the hot tier is off).
+        hot_hits: Requests the parent answered O(1) from the hot table
+            since the pool started — these never reached a worker, so
+            they are *not* part of any worker's ``requests`` count.
     """
 
     n_workers: int
@@ -238,11 +332,13 @@ class PoolStats:
     epoch_id: int
     segment_bytes: int
     workers: tuple[WorkerStats, ...]
+    hot_entries: int = 0
+    hot_hits: int = 0
 
     @property
     def total_requests(self) -> int:
-        """Requests served across all workers."""
-        return sum(worker.requests for worker in self.workers)
+        """Requests served by the pool (worker batches + parent hot hits)."""
+        return sum(worker.requests for worker in self.workers) + self.hot_hits
 
 
 class SuggestWorkerPool:
@@ -265,8 +361,18 @@ class SuggestWorkerPool:
             inherit nothing, every shared byte travels through the
             segment.  (``"fork"`` also works and attaches faster.)
         ready_timeout: Seconds to wait for workers to attach at startup.
-        ack_timeout: Seconds to wait for swap acks and stats replies.
+        ack_timeout: Seconds to wait for swap acks, batch replies and
+            stats replies.
         prefix: Shared-memory segment name prefix.
+        hot_queries: Head queries to precompute into the shared hot-query
+            table (``None``/empty = no hot tier).  Use
+            :func:`repro.core.suggester.head_queries` to extract them
+            from a log by frequency.
+        hot_top: When > 0 and the pool is wired to an epoch manager,
+            every epoch publish re-derives ``hot_top`` head queries from
+            the epoch's log and rebuilds the table against the new
+            generation (explicit ``hot_queries`` seed the table until the
+            first epoch arrives).
 
     Use as a context manager (or call :meth:`close`): shutdown stops the
     workers and unlinks the current segment, leaving nothing in
@@ -284,6 +390,8 @@ class SuggestWorkerPool:
         ready_timeout: float = 120.0,
         ack_timeout: float = 120.0,
         prefix: str = "pqsda",
+        hot_queries: Sequence[str] | None = None,
+        hot_top: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -294,6 +402,10 @@ class SuggestWorkerPool:
         self._prefix = prefix
         self._generation = 0
         self._closed = False
+        self._hot_queries = list(hot_queries) if hot_queries else None
+        self._hot_top = hot_top
+        self._hot: SharedHotTable | None = None
+        self._hot_hits_total = 0
 
         registry = registry if registry is not None else NULL_REGISTRY
         self._registry = registry
@@ -303,15 +415,24 @@ class SuggestWorkerPool:
         self._m_generations = registry.counter("serve.pool.generations")
         self._m_attach = registry.histogram("serve.pool.attach_seconds")
         self._m_swap = registry.histogram("serve.pool.swap_seconds")
+        self._m_hot_hits = registry.counter("serve.pool.hot_hits")
+        self._m_batch_size = registry.histogram(
+            "serve.pool.batch_size", buckets=_BATCH_SIZE_BUCKETS
+        )
         self._m_workers.set(n_workers)
 
+        hot_table = self._compute_hot_table(
+            expander, multibipartite, self._hot_queries
+        )
         self._store = SharedMatrixStore.publish(
             expander.matrices,
             expander,
             multibipartite,
             epoch_id=0,
             prefix=prefix,
+            hot_table=hot_table,
         )
+        self._hot = _verified_hot_table(self._store, hot_table)
         context = get_context(start_method)
         self._request_queues = [context.Queue() for _ in range(n_workers)]
         self._reply_queue = context.Queue()
@@ -320,7 +441,8 @@ class SuggestWorkerPool:
         # queue; _reply_lock serializes suggest_many over the reply queue.
         self._control_lock = threading.Lock()
         self._reply_lock = threading.Lock()
-        self._next_request_id = 0
+        self._next_batch_id = 0
+        self._next_token = 0
         self._workers = []
         try:
             for worker_id in range(n_workers):
@@ -343,6 +465,49 @@ class SuggestWorkerPool:
         except Exception:
             self.close()
             raise
+
+    def _compute_hot_table(
+        self,
+        expander: RandomWalkExpander,
+        multibipartite,
+        hot_queries: Sequence[str] | None,
+    ) -> dict[str, list[str]] | None:
+        """Precompute ``{query: full diversified ranking}`` for the head.
+
+        Runs the full expand/solve/walk pipeline in the parent against
+        exactly the representation being published, so a packed entry is
+        the same bytes a worker would compute.  The ranking never depends
+        on the request's ``k`` (``suggest`` returns ``ranking[:k]``), so
+        one entry serves every ``k``.
+        """
+        if not hot_queries:
+            return None
+        representation = multibipartite
+        if representation is None:
+            # No term index crosses to the workers either; membership is
+            # all the pipeline needs for in-graph head queries.
+            matrices = expander.matrices
+            representation = SharedRepresentation(
+                queries=matrices.queries, query_index=matrices.query_index
+            )
+        suggester = PQSDA(representation, expander, None, self._config)
+        table: dict[str, list[str]] = {}
+        for query in hot_queries:
+            normalized = normalize_query(query)
+            if normalized in table:
+                continue
+            if (
+                normalized not in representation
+                and multibipartite is None
+                and self._config.term_backoff
+            ):
+                # The backoff needs the term index the parent does not
+                # hold here; leave unseen queries to the cold path.
+                continue
+            table[normalized] = suggester.diversified_candidates(
+                normalized
+            ).top(self._config.diversify.k)
+        return table or None
 
     def _check_workers_alive(self) -> None:
         dead = [
@@ -403,6 +568,17 @@ class SuggestWorkerPool:
         """Per-worker attach facts gathered at startup (pid, timings, rss)."""
         return dict(self._ready_info)
 
+    @property
+    def hot_entries(self) -> int:
+        """Entries in the current generation's hot table (0 = tier off)."""
+        hot = self._hot
+        return len(hot) if hot is not None else 0
+
+    @property
+    def hot_hits(self) -> int:
+        """Requests answered O(1) from the hot table since startup."""
+        return self._hot_hits_total
+
     # -- construction helpers ----------------------------------------------------
 
     @classmethod
@@ -441,9 +617,14 @@ class SuggestWorkerPool:
     ) -> list[list[str]]:
         """Suggestions for *requests*, in order (``suggest_batch`` semantics).
 
-        Requests fan out to workers by query hash and results are
-        reassembled in request order; a worker-side exception re-raises
-        here with the worker traceback attached.
+        Context-free requests whose query sits in the hot table are
+        answered O(1) in this process; the rest are grouped by route and
+        sent as one envelope per worker (one reply envelope comes back
+        per batch).  A worker-side exception re-raises here with the
+        worker traceback attached; a dead worker raises ``RuntimeError``
+        naming it instead of a generic timeout.  Reply envelopes from a
+        previously timed-out batch are drained by batch-id mismatch, so
+        a timeout cannot corrupt subsequent calls.
         """
         requests = list(requests)
         if not requests:
@@ -451,37 +632,85 @@ class SuggestWorkerPool:
         if self._closed:
             raise RuntimeError("pool is closed")
         with self._reply_lock:
-            self._m_depth.inc(len(requests))
             self._m_requests.inc(len(requests))
+            results: list = [None] * len(requests)
+            hot = self._hot
+            by_worker: dict[int, list[int]] = {}
+            hot_hits = 0
+            for position, request in enumerate(requests):
+                # The hot entry was precomputed without a context; the
+                # ranking is k- and timestamp-independent (timestamps
+                # only weight context records), so no-context hits of
+                # any k are exact.
+                if hot is not None and not request.context:
+                    ranking = hot.lookup(normalize_query(request.query))
+                    if ranking is not None:
+                        results[position] = ranking[: request.k]
+                        hot_hits += 1
+                        continue
+                by_worker.setdefault(
+                    self._route(request.query), []
+                ).append(position)
+            if hot_hits:
+                self._hot_hits_total += hot_hits
+                self._m_hot_hits.inc(hot_hits)
+            if not by_worker:
+                return results
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            outstanding = sum(len(p) for p in by_worker.values())
+            self._m_depth.inc(outstanding)
             try:
-                pending: dict[int, int] = {}
-                for position, request in enumerate(requests):
-                    request_id = self._next_request_id
-                    self._next_request_id += 1
-                    pending[request_id] = position
-                    self._request_queues[self._route(request.query)].put(
-                        ("req", request_id, request)
+                for worker_id, positions in by_worker.items():
+                    envelope = [
+                        _encode_request(requests[position])
+                        for position in positions
+                    ]
+                    self._m_batch_size.observe(len(envelope))
+                    self._request_queues[worker_id].put(
+                        ("batch", batch_id, envelope)
                     )
-                results: list = [None] * len(requests)
+                pending = set(by_worker)
+                deadline = time.monotonic() + self._ack_timeout
                 while pending:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"{len(pending)} worker batch replies "
+                            f"({outstanding} requests) outstanding after "
+                            f"{self._ack_timeout:.0f}s"
+                        )
                     try:
-                        _, request_id, worker_id, result, error = (
-                            self._reply_queue.get(timeout=self._ack_timeout)
+                        _, got_batch, worker_id, replies = (
+                            self._reply_queue.get(
+                                timeout=min(remaining, 1.0)
+                            )
                         )
                     except queue_module.Empty:
-                        raise TimeoutError(
-                            f"{len(pending)} replies outstanding after "
-                            f"{self._ack_timeout:.0f}s"
-                        ) from None
-                    if error is not None:
-                        raise RuntimeError(
-                            f"worker {worker_id} failed:\n{error}"
-                        )
-                    results[pending.pop(request_id)] = result
-                    self._m_depth.dec()
+                        # A dead worker can never reply — report it by
+                        # name instead of timing out anonymously.
+                        self._check_workers_alive()
+                        continue
+                    if got_batch != batch_id:
+                        # Stale envelope from a batch that timed out in
+                        # an earlier call: drain, never match.
+                        continue
+                    positions = by_worker[worker_id]
+                    for position, (result, error) in zip(positions, replies):
+                        if error is not None:
+                            raise RuntimeError(
+                                f"worker {worker_id} failed:\n{error}"
+                            )
+                        results[position] = result
+                    pending.discard(worker_id)
+                    outstanding -= len(positions)
+                    self._m_depth.dec(len(positions))
                 return results
             finally:
-                self._m_depth.set(0)
+                # Exact depth bookkeeping: anything that never drained
+                # (timeout/error path) comes off here, nothing else.
+                if outstanding:
+                    self._m_depth.dec(outstanding)
 
     def suggest(
         self,
@@ -509,6 +738,7 @@ class SuggestWorkerPool:
         multibipartite=None,
         touched=None,
         epoch_id: int | None = None,
+        hot_queries: Sequence[str] | None = None,
     ) -> None:
         """Publish the next generation and swap every worker onto it.
 
@@ -518,6 +748,13 @@ class SuggestWorkerPool:
         and only then unlinks the superseded segment.  *touched* flows
         into each worker's targeted cache invalidation (``None`` flushes
         the caches wholesale).
+
+        The hot-query table is rebuilt against the new generation —
+        from *hot_queries* when given, else from the pool's stored head
+        list — packed into the new segment, round-trip verified, and
+        swapped in the same reference assignment as the segment, so no
+        request ever gets a hot answer from a superseded generation after
+        the swap completes.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -525,15 +762,27 @@ class SuggestWorkerPool:
             generation = self._generation + 1
             if epoch_id is None:
                 epoch_id = generation
+            publish_multibipartite = (
+                multibipartite
+                if multibipartite is not None
+                else self._multibipartite
+            )
+            if hot_queries is not None:
+                hot_queries = list(hot_queries)
+            else:
+                hot_queries = self._hot_queries
+            hot_table = self._compute_hot_table(
+                expander, publish_multibipartite, hot_queries
+            )
             new_store = SharedMatrixStore.publish(
                 expander.matrices,
                 expander,
-                multibipartite
-                if multibipartite is not None
-                else self._multibipartite,
+                publish_multibipartite,
                 epoch_id=epoch_id,
                 prefix=self._prefix,
+                hot_table=hot_table,
             )
+            new_hot = _verified_hot_table(new_store, hot_table)
             touched_payload = (
                 frozenset(touched) if touched is not None else None
             )
@@ -575,20 +824,33 @@ class SuggestWorkerPool:
                 )
             # Every worker acked: nobody can still be serving from the old
             # segment, so removing it is safe now and not a moment before.
+            # The hot table swaps with the store: answers served after
+            # this point come from the new generation's packed entries.
             old_store = self._store
             self._store = new_store
+            self._hot = new_hot
+            self._hot_queries = hot_queries
             self._generation = generation
             self._m_generations.inc()
             old_store.unlink()
             old_store.close()
 
     def publish_epoch(self, epoch) -> None:
-        """Swap the pool onto a streaming :class:`~repro.stream.epoch.Epoch`."""
+        """Swap the pool onto a streaming :class:`~repro.stream.epoch.Epoch`.
+
+        With ``hot_top`` configured, the head list is re-extracted from
+        the epoch's cumulative log (traffic drifts; yesterday's head is
+        not today's) before the table is rebuilt and swapped.
+        """
+        hot_queries = None
+        if self._hot_top > 0:
+            hot_queries = epoch.head_queries(self._hot_top)
         self.publish_plane(
             epoch.expander,
             multibipartite=epoch.multibipartite,
             touched=epoch.touched_queries,
             epoch_id=epoch.epoch_id,
+            hot_queries=hot_queries,
         )
 
     def attach_epochs(self, manager) -> None:
@@ -599,8 +861,8 @@ class SuggestWorkerPool:
 
     def _collect_stats_payloads(self) -> dict[int, dict]:
         """One stats round-trip to every worker (serialized by caller)."""
-        token = self._next_request_id
-        self._next_request_id += 1
+        token = self._next_token
+        self._next_token += 1
         for request_queue in self._request_queues:
             request_queue.put(("stats", token))
         payloads: dict[int, dict] = {}
@@ -655,6 +917,8 @@ class SuggestWorkerPool:
             epoch_id=self._store.meta.epoch_id,
             segment_bytes=self._store.total_bytes,
             workers=workers,
+            hot_entries=self.hot_entries,
+            hot_hits=self._hot_hits_total,
         )
 
     def merged_metrics(self) -> dict:

@@ -53,6 +53,19 @@ class Epoch:
     expander: RandomWalkExpander
     touched_queries: frozenset[str]
 
+    def head_queries(self, n: int) -> list[str]:
+        """The *n* hottest normalized queries of this epoch's log.
+
+        Frequencies come from the cumulative log snapshot, so the head
+        tracks traffic drift epoch over epoch — this feeds the scale-out
+        pool's hot-query table refresh
+        (:meth:`repro.serve.pool.SuggestWorkerPool.publish_epoch` with
+        ``hot_top``).
+        """
+        from repro.core.suggester import head_queries
+
+        return head_queries(self.log, n)
+
     @classmethod
     def from_snapshot(cls, epoch_id: int, snapshot: StreamSnapshot) -> "Epoch":
         """Wrap *snapshot* with a prebuilt expander as epoch *epoch_id*."""

@@ -282,6 +282,19 @@ class TestServe:
         assert "serve.pool.requests" in names
         assert "serving.cache.hits" in names
 
+    def test_hot_top_reports_tier_hits(self, log_path, capsys):
+        code = main(
+            [
+                "serve", str(log_path),
+                "--workers", "1", "--k", "5", "--compact-size", "40",
+                "--hot-top", "5", "--rounds", "2", "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot tier: 5 precomputed head queries" in out
+        assert "answered O(1) from the shared table" in out
+
 
 class TestPerplexity:
     def test_runs_selected_models(self, log_path, capsys):
