@@ -38,10 +38,17 @@ bytes once + per-worker RSS).
 ``--min-serve-scaling`` turns the 2-worker/1-worker tier-off QPS ratio
 into a guard (exit 1 below the bound; auto-skipped when the machine has
 fewer than 2 CPUs, where no scaling is physically available).
+``--personalize`` adds a personalized-serving section to the same
+record: the pool republishes the UPM profiles through the shared profile
+plane and the workload is served twice per worker count — anonymously
+and as profiled users — so the gap isolates the per-request cost of
+personalization (hot-tier bypass + Borda fusion + zero-copy profile
+lookups), with bit-identity checked against the single-process
+personalized path.
 
 ``--quick`` is the CI profile: smallest Fig. 7 scale, the ingest
 benchmark, a small UPM training benchmark, the observability benchmark,
-and the serve benchmark.
+and the serve benchmark (with the personalized section).
 
 Every ``BENCH_*.json`` record carries ``"mode": "quick" | "full"`` so a
 reader can tell a CI smoke number from a full-protocol sweep.
@@ -664,6 +671,114 @@ def run_serve_bench(n_users: int = 60, rounds: int = 3) -> dict:
     return row
 
 
+def run_serve_personalize_bench(n_users: int = 60, rounds: int = 3) -> dict:
+    """Personalized vs. anonymous pooled QPS over the shared profile plane.
+
+    One personalized suggester (small UPM fit); the same probe workload is
+    served twice per pool — once anonymously and once with every request
+    carrying a profiled ``user_id`` (round-robin over the store), so the
+    gap isolates what personalization costs per request: the hot-tier
+    bypass, the Borda fusion, and the zero-copy profile lookups.  The
+    single-process gap is recorded as ``profile_lookup_overhead_ms``;
+    pooled personalized answers are checked bit-identical against the
+    single-process personalized path at every worker count.
+    """
+    from repro.personalize.upm import UPMConfig
+    from repro.serve.pool import SuggestWorkerPool
+
+    world = make_world(seed=0, pages_per_leaf=24)
+    config = GeneratorConfig(
+        n_users=n_users,
+        mean_sessions_per_user=12,
+        click_probability=0.55,
+        noise_click_probability=0.12,
+        hub_click_probability=0.15,
+        seed=42,
+    )
+    log = generate_log(world, config).log
+    probes = _probe_queries(log, 40)
+    pq_config = PQSDAConfig(
+        compact=CompactConfig(size=150),
+        diversify=DiversifyConfig(k=10, candidate_pool=25),
+        upm=UPMConfig(
+            n_topics=6, iterations=8, hyperopt_every=0, seed=0
+        ),
+        personalize=True,
+    )
+    suggester = PQSDA.build(log, config=pq_config)
+    users = suggester.profiles.user_ids
+    personalized = [
+        SuggestRequest(query=q, k=10, user_id=users[i % len(users)])
+        for i, q in enumerate(probes)
+    ]
+    anonymous = [SuggestRequest(query=q, k=10) for q in probes]
+
+    def single_qps(requests):
+        suggester.suggest_batch(requests)  # warm pass
+        start = time.perf_counter()
+        expected = None
+        for _ in range(rounds):
+            expected = suggester.suggest_batch(requests)
+        return len(requests) * rounds / (time.perf_counter() - start), expected
+
+    qps_anon, _ = single_qps(anonymous)
+    qps_personal, expected = single_qps(personalized)
+    overhead_ms = round(1000.0 / qps_personal - 1000.0 / qps_anon, 3)
+
+    row = {
+        "n_users": n_users,
+        "profiled_users": len(users),
+        "probes": len(probes),
+        "rounds": rounds,
+        "upm_topics": pq_config.upm.n_topics,
+        "single_process_qps": round(qps_personal, 1),
+        "single_process_anonymous_qps": round(qps_anon, 1),
+        "profile_lookup_overhead_ms": overhead_ms,
+        "workers": [],
+    }
+    for n_workers in SERVE_WORKER_COUNTS:
+        with SuggestWorkerPool.from_suggester(
+            suggester, n_workers=n_workers, prefix=f"benchp{n_workers}"
+        ) as pool:
+            pool.suggest_many(personalized)  # warm pass
+            identical = True
+            start = time.perf_counter()
+            for _ in range(rounds):
+                got = pool.suggest_many(personalized)
+                identical = got == expected and identical
+            qps = len(personalized) * rounds / (time.perf_counter() - start)
+            pool.suggest_many(anonymous)  # warm the anonymous side
+            start = time.perf_counter()
+            for _ in range(rounds):
+                pool.suggest_many(anonymous)
+            pool_anon_qps = (
+                len(anonymous) * rounds / (time.perf_counter() - start)
+            )
+            stats = pool.stats()
+            entry = {
+                "n_workers": n_workers,
+                "qps_personalized": round(qps, 1),
+                "qps_anonymous": round(pool_anon_qps, 1),
+                "bit_identical": identical,
+                "profile_segment_mb": round(
+                    pool.profile_segment_bytes / 1e6, 3
+                ),
+                "profile_shares_memory": all(
+                    w.profile_shares_memory for w in stats.workers
+                ),
+            }
+        row["workers"].append(entry)
+        print(
+            f"serve[personalized]: {n_workers} workers: "
+            f"{qps:7.1f} QPS personalized / {pool_anon_qps:7.1f} QPS "
+            f"anonymous (single-process {qps_personal:.1f}), "
+            f"bit_identical={identical}, "
+            f"profile segment={entry['profile_segment_mb']}MB, "
+            f"shared profile views={entry['profile_shares_memory']}"
+        )
+    return row
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -704,6 +819,12 @@ def main() -> int:
         "(CI uses 1.3; auto-skipped on machines with fewer than 2 CPUs)",
     )
     parser.add_argument(
+        "--personalize", action="store_true",
+        help="also benchmark personalized serving over the shared profile "
+        "plane (personalized vs. anonymous QPS at 1/2/4 workers; implies "
+        "--serve)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_fig7.json",
         help="where to write the Fig. 7 JSON record",
     )
@@ -729,9 +850,10 @@ def main() -> int:
         args.upm = True
         args.obs = True
         args.serve = True
+        args.personalize = True
     if args.max_overhead_ratio is not None:
         args.obs = True
-    if args.min_serve_scaling is not None:
+    if args.min_serve_scaling is not None or args.personalize:
         args.serve = True
     mode = "full" if args.full else "quick"
     scales = USER_SCALES if args.full else USER_SCALES[:1]
@@ -804,6 +926,12 @@ def main() -> int:
             return 1
     if args.serve:
         serve_row = run_serve_bench(rounds=2 if args.quick else 3)
+        personal_row = None
+        if args.personalize:
+            personal_row = run_serve_personalize_bench(
+                rounds=2 if args.quick else 3
+            )
+            serve_row["personalized"] = personal_row
         serve_record = {
             "benchmark": "serve_scaleout",
             "mode": mode,
@@ -817,6 +945,14 @@ def main() -> int:
         print(f"wrote {args.serve_output}")
         if not all(entry["bit_identical"] for entry in serve_row["workers"]):
             print("FAIL: pooled output diverged from the single-process path")
+            return 1
+        if personal_row is not None and not all(
+            entry["bit_identical"] for entry in personal_row["workers"]
+        ):
+            print(
+                "FAIL: pooled personalized output diverged from the "
+                "single-process path"
+            )
             return 1
         if args.min_serve_scaling is not None:
             cpus = serve_row["cpu_count"] or 1

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from dataclasses import replace
 
 from repro.baselines.base import SuggestRequest
 from repro.core import PQSDA, PQSDAConfig
@@ -167,6 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="precompute the N most frequent log queries "
                             "into the shared hot-query table; hits are "
                             "answered O(1) in the parent (0 = tier off)")
+    serve.add_argument("--personalize", action="store_true",
+                       help="fit the UPM on the log, publish the profiles "
+                            "into the shared profile plane, and serve each "
+                            "request as a profiled user (round-robin over "
+                            "the store)")
+    serve.add_argument("--topics", type=int, default=5,
+                       help="UPM topics when --personalize is set")
+    serve.add_argument("--upm-iterations", type=int, default=10,
+                       help="UPM Gibbs sweeps when --personalize is set")
     serve.add_argument("--quiet", action="store_true",
                        help="skip printing the per-query suggestions")
     serve.add_argument("--metrics-out", default=None, metavar="JSON",
@@ -459,14 +469,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = PQSDAConfig(
         compact=CompactConfig(size=args.compact_size),
         diversify=DiversifyConfig(k=args.k),
-        personalize=False,
+        personalize=args.personalize,
     )
+    if args.personalize:
+        config = replace(
+            config,
+            upm=UPMConfig(
+                n_topics=args.topics,
+                iterations=args.upm_iterations,
+                hyperopt_every=0,
+                seed=0,
+            ),
+        )
     suggester = PQSDA.build(cleaned, config=config)
     queries = args.query
     if not queries:
         frequency = Counter(normalize_query(r.query) for r in cleaned)
         queries = [query for query, _ in frequency.most_common(20)]
-    requests = [SuggestRequest(query=query, k=args.k) for query in queries]
+    profiled_users: list[str] = []
+    if args.personalize and suggester.profiles is not None:
+        profiled_users = suggester.profiles.user_ids
+    if profiled_users:
+        requests = [
+            SuggestRequest(
+                query=query,
+                k=args.k,
+                user_id=profiled_users[i % len(profiled_users)],
+            )
+            for i, query in enumerate(queries)
+        ]
+    else:
+        requests = [SuggestRequest(query=query, k=args.k) for query in queries]
 
     hot_queries = None
     if args.hot_top > 0:
@@ -488,6 +521,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if pool.hot_entries:
             print(f"hot tier: {pool.hot_entries} precomputed head queries")
+        if pool.serves_profiles:
+            print(
+                f"profile plane: {pool.profile_users} users, "
+                f"generation {pool.profile_generation}, "
+                f"{pool.profile_segment_bytes / 1e6:.1f} MB shared segment "
+                f"({pool.profile_segment_name})"
+            )
         start = time.perf_counter()
         for _ in range(args.rounds):
             batch = pool.suggest_many(requests)
@@ -505,12 +545,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"from the shared table"
             )
         for worker in pool_stats.workers:
-            print(
+            line = (
                 f"worker {worker.worker_id}: {worker.requests} requests, "
                 f"{worker.qps:.0f} QPS, rss {worker.rss_kb / 1024:.0f} MB, "
                 f"cache {worker.cache.hits}/{worker.cache.hits + worker.cache.misses} hits, "
                 f"shared views: {worker.shares_memory}"
             )
+            if pool.serves_profiles:
+                line += (
+                    f", profile views: {worker.profile_shares_memory} "
+                    f"(gen {worker.profile_generation})"
+                )
+            print(line)
         if not args.quiet:
             for query, suggestions in zip(queries, batch):
                 print(f"[{query}]")

@@ -43,7 +43,7 @@ from repro.logs.schema import QueryRecord, Session
 from repro.logs.sessionizer import sessionize
 from repro.logs.storage import QueryLog
 from repro.personalize.borda import personalize_ranking
-from repro.personalize.profiles import UserProfileStore
+from repro.personalize.profiles import ArrayProfileStore, UserProfileStore
 from repro.personalize.upm import UPM
 from repro.topicmodels.corpus import build_corpus
 from repro.utils.text import jaccard, normalize_query, tokenize
@@ -79,7 +79,7 @@ class PQSDA(Suggester):
         self,
         multibipartite: MultiBipartite,
         expander: RandomWalkExpander,
-        profiles: UserProfileStore | None,
+        profiles: UserProfileStore | ArrayProfileStore | None,
         config: PQSDAConfig,
     ) -> None:
         self._multibipartite = multibipartite
@@ -162,7 +162,7 @@ class PQSDA(Suggester):
         return self._expander
 
     @property
-    def profiles(self) -> UserProfileStore | None:
+    def profiles(self) -> UserProfileStore | ArrayProfileStore | None:
         """The UPM profile store (None when personalization is disabled)."""
         return self._profiles
 
@@ -226,6 +226,8 @@ class PQSDA(Suggester):
         self.rebind_representation(
             epoch.multibipartite, epoch.expander, epoch.touched_queries
         )
+        if getattr(epoch, "profiles", None) is not None:
+            self.rebind_profiles(epoch.profiles)
 
     def rebind_representation(
         self,
@@ -247,6 +249,20 @@ class PQSDA(Suggester):
         self._multibipartite = multibipartite
         self._expander = expander
         self._cache.rebind(expander, touched_queries)
+
+    def rebind_profiles(
+        self, profiles: UserProfileStore | ArrayProfileStore | None
+    ) -> None:
+        """Swap the profile store in place (a profile-generation swap).
+
+        Future requests rerank against *profiles*; in-flight requests
+        keep the store they looked up at entry (stores are immutable —
+        feedback folds produce new ones).  This is the swap point shared
+        by the in-process epoch subscription (epochs carrying a folded
+        profile generation) and the worker-side ``pswap`` handshake of
+        :class:`repro.serve.pool.SuggestWorkerPool`.
+        """
+        self._profiles = profiles
 
     # -- online suggestion -----------------------------------------------------------
 

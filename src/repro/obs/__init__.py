@@ -18,7 +18,10 @@ real registry is attached::
     print(to_prometheus(registry.snapshot()))
 
 The metric name catalogue and the span hierarchy of one ``suggest``
-call are documented in ``docs/algorithms.md`` ("Observability").
+call are documented in ``docs/algorithms.md`` ("Observability"); the
+scale-out pool additionally exports the ``serve.pool.*`` and
+``serve.profile.*`` families (the latter covering shared-profile-plane
+lookups, unprofiled misses, profiled-user counts, and generation swaps).
 """
 
 from repro.obs.export import to_json, to_prometheus, write_json

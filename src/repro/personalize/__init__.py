@@ -16,13 +16,20 @@ from repro.personalize.hyperopt import (
     optimize_dirichlet_fixed_point,
     optimize_dirichlet_lbfgs,
 )
-from repro.personalize.profiles import UserProfile, UserProfileStore
+from repro.personalize.profiles import (
+    ArrayProfileStore,
+    ProfileArrays,
+    UserProfile,
+    UserProfileStore,
+)
 from repro.personalize.upm import UPM, UPMConfig, UPMFitStats, fit_beta_moments
 
 __all__ = [
     "UPM",
     "UPMConfig",
     "UPMFitStats",
+    "ArrayProfileStore",
+    "ProfileArrays",
     "UserProfile",
     "UserProfileStore",
     "fit_beta_moments",

@@ -4,19 +4,32 @@
 per-user topic vectors plus the scoring needed to rank suggestion
 candidates.  Profiles are plain data (the paper stresses they are "concise
 enough for offline storage"), so the store can also be built from persisted
-vectors without the model object.
+vectors without the model object — :class:`ProfileArrays` is that persisted
+form (flat numpy arrays), and :class:`ArrayProfileStore` scores straight
+over it, **bit-identically** to the model-backed store.  The arrays are
+exactly what :class:`repro.serve.profile_plane.SharedProfileStore` packs
+into a shared-memory segment, so pool workers rebuild the scorer zero-copy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_left
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.personalize.upm import UPM
+from repro.obs.registry import NULL_REGISTRY
+from repro.personalize.upm import UPM, _TWD_CACHE_SIZE
 from repro.utils.ranking import RankedList, ranks_from_scores
+from repro.utils.text import tokenize
 
-__all__ = ["UserProfile", "UserProfileStore"]
+__all__ = [
+    "ArrayProfileStore",
+    "ProfileArrays",
+    "UserProfile",
+    "UserProfileStore",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +58,396 @@ class UserProfile:
         return int(self.theta.argmax())
 
 
+@dataclass(frozen=True)
+class ProfileArrays:
+    """A fitted UPM's serving state as flat arrays (the packable form).
+
+    Everything :meth:`UPM.preference_score` touches, laid out so one copy
+    into a shared-memory segment suffices to score in another process:
+
+    Attributes:
+        users: User ids in document order (sorted — ``build_corpus`` orders
+            documents by user id — which is what the binary-search lookup
+            of :class:`ArrayProfileStore` relies on).
+        theta: ``(D, K)`` topic-preference matrix (Eq. 30), rows sum to 1.
+        theta_weight: ``(D,)`` Dirichlet concentration behind each theta
+            row (``n_sessions_d + Σα``) — the state that lets click
+            feedback fold into theta incrementally without the model.
+        beta: ``(K, W)`` learned topic-word hyperparameters.
+        counts_indptr: ``(D+1,)`` row pointer of the per-document word
+            counts; document *d*'s block is ``[indptr[d], indptr[d+1])``.
+        counts_gids: ``(nnz,)`` global word ids per block row, sorted
+            ascending within each document.
+        counts: ``(nnz, K)`` per-document topic-word counts ``C_kwd``,
+            transposed so each block row is one word's K-vector.
+        words: Global word vocabulary in id order (the backoff
+            tokenization vocab of serving-time queries).
+        tau: Optional ``(D, K, 2)`` per-user Beta time parameters for
+            time-modulated profiles, or ``None``.
+        generation: Profile generation ordinal (0 = the batch fit).
+    """
+
+    users: tuple[str, ...]
+    theta: np.ndarray
+    theta_weight: np.ndarray
+    beta: np.ndarray
+    counts_indptr: np.ndarray
+    counts_gids: np.ndarray
+    counts: np.ndarray
+    words: tuple[str, ...]
+    tau: np.ndarray | None = None
+    generation: int = 0
+
+    @property
+    def n_users(self) -> int:
+        """Number of profiled users D."""
+        return len(self.users)
+
+    @property
+    def n_topics(self) -> int:
+        """Number of topics K."""
+        return int(self.theta.shape[1]) if self.theta.ndim == 2 else 0
+
+    @property
+    def n_words(self) -> int:
+        """Vocabulary size W."""
+        return len(self.words)
+
+    @property
+    def nbytes(self) -> int:
+        """Total numeric payload bytes (excluding the string vocabs)."""
+        total = (
+            self.theta.nbytes
+            + self.theta_weight.nbytes
+            + self.beta.nbytes
+            + self.counts_indptr.nbytes
+            + self.counts_gids.nbytes
+            + self.counts.nbytes
+        )
+        if self.tau is not None:
+            total += self.tau.nbytes
+        return total
+
+
+class ArrayProfileStore:
+    """Per-user preference scoring over :class:`ProfileArrays`.
+
+    Drop-in compatible with :class:`UserProfileStore` on the serving
+    surface (``in`` / ``len`` / ``user_ids`` / ``profile`` / ``score`` /
+    ``score_candidates`` / ``rank_candidates``) and **bit-identical** to
+    it: scoring replicates the exact floating-point op order of
+    :meth:`UPM.preference_score` (scatter the sparse counts dense, add
+    ``β``, row-normalize, mix by ``θ_d``, mean over the query's word ids),
+    so a pooled worker scoring from shared views produces the same bytes
+    as the single-process model-backed path.
+
+    The arrays may be read-only shared-memory views (the zero-copy attach
+    path) or plain in-process arrays; user lookup binary-searches the
+    sorted user-id list, and per-document topic-word tables are memoized
+    LRU exactly like the model's (bounded by the same constant).
+    """
+
+    def __init__(self, arrays: ProfileArrays) -> None:
+        self._arrays = arrays
+        self._users = arrays.users
+        self._theta = arrays.theta
+        self._theta_weight = arrays.theta_weight
+        self._beta = arrays.beta
+        self._indptr = arrays.counts_indptr
+        self._gids = arrays.counts_gids
+        self._counts = arrays.counts
+        self._words = arrays.words
+        self._tau = arrays.tau
+        # Documents arrive in sorted user-id order (build_corpus), but the
+        # lookup stays correct for any order: sort once, bisect per query.
+        order = sorted(range(len(arrays.users)), key=arrays.users.__getitem__)
+        self._sorted_users = [arrays.users[i] for i in order]
+        self._sorted_docs = order
+        self._word_index = {word: i for i, word in enumerate(arrays.words)}
+        self._twd_cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self.attach_metrics(None)
+
+    # -- observability ---------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror lookup traffic into *registry* (``serve.profile.*``).
+
+        ``serve.profile.lookups`` counts scoring calls,
+        ``serve.profile.unprofiled_misses`` the calls for users with no
+        profile (served unpersonalized), and the ``serve.profile.users``
+        gauge holds the store size.  ``None`` detaches (no-op default).
+        """
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_lookups = registry.counter("serve.profile.lookups")
+        self._m_misses = registry.counter("serve.profile.unprofiled_misses")
+        registry.gauge("serve.profile.users").set(len(self._users))
+
+    # -- store surface ---------------------------------------------------------
+
+    @property
+    def arrays(self) -> ProfileArrays:
+        """The backing arrays (views when attached from shared memory)."""
+        return self._arrays
+
+    @property
+    def generation(self) -> int:
+        """Profile generation ordinal."""
+        return self._arrays.generation
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        """Global word vocabulary in id order."""
+        return self._words
+
+    def to_arrays(self) -> ProfileArrays:
+        """The packable form (alias of :attr:`arrays`)."""
+        return self._arrays
+
+    def __contains__(self, user_id: str) -> bool:
+        return self._doc_of(user_id) >= 0
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    @property
+    def user_ids(self) -> list[str]:
+        """All profiled users, sorted."""
+        return list(self._sorted_users)
+
+    def _doc_of(self, user_id: str) -> int:
+        """Document index of *user_id* via binary search, -1 if unknown."""
+        i = bisect_left(self._sorted_users, user_id)
+        if i < len(self._sorted_users) and self._sorted_users[i] == user_id:
+            return self._sorted_docs[i]
+        return -1
+
+    def profile(self, user_id: str) -> UserProfile:
+        """The profile of *user_id*; raises ``KeyError`` if unknown.
+
+        The returned theta is a view over the backing array (zero-copy
+        when attached from shared memory).
+        """
+        d = self._doc_of(user_id)
+        if d < 0:
+            raise KeyError(f"no profile for user {user_id!r}")
+        return UserProfile(user_id=user_id, theta=self._theta[d])
+
+    def user_tau(self, user_id: str) -> np.ndarray:
+        """Per-user Beta time parameters ``(K, 2)``.
+
+        Raises ``KeyError`` for unknown users and ``ValueError`` when the
+        arrays were packed without the temporal channel.
+        """
+        d = self._doc_of(user_id)
+        if d < 0:
+            raise KeyError(f"no profile for user {user_id!r}")
+        if self._tau is None:
+            raise ValueError("profile arrays were packed without tau")
+        return self._tau[d]
+
+    # -- scoring (bit-identical to the UPM path) -------------------------------
+
+    def _topic_word_distribution(self, d: int) -> np.ndarray:
+        """(K, W) smoothed per-user topic-word table, LRU-memoized.
+
+        Replicates :meth:`UPM.topic_word_distribution` op for op: dense
+        scatter of the document's count block, ``+ β``, in-place row
+        normalization — identical inputs, identical op order, identical
+        output bits.
+        """
+        cached = self._twd_cache.get(d)
+        if cached is not None:
+            self._twd_cache.move_to_end(d)
+            return cached
+        K, W = self._beta.shape
+        counts = np.zeros((K, W))
+        lo, hi = int(self._indptr[d]), int(self._indptr[d + 1])
+        counts[:, self._gids[lo:hi]] = self._counts[lo:hi].T
+        smoothed = counts + self._beta
+        smoothed /= smoothed.sum(axis=1, keepdims=True)
+        self._twd_cache[d] = smoothed
+        if len(self._twd_cache) > _TWD_CACHE_SIZE:
+            self._twd_cache.popitem(last=False)
+        return smoothed
+
+    def _word_ids(self, query: str) -> list[int]:
+        """Query terms mapped to word ids, OOV terms silently dropped."""
+        index = self._word_index
+        return [index[term] for term in tokenize(query) if term in index]
+
+    def score(self, user_id: str, query: str) -> float:
+        """``P(q|d)`` for one candidate (0.0 for unprofiled users)."""
+        return self.score_candidates(user_id, [query])[query]
+
+    def score_candidates(
+        self, user_id: str, candidates: list[str]
+    ) -> dict[str, float]:
+        """``P(q|d)`` for every candidate (Eq. 31).
+
+        One lookup, one ``θ_d``-mixed predictive per call; candidate
+        tokenization is memoized within the call.
+        """
+        self._m_lookups.inc()
+        d = self._doc_of(user_id)
+        if d < 0:
+            self._m_misses.inc()
+            return {query: 0.0 for query in candidates}
+        predictive = self._theta[d] @ self._topic_word_distribution(d)
+        scores: dict[str, float] = {}
+        memo: dict[str, list[int]] = {}
+        for query in candidates:
+            word_ids = memo.get(query)
+            if word_ids is None:
+                word_ids = self._word_ids(query)
+                memo[query] = word_ids
+            scores[query] = (
+                float(np.mean(predictive[word_ids])) if word_ids else 0.0
+            )
+        return scores
+
+    def rank_candidates(
+        self, user_id: str, candidates: list[str]
+    ) -> RankedList[str]:
+        """Candidates sorted by descending personal preference."""
+        return ranks_from_scores(self.score_candidates(user_id, candidates))
+
+    def predictive_word_distribution(self, user_id: str) -> np.ndarray:
+        """``p(w | d) = Σ_k θ_dk φ̂_kwd`` — the Eq. 35 predictive."""
+        d = self._doc_of(user_id)
+        if d < 0:
+            raise KeyError(f"no profile for user {user_id!r}")
+        return self._theta[d] @ self._topic_word_distribution(d)
+
+    # -- incremental click-feedback fold ---------------------------------------
+
+    def _block_totals(self, d: int) -> np.ndarray:
+        """``C_k·d`` — per-topic word-count totals of document *d*."""
+        lo, hi = int(self._indptr[d]), int(self._indptr[d + 1])
+        return np.asarray(self._counts[lo:hi].sum(axis=0), dtype=float)
+
+    def _count_row(self, d: int, word_id: int) -> np.ndarray | None:
+        """``C_·wd`` for one word of document *d* (``None`` if absent)."""
+        lo, hi = int(self._indptr[d]), int(self._indptr[d + 1])
+        gids = self._gids[lo:hi]
+        pos = int(np.searchsorted(gids, word_id))
+        if pos < gids.size and int(gids[pos]) == word_id:
+            return self._counts[lo + pos]
+        return None
+
+    def fold_feedback(self, records, generation: int | None = None):
+        """Fold click feedback into a **new** store (copy-on-write).
+
+        Each record is treated as one pseudo-session of its user: the
+        query's in-vocabulary words are assigned the MAP topic under the
+        user's current state (``argmax_k θ_dk Π_w φ̂_kwd`` — the
+        deterministic limit of the Gibbs draw, lowest ``k`` on ties), that
+        topic's per-user word counts absorb the words, and the theta row
+        is re-normalized with one more unit of concentration
+        (``θ ∝ θ·weight + e_k``).  Records of unprofiled users or with no
+        in-vocabulary words are skipped.  Later records see earlier
+        updates (the fold is sequential and order-deterministic).
+
+        The receiver is untouched — readers keep serving the old
+        generation while the publisher swaps in the returned store, whose
+        arrays are freshly owned (never views into a shared segment).
+        """
+        K = self._beta.shape[0]
+        D = len(self._users)
+        theta = np.array(self._theta, dtype=float)
+        weight = np.array(self._theta_weight, dtype=float)
+        beta_row_sums = np.asarray(self._beta).sum(axis=1)
+        overlays: dict[int, dict[int, np.ndarray]] = {}
+        totals: dict[int, np.ndarray] = {}
+        for record in records:
+            d = self._doc_of(record.user_id)
+            if d < 0:
+                continue
+            word_ids = self._word_ids(record.query)
+            if not word_ids:
+                continue
+            doc_totals = totals.get(d)
+            if doc_totals is None:
+                doc_totals = self._block_totals(d)
+                totals[d] = doc_totals
+            overlay = overlays.setdefault(d, {})
+            log_posterior = np.log(theta[d])
+            log_denominator = np.log(doc_totals + beta_row_sums)
+            for word_id in word_ids:
+                base = self._count_row(d, word_id)
+                count = overlay.get(word_id)
+                if base is not None:
+                    count = count + base if count is not None else base
+                elif count is None:
+                    count = 0.0
+                log_posterior = (
+                    log_posterior
+                    + np.log(count + np.asarray(self._beta)[:, word_id])
+                    - log_denominator
+                )
+            k = int(np.argmax(log_posterior))
+            for word_id in word_ids:
+                vector = overlay.get(word_id)
+                if vector is None:
+                    vector = np.zeros(K)
+                    overlay[word_id] = vector
+                vector[k] += 1.0
+            doc_totals[k] += float(len(word_ids))
+            raw = theta[d] * weight[d]
+            raw[k] += 1.0
+            weight[d] += 1.0
+            theta[d] = raw / raw.sum()
+        # Rebuild the CSR blocks, merging overlay words per touched doc.
+        gid_blocks: list[np.ndarray] = []
+        count_blocks: list[np.ndarray] = []
+        indptr = np.zeros(D + 1, dtype=np.int64)
+        for d in range(D):
+            lo, hi = int(self._indptr[d]), int(self._indptr[d + 1])
+            gids = np.array(self._gids[lo:hi])
+            block = np.array(self._counts[lo:hi])
+            overlay = overlays.get(d)
+            if overlay:
+                known = set(int(g) for g in gids)
+                fresh = sorted(w for w in overlay if w not in known)
+                if fresh:
+                    gids = np.concatenate(
+                        [gids, np.asarray(fresh, dtype=np.int64)]
+                    )
+                    block = np.concatenate([block, np.zeros((len(fresh), K))])
+                    order = np.argsort(gids, kind="stable")
+                    gids = gids[order]
+                    block = block[order]
+                position = {int(g): i for i, g in enumerate(gids)}
+                for word_id, vector in overlay.items():
+                    block[position[word_id]] += vector
+            gid_blocks.append(gids)
+            count_blocks.append(block)
+            indptr[d + 1] = indptr[d] + gids.size
+        arrays = replace(
+            self._arrays,
+            theta=theta,
+            theta_weight=weight,
+            beta=np.array(self._beta),
+            counts_indptr=indptr,
+            counts_gids=(
+                np.concatenate(gid_blocks)
+                if gid_blocks
+                else np.zeros(0, dtype=np.int64)
+            ),
+            counts=(
+                np.concatenate(count_blocks)
+                if count_blocks
+                else np.zeros((0, K))
+            ),
+            tau=np.array(self._tau) if self._tau is not None else None,
+            generation=(
+                generation
+                if generation is not None
+                else self._arrays.generation + 1
+            ),
+        )
+        return ArrayProfileStore(arrays)
+
+
 class UserProfileStore:
     """Per-user preference scoring over suggestion candidates."""
 
@@ -57,6 +460,9 @@ class UserProfileStore:
             )
             for i, doc in enumerate(model.corpus.documents)
         }
+        # user_ids is on the serving path (pool startup packs it, stats
+        # report it); sort once instead of per property access.
+        self._sorted_ids = sorted(self._profiles)
 
     @property
     def model(self) -> UPM:
@@ -71,8 +477,8 @@ class UserProfileStore:
 
     @property
     def user_ids(self) -> list[str]:
-        """All profiled users, sorted."""
-        return sorted(self._profiles)
+        """All profiled users, sorted (cached at construction)."""
+        return list(self._sorted_ids)
 
     def profile(self, user_id: str) -> UserProfile:
         """The profile of *user_id*; raises ``KeyError`` if unknown."""
@@ -88,11 +494,70 @@ class UserProfileStore:
     def score_candidates(
         self, user_id: str, candidates: list[str]
     ) -> dict[str, float]:
-        """``P(q|d)`` for every candidate."""
-        return {query: self.score(user_id, query) for query in candidates}
+        """``P(q|d)`` for every candidate.
+
+        One batched model call: the user's predictive distribution is
+        built once and candidate tokenization is memoized within the call
+        (bit-identical to scoring each candidate separately).
+        """
+        return self._model.preference_scores(user_id, candidates)
 
     def rank_candidates(
         self, user_id: str, candidates: list[str]
     ) -> RankedList[str]:
         """Candidates sorted by descending personal preference."""
         return ranks_from_scores(self.score_candidates(user_id, candidates))
+
+    def to_arrays(
+        self, include_tau: bool = True, generation: int = 0
+    ) -> ProfileArrays:
+        """Extract the packable serving state (see :class:`ProfileArrays`).
+
+        The arrays reproduce the model's scoring bit-for-bit through
+        :class:`ArrayProfileStore`; *include_tau* additionally packs the
+        per-user Beta time parameters when the model trained the temporal
+        channel.
+        """
+        model = self._model
+        corpus = model.corpus
+        users = tuple(doc.user_id for doc in corpus.documents)
+        D = corpus.n_documents
+        K = model.config.n_topics
+        alpha_total = float(model.alpha.sum())
+        gid_blocks: list[np.ndarray] = []
+        count_blocks: list[np.ndarray] = []
+        indptr = np.zeros(D + 1, dtype=np.int64)
+        for d in range(D):
+            gids, counts = model.document_word_counts(d)
+            gid_blocks.append(gids)
+            count_blocks.append(counts)
+            indptr[d + 1] = indptr[d] + gids.size
+        tau = None
+        if include_tau and model.config.use_time:
+            tau = np.stack([model.user_tau(user) for user in users])
+        return ProfileArrays(
+            users=users,
+            theta=model.theta,
+            theta_weight=np.asarray(
+                [
+                    len(corpus.documents[d].sessions) + alpha_total
+                    for d in range(D)
+                ],
+                dtype=np.float64,
+            ),
+            beta=model.beta,
+            counts_indptr=indptr,
+            counts_gids=(
+                np.concatenate(gid_blocks)
+                if gid_blocks
+                else np.zeros(0, dtype=np.int64)
+            ),
+            counts=(
+                np.concatenate(count_blocks)
+                if count_blocks
+                else np.zeros((0, K))
+            ),
+            words=tuple(corpus.word_of_id),
+            tau=tau,
+            generation=generation,
+        )

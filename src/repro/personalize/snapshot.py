@@ -81,6 +81,36 @@ class SnapshotStore:
             )
         return cls(profiles)
 
+    @classmethod
+    def from_profile_store(
+        cls, store, top_words: int = 500
+    ) -> "SnapshotStore":
+        """Snapshot an :class:`~repro.personalize.profiles.ArrayProfileStore`.
+
+        Same truncation as :meth:`from_model`, but built from the packed
+        serving arrays — so a worker attached to a shared profile plane
+        (or a folded profile generation) can be persisted to JSON without
+        the fitted model object anywhere in the process.
+        """
+        if top_words < 1:
+            raise ValueError("top_words must be >= 1")
+        words = store.words
+        profiles: dict[str, ProfileSnapshot] = {}
+        for user_id in store.user_ids:
+            predictive = store.predictive_word_distribution(user_id)
+            order = predictive.argsort()[::-1][:top_words]
+            truncated = {
+                words[int(w)]: float(predictive[int(w)])
+                for w in order
+                if predictive[int(w)] > _FLOOR
+            }
+            profiles[user_id] = ProfileSnapshot(
+                user_id=user_id,
+                theta=tuple(float(x) for x in store.profile(user_id).theta),
+                predictive=truncated,
+            )
+        return cls(profiles)
+
     # -- store interface -------------------------------------------------------------
 
     def __contains__(self, user_id: str) -> bool:

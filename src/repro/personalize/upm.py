@@ -751,6 +751,23 @@ class UPM:
         self._require_fitted()
         return self.theta[d] @ self.topic_word_distribution(d)
 
+    def document_word_counts(self, d: int) -> tuple[np.ndarray, np.ndarray]:
+        """Document *d*'s topic-word counts in packable form.
+
+        Returns ``(gids, counts)``: the document's global word ids sorted
+        ascending (``int64``, shape ``(W_d,)``) and the matching per-word
+        topic-count vectors (``float64``, shape ``(W_d, K)`` — the
+        transpose of the internal ``(K, W_d)`` table, copied).  This is
+        the exact state :meth:`topic_word_distribution` scatters dense,
+        exposed so profile stores can be rebuilt from flat arrays (see
+        :class:`repro.personalize.profiles.ProfileArrays`) without
+        reaching into sampler internals.
+        """
+        self._require_fitted()
+        gids = np.array(self._doc_word_gids[d], dtype=np.int64)
+        counts = np.ascontiguousarray(self._word_counts[d].T, dtype=np.float64)
+        return gids, counts
+
     def user_tau(self, user_id: str) -> np.ndarray:
         """Per-user Beta time parameters, shape (K, 2).
 
@@ -826,3 +843,35 @@ class UPM:
             mixture = self.profile_at(user_id, t_norm)
         predictive = mixture @ self.topic_word_distribution(d)
         return float(np.mean(predictive[word_ids]))
+
+    def preference_scores(
+        self, user_id: str, queries: list[str], t_norm: float | None = None
+    ) -> dict[str, float]:
+        """Batched ``P(q | d)``: Eq. 31 over a candidate list.
+
+        Bit-identical to calling :meth:`preference_score` per query, but
+        the user's mixed predictive distribution is built once and query
+        tokenization is memoized within the call — the serving-path shape
+        (:meth:`repro.personalize.profiles.UserProfileStore.score_candidates`
+        scores a whole diversified candidate pool per request).
+        """
+        self._require_fitted()
+        if user_id not in self._corpus.doc_index:
+            return {query: 0.0 for query in queries}
+        d = self._corpus.doc_index[user_id]
+        if t_norm is None:
+            mixture = self.theta[d]
+        else:
+            mixture = self.profile_at(user_id, t_norm)
+        predictive = mixture @ self.topic_word_distribution(d)
+        scores: dict[str, float] = {}
+        memo: dict[str, list[int]] = {}
+        for query in queries:
+            word_ids = memo.get(query)
+            if word_ids is None:
+                word_ids = self._corpus.word_ids(tokenize(query))
+                memo[query] = word_ids
+            scores[query] = (
+                float(np.mean(predictive[word_ids])) if word_ids else 0.0
+            )
+        return scores

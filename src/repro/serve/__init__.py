@@ -3,16 +3,26 @@
 :mod:`repro.serve.shm` publishes one generation of the serving plane (the
 CSR incidences/grams, the walk stacks, the vocabularies, and optionally a
 precomputed hot-query table) into a single ``multiprocessing``
-shared-memory segment; :mod:`repro.serve.pool` spawns suggest workers
-that attach read-only views over it, route requests by query hash for
-cache affinity, batch each call into one envelope per worker, answer
-head queries O(1) from the hot table in the parent, and swap generations
-through an epoch-consistent handshake.  See ``docs/algorithms.md``
-("Scale-out serving" and "Batched IPC & hot-query fast tier") for the
-layout and protocols.
+shared-memory segment; :mod:`repro.serve.profile_plane` does the same for
+the personalization layer (theta profiles, per-user topic-word counts,
+user/word vocabs, optional tau) so workers score ``P(q|d)`` zero-copy;
+:mod:`repro.serve.pool` spawns suggest workers that attach read-only
+views over both, route requests by query hash for cache affinity, batch
+each call into one envelope per worker, answer unpersonalized head
+queries O(1) from the hot table in the parent (profiled requests bypass
+the table — their ranking is Borda-fused per user), and swap matrix and
+profile generations through epoch-consistent handshakes.  See
+``docs/algorithms.md`` ("Scale-out serving", "Batched IPC & hot-query
+fast tier" and "Shared profile plane") for the layouts and protocols.
 """
 
 from repro.serve.pool import PoolStats, SuggestWorkerPool, WorkerStats
+from repro.serve.profile_plane import (
+    AttachedProfilePlane,
+    SharedProfileMeta,
+    SharedProfileStore,
+    attach_profiles,
+)
 from repro.serve.shm import (
     AttachedPlane,
     SharedHotTable,
@@ -25,13 +35,17 @@ from repro.serve.shm import (
 
 __all__ = [
     "AttachedPlane",
+    "AttachedProfilePlane",
     "PoolStats",
     "SharedHotTable",
     "SharedMatrixStore",
     "SharedPlaneMeta",
+    "SharedProfileMeta",
+    "SharedProfileStore",
     "SharedRepresentation",
     "SharedTermBipartite",
     "SuggestWorkerPool",
     "WorkerStats",
     "attach",
+    "attach_profiles",
 ]

@@ -19,12 +19,13 @@ Routing, affinity and batched envelopes
     worker replies with one envelope per batch, so the per-request IPC
     tax (queue hop + pickle) is amortized across the batch.  Results
     come back in request order and are bit-identical to the
-    single-process path (workers serve without profile stores, so
-    construct the pool from a non-personalized configuration —
-    :meth:`~SuggestWorkerPool.from_suggester` enforces this).  Reply
-    envelopes are tagged with their batch id: envelopes surfacing late
-    from a timed-out batch are drained, never matched against the next
-    call.
+    single-process path — personalized requests included: a
+    profile-bearing suggester's store is packed into a shared **profile
+    plane** (:mod:`repro.serve.profile_plane`) that workers attach
+    zero-copy and Borda-fuse against exactly like the single-process
+    ``PersonalizedSuggester`` path.  Reply envelopes are tagged with
+    their batch id: envelopes surfacing late from a timed-out batch are
+    drained, never matched against the next call.
 
 Hot-query fast tier
     Real query streams are head-skewed.  Given ``hot_queries`` (or
@@ -37,10 +38,24 @@ Hot-query fast tier
     stores each query's full diversified ranking, which never depends on
     the request's ``k`` (``suggest`` slices ``ranking[:k]``), so any
     ``k`` is served from the same entry; requests carrying a search
-    context take the full worker path.  Every
-    :meth:`~SuggestWorkerPool.publish_plane` / epoch swap rebuilds the
-    table against the new generation and swaps it atomically with the
-    segment, so no stale answer survives an epoch.
+    context — or a profiled ``user_id``, whose worker-side ranking would
+    be Borda-fused with preference scores the table never saw — take the
+    full worker path.  Every :meth:`~SuggestWorkerPool.publish_plane` /
+    epoch swap rebuilds the table against the new generation and swaps it
+    atomically with the segment, so no stale answer survives an epoch.
+
+Shared profile plane (personalized serving)
+    Given ``profiles`` (or a profile-bearing suggester via
+    :meth:`~SuggestWorkerPool.from_suggester`), the pool packs the fitted
+    UPM's serving state into its own shared-memory segment
+    (:class:`~repro.serve.profile_plane.SharedProfileStore`); each worker
+    attaches a read-only zero-copy scorer and binds it to its ``PQSDA``,
+    so profiled requests come back Borda-fused bit-identically to the
+    single-process path while profile bytes exist once per generation.
+    Profile generations swap through the same in-band handshake as the
+    matrix plane (:meth:`~SuggestWorkerPool.publish_profiles`, message
+    kind ``pswap``), and epochs carrying folded click feedback
+    (``epoch.profiles``) republish automatically.
 
 Generation handshake (epoch-consistent publication)
     :meth:`~SuggestWorkerPool.publish_plane` shares the next generation as
@@ -80,6 +95,16 @@ from repro.core.suggester import PQSDA
 from repro.graphs.compact import RandomWalkExpander
 from repro.logs.schema import QueryRecord
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.personalize.profiles import (
+    ArrayProfileStore,
+    ProfileArrays,
+    UserProfileStore,
+)
+from repro.serve.profile_plane import (
+    AttachedProfilePlane,
+    SharedProfileMeta,
+    SharedProfileStore,
+)
 from repro.serve.shm import (
     AttachedPlane,
     SharedHotTable,
@@ -136,6 +161,15 @@ def _verified_hot_table(
     return packed
 
 
+def _profile_arrays(
+    profiles: UserProfileStore | ArrayProfileStore | ProfileArrays,
+) -> ProfileArrays:
+    """The packable form of any profile-store flavor the pool accepts."""
+    if isinstance(profiles, ProfileArrays):
+        return profiles
+    return profiles.to_arrays()
+
+
 def _decode_context(encoded: tuple) -> tuple[QueryRecord, ...]:
     """Rebuild the context records a worker passes into ``suggest``."""
     return tuple(
@@ -165,6 +199,7 @@ def _rss_kb() -> int:
 def _worker_main(
     worker_id: int,
     meta: SharedPlaneMeta,
+    profile_meta: SharedProfileMeta | None,
     config: PQSDAConfig,
     request_queue,
     reply_queue,
@@ -173,8 +208,9 @@ def _worker_main(
     """One suggest worker: attach, serve, swap on command, report stats.
 
     The loop is strictly serial, which is the torn-view guarantee: a swap
-    message is only ever handled between two requests, so every request
-    runs start-to-finish against exactly one generation's views.
+    (matrix or profile) message is only ever handled between two requests,
+    so every request runs start-to-finish against exactly one generation's
+    views.
     """
     started = time.perf_counter()
     # multiprocessing children (spawn and fork alike, on POSIX) inherit the
@@ -182,13 +218,22 @@ def _worker_main(
     # the publisher's registry where they are idempotent — no untracking.
     attach_start = time.perf_counter()
     plane = AttachedPlane(meta)
+    profile_plane = (
+        AttachedProfilePlane(profile_meta) if profile_meta is not None else None
+    )
     attach_seconds = time.perf_counter() - attach_start
     registry = MetricsRegistry()
-    pqsda = PQSDA(plane.representation, plane.expander, None, config)
+    profiles = profile_plane.store if profile_plane is not None else None
+    if profiles is not None:
+        profiles.attach_metrics(registry)
+    pqsda = PQSDA(plane.representation, plane.expander, profiles, config)
     pqsda.attach_metrics(registry)
     requests_served = 0
     busy_seconds = 0.0
     generation = 0
+    profile_generation = (
+        profile_plane.generation if profile_plane is not None else 0
+    )
     ack_queue.put(
         (
             "ready",
@@ -197,6 +242,12 @@ def _worker_main(
                 "pid": os.getpid(),
                 "attach_seconds": attach_seconds,
                 "shares_memory": plane.shares_memory(),
+                "profile_shares_memory": (
+                    profile_plane.shares_memory()
+                    if profile_plane is not None
+                    else True
+                ),
+                "profile_users": len(profiles) if profiles is not None else 0,
                 "rss_kb": _rss_kb(),
                 "epoch_id": plane.epoch_id,
             },
@@ -250,6 +301,40 @@ def _worker_main(
                         },
                     )
                 )
+            elif kind == "pswap":
+                # Profile-generation swap: same serial-loop guarantee as a
+                # matrix swap — never observed mid-request, old segment
+                # released only after this ack reaches the publisher.
+                _, new_profile_meta, new_profile_generation = message
+                swap_start = time.perf_counter()
+                error = None
+                try:
+                    new_profile_plane = AttachedProfilePlane(new_profile_meta)
+                    profiles = new_profile_plane.store
+                    profiles.attach_metrics(registry)
+                    pqsda.rebind_profiles(profiles)
+                    if profile_plane is not None:
+                        profile_plane.close()
+                    profile_plane = new_profile_plane
+                    profile_generation = new_profile_generation
+                except Exception:
+                    error = traceback.format_exc()
+                ack_queue.put(
+                    (
+                        "pswap_ack",
+                        worker_id,
+                        new_profile_generation,
+                        {
+                            "swap_seconds": time.perf_counter() - swap_start,
+                            "shares_memory": (
+                                profile_plane.shares_memory()
+                                if profile_plane is not None and error is None
+                                else True
+                            ),
+                            "error": error,
+                        },
+                    )
+                )
             elif kind == "stats":
                 (_, token) = message
                 uptime = time.perf_counter() - started
@@ -267,6 +352,15 @@ def _worker_main(
                             "epoch_id": plane.epoch_id,
                             "rss_kb": _rss_kb(),
                             "shares_memory": plane.shares_memory(),
+                            "profile_generation": profile_generation,
+                            "profile_users": (
+                                len(profiles) if profiles is not None else 0
+                            ),
+                            "profile_shares_memory": (
+                                profile_plane.shares_memory()
+                                if profile_plane is not None
+                                else True
+                            ),
                             "cache": asdict(pqsda.cache_stats),
                             "snapshot": registry.snapshot(),
                         },
@@ -276,6 +370,8 @@ def _worker_main(
                 break
     finally:
         plane.close()
+        if profile_plane is not None:
+            profile_plane.close()
 
 
 @dataclass(frozen=True, slots=True)
@@ -294,6 +390,11 @@ class WorkerStats:
         rss_kb: Worker resident set size (kB).
         shares_memory: Whether every matrix payload is still a shared view.
         cache: The worker's compact-entry cache counters.
+        profile_generation: Last profile generation the worker acked (0
+            when the pool serves without profiles).
+        profile_users: Users in the worker's attached profile store.
+        profile_shares_memory: Whether every profile payload is still a
+            shared view (vacuously true without profiles).
     """
 
     worker_id: int
@@ -307,6 +408,9 @@ class WorkerStats:
     rss_kb: int
     shares_memory: bool
     cache: CacheStats
+    profile_generation: int = 0
+    profile_users: int = 0
+    profile_shares_memory: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -325,6 +429,10 @@ class PoolStats:
         hot_hits: Requests the parent answered O(1) from the hot table
             since the pool started — these never reached a worker, so
             they are *not* part of any worker's ``requests`` count.
+        profile_users: Profiled users in the current profile generation
+            (0 = the pool serves without the profile plane).
+        profile_generation: Current profile generation ordinal.
+        profile_segment_bytes: Bytes of the current profile segment.
     """
 
     n_workers: int
@@ -334,6 +442,9 @@ class PoolStats:
     workers: tuple[WorkerStats, ...]
     hot_entries: int = 0
     hot_hits: int = 0
+    profile_users: int = 0
+    profile_generation: int = 0
+    profile_segment_bytes: int = 0
 
     @property
     def total_requests(self) -> int:
@@ -348,12 +459,15 @@ class SuggestWorkerPool:
         expander: Full-graph expander whose matrices and walk stacks seed
             the first published generation.
         config: Serving configuration for every worker's ``PQSDA``.
-            Workers have no profile store, so *config* must not expect
-            one (``personalize=False`` keeps results bit-identical to a
-            single-process suggester built the same way).
         multibipartite: Representation handle; publishes the query-term
             adjacency so workers serve the unseen-query backoff.  ``None``
             disables the backoff in workers.
+        profiles: Profile store (or packed
+            :class:`~repro.personalize.profiles.ProfileArrays`) to publish
+            as the shared profile plane.  Workers attach zero-copy scorers
+            over it and Borda-fuse personalized requests bit-identically
+            to the single-process personalized suggester; ``None`` serves
+            unpersonalized (the pre-profile-plane behavior).
         n_workers: Worker process count.
         registry: Optional pool-level metrics registry.
         start_method: ``multiprocessing`` start method.  The default
@@ -384,6 +498,7 @@ class SuggestWorkerPool:
         expander: RandomWalkExpander,
         config: PQSDAConfig,
         multibipartite=None,
+        profiles: UserProfileStore | ArrayProfileStore | ProfileArrays | None = None,
         n_workers: int = 2,
         registry=None,
         start_method: str = "spawn",
@@ -419,6 +534,10 @@ class SuggestWorkerPool:
         self._m_batch_size = registry.histogram(
             "serve.pool.batch_size", buckets=_BATCH_SIZE_BUCKETS
         )
+        self._m_profile_swaps = registry.counter(
+            "serve.profile.generation_swaps"
+        )
+        self._m_profile_users = registry.gauge("serve.profile.users")
         self._m_workers.set(n_workers)
 
         hot_table = self._compute_hot_table(
@@ -433,6 +552,17 @@ class SuggestWorkerPool:
             hot_table=hot_table,
         )
         self._hot = _verified_hot_table(self._store, hot_table)
+        self._profile_store: SharedProfileStore | None = None
+        self._profile_generation = 0
+        self._profiled_users: frozenset[str] = frozenset()
+        if profiles is not None:
+            arrays = _profile_arrays(profiles)
+            self._profile_store = SharedProfileStore.publish(
+                arrays, prefix=prefix, generation=arrays.generation
+            )
+            self._profile_generation = self._profile_store.generation
+            self._profiled_users = frozenset(arrays.users)
+            self._m_profile_users.set(len(arrays.users))
         context = get_context(start_method)
         self._request_queues = [context.Queue() for _ in range(n_workers)]
         self._reply_queue = context.Queue()
@@ -451,6 +581,11 @@ class SuggestWorkerPool:
                     args=(
                         worker_id,
                         self._store.meta,
+                        (
+                            self._profile_store.meta
+                            if self._profile_store is not None
+                            else None
+                        ),
                         config,
                         self._request_queues[worker_id],
                         self._reply_queue,
@@ -579,6 +714,33 @@ class SuggestWorkerPool:
         """Requests answered O(1) from the hot table since startup."""
         return self._hot_hits_total
 
+    @property
+    def serves_profiles(self) -> bool:
+        """Whether a shared profile plane is attached to the workers."""
+        return self._profile_store is not None
+
+    @property
+    def profile_generation(self) -> int:
+        """Current profile generation (bumped by each profile publish)."""
+        return self._profile_generation
+
+    @property
+    def profile_users(self) -> int:
+        """Profiled users in the current profile generation."""
+        return len(self._profiled_users)
+
+    @property
+    def profile_segment_name(self) -> str | None:
+        """Name of the current profile segment (``None`` without profiles)."""
+        store = self._profile_store
+        return store.segment_name if store is not None else None
+
+    @property
+    def profile_segment_bytes(self) -> int:
+        """Bytes of the current profile segment (0 without profiles)."""
+        store = self._profile_store
+        return store.total_bytes if store is not None else 0
+
     # -- construction helpers ----------------------------------------------------
 
     @classmethod
@@ -587,16 +749,13 @@ class SuggestWorkerPool:
     ) -> "SuggestWorkerPool":
         """Pool serving the same representation as a built *suggester*.
 
-        Raises ``ValueError`` when the suggester carries a profile store:
-        profiles do not cross the process boundary, so pooled results
-        could not match the single-process personalized ranking.
+        A profile-bearing suggester's store is packed into the shared
+        profile plane (see :mod:`repro.serve.profile_plane`), so pooled
+        personalized rankings stay bit-identical to the single-process
+        path; pass ``profiles=None`` in *kwargs* to explicitly serve it
+        unpersonalized instead.
         """
-        if suggester.profiles is not None:
-            raise ValueError(
-                "worker pools serve without profile stores; build the "
-                "suggester with personalize=False (or strip its profiles) "
-                "for bit-identical pooled results"
-            )
+        kwargs.setdefault("profiles", suggester.profiles)
         return cls(
             suggester.expander,
             suggester.config,
@@ -611,6 +770,20 @@ class SuggestWorkerPool:
         """Stable query-hash routing: repeats hit the same worker's cache."""
         normalized = normalize_query(query)
         return zlib.crc32(normalized.encode("utf-8")) % self._n_workers
+
+    def _personalizes(self, user_id: str | None) -> bool:
+        """Whether workers would Borda-fuse a request of *user_id*.
+
+        Mirrors the worker-side gate in ``PQSDA.suggest`` exactly
+        (personalization on, profile plane attached, user profiled), so
+        the parent's hot tier only answers requests whose worker result
+        would equal the unpersonalized precomputed ranking.
+        """
+        return (
+            user_id is not None
+            and self._config.personalize
+            and user_id in self._profiled_users
+        )
 
     def suggest_many(
         self, requests: Sequence[SuggestRequest]
@@ -638,11 +811,19 @@ class SuggestWorkerPool:
             by_worker: dict[int, list[int]] = {}
             hot_hits = 0
             for position, request in enumerate(requests):
-                # The hot entry was precomputed without a context; the
-                # ranking is k- and timestamp-independent (timestamps
-                # only weight context records), so no-context hits of
-                # any k are exact.
-                if hot is not None and not request.context:
+                # The hot entry was precomputed without a context and
+                # without personalization; the ranking is k- and
+                # timestamp-independent (timestamps only weight context
+                # records), so no-context hits of any k are exact —
+                # *except* for profiled users, whose worker-side ranking
+                # is Borda-fused with their preference scores.  A hot hit
+                # for them would silently drop the fusion, so profiled
+                # requests always take the worker path.
+                if (
+                    hot is not None
+                    and not request.context
+                    and not self._personalizes(request.user_id)
+                ):
                     ranking = hot.lookup(normalize_query(request.query))
                     if ranking is not None:
                         results[position] = ranking[: request.k]
@@ -835,12 +1016,91 @@ class SuggestWorkerPool:
             old_store.unlink()
             old_store.close()
 
+    def publish_profiles(
+        self,
+        profiles: UserProfileStore | ArrayProfileStore | ProfileArrays,
+        generation: int | None = None,
+    ) -> None:
+        """Publish the next profile generation and swap every worker onto it.
+
+        Same handshake shape as :meth:`publish_plane`, over the profile
+        plane: the new generation is packed into a fresh segment, a
+        ``pswap`` message goes down each worker's request queue (processed
+        strictly between requests — no torn profile views), and the
+        superseded profile segment is unlinked only after every worker
+        acks.  On ack errors or timeout the new segment is unlinked and
+        the pool keeps serving the old generation.
+
+        A pool started without profiles can be upgraded by a first
+        ``publish_profiles`` call (workers bind the store and start
+        Borda-fusing profiled requests; *config.personalize* must be on
+        for the fusion gate to open).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._control_lock:
+            if generation is None:
+                generation = self._profile_generation + 1
+            arrays = _profile_arrays(profiles)
+            new_store = SharedProfileStore.publish(
+                arrays, prefix=self._prefix, generation=generation
+            )
+            for request_queue in self._request_queues:
+                request_queue.put(("pswap", new_store.meta, generation))
+            acked: set[int] = set()
+            errors: list[str] = []
+            deadline = time.monotonic() + self._ack_timeout
+            while len(acked) < self._n_workers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    new_store.unlink()
+                    new_store.close()
+                    raise TimeoutError(
+                        f"only {len(acked)}/{self._n_workers} workers acked "
+                        f"profile generation {generation} within "
+                        f"{self._ack_timeout:.0f}s"
+                    )
+                try:
+                    kind, worker_id, gen, info = self._ack_queue.get(
+                        timeout=remaining
+                    )
+                except queue_module.Empty:
+                    continue
+                if kind != "pswap_ack" or gen != generation:
+                    continue  # pragma: no cover - defensive
+                acked.add(worker_id)
+                if info.get("error"):
+                    errors.append(f"worker {worker_id}: {info['error']}")
+                else:
+                    self._m_swap.observe(info["swap_seconds"])
+            if errors:
+                new_store.unlink()
+                new_store.close()
+                raise RuntimeError(
+                    "profile generation swap failed:\n" + "\n".join(errors)
+                )
+            # Every worker acked: nobody can still be scoring from the
+            # old profile segment, so removing it is safe now.
+            old_store = self._profile_store
+            self._profile_store = new_store
+            self._profile_generation = generation
+            self._profiled_users = frozenset(arrays.users)
+            self._m_profile_swaps.inc()
+            self._m_profile_users.set(len(arrays.users))
+            if old_store is not None:
+                old_store.unlink()
+                old_store.close()
+
     def publish_epoch(self, epoch) -> None:
         """Swap the pool onto a streaming :class:`~repro.stream.epoch.Epoch`.
 
         With ``hot_top`` configured, the head list is re-extracted from
         the epoch's cumulative log (traffic drifts; yesterday's head is
-        not today's) before the table is rebuilt and swapped.
+        not today's) before the table is rebuilt and swapped.  An epoch
+        carrying a folded profile generation (``epoch.profiles`` — see
+        :class:`repro.stream.ingest.LogIngestor`) additionally rides a
+        profile swap after the matrix swap, so click feedback reaches the
+        workers' scorers through the same epoch machinery.
         """
         hot_queries = None
         if self._hot_top > 0:
@@ -852,6 +1112,9 @@ class SuggestWorkerPool:
             epoch_id=epoch.epoch_id,
             hot_queries=hot_queries,
         )
+        profiles = getattr(epoch, "profiles", None)
+        if profiles is not None:
+            self.publish_profiles(profiles)
 
     def attach_epochs(self, manager) -> None:
         """Republish to the workers after every epoch-manager publish."""
@@ -908,6 +1171,11 @@ class SuggestWorkerPool:
                 rss_kb=payload["rss_kb"],
                 shares_memory=payload["shares_memory"],
                 cache=CacheStats(**payload["cache"]),
+                profile_generation=payload.get("profile_generation", 0),
+                profile_users=payload.get("profile_users", 0),
+                profile_shares_memory=payload.get(
+                    "profile_shares_memory", True
+                ),
             )
             for worker_id, payload in sorted(payloads.items())
         )
@@ -919,6 +1187,9 @@ class SuggestWorkerPool:
             workers=workers,
             hot_entries=self.hot_entries,
             hot_hits=self._hot_hits_total,
+            profile_users=len(self._profiled_users),
+            profile_generation=self._profile_generation,
+            profile_segment_bytes=self.profile_segment_bytes,
         )
 
     def merged_metrics(self) -> dict:
@@ -954,7 +1225,7 @@ class SuggestWorkerPool:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self, join_timeout: float = 30.0) -> None:
-        """Stop the workers and unlink the current segment (idempotent)."""
+        """Stop the workers and unlink the current segments (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -970,6 +1241,9 @@ class SuggestWorkerPool:
                 process.join(timeout=5.0)
         self._store.unlink()
         self._store.close()
+        if self._profile_store is not None:
+            self._profile_store.unlink()
+            self._profile_store.close()
 
     def __enter__(self) -> "SuggestWorkerPool":
         return self

@@ -17,7 +17,11 @@ as new log records arrive:
 :func:`streaming_pqsda` wires all of it to a ``PQSDA`` suggester whose
 serving cache is invalidated *targetedly*: after each epoch swap only the
 cached entries whose neighbourhood intersects the delta's touched queries
-are rebuilt.
+are rebuilt.  With ``stream_profiles=True`` the personalization layer
+streams too: admitted click records fold into new
+:class:`~repro.personalize.profiles.ArrayProfileStore` generations that
+ride each epoch (``Epoch.profiles``) and rebind into the suggester — and,
+downstream, republish through the scale-out pool's shared profile plane.
 """
 
 from __future__ import annotations
@@ -58,6 +62,7 @@ def streaming_pqsda(
     ingest: IngestConfig | None = None,
     sessionizer: SessionizerConfig | None = None,
     registry=None,
+    stream_profiles: bool = False,
 ) -> tuple[PQSDA, LogIngestor, EpochManager]:
     """Build a live suggester over *bootstrap_log*; return its stream plumbing.
 
@@ -72,12 +77,19 @@ def streaming_pqsda(
     observe the whole stack at once: UPM training, serving cache + spans,
     epoch lifecycle, and the ingest loop all feed the same registry.
 
-    Note the UPM personalization stage remains batch-fitted on the
-    bootstrap log: profiles are not updated online (the paper's profiles
-    are offline artifacts; only the graph representation streams).
+    The UPM personalization stage is batch-fitted on the bootstrap log.
+    By default profiles then stay frozen (the paper's profiles are offline
+    artifacts); with *stream_profiles* (requires ``config.personalize``)
+    the fitted store is converted to its array form, bound to the
+    suggester, and handed to the ingestor — admitted click records then
+    fold into new profile generations that ride each epoch
+    (``Epoch.profiles``), so the suggester's personalization stays
+    click-current alongside the graph.
     """
     if config is None:
         config = PQSDAConfig()
+    if stream_profiles and not config.personalize:
+        raise ValueError("stream_profiles requires config.personalize")
     state = StreamState(sessionizer=sessionizer, weighted=config.weighted)
     records = sorted(
         bootstrap_log.records, key=lambda r: (r.timestamp, r.record_id)
@@ -95,5 +107,16 @@ def streaming_pqsda(
         registry=registry,
     )
     suggester.attach_epochs(manager)
-    ingestor = LogIngestor(state, manager, ingest, registry=registry)
+    profiles = None
+    if stream_profiles and suggester.profiles is not None:
+        from repro.personalize.profiles import ArrayProfileStore
+
+        profiles = ArrayProfileStore(suggester.profiles.to_arrays())
+        profiles.attach_metrics(registry)
+        # Rebase serving on the array store so epoch rebinds swap like
+        # for like (generation 0 scores bit-identically to the model).
+        suggester.rebind_profiles(profiles)
+    ingestor = LogIngestor(
+        state, manager, ingest, registry=registry, profiles=profiles
+    )
     return suggester, ingestor, manager

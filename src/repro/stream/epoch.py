@@ -44,6 +44,12 @@ class Epoch:
         expander: Walk expander bound to ``matrices``.
         touched_queries: Queries changed relative to the previous epoch —
             what the serving cache's targeted invalidation consumes.
+        profiles: New personalization generation riding this epoch, or
+            ``None`` when profiles are unchanged.  When set it is an
+            :class:`~repro.personalize.profiles.ArrayProfileStore` (click
+            feedback folded by the ingestor); subscribers rebind it
+            (``PQSDA.rebind_profiles``) and the scale-out pool republishes
+            it through its profile plane.
     """
 
     epoch_id: int
@@ -52,6 +58,7 @@ class Epoch:
     matrices: BipartiteMatrices
     expander: RandomWalkExpander
     touched_queries: frozenset[str]
+    profiles: object | None = None
 
     def head_queries(self, n: int) -> list[str]:
         """The *n* hottest normalized queries of this epoch's log.
@@ -67,7 +74,12 @@ class Epoch:
         return head_queries(self.log, n)
 
     @classmethod
-    def from_snapshot(cls, epoch_id: int, snapshot: StreamSnapshot) -> "Epoch":
+    def from_snapshot(
+        cls,
+        epoch_id: int,
+        snapshot: StreamSnapshot,
+        profiles: object | None = None,
+    ) -> "Epoch":
         """Wrap *snapshot* with a prebuilt expander as epoch *epoch_id*."""
         return cls(
             epoch_id=epoch_id,
@@ -78,6 +90,7 @@ class Epoch:
                 snapshot.multibipartite, matrices=snapshot.matrices
             ),
             touched_queries=snapshot.touched_queries,
+            profiles=profiles,
         )
 
 

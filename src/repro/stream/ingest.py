@@ -17,6 +17,14 @@ enforces only the per-record rules (term-count bounds, URL declicking) and
 the robot filter as a running volume cut-off; feed :func:`replay` an
 already-cleaned log when exact batch-equivalence matters (the equivalence
 tests do exactly that).
+
+Profile feedback: when the ingestor is handed a profile store, admitted
+*click* records additionally accumulate as personalization feedback.  At
+each epoch publish the buffered clicks fold into a new profile generation
+(:meth:`~repro.personalize.profiles.ArrayProfileStore.fold_feedback`) that
+rides the epoch (``Epoch.profiles``); epochs without new clicks carry
+``profiles=None`` — unchanged — so subscribers rebind only on real
+updates.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from repro.logs.aol import parse_aol_line
 from repro.logs.cleaning import CleaningRules
 from repro.logs.schema import QueryRecord
 from repro.obs.registry import NULL_REGISTRY
+from repro.personalize.profiles import ArrayProfileStore, UserProfileStore
 from repro.stream.delta import StreamState
 from repro.stream.epoch import Epoch, EpochManager
 from repro.utils.text import normalize_query, tokenize
@@ -99,6 +108,10 @@ class LogIngestor:
         registry: Optional :class:`~repro.obs.registry.MetricsRegistry`
             the writer loop's ``stream.ingest.*`` metrics feed; ``None``
             binds the no-op null registry.
+        profiles: Optional profile store click feedback folds into.  A
+            model-backed :class:`~repro.personalize.profiles.UserProfileStore`
+            is converted to its array form once up front; ``None`` (the
+            default) disables profile feedback entirely.
     """
 
     def __init__(
@@ -107,6 +120,7 @@ class LogIngestor:
         manager: EpochManager,
         config: IngestConfig | None = None,
         registry=None,
+        profiles: ArrayProfileStore | UserProfileStore | None = None,
     ) -> None:
         self._state = state
         self._manager = manager
@@ -114,6 +128,10 @@ class LogIngestor:
         self._buffer: list[QueryRecord] = []
         self._batches_since_publish = 0
         self._user_volume: dict[str, int] = {}
+        if isinstance(profiles, UserProfileStore):
+            profiles = ArrayProfileStore(profiles.to_arrays())
+        self._profiles: ArrayProfileStore | None = profiles
+        self._feedback: list[QueryRecord] = []
         self.attach_metrics(registry)
 
     def attach_metrics(self, registry) -> None:
@@ -130,6 +148,15 @@ class LogIngestor:
             "stream.ingest.batch_fold_seconds"
         )
         self._m_rps = registry.gauge("stream.ingest.records_per_second")
+        self._m_feedback = registry.counter("stream.ingest.profile_feedback")
+        self._m_profile_folds = registry.counter(
+            "stream.ingest.profile_folds"
+        )
+
+    @property
+    def profiles(self) -> ArrayProfileStore | None:
+        """The current profile generation (``None`` = feedback disabled)."""
+        return self._profiles
 
     @property
     def config(self) -> IngestConfig:
@@ -160,6 +187,9 @@ class LogIngestor:
             self._buffer.append(admitted)
             report.records_ingested += 1
             self._m_ingested.inc()
+            if self._profiles is not None and admitted.has_click:
+                self._feedback.append(admitted)
+                self._m_feedback.inc()
             if len(self._buffer) >= self._config.batch_size:
                 self._flush(report)
         if self._buffer and publish_remainder:
@@ -218,13 +248,29 @@ class LogIngestor:
 
     def _publish(self, report: IngestReport) -> None:
         snapshot = self._state.build_snapshot()
+        profiles = self._fold_profiles()
         epoch = Epoch.from_snapshot(
-            self._manager.current().epoch_id + 1, snapshot
+            self._manager.current().epoch_id + 1, snapshot, profiles=profiles
         )
         self._manager.publish(epoch)
         self._batches_since_publish = 0
         report.epochs_published += 1
         self._m_epochs.inc()
+
+    def _fold_profiles(self) -> ArrayProfileStore | None:
+        """Fold buffered click feedback into the next profile generation.
+
+        Returns the new generation for the epoch to carry, or ``None``
+        when there is nothing to fold (profiles disabled or no clicks
+        since the last publish) — the "unchanged" signal subscribers key
+        off.
+        """
+        if self._profiles is None or not self._feedback:
+            return None
+        self._profiles = self._profiles.fold_feedback(self._feedback)
+        self._feedback = []
+        self._m_profile_folds.inc()
+        return self._profiles
 
 
 # -- sources ---------------------------------------------------------------------

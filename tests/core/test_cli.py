@@ -295,6 +295,20 @@ class TestServe:
         assert "hot tier: 5 precomputed head queries" in out
         assert "answered O(1) from the shared table" in out
 
+    def test_personalize_serves_profiled_users(self, log_path, capsys):
+        code = main(
+            [
+                "serve", str(log_path),
+                "--workers", "1", "--k", "5", "--compact-size", "40",
+                "--personalize", "--topics", "3", "--upm-iterations", "4",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile plane:" in out
+        assert "profile views: True" in out
+
 
 class TestPerplexity:
     def test_runs_selected_models(self, log_path, capsys):

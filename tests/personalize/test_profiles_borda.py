@@ -59,6 +59,53 @@ class TestUserProfileStore:
     def test_unknown_user_scores_zero(self, store):
         assert store.score("ghost", "java") == 0.0
 
+    def test_user_ids_sorted_and_cached(self, store):
+        ids = store.user_ids
+        assert ids == sorted(ids)
+        # The property returns a fresh list over one cached sort.
+        assert store.user_ids == ids
+        assert store.user_ids is not ids
+
+    def test_batch_scores_match_per_query(self, store):
+        candidates = ["java jvm", "telescope orbit", "java jvm", "unseen"]
+        batch = store.score_candidates("u0", candidates)
+        for query in candidates:
+            assert batch[query] == store.score("u0", query)
+
+
+class TestArrayProfileStore:
+    @pytest.fixture(scope="class")
+    def array_store(self, store):
+        from repro.personalize.profiles import ArrayProfileStore
+
+        return ArrayProfileStore(store.to_arrays())
+
+    def test_bit_identical_to_model_backed_store(self, store, array_store):
+        assert array_store.user_ids == store.user_ids
+        queries = ["java jvm", "telescope orbit", "comet", "unseen", ""]
+        for user_id in store.user_ids + ["ghost"]:
+            for query in queries:
+                assert array_store.score(user_id, query) == store.score(
+                    user_id, query
+                )
+
+    def test_profiles_and_tau_round_trip(self, store, array_store):
+        for user_id in store.user_ids:
+            assert np.array_equal(
+                array_store.profile(user_id).theta,
+                store.profile(user_id).theta,
+            )
+            assert np.array_equal(
+                array_store.user_tau(user_id),
+                store.model.user_tau(user_id),
+            )
+
+    def test_rank_candidates_matches(self, store, array_store):
+        candidates = ["telescope orbit", "java jvm", "comet orbit"]
+        assert array_store.rank_candidates(
+            "u0", candidates
+        ) == store.rank_candidates("u0", candidates)
+
 
 class TestPersonalizeRanking:
     def test_preference_promotes_candidate(self):

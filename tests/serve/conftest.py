@@ -1,4 +1,4 @@
-"""Shared serving-plane fixtures: one small synthetic world per module."""
+"""Shared serving-plane fixtures: one small synthetic world per package."""
 
 import pytest
 
@@ -7,13 +7,25 @@ from repro.diversify.candidates import DiversifyConfig
 from repro.graphs.compact import CompactConfig, RandomWalkExpander
 from repro.graphs.multibipartite import build_multibipartite
 from repro.logs.sessionizer import sessionize
+from repro.personalize.profiles import UserProfileStore
+from repro.personalize.upm import UPM, UPMConfig
 from repro.synth.generator import GeneratorConfig, generate_log
 from repro.synth.world import make_world
+from repro.topicmodels.corpus import build_corpus
 
 SERVE_CONFIG = PQSDAConfig(
     compact=CompactConfig(size=60),
     diversify=DiversifyConfig(k=8, candidate_pool=15),
     personalize=False,
+    cache_size=64,
+)
+
+#: Personalized twin of SERVE_CONFIG: same serving pipeline, tiny UPM.
+SERVE_PERSONAL_CONFIG = PQSDAConfig(
+    compact=CompactConfig(size=60),
+    diversify=DiversifyConfig(k=8, candidate_pool=15),
+    upm=UPMConfig(n_topics=4, iterations=8, hyperopt_every=0, seed=0),
+    personalize=True,
     cache_size=64,
 )
 
@@ -41,3 +53,17 @@ def expander(multibipartite):
 def single_suggester(multibipartite, expander):
     """The single-process reference every pooled result must match."""
     return PQSDA(multibipartite, expander, None, SERVE_CONFIG)
+
+
+@pytest.fixture(scope="package")
+def profile_store(synthetic_log):
+    """A fitted UPM profile store over the same synthetic log."""
+    corpus = build_corpus(synthetic_log, sessionize(synthetic_log))
+    model = UPM(SERVE_PERSONAL_CONFIG.upm).fit(corpus)
+    return UserProfileStore(model)
+
+
+@pytest.fixture(scope="package")
+def personal_suggester(multibipartite, expander, profile_store):
+    """The single-process personalized reference for pooled bit-identity."""
+    return PQSDA(multibipartite, expander, profile_store, SERVE_PERSONAL_CONFIG)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines.base import SuggestRequest
-from repro.core import PQSDA, PQSDAConfig
+from repro.core import PQSDA
 from repro.obs.registry import MetricsRegistry
 from repro.serve.pool import SuggestWorkerPool
 
@@ -118,14 +118,13 @@ def test_merged_metrics_carry_worker_labels(expander, multibipartite, probe_requ
     assert worker_labels == {"0", "1"}
 
 
-def test_from_suggester_rejects_profiles(synthetic_log):
-    suggester = PQSDA.build(
-        synthetic_log, config=PQSDAConfig(personalize=True)
-    )
-    if suggester.profiles is None:  # pragma: no cover - tiny-corpus guard
-        pytest.skip("synthetic log produced no profiles")
-    with pytest.raises(ValueError, match="profile"):
-        SuggestWorkerPool.from_suggester(suggester, n_workers=1)
+def test_from_suggester_accepts_profiles(personal_suggester):
+    """A profile-bearing suggester pools via the shared profile plane."""
+    with SuggestWorkerPool.from_suggester(
+        personal_suggester, n_workers=1, prefix="t-prof"
+    ) as pool:
+        assert pool.serves_profiles
+        assert pool.profile_users == len(personal_suggester.profiles)
 
 
 def test_from_suggester_builds_equivalent_pool(multibipartite, expander):

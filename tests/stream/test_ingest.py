@@ -197,3 +197,98 @@ class TestTailSource:
         path.write_text("", encoding="utf-8")
         with pytest.raises(ValueError, match="poll_seconds"):
             list(tail_aol(path, poll_seconds=0.0))
+
+
+class TestProfileFeedback:
+    @pytest.fixture(scope="class")
+    def profile_store(self):
+        from repro.logs.sessionizer import sessionize
+        from repro.personalize.profiles import (
+            ArrayProfileStore,
+            UserProfileStore,
+        )
+        from repro.personalize.upm import UPM, UPMConfig
+        from repro.topicmodels.corpus import build_corpus
+        from tests.personalize.test_upm import two_topic_log
+
+        log = two_topic_log()
+        corpus = build_corpus(log, sessionize(log))
+        model = UPM(UPMConfig(n_topics=2, iterations=10, seed=0)).fit(corpus)
+        return ArrayProfileStore(UserProfileStore(model).to_arrays())
+
+    def test_clicks_fold_into_epoch_profiles(self, profile_store):
+        state = StreamState()
+        state.apply([_record(0, query="bootstrap query")])
+        manager = EpochManager(Epoch.from_snapshot(0, state.build_snapshot()))
+        ingestor = LogIngestor(
+            state,
+            manager,
+            IngestConfig(batch_size=2, epoch_every=1, clean=False),
+            profiles=profile_store,
+        )
+        user = profile_store.user_ids[0]
+        clicks = [
+            _record(i, user=user, query="java jvm", url="http://j")
+            for i in range(1, 5)
+        ]
+        ingestor.ingest(iter(clicks))
+        epoch = manager.current()
+        assert epoch.profiles is not None
+        # Two full batches -> two publishes, each folding its clicks.
+        assert epoch.profiles.generation == 2
+        assert ingestor.profiles is epoch.profiles
+        # The original store is untouched (copy-on-write fold).
+        assert profile_store.generation == 0
+
+    def test_clickless_epoch_carries_no_profiles(self, profile_store):
+        state = StreamState()
+        state.apply([_record(0, query="bootstrap query")])
+        manager = EpochManager(Epoch.from_snapshot(0, state.build_snapshot()))
+        ingestor = LogIngestor(
+            state,
+            manager,
+            IngestConfig(batch_size=2, epoch_every=1, clean=False),
+            profiles=profile_store,
+        )
+        user = profile_store.user_ids[0]
+        ingestor.ingest(
+            iter([_record(i, user=user, query="java jvm") for i in range(1, 4)])
+        )
+        assert manager.current().profiles is None
+        assert ingestor.profiles is profile_store
+
+    def test_streaming_pqsda_rebinds_folded_profiles(self):
+        from repro.core import PQSDAConfig
+        from repro.personalize.profiles import ArrayProfileStore
+        from repro.personalize.upm import UPMConfig
+        from repro.stream import streaming_pqsda
+        from tests.personalize.test_upm import two_topic_log
+
+        log = two_topic_log()
+        config = PQSDAConfig(
+            upm=UPMConfig(n_topics=2, iterations=10, seed=0),
+            personalize=True,
+        )
+        suggester, ingestor, manager = streaming_pqsda(
+            log,
+            config=config,
+            ingest=IngestConfig(batch_size=2, epoch_every=1, clean=False),
+            stream_profiles=True,
+        )
+        assert isinstance(suggester.profiles, ArrayProfileStore)
+        user = suggester.profiles.user_ids[0]
+        last = max(r.timestamp for r in log.records)
+        clicks = [
+            QueryRecord(
+                user_id=user,
+                query="java jvm",
+                timestamp=last + i * 60.0,
+                clicked_url="http://j",
+            )
+            for i in range(1, 5)
+        ]
+        ingestor.ingest(iter(clicks))
+        # The epoch subscription rebound the suggester onto the fold
+        # (one generation per click-carrying publish: two full batches).
+        assert suggester.profiles is ingestor.profiles
+        assert suggester.profiles.generation == 2
