@@ -11,7 +11,9 @@
 * :mod:`compact <repro.graphs.compact>` — compact neighbourhood extraction
   by Markov random walk (Sec. IV-A);
 * :mod:`matrices <repro.graphs.matrices>` — the normalized matrices
-  ``W^X``, ``D^X`` and ``L^X`` that the diversification component consumes.
+  ``W^X``, ``D^X`` and ``L^X`` that the diversification component consumes;
+* :mod:`shard <repro.graphs.shard>` — query-side sharding of the graph
+  plane with bit-identical shard-aware random walks.
 """
 
 from repro.graphs.bipartite import Bipartite
@@ -23,6 +25,13 @@ from repro.graphs.multibipartite import (
     MultiBipartite,
     build_multibipartite,
 )
+from repro.graphs.shard import (
+    ShardedExpander,
+    ShardPlan,
+    ShardSlice,
+    build_shard_slices,
+    stitch_slices,
+)
 from repro.graphs.weighting import apply_cfiqf, iqf
 
 __all__ = [
@@ -32,10 +41,15 @@ __all__ = [
     "ClickGraph",
     "CompactConfig",
     "MultiBipartite",
+    "ShardPlan",
+    "ShardSlice",
+    "ShardedExpander",
     "apply_cfiqf",
     "build_click_graph",
     "build_matrices",
     "build_multibipartite",
+    "build_shard_slices",
     "compact_subgraph",
     "iqf",
+    "stitch_slices",
 ]

@@ -1,0 +1,829 @@
+"""Query-side sharding of the multi-bipartite graph plane.
+
+A :class:`ShardPlan` partitions the query rows of one
+:class:`~repro.graphs.matrices.BipartiteMatrices` into ``n_shards``
+disjoint shards — hash-based by default (crc32 of the normalized query,
+the same hash the serving pool routes by), or packed by connected
+component so that every random walk stays inside its home shard.
+
+Each shard materializes as a :class:`ShardSlice`: the home rows' incidence
+matrices with *locally renumbered* facet columns (plus the facet-name
+vocabularies that make the renumbering reversible), the local walk stacks,
+and — for *closed* shards — the home block of the cached gram.  A shard is
+closed when no facet of a home query touches a foreign query, i.e. the
+shard is a union of connected components; component plans are closed by
+construction, hash plans usually are not.
+
+:class:`ShardedExpander` reproduces the unsharded
+:class:`~repro.graphs.compact.RandomWalkExpander` **bit for bit** at any
+shard count through two exact paths:
+
+* **Closed fast path** — when every seed's home shard is closed, the
+  power iteration runs on the local stacks only.  Mass can never leave a
+  closed shard, and in the unsharded walk every foreign entry of the mass
+  vector is exactly ``+0.0`` (scipy's matvec kernels accumulate nothing
+  into untouched columns, and ``x + 0.0 == x`` bitwise for the
+  non-negative values a walk produces), so scattering the local results
+  into full-length vectors and renormalizing *those* replays the global
+  arithmetic — including ``np.sum``'s pairwise tree — exactly.
+* **Stitched spill path** — otherwise the walk *spills*: every shard is
+  attached, :func:`stitch_slices` reassembles the exact global matrices
+  (row gather is a permutation-free concatenation; local facet columns
+  remap monotonically into the sorted union of the per-shard vocabularies,
+  which at aligned epochs is the original global column order), and the
+  standard expander runs on the reassembly.
+
+Both paths hand the downstream Eq. 15 solve matrices that are bit-equal
+to the unsharded ``restrict()`` output: closed shards slice their cached
+local gram (the home block of the global gram), and the stitched
+reassembly recomputes grams through the same SPA accumulation order
+scipy's spgemm uses for the full build.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.graphs.compact import CompactConfig, RandomWalkExpander, _vec_times_csr
+from repro.graphs.matrices import (
+    BipartiteMatrices,
+    LazyAffinities,
+    _gram_of,
+    _LazyTransitions,
+    _raw_csr,
+    _slice_square,
+    _take_rows,
+    build_matrices,
+    row_normalize,
+)
+from repro.graphs.multibipartite import BIPARTITE_KINDS, MultiBipartite
+from repro.utils.text import normalize_query
+
+__all__ = [
+    "ShardPlan",
+    "ShardSlice",
+    "ShardedExpander",
+    "ShardedMatrices",
+    "build_shard_slices",
+    "shard_hash",
+    "stitch_slices",
+]
+
+
+def shard_hash(normalized: str, n_shards: int) -> int:
+    """crc32-based shard of a normalized query — the routing hash."""
+    return zlib.crc32(normalized.encode("utf-8")) % n_shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Assignment of the query side to ``n_shards`` disjoint shards.
+
+    Attributes:
+        n_shards: Number of shards (>= 1).
+        kind: ``"hash"`` (stateless crc32 routing) or ``"component"``
+            (explicit assignment packed from connected components, with
+            crc32 fallback for queries the plan has never seen).
+        assignment: Query -> shard for component plans; empty for hash
+            plans.
+    """
+
+    n_shards: int
+    kind: str = "hash"
+    assignment: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.kind not in ("hash", "component"):
+            raise ValueError(f"kind must be 'hash' or 'component', got {self.kind!r}")
+
+    @classmethod
+    def hashed(cls, n_shards: int) -> "ShardPlan":
+        """The stateless crc32 plan (balanced, but rarely closed)."""
+        return cls(n_shards=n_shards, kind="hash")
+
+    @classmethod
+    def components(
+        cls, multibipartite: MultiBipartite, n_shards: int
+    ) -> "ShardPlan":
+        """Pack connected components into shards (every shard closed).
+
+        Components are found over the union neighbor relation of the
+        three bipartites and greedily bin-packed largest-first onto the
+        lightest shard, so walks never cross shards while the load stays
+        roughly balanced.
+        """
+        seen: set[str] = set()
+        components: list[list[str]] = []
+        for query in multibipartite.queries:
+            if query in seen:
+                continue
+            component = [query]
+            seen.add(query)
+            frontier = [query]
+            while frontier:
+                current = frontier.pop()
+                for neighbor in multibipartite.query_neighbors(current):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        component.append(neighbor)
+                        frontier.append(neighbor)
+            components.append(sorted(component))
+        components.sort(key=lambda c: (-len(c), c[0]))
+        loads = [0] * n_shards
+        assignment: dict[str, int] = {}
+        for component in components:
+            target = min(range(n_shards), key=lambda s: (loads[s], s))
+            loads[target] += len(component)
+            for query in component:
+                assignment[query] = target
+        return cls(n_shards=n_shards, kind="component", assignment=assignment)
+
+    def shard_of(self, query: str) -> int:
+        """Home shard of *query* (normalizing first).
+
+        Component plans answer from the assignment and fall back to the
+        routing hash for queries the plan has never seen — an unseen
+        query then resolves against its fallback shard's vocabulary and
+        correctly reads as unknown.
+        """
+        normalized = normalize_query(query)
+        if self.kind == "component":
+            owner = self.assignment.get(normalized)
+            if owner is not None:
+                return owner
+        return shard_hash(normalized, self.n_shards)
+
+
+@dataclass(frozen=True, eq=False)
+class ShardSlice:
+    """One shard's materialized share of the graph plane.
+
+    Attributes:
+        shard_id: The shard this slice belongs to.
+        queries: Home query strings, in global row order.
+        rows: Global row ordinals of the home queries (sorted).
+        n_queries_global: Row count of the full (unsharded) plane.
+        closed: True when no facet of a home query touches a foreign
+            query — the precondition of the intra-shard fast walk.
+        incidence: Kind -> home-rows incidence with locally renumbered
+            facet columns.
+        facet_names: Kind -> facet name per local column (sorted, a
+            subsequence of the global sorted facet order).
+        gram: Kind -> home block of the global gram on local ordinals
+            (closed shards only; None otherwise).
+        forward_stack / backward_stack: The local walk stacks, derived
+            from the local incidence exactly as the unsharded expander
+            derives its global stacks.
+    """
+
+    shard_id: int
+    queries: tuple[str, ...]
+    rows: np.ndarray
+    n_queries_global: int
+    closed: bool
+    incidence: dict[str, sparse.csr_matrix]
+    facet_names: dict[str, tuple[str, ...]]
+    gram: dict[str, sparse.csr_matrix] | None
+    forward_stack: sparse.csr_matrix
+    backward_stack: sparse.csr_matrix
+
+    @property
+    def n_queries(self) -> int:
+        """Number of home queries."""
+        return len(self.queries)
+
+    @property
+    def query_index(self) -> dict[str, int]:
+        """Home query -> local ordinal (built on demand)."""
+        return {query: i for i, query in enumerate(self.queries)}
+
+    def nnz(self) -> int:
+        """Stored entries across the three incidence matrices."""
+        return sum(int(self.incidence[kind].nnz) for kind in BIPARTITE_KINDS)
+
+    def local_matrices(self) -> BipartiteMatrices:
+        """The slice as a standalone ``BipartiteMatrices`` over local rows.
+
+        For closed shards, ``local_matrices().restrict(...)`` is bit-equal
+        to restricting the global matrices to the same queries: the local
+        gram is the home block of the global gram, and the gram-free
+        fallback recomputes through the same accumulation order.
+        """
+        return BipartiteMatrices(
+            queries=list(self.queries),
+            query_index=self.query_index,
+            incidence=dict(self.incidence),
+            affinity=(
+                LazyAffinities(self.gram)
+                if self.gram is not None
+                else _LazyGram(self.incidence)
+            ),
+            transition=_LazyTransitions(self.incidence),
+            gram=dict(self.gram) if self.gram is not None else None,
+        )
+
+
+class _LazyGram(Mapping):
+    """Kind -> gram mapping computed from incidence on first access."""
+
+    def __init__(self, incidence: Mapping[str, sparse.csr_matrix]) -> None:
+        self._incidence = incidence
+        self._cache: dict[str, sparse.csr_matrix] = {}
+
+    def __getitem__(self, kind: str) -> sparse.csr_matrix:
+        if kind not in self._cache:
+            self._cache[kind] = _gram_of(self._incidence[kind])
+        return self._cache[kind]
+
+    def __iter__(self):
+        return iter(self._incidence)
+
+    def __len__(self) -> int:
+        return len(self._incidence)
+
+
+def local_stacks(
+    incidence: Mapping[str, sparse.csr_matrix],
+) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+    """(forward, backward) walk stacks of a slice's local incidence.
+
+    Identical derivation to the unsharded expander's: per-kind row
+    normalization is per-row arithmetic, so a closed shard's local stacks
+    carry exactly the global stacks' values on the home rows/facets.
+    """
+    forwards, backwards = [], []
+    for kind in BIPARTITE_KINDS:
+        matrix = incidence[kind]
+        forwards.append(row_normalize(matrix))
+        backwards.append(row_normalize(matrix.T) / len(BIPARTITE_KINDS))
+    return (
+        sparse.hstack(forwards, format="csr"),
+        sparse.vstack(backwards, format="csr"),
+    )
+
+
+def _closed_shards(
+    matrices: BipartiteMatrices, row_shard: np.ndarray, n_shards: int
+) -> np.ndarray:
+    """Boolean closed-flag per shard.
+
+    A facet column is *pure* when every incident row lives in one shard; a
+    shard is closed iff every column its rows touch is pure.
+    """
+    closed = np.ones(n_shards, dtype=bool)
+    for kind in BIPARTITE_KINDS:
+        incidence = matrices.incidence[kind]
+        n_rows, n_cols = incidence.shape
+        if incidence.nnz == 0:
+            continue
+        entry_rows = np.repeat(
+            np.arange(n_rows, dtype=np.intp), np.diff(incidence.indptr)
+        )
+        entry_shard = row_shard[entry_rows]
+        col_min = np.full(n_cols, n_shards, dtype=np.intp)
+        col_max = np.full(n_cols, -1, dtype=np.intp)
+        np.minimum.at(col_min, incidence.indices, entry_shard)
+        np.maximum.at(col_max, incidence.indices, entry_shard)
+        impure = (col_max >= 0) & (col_min != col_max)
+        if impure.any():
+            closed[np.unique(entry_shard[impure[incidence.indices]])] = False
+    return closed
+
+
+def _csr_identical(left: sparse.csr_matrix, right: sparse.csr_matrix) -> bool:
+    """Bit-level equality of two canonical CSR matrices."""
+    return (
+        left.shape == right.shape
+        and left.indptr.size == right.indptr.size
+        and np.array_equal(left.indptr, right.indptr)
+        and np.array_equal(left.indices, right.indices)
+        and np.array_equal(left.data, right.data)
+    )
+
+
+def _slice_reusable(
+    prior: ShardSlice,
+    queries: tuple[str, ...],
+    rows: np.ndarray,
+    n_queries_global: int,
+    closed: bool,
+    incidence: Mapping[str, sparse.csr_matrix],
+    facet_names: Mapping[str, tuple[str, ...]],
+    gram_wanted: bool,
+) -> bool:
+    """True when *prior* already materializes exactly this shard content."""
+    if (
+        prior.queries != queries
+        or prior.closed != closed
+        or prior.n_queries_global != n_queries_global
+        or (prior.gram is not None) != gram_wanted
+        or not np.array_equal(prior.rows, rows)
+    ):
+        return False
+    for kind in BIPARTITE_KINDS:
+        if prior.facet_names[kind] != facet_names[kind]:
+            return False
+        if not _csr_identical(prior.incidence[kind], incidence[kind]):
+            return False
+    return True
+
+
+def build_shard_slices(
+    matrices: BipartiteMatrices,
+    plan: ShardPlan,
+    multibipartite: MultiBipartite,
+    previous: Mapping[int, ShardSlice] | None = None,
+) -> dict[int, ShardSlice]:
+    """Slice the full plane into one :class:`ShardSlice` per shard.
+
+    *multibipartite* supplies the facet-name vocabularies (`to_matrix`
+    orders columns by sorted facet name, and the streaming patcher
+    preserves that order), which make local columns stitchable back into
+    the global order by name.  Empty shards yield empty slices.
+
+    With *previous* (a prior build's slices, e.g. the last epoch's), any
+    shard whose content is bit-identical to its prior slice returns that
+    slice **object** unchanged — the identity the streaming layer uses to
+    compute minimal per-shard update sets — and skips the gram/stack
+    derivation for it.
+    """
+    n_queries = matrices.n_queries
+    row_shard = np.fromiter(
+        (plan.shard_of(query) for query in matrices.queries),
+        dtype=np.intp,
+        count=n_queries,
+    )
+    closed = _closed_shards(matrices, row_shard, plan.n_shards)
+    global_names = {
+        kind: multibipartite.bipartite(kind).facets for kind in BIPARTITE_KINDS
+    }
+    for kind in BIPARTITE_KINDS:
+        if len(global_names[kind]) != matrices.incidence[kind].shape[1]:
+            raise ValueError(
+                f"facet vocabulary of kind {kind!r} does not match the "
+                "incidence column count — matrices and multibipartite "
+                "are from different builds"
+            )
+    lookup = np.full(n_queries, -1, dtype=np.intp)
+    slices: dict[int, ShardSlice] = {}
+    for shard_id in range(plan.n_shards):
+        rows = np.flatnonzero(row_shard == shard_id).astype(np.intp)
+        queries = tuple(matrices.queries[int(i)] for i in rows)
+        is_closed = bool(closed[shard_id])
+        incidence: dict[str, sparse.csr_matrix] = {}
+        facet_names: dict[str, tuple[str, ...]] = {}
+        gram_wanted = is_closed and matrices.gram is not None
+        for kind in BIPARTITE_KINDS:
+            full = matrices.incidence[kind]
+            indices, data, indptr = _take_rows(full, rows)
+            live = np.unique(indices)
+            local_indices = np.searchsorted(live, indices).astype(indices.dtype)
+            incidence[kind] = _raw_csr(
+                data,
+                local_indices,
+                indptr,
+                (int(rows.size), int(live.size)),
+                sorted_indices=bool(full.has_sorted_indices),
+            )
+            names = global_names[kind]
+            facet_names[kind] = tuple(names[int(c)] for c in live)
+        if previous is not None:
+            prior = previous.get(shard_id)
+            if prior is not None and _slice_reusable(
+                prior,
+                queries,
+                rows,
+                n_queries,
+                is_closed,
+                incidence,
+                facet_names,
+                gram_wanted,
+            ):
+                slices[shard_id] = prior
+                continue
+        gram: dict[str, sparse.csr_matrix] | None = None
+        if gram_wanted:
+            lookup[:] = -1
+            lookup[rows] = np.arange(rows.size, dtype=np.intp)
+            gram = {
+                kind: _slice_square(matrices.gram[kind], rows, lookup)
+                for kind in BIPARTITE_KINDS
+            }
+        forward, backward = local_stacks(incidence)
+        slices[shard_id] = ShardSlice(
+            shard_id=shard_id,
+            queries=queries,
+            rows=rows,
+            n_queries_global=n_queries,
+            closed=is_closed,
+            incidence=incidence,
+            facet_names=facet_names,
+            gram=gram,
+            forward_stack=forward,
+            backward_stack=backward,
+        )
+    return slices
+
+
+def stitch_slices(slices: Mapping[int, ShardSlice]) -> BipartiteMatrices:
+    """Reassemble the exact global matrices from a full set of slices.
+
+    At aligned epochs (every slice from the same build) the result is
+    bit-identical to the unsharded matrices: rows scatter back to their
+    recorded global ordinals, and the sorted union of the per-shard facet
+    vocabularies reproduces the original sorted global column order, so
+    the monotone column remap preserves every value and every within-row
+    entry order.  The gram is left ``None`` — ``restrict()`` then
+    recomputes compact grams through scipy's SPA spgemm, whose per-entry
+    accumulation order matches slicing the cached gram.
+    """
+    ordered = [slices[shard_id] for shard_id in sorted(slices)]
+    if not ordered:
+        raise ValueError("cannot stitch an empty slice set")
+    n_queries = ordered[0].n_queries_global
+    for piece in ordered:
+        if piece.n_queries_global != n_queries:
+            raise ValueError("slices disagree on the global query count")
+    queries: list[str | None] = [None] * n_queries
+    for piece in ordered:
+        for query, row in zip(piece.queries, piece.rows):
+            queries[int(row)] = query
+    if any(query is None for query in queries):
+        raise ValueError("slices do not cover every global query row")
+    query_index = {query: i for i, query in enumerate(queries)}
+    incidence: dict[str, sparse.csr_matrix] = {}
+    for kind in BIPARTITE_KINDS:
+        merged: set[str] = set()
+        for piece in ordered:
+            merged.update(piece.facet_names[kind])
+        merged_names = sorted(merged)
+        column_of = {name: j for j, name in enumerate(merged_names)}
+        counts = np.zeros(n_queries, dtype=np.int64)
+        for piece in ordered:
+            local = piece.incidence[kind]
+            counts[piece.rows] = np.diff(local.indptr)
+        indptr = np.zeros(n_queries + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        sorted_indices = True
+        for piece in ordered:
+            local = piece.incidence[kind]
+            if local.nnz == 0 and local.shape[0] == 0:
+                continue
+            remap = np.asarray(
+                [column_of[name] for name in piece.facet_names[kind]],
+                dtype=np.int64,
+            )
+            local_counts = np.diff(local.indptr)
+            starts = indptr[piece.rows]
+            take = np.repeat(
+                starts - local.indptr[:-1].astype(np.int64), local_counts
+            ) + np.arange(int(local.indptr[-1]), dtype=np.int64)
+            if remap.size:
+                indices[take] = remap[local.indices]
+            data[take] = local.data
+            sorted_indices = sorted_indices and bool(local.has_sorted_indices)
+        incidence[kind] = _raw_csr(
+            data,
+            indices,
+            indptr,
+            (n_queries, len(merged_names)),
+            sorted_indices=sorted_indices,
+        )
+    return BipartiteMatrices(
+        queries=list(queries),
+        query_index=query_index,
+        incidence=incidence,
+        affinity=LazyAffinities(_LazyGram(incidence)),
+        transition=_LazyTransitions(incidence),
+        gram=None,
+    )
+
+
+class _ShardedIndex(Mapping):
+    """Query -> global ordinal over a (possibly lazily attached) plane.
+
+    Lookups route through the plan, attaching the owning shard on demand;
+    iteration and length describe the full global query set and force
+    every shard in.
+    """
+
+    def __init__(self, owner: "ShardedExpander") -> None:
+        self._owner = owner
+
+    def __getitem__(self, query: str) -> int:
+        ordinal = self._owner._ordinal_of(query)
+        if ordinal is None:
+            raise KeyError(query)
+        return ordinal
+
+    def __contains__(self, query: object) -> bool:
+        return isinstance(query, str) and self._owner._ordinal_of(query) is not None
+
+    def __iter__(self):
+        return iter(self._owner._stitched().query_index)
+
+    def __len__(self) -> int:
+        return self._owner.n_queries_global
+
+
+class ShardedMatrices:
+    """The matrices facade the serving cache reads off a sharded plane.
+
+    Exposes the global ``queries``/``query_index`` view plus
+    :meth:`restrict_names` — the shard-aware compaction hook
+    :class:`repro.core.serving.CompactCache` prefers over ordinal-space
+    ``restrict`` when present.
+    """
+
+    def __init__(self, owner: "ShardedExpander") -> None:
+        self._owner = owner
+        self._index = _ShardedIndex(owner)
+
+    @property
+    def query_index(self) -> Mapping:
+        """Query -> global ordinal (lazy, shard-routed)."""
+        return self._index
+
+    @property
+    def queries(self) -> list[str]:
+        """The full global query list (forces every shard in)."""
+        return self._owner._stitched().queries
+
+    @property
+    def n_queries(self) -> int:
+        """Global query-row count."""
+        return self._owner.n_queries_global
+
+    def restrict_names(self, chosen) -> BipartiteMatrices:
+        """Compact matrices over *chosen* queries, bit-equal to unsharded.
+
+        When every chosen query lives in one closed shard the compaction
+        runs entirely against that shard's local slice; otherwise the
+        stitched global matrices are restricted.
+        """
+        return self._owner._restrict_names(chosen)
+
+    def restrict(self, ordinals) -> BipartiteMatrices:
+        """Global-ordinal restrict via the stitched matrices."""
+        return self._owner._stitched().restrict(ordinals)
+
+
+class ShardedExpander:
+    """Shard-aware drop-in for :class:`RandomWalkExpander`.
+
+    ``expand()``/``walk_mass()`` are bit-identical to the unsharded
+    expander at any shard count.  Walks whose seeds all live in closed
+    shards run on those shards' local stacks; anything else *spills* —
+    every shard is attached, the global plane is stitched, and the
+    unsharded arithmetic runs on the reassembly.  Spill counters
+    (``walks``/``spills``/``foreign_attaches``/``spilled_mass``) feed the
+    ``serve.shard.*`` gauges.
+
+    Construct with a full ``slices`` dict (in-process), or with a
+    ``loader`` callback plus ``home_shards`` so a serving worker attaches
+    only the shards it serves until a spill forces more in.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        slices: Mapping[int, ShardSlice] | None = None,
+        loader=None,
+        home_shards=None,
+        n_queries_global: int | None = None,
+    ) -> None:
+        if slices is None and loader is None:
+            raise ValueError("provide slices, a loader, or both")
+        self._plan = plan
+        self._slices: dict[int, ShardSlice] = dict(slices) if slices else {}
+        self._loader = loader
+        if home_shards is not None:
+            self._home = frozenset(int(s) for s in home_shards)
+        else:
+            self._home = frozenset(self._slices)
+        self._query_of: dict[int, str] = {}
+        self._query_index: dict[str, int] = {}
+        self._stitched_matrices: BipartiteMatrices | None = None
+        self._stitched_walker: RandomWalkExpander | None = None
+        self._matrices = ShardedMatrices(self)
+        self.walks = 0
+        self.spills = 0
+        self.foreign_attaches = 0
+        self.spilled_mass = 0.0
+        for shard_id in sorted(self._home):
+            if shard_id not in self._slices:
+                self._slices[shard_id] = self._loader(shard_id)
+        if n_queries_global is None:
+            if not self._slices:
+                raise ValueError("cannot infer the global query count")
+            n_queries_global = next(iter(self._slices.values())).n_queries_global
+        self.n_queries_global = int(n_queries_global)
+        for piece in self._slices.values():
+            self._register(piece)
+
+    @classmethod
+    def build(
+        cls,
+        multibipartite: MultiBipartite,
+        plan: ShardPlan,
+        matrices: BipartiteMatrices | None = None,
+    ) -> "ShardedExpander":
+        """Slice *multibipartite* under *plan* and wrap the slices."""
+        if matrices is None:
+            matrices = build_matrices(multibipartite)
+        return cls(plan, slices=build_shard_slices(matrices, plan, multibipartite))
+
+    @property
+    def plan(self) -> ShardPlan:
+        """The shard plan."""
+        return self._plan
+
+    @property
+    def matrices(self) -> ShardedMatrices:
+        """The global-view matrices facade."""
+        return self._matrices
+
+    @property
+    def attached_shards(self) -> frozenset[int]:
+        """Shards currently materialized in this expander."""
+        return frozenset(self._slices)
+
+    def slice_of(self, shard_id: int) -> ShardSlice:
+        """The slice of *shard_id*, attaching it if needed."""
+        return self._slice(shard_id)
+
+    def spill_stats(self) -> dict:
+        """Spill counters for observability export."""
+        walks = self.walks
+        return {
+            "walks": walks,
+            "spills": self.spills,
+            "spill_fraction": (self.spills / walks) if walks else 0.0,
+            "foreign_attaches": self.foreign_attaches,
+            "spilled_mass": self.spilled_mass,
+        }
+
+    def update_slice(self, piece: ShardSlice) -> None:
+        """Swap in a republished slice (same query set — per-shard epoch).
+
+        Per-shard publishes never add queries (a delta with new queries
+        forces a full publish, because it renumbers global ordinals), so
+        the global query maps stay valid; only the stitched cache drops.
+        """
+        current = self._slices.get(piece.shard_id)
+        if current is not None and current.queries != piece.queries:
+            raise ValueError(
+                "per-shard update cannot change the shard's query set; "
+                "publish a full plane instead"
+            )
+        self._slices[piece.shard_id] = piece
+        self._register(piece)
+        self._stitched_matrices = None
+        self._stitched_walker = None
+
+    # -- internals -----------------------------------------------------------------
+
+    def _register(self, piece: ShardSlice) -> None:
+        for query, row in zip(piece.queries, piece.rows):
+            ordinal = int(row)
+            self._query_of[ordinal] = query
+            self._query_index[query] = ordinal
+
+    def _slice(self, shard_id: int) -> ShardSlice:
+        piece = self._slices.get(shard_id)
+        if piece is None:
+            if self._loader is None:
+                raise KeyError(f"shard {shard_id} is not materialized")
+            piece = self._loader(shard_id)
+            self._slices[shard_id] = piece
+            self._register(piece)
+            if shard_id not in self._home:
+                self.foreign_attaches += 1
+        return piece
+
+    def _ordinal_of(self, query: str) -> int | None:
+        normalized = normalize_query(query)
+        cached = self._query_index.get(normalized)
+        if cached is not None:
+            return cached
+        shard_id = self._plan.shard_of(normalized)
+        self._slice(shard_id)
+        return self._query_index.get(normalized)
+
+    def _stitched(self) -> BipartiteMatrices:
+        if self._stitched_matrices is None:
+            for shard_id in range(self._plan.n_shards):
+                self._slice(shard_id)
+            self._stitched_matrices = stitch_slices(self._slices)
+        return self._stitched_matrices
+
+    def _stitched_expander(self) -> RandomWalkExpander:
+        if self._stitched_walker is None:
+            self._stitched_walker = RandomWalkExpander(
+                None, matrices=self._stitched()
+            )
+        return self._stitched_walker
+
+    def _seed_ordinals(self, seeds: Mapping[str, float]) -> list[tuple[int, float]]:
+        """(global ordinal, weight) per known positive seed, in seed order."""
+        known: list[tuple[int, float]] = []
+        for query, weight in seeds.items():
+            ordinal = self._ordinal_of(query)
+            if ordinal is not None and weight > 0:
+                known.append((ordinal, weight))
+        return known
+
+    def walk_mass(
+        self, seeds: Mapping[str, float], config: CompactConfig
+    ) -> np.ndarray:
+        """Global PPR mass vector, bit-identical to the unsharded walk."""
+        known = self._seed_ordinals(seeds)
+        self.walks += 1
+        start = np.zeros(self.n_queries_global)
+        for ordinal, weight in known:
+            start[ordinal] += weight
+        total = start.sum()
+        if total <= 0:
+            raise ValueError("no seed query is present in the representation")
+        active = sorted(
+            {self._plan.shard_of(self._query_of[ordinal]) for ordinal, _ in known}
+        )
+        if all(self._slice(shard_id).closed for shard_id in active):
+            start /= total
+            mass = start.copy()
+            for _ in range(config.iterations):
+                stepped = np.zeros(self.n_queries_global)
+                for shard_id in active:
+                    piece = self._slice(shard_id)
+                    facet_mass = _vec_times_csr(
+                        mass[piece.rows], piece.forward_stack
+                    )
+                    stepped[piece.rows] = _vec_times_csr(
+                        facet_mass, piece.backward_stack
+                    )
+                mass = config.restart * start + (1 - config.restart) * stepped
+                total = mass.sum()
+                if total > 0:
+                    mass /= total
+            return np.asarray(mass).ravel()
+        self.spills += 1
+        mass = self._stitched_expander().walk_mass(seeds, config)
+        home_rows = np.concatenate(
+            [self._slice(shard_id).rows for shard_id in active]
+        )
+        if home_rows.size:
+            self.spilled_mass += max(0.0, 1.0 - float(mass[home_rows].sum()))
+        return mass
+
+    def expand(
+        self, seeds: Mapping[str, float], config: CompactConfig | None = None
+    ) -> list[str]:
+        """Top-``Q`` queries by walk mass — the unsharded selection, exactly."""
+        if config is None:
+            config = CompactConfig()
+        mass = self.walk_mass(seeds, config)
+        seed_queries = [
+            normalize_query(q)
+            for q in seeds
+            if self._ordinal_of(q) is not None
+        ]
+        chosen: list[str] = []
+        seen: set[str] = set()
+        for query in seed_queries:
+            if query not in seen:
+                chosen.append(query)
+                seen.add(query)
+        order = np.argsort(-mass, kind="stable")
+        for ordinal in order:
+            if len(chosen) >= config.size:
+                break
+            if mass[int(ordinal)] <= 0:
+                continue
+            query = self._query_of[int(ordinal)]
+            if query not in seen:
+                chosen.append(query)
+                seen.add(query)
+        return chosen
+
+    def _restrict_names(self, chosen) -> BipartiteMatrices:
+        shards = {self._plan.shard_of(query) for query in chosen}
+        if len(shards) == 1:
+            (shard_id,) = shards
+            piece = self._slice(shard_id)
+            if piece.closed:
+                local_index = piece.query_index
+                ordinals = sorted(local_index[query] for query in chosen)
+                return piece.local_matrices().restrict(ordinals)
+        full = self._stitched()
+        ordinals = sorted(full.query_index[query] for query in chosen)
+        return full.restrict(ordinals)

@@ -85,6 +85,7 @@ import time
 import traceback
 import zlib
 from dataclasses import asdict, dataclass
+from collections.abc import Mapping
 from multiprocessing import get_context
 from typing import Sequence
 
@@ -93,6 +94,12 @@ from repro.core.config import PQSDAConfig
 from repro.core.serving import CacheStats
 from repro.core.suggester import PQSDA
 from repro.graphs.compact import RandomWalkExpander
+from repro.graphs.shard import (
+    ShardPlan,
+    ShardSlice,
+    ShardedExpander,
+    build_shard_slices,
+)
 from repro.logs.schema import QueryRecord
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.personalize.profiles import (
@@ -105,6 +112,11 @@ from repro.serve.profile_plane import (
     SharedProfileMeta,
     SharedProfileStore,
 )
+from repro.serve.shard_plane import (
+    AttachedShardedPlane,
+    ShardSegmentMeta,
+    SharedShardStore,
+)
 from repro.serve.shm import (
     AttachedPlane,
     SharedHotTable,
@@ -114,10 +126,94 @@ from repro.serve.shm import (
 )
 from repro.utils.text import normalize_query
 
-__all__ = ["PoolStats", "SuggestWorkerPool", "WorkerStats"]
+__all__ = [
+    "PoolStats",
+    "ShardedPlaneHandle",
+    "SuggestWorkerPool",
+    "WorkerStats",
+]
 
 #: Batch-size histogram bounds (requests per worker envelope).
 _BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+@dataclass(frozen=True)
+class ShardedPlaneHandle:
+    """Picklable manifest of one sharded generation: plan + shard metas.
+
+    The sharded analogue of a :class:`~repro.serve.shm.SharedPlaneMeta`:
+    one handle describes every shard's segment, and each worker derives
+    its own home-shard set from its worker id (see :func:`_home_shards`),
+    so a full swap broadcasts a single object down every request queue.
+    """
+
+    plan: ShardPlan
+    metas: dict[int, ShardSegmentMeta]
+    n_workers: int
+
+
+def _home_shards(worker_id: int, n_workers: int, n_shards: int) -> list[int]:
+    """The shards worker *worker_id* attaches eagerly (serves as home).
+
+    With at least as many shards as workers, shards stripe over workers
+    (``shard % n_workers``); with fewer shards than workers, each worker
+    homes exactly one shard (``worker % n_shards``) and shards are
+    replicated across the workers that map to them.
+    """
+    if n_shards >= n_workers:
+        return [s for s in range(n_shards) if s % n_workers == worker_id]
+    return [worker_id % n_shards]
+
+
+def _shard_route(shard_id: int, crc: int, n_workers: int, n_shards: int) -> int:
+    """Worker serving *shard_id* for a query with routing hash *crc*.
+
+    The exact inverse of :func:`_home_shards`: striped shards route to
+    their unique owner; replicated shards (fewer shards than workers)
+    spread over their replica set by the query hash, so repeats of a
+    query still land on one worker and hit its compact-entry cache.
+    """
+    if n_shards >= n_workers:
+        return shard_id % n_workers
+    replicas = [w for w in range(n_workers) if w % n_shards == shard_id]
+    return replicas[crc % len(replicas)]
+
+
+def _attach_worker_plane(meta, worker_id: int):
+    """Attach whichever plane flavor *meta* describes (full or sharded)."""
+    if isinstance(meta, ShardedPlaneHandle):
+        return AttachedShardedPlane(
+            meta.metas,
+            meta.plan,
+            _home_shards(worker_id, meta.n_workers, meta.plan.n_shards),
+        )
+    return AttachedPlane(meta)
+
+
+class _ShardedHotView:
+    """Parent-side hot-table lookup composed over per-shard partitions.
+
+    Each shard's hot entries live in that shard's segment, so a
+    per-shard swap replaces exactly one partition; lookups route by the
+    plan's home-shard hash like every other request.
+    """
+
+    def __init__(self, plan: ShardPlan, tables: dict[int, SharedHotTable]):
+        self._plan = plan
+        self._tables = dict(tables)
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    def lookup(self, normalized_query: str) -> list[str] | None:
+        table = self._tables.get(self._plan.shard_of(normalized_query))
+        return table.lookup(normalized_query) if table is not None else None
+
+    def replace(self, shard_id: int, table: SharedHotTable | None) -> None:
+        if table is None:
+            self._tables.pop(shard_id, None)
+        else:
+            self._tables[shard_id] = table
 
 
 def _encode_request(request: SuggestRequest) -> tuple:
@@ -198,7 +294,7 @@ def _rss_kb() -> int:
 
 def _worker_main(
     worker_id: int,
-    meta: SharedPlaneMeta,
+    meta,
     profile_meta: SharedProfileMeta | None,
     config: PQSDAConfig,
     request_queue,
@@ -207,17 +303,21 @@ def _worker_main(
 ) -> None:
     """One suggest worker: attach, serve, swap on command, report stats.
 
+    *meta* is either a :class:`~repro.serve.shm.SharedPlaneMeta` (the
+    single-segment plane) or a :class:`ShardedPlaneHandle` (one segment
+    per shard; this worker eagerly attaches only its home shards).
+
     The loop is strictly serial, which is the torn-view guarantee: a swap
-    (matrix or profile) message is only ever handled between two requests,
-    so every request runs start-to-finish against exactly one generation's
-    views.
+    (matrix, shard or profile) message is only ever handled between two
+    requests, so every request runs start-to-finish against exactly one
+    generation's views.
     """
     started = time.perf_counter()
     # multiprocessing children (spawn and fork alike, on POSIX) inherit the
     # publisher's resource_tracker fd, so attach-time registrations land in
     # the publisher's registry where they are idempotent — no untracking.
     attach_start = time.perf_counter()
-    plane = AttachedPlane(meta)
+    plane = _attach_worker_plane(meta, worker_id)
     profile_plane = (
         AttachedProfilePlane(profile_meta) if profile_meta is not None else None
     )
@@ -281,12 +381,39 @@ def _worker_main(
                 swap_start = time.perf_counter()
                 error = None
                 try:
-                    new_plane = AttachedPlane(new_meta)
+                    new_plane = _attach_worker_plane(new_meta, worker_id)
                     pqsda.rebind_representation(
                         new_plane.representation, new_plane.expander, touched
                     )
                     plane.close()
                     plane = new_plane
+                    generation = new_generation
+                except Exception:
+                    error = traceback.format_exc()
+                ack_queue.put(
+                    (
+                        "ack",
+                        worker_id,
+                        new_generation,
+                        {
+                            "swap_seconds": time.perf_counter() - swap_start,
+                            "error": error,
+                        },
+                    )
+                )
+            elif kind == "sswap":
+                # Per-shard generation swap: only the touched shard's
+                # segment is remapped; every other shard's views — and
+                # the profile plane — stay exactly as they are.  Same
+                # serial-loop torn-view guarantee as a full swap.
+                _, shard_meta, new_generation, touched = message
+                swap_start = time.perf_counter()
+                error = None
+                try:
+                    plane.update_shard(shard_meta)
+                    pqsda.rebind_representation(
+                        plane.representation, plane.expander, touched
+                    )
                     generation = new_generation
                 except Exception:
                     error = traceback.format_exc()
@@ -338,6 +465,17 @@ def _worker_main(
             elif kind == "stats":
                 (_, token) = message
                 uptime = time.perf_counter() - started
+                spill = None
+                if isinstance(plane, AttachedShardedPlane):
+                    spill = plane.expander.spill_stats()
+                    registry.gauge("serve.shard.walks").set(spill["walks"])
+                    registry.gauge("serve.shard.spills").set(spill["spills"])
+                    registry.gauge("serve.shard.spill_fraction").set(
+                        spill["spill_fraction"]
+                    )
+                    registry.gauge("serve.shard.foreign_attaches").set(
+                        spill["foreign_attaches"]
+                    )
                 ack_queue.put(
                     (
                         "stats",
@@ -362,6 +500,7 @@ def _worker_main(
                                 else True
                             ),
                             "cache": asdict(pqsda.cache_stats),
+                            "spill": spill,
                             "snapshot": registry.snapshot(),
                         },
                     )
@@ -395,6 +534,8 @@ class WorkerStats:
         profile_users: Users in the worker's attached profile store.
         profile_shares_memory: Whether every profile payload is still a
             shared view (vacuously true without profiles).
+        spill: Shard-walk spill counters of the worker's sharded
+            expander (``None`` when the pool serves the unsharded plane).
     """
 
     worker_id: int
@@ -411,6 +552,7 @@ class WorkerStats:
     profile_generation: int = 0
     profile_users: int = 0
     profile_shares_memory: bool = True
+    spill: dict | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -433,6 +575,11 @@ class PoolStats:
             (0 = the pool serves without the profile plane).
         profile_generation: Current profile generation ordinal.
         profile_segment_bytes: Bytes of the current profile segment.
+        n_shards: Shards of the current plan (0 = unsharded plane).
+        shard_segment_bytes: Per-shard segment sizes, indexed by shard id
+            (empty when unsharded).
+        shard_epoch_ids: Per-shard epoch ordinals — independent per-shard
+            publishes make these diverge on purpose.
     """
 
     n_workers: int
@@ -445,6 +592,9 @@ class PoolStats:
     profile_users: int = 0
     profile_generation: int = 0
     profile_segment_bytes: int = 0
+    n_shards: int = 0
+    shard_segment_bytes: tuple[int, ...] = ()
+    shard_epoch_ids: tuple[int, ...] = ()
 
     @property
     def total_requests(self) -> int:
@@ -487,9 +637,20 @@ class SuggestWorkerPool:
             the epoch's log and rebuilds the table against the new
             generation (explicit ``hot_queries`` seed the table until the
             first epoch arrives).
+        n_shards: Partition the graph plane into this many per-shard
+            segments (0 = the single-segment plane).  Sharded serving is
+            bit-identical to unsharded at any shard count; requests route
+            by the shard plan composed with the worker stripe, each
+            worker eagerly attaches only its home shards, and per-shard
+            epoch publishes (:meth:`publish_shard`) swap exactly one
+            shard's segment.  Requires *multibipartite* (the facet
+            vocabularies make shard slices stitchable).
+        shard_plan: An explicit :class:`~repro.graphs.shard.ShardPlan`
+            (e.g. a component-packed plan so walks never spill);
+            overrides *n_shards*.
 
     Use as a context manager (or call :meth:`close`): shutdown stops the
-    workers and unlinks the current segment, leaving nothing in
+    workers and unlinks the current segments, leaving nothing in
     ``/dev/shm``.
     """
 
@@ -507,6 +668,8 @@ class SuggestWorkerPool:
         prefix: str = "pqsda",
         hot_queries: Sequence[str] | None = None,
         hot_top: int = 0,
+        n_shards: int = 0,
+        shard_plan: ShardPlan | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -519,8 +682,16 @@ class SuggestWorkerPool:
         self._closed = False
         self._hot_queries = list(hot_queries) if hot_queries else None
         self._hot_top = hot_top
-        self._hot: SharedHotTable | None = None
+        self._hot = None
         self._hot_hits_total = 0
+        if shard_plan is None and n_shards > 0:
+            shard_plan = ShardPlan.hashed(n_shards)
+        self._plan = shard_plan
+        if self._plan is not None and multibipartite is None:
+            raise ValueError(
+                "sharded serving needs the multibipartite (its facet "
+                "vocabularies make the shard slices stitchable)"
+            )
 
         registry = registry if registry is not None else NULL_REGISTRY
         self._registry = registry
@@ -539,19 +710,34 @@ class SuggestWorkerPool:
         )
         self._m_profile_users = registry.gauge("serve.profile.users")
         self._m_workers.set(n_workers)
+        self._m_shards = registry.gauge("serve.shard.count")
+        self._m_shard_swaps = registry.counter("serve.shard.swaps")
 
         hot_table = self._compute_hot_table(
             expander, multibipartite, self._hot_queries
         )
-        self._store = SharedMatrixStore.publish(
-            expander.matrices,
-            expander,
-            multibipartite,
-            epoch_id=0,
-            prefix=prefix,
-            hot_table=hot_table,
-        )
-        self._hot = _verified_hot_table(self._store, hot_table)
+        self._store: SharedMatrixStore | None = None
+        self._shard_stores: dict[int, SharedShardStore] = {}
+        self._slices: dict[int, ShardSlice] = {}
+        if self._plan is not None:
+            self._m_shards.set(self._plan.n_shards)
+            self._slices = build_shard_slices(
+                expander.matrices, self._plan, multibipartite
+            )
+            self._shard_stores = self._publish_shard_stores(
+                self._slices, epoch_id=0, hot_table=hot_table
+            )
+            self._hot = self._verified_shard_hot(self._shard_stores, hot_table)
+        else:
+            self._store = SharedMatrixStore.publish(
+                expander.matrices,
+                expander,
+                multibipartite,
+                epoch_id=0,
+                prefix=prefix,
+                hot_table=hot_table,
+            )
+            self._hot = _verified_hot_table(self._store, hot_table)
         self._profile_store: SharedProfileStore | None = None
         self._profile_generation = 0
         self._profiled_users: frozenset[str] = frozenset()
@@ -580,7 +766,7 @@ class SuggestWorkerPool:
                     target=_worker_main,
                     args=(
                         worker_id,
-                        self._store.meta,
+                        self._plane_payload(),
                         (
                             self._profile_store.meta
                             if self._profile_store is not None
@@ -644,6 +830,87 @@ class SuggestWorkerPool:
             ).top(self._config.diversify.k)
         return table or None
 
+    # -- sharded-plane helpers ---------------------------------------------------
+
+    def _plane_payload(self):
+        """What a worker attaches: one meta, or one handle over all shards."""
+        if self._plan is not None:
+            return ShardedPlaneHandle(
+                plan=self._plan,
+                metas={
+                    shard_id: store.meta
+                    for shard_id, store in self._shard_stores.items()
+                },
+                n_workers=self._n_workers,
+            )
+        return self._store.meta
+
+    def _hot_partition(
+        self, hot_table: Mapping[str, Sequence[str]] | None, shard_id: int
+    ) -> dict[str, list[str]] | None:
+        """The slice of *hot_table* homed on *shard_id* (None when empty)."""
+        if not hot_table:
+            return None
+        partition = {
+            query: ranking
+            for query, ranking in hot_table.items()
+            if self._plan.shard_of(query) == shard_id
+        }
+        return partition or None
+
+    def _publish_shard_stores(
+        self,
+        slices: Mapping[int, ShardSlice],
+        epoch_id: int,
+        hot_table: Mapping[str, Sequence[str]] | None,
+        multibipartite=None,
+    ) -> dict[int, SharedShardStore]:
+        """One fresh segment per shard (hot entries partitioned by home)."""
+        representation = (
+            multibipartite
+            if multibipartite is not None
+            else self._multibipartite
+        )
+        term_bipartite = (
+            representation.bipartite("T") if representation is not None else None
+        )
+        stores: dict[int, SharedShardStore] = {}
+        try:
+            for shard_id in sorted(slices):
+                stores[shard_id] = SharedShardStore.publish(
+                    slices[shard_id],
+                    epoch_id=epoch_id,
+                    prefix=f"{self._prefix}-s",
+                    term_bipartite=term_bipartite,
+                    hot_table=self._hot_partition(hot_table, shard_id),
+                )
+        except Exception:
+            for store in stores.values():
+                store.unlink()
+                store.close()
+            raise
+        for shard_id, store in stores.items():
+            self._registry.gauge(
+                "serve.shard.segment_bytes", labels={"shard": str(shard_id)}
+            ).set(store.total_bytes)
+        return stores
+
+    def _verified_shard_hot(
+        self,
+        stores: Mapping[int, SharedShardStore],
+        hot_table: Mapping[str, Sequence[str]] | None,
+    ) -> "_ShardedHotView | None":
+        """Round-trip-verified per-shard hot view (None when no hot tier)."""
+        if not hot_table:
+            return None
+        tables: dict[int, SharedHotTable] = {}
+        for shard_id, store in stores.items():
+            partition = self._hot_partition(hot_table, shard_id)
+            packed = _verified_hot_table(store, partition)
+            if packed is not None:
+                tables[shard_id] = packed
+        return _ShardedHotView(self._plan, tables)
+
     def _check_workers_alive(self) -> None:
         dead = [
             f"{process.name} (exit {process.exitcode})"
@@ -689,14 +956,44 @@ class SuggestWorkerPool:
         return self._generation
 
     @property
+    def n_shards(self) -> int:
+        """Shards of the current plan (0 = the single-segment plane)."""
+        return self._plan.n_shards if self._plan is not None else 0
+
+    @property
+    def shard_plan(self) -> ShardPlan | None:
+        """The shard plan (``None`` when serving the unsharded plane)."""
+        return self._plan
+
+    @property
     def segment_name(self) -> str:
-        """Name of the current generation's shared-memory segment."""
-        return self._store.segment_name
+        """Name of the current generation's segment (shard 0 if sharded)."""
+        if self._store is not None:
+            return self._store.segment_name
+        return self._shard_stores[min(self._shard_stores)].segment_name
 
     @property
     def segment_bytes(self) -> int:
-        """Bytes of the current shared segment."""
-        return self._store.total_bytes
+        """Bytes of the current shared segment(s), summed across shards."""
+        if self._store is not None:
+            return self._store.total_bytes
+        return sum(store.total_bytes for store in self._shard_stores.values())
+
+    @property
+    def shard_segment_bytes(self) -> dict[int, int]:
+        """Per-shard segment sizes (empty when unsharded)."""
+        return {
+            shard_id: store.total_bytes
+            for shard_id, store in sorted(self._shard_stores.items())
+        }
+
+    @property
+    def shard_epoch_ids(self) -> dict[int, int]:
+        """Per-shard epoch ordinals (empty when unsharded)."""
+        return {
+            shard_id: store.meta.epoch_id
+            for shard_id, store in sorted(self._shard_stores.items())
+        }
 
     @property
     def ready_info(self) -> dict[int, dict]:
@@ -767,9 +1064,23 @@ class SuggestWorkerPool:
     # -- request path ------------------------------------------------------------
 
     def _route(self, query: str) -> int:
-        """Stable query-hash routing: repeats hit the same worker's cache."""
+        """Stable query-hash routing: repeats hit the same worker's cache.
+
+        Sharded pools compose the same crc32 hash with the shard map:
+        the query's home shard picks the worker stripe that eagerly
+        attached it, so nearly every request is served intra-shard (a
+        walk only spills when its graph neighbourhood crosses shards).
+        """
         normalized = normalize_query(query)
-        return zlib.crc32(normalized.encode("utf-8")) % self._n_workers
+        crc = zlib.crc32(normalized.encode("utf-8"))
+        if self._plan is None:
+            return crc % self._n_workers
+        return _shard_route(
+            self._plan.shard_of(normalized),
+            crc,
+            self._n_workers,
+            self._plan.n_shards,
+        )
 
     def _personalizes(self, user_id: str | None) -> bool:
         """Whether workers would Borda-fuse a request of *user_id*.
@@ -955,64 +1266,202 @@ class SuggestWorkerPool:
             hot_table = self._compute_hot_table(
                 expander, publish_multibipartite, hot_queries
             )
-            new_store = SharedMatrixStore.publish(
-                expander.matrices,
-                expander,
-                publish_multibipartite,
-                epoch_id=epoch_id,
-                prefix=self._prefix,
-                hot_table=hot_table,
-            )
-            new_hot = _verified_hot_table(new_store, hot_table)
+            if self._plan is not None:
+                new_slices = build_shard_slices(
+                    expander.matrices, self._plan, publish_multibipartite
+                )
+                new_stores = self._publish_shard_stores(
+                    new_slices,
+                    epoch_id=epoch_id,
+                    hot_table=hot_table,
+                    multibipartite=publish_multibipartite,
+                )
+                new_hot = self._verified_shard_hot(new_stores, hot_table)
+                payload = ShardedPlaneHandle(
+                    plan=self._plan,
+                    metas={
+                        shard_id: store.meta
+                        for shard_id, store in new_stores.items()
+                    },
+                    n_workers=self._n_workers,
+                )
+                cleanup = list(new_stores.values())
+            else:
+                new_store = SharedMatrixStore.publish(
+                    expander.matrices,
+                    expander,
+                    publish_multibipartite,
+                    epoch_id=epoch_id,
+                    prefix=self._prefix,
+                    hot_table=hot_table,
+                )
+                new_hot = _verified_hot_table(new_store, hot_table)
+                payload = new_store.meta
+                cleanup = [new_store]
             touched_payload = (
                 frozenset(touched) if touched is not None else None
             )
             for request_queue in self._request_queues:
                 request_queue.put(
-                    ("swap", new_store.meta, generation, touched_payload)
+                    ("swap", payload, generation, touched_payload)
                 )
-            acked: set[int] = set()
-            errors: list[str] = []
-            deadline = time.monotonic() + self._ack_timeout
-            while len(acked) < self._n_workers:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    new_store.unlink()
-                    new_store.close()
-                    raise TimeoutError(
-                        f"only {len(acked)}/{self._n_workers} workers acked "
-                        f"generation {generation} within "
-                        f"{self._ack_timeout:.0f}s"
-                    )
-                try:
-                    kind, worker_id, gen, info = self._ack_queue.get(
-                        timeout=remaining
-                    )
-                except queue_module.Empty:
-                    continue
-                if kind != "ack" or gen != generation:  # pragma: no cover
-                    continue
-                acked.add(worker_id)
-                if info.get("error"):
-                    errors.append(f"worker {worker_id}: {info['error']}")
-                else:
-                    self._m_swap.observe(info["swap_seconds"])
-            if errors:
-                new_store.unlink()
-                new_store.close()
-                raise RuntimeError(
-                    "generation swap failed:\n" + "\n".join(errors)
-                )
+            self._await_swap_acks(generation, cleanup)
             # Every worker acked: nobody can still be serving from the old
-            # segment, so removing it is safe now and not a moment before.
-            # The hot table swaps with the store: answers served after
-            # this point come from the new generation's packed entries.
-            old_store = self._store
-            self._store = new_store
+            # segment(s), so removing them is safe now and not a moment
+            # before.  The hot table swaps with the store: answers served
+            # after this point come from the new generation's entries.
+            if self._plan is not None:
+                old_stores = list(self._shard_stores.values())
+                self._shard_stores = new_stores
+                self._slices = new_slices
+                self._multibipartite = publish_multibipartite
+            else:
+                old_stores = [self._store]
+                self._store = new_store
             self._hot = new_hot
             self._hot_queries = hot_queries
             self._generation = generation
             self._m_generations.inc()
+            for old_store in old_stores:
+                old_store.unlink()
+                old_store.close()
+
+    def _await_swap_acks(self, generation: int, cleanup: list) -> None:
+        """Collect one ``ack`` per worker for *generation*.
+
+        On timeout or any worker-side error the freshly published
+        store(s) in *cleanup* are unlinked before raising, so a failed
+        publish leaves the pool serving the previous generation with
+        nothing leaked.
+        """
+        acked: set[int] = set()
+        errors: list[str] = []
+        deadline = time.monotonic() + self._ack_timeout
+        while len(acked) < self._n_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                for store in cleanup:
+                    store.unlink()
+                    store.close()
+                raise TimeoutError(
+                    f"only {len(acked)}/{self._n_workers} workers acked "
+                    f"generation {generation} within "
+                    f"{self._ack_timeout:.0f}s"
+                )
+            try:
+                kind, worker_id, gen, info = self._ack_queue.get(
+                    timeout=remaining
+                )
+            except queue_module.Empty:
+                continue
+            if kind != "ack" or gen != generation:  # pragma: no cover
+                continue
+            acked.add(worker_id)
+            if info.get("error"):
+                errors.append(f"worker {worker_id}: {info['error']}")
+            else:
+                self._m_swap.observe(info["swap_seconds"])
+        if errors:
+            for store in cleanup:
+                store.unlink()
+                store.close()
+            raise RuntimeError(
+                "generation swap failed:\n" + "\n".join(errors)
+            )
+
+    def publish_shard(
+        self,
+        piece: ShardSlice,
+        touched=None,
+        epoch_id: int | None = None,
+        multibipartite=None,
+    ) -> None:
+        """Publish ONE shard's next generation and swap every worker onto it.
+
+        The per-shard half of the generation handshake: a delta that
+        touched only shard *piece.shard_id* repacks that shard's segment,
+        sends an ``sswap`` down each worker's request queue (workers
+        remap just that shard — every other shard's views, the hot
+        entries of other shards and the profile plane are untouched), and
+        unlinks the superseded shard segment after all acks.  *touched*
+        drives the workers' targeted cache invalidation exactly like a
+        full publish.
+
+        Per-shard publishes must keep the shard's query set: new queries
+        renumber the global ordinal space, so deltas carrying them take
+        :meth:`publish_plane` / :meth:`publish_epoch` instead.  The
+        shard's hot entries are recomputed against the updated plane so a
+        hot hit can never disagree with the worker path.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._plan is None:
+            raise RuntimeError("pool is not sharded; use publish_plane")
+        shard_id = piece.shard_id
+        current = self._slices.get(shard_id)
+        if current is not None and current.queries != piece.queries:
+            raise ValueError(
+                "per-shard publish cannot change the shard's query set; "
+                "publish a full plane instead"
+            )
+        with self._control_lock:
+            generation = self._generation + 1
+            if epoch_id is None:
+                epoch_id = generation
+            representation = (
+                multibipartite
+                if multibipartite is not None
+                else self._multibipartite
+            )
+            hot_partition = None
+            if self._hot_queries:
+                homed = [
+                    query
+                    for query in self._hot_queries
+                    if self._plan.shard_of(query) == shard_id
+                ]
+                if homed:
+                    updated = dict(self._slices)
+                    updated[shard_id] = piece
+                    hot_partition = self._compute_hot_table(
+                        ShardedExpander(self._plan, slices=updated),
+                        representation,
+                        homed,
+                    )
+            new_store = SharedShardStore.publish(
+                piece,
+                epoch_id=epoch_id,
+                prefix=f"{self._prefix}-s",
+                term_bipartite=(
+                    representation.bipartite("T")
+                    if representation is not None
+                    else None
+                ),
+                hot_table=hot_partition,
+            )
+            new_hot = _verified_hot_table(new_store, hot_partition)
+            touched_payload = (
+                frozenset(touched) if touched is not None else None
+            )
+            for request_queue in self._request_queues:
+                request_queue.put(
+                    ("sswap", new_store.meta, generation, touched_payload)
+                )
+            self._await_swap_acks(generation, [new_store])
+            old_store = self._shard_stores[shard_id]
+            self._shard_stores[shard_id] = new_store
+            self._slices[shard_id] = piece
+            if isinstance(self._hot, _ShardedHotView):
+                self._hot.replace(shard_id, new_hot)
+            self._generation = generation
+            self._m_generations.inc()
+            self._m_shard_swaps.inc()
+            self._registry.counter(
+                "serve.shard.swaps", labels={"shard": str(shard_id)}
+            ).inc()
+            self._registry.gauge(
+                "serve.shard.segment_bytes", labels={"shard": str(shard_id)}
+            ).set(new_store.total_bytes)
             old_store.unlink()
             old_store.close()
 
@@ -1101,17 +1550,42 @@ class SuggestWorkerPool:
         :class:`repro.stream.ingest.LogIngestor`) additionally rides a
         profile swap after the matrix swap, so click feedback reaches the
         workers' scorers through the same epoch machinery.
+
+        Sharded pools take the per-shard fast path when the epoch carries
+        ``shard_updates`` under the same plan (the streaming layer
+        produces them for deltas that add no queries): each touched
+        shard's segment is republished through :meth:`publish_shard` and
+        every untouched shard's segment — and hot partition — survives
+        as-is.  Epochs without per-shard updates (new queries, plan
+        mismatch, unsharded ingestion) fall back to the full swap.
         """
         hot_queries = None
         if self._hot_top > 0:
             hot_queries = epoch.head_queries(self._hot_top)
-        self.publish_plane(
-            epoch.expander,
-            multibipartite=epoch.multibipartite,
-            touched=epoch.touched_queries,
-            epoch_id=epoch.epoch_id,
-            hot_queries=hot_queries,
-        )
+        shard_updates = getattr(epoch, "shard_updates", None)
+        shard_plan = getattr(epoch, "shard_plan", None)
+        if (
+            self._plan is not None
+            and shard_updates is not None
+            and shard_plan == self._plan
+            and hot_queries is None
+        ):
+            for shard_id in sorted(shard_updates):
+                self.publish_shard(
+                    shard_updates[shard_id],
+                    touched=epoch.touched_queries,
+                    epoch_id=epoch.epoch_id,
+                    multibipartite=epoch.multibipartite,
+                )
+            self._multibipartite = epoch.multibipartite
+        else:
+            self.publish_plane(
+                epoch.expander,
+                multibipartite=epoch.multibipartite,
+                touched=epoch.touched_queries,
+                epoch_id=epoch.epoch_id,
+                hot_queries=hot_queries,
+            )
         profiles = getattr(epoch, "profiles", None)
         if profiles is not None:
             self.publish_profiles(profiles)
@@ -1176,20 +1650,28 @@ class SuggestWorkerPool:
                 profile_shares_memory=payload.get(
                     "profile_shares_memory", True
                 ),
+                spill=payload.get("spill"),
             )
             for worker_id, payload in sorted(payloads.items())
         )
+        if self._store is not None:
+            epoch_id = self._store.meta.epoch_id
+        else:
+            epoch_id = max(self.shard_epoch_ids.values())
         return PoolStats(
             n_workers=self._n_workers,
             generation=self._generation,
-            epoch_id=self._store.meta.epoch_id,
-            segment_bytes=self._store.total_bytes,
+            epoch_id=epoch_id,
+            segment_bytes=self.segment_bytes,
             workers=workers,
             hot_entries=self.hot_entries,
             hot_hits=self._hot_hits_total,
             profile_users=len(self._profiled_users),
             profile_generation=self._profile_generation,
             profile_segment_bytes=self.profile_segment_bytes,
+            n_shards=self.n_shards,
+            shard_segment_bytes=tuple(self.shard_segment_bytes.values()),
+            shard_epoch_ids=tuple(self.shard_epoch_ids.values()),
         )
 
     def merged_metrics(self) -> dict:
@@ -1239,8 +1721,12 @@ class SuggestWorkerPool:
             if process.is_alive():  # pragma: no cover - hung worker
                 process.terminate()
                 process.join(timeout=5.0)
-        self._store.unlink()
-        self._store.close()
+        if self._store is not None:
+            self._store.unlink()
+            self._store.close()
+        for store in self._shard_stores.values():
+            store.unlink()
+            store.close()
         if self._profile_store is not None:
             self._profile_store.unlink()
             self._profile_store.close()

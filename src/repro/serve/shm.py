@@ -315,6 +315,41 @@ def _term_adjacency(
     return terms, arrays, (len(queries), len(terms))
 
 
+def _pack_segment(
+    plan: list[tuple[str, np.ndarray]], prefix: str, epoch_id: int
+) -> tuple[shared_memory.SharedMemory, dict[str, _ArraySpec], int]:
+    """Lay *plan*'s arrays into a fresh named segment, 64-byte aligned.
+
+    Returns ``(segment, specs, total_bytes)``.  Shared by the full-plane
+    store and the per-shard store so both publish through one packer.
+    The segment name embeds the pid, a random token and *epoch_id*, so
+    concurrent publishers (and generations) never collide.
+    """
+    specs: dict[str, _ArraySpec] = {}
+    cursor = 0
+    for name, array in plan:
+        cursor = -(-cursor // _ALIGNMENT) * _ALIGNMENT
+        specs[name] = _ArraySpec(
+            offset=cursor,
+            dtype=str(array.dtype),
+            shape=tuple(int(d) for d in array.shape),
+        )
+        cursor += array.nbytes
+    total = max(cursor, 1)
+    name = f"{prefix}-{os.getpid()}-{secrets.token_hex(4)}-e{epoch_id}"
+    segment = shared_memory.SharedMemory(name=name, create=True, size=total)
+    for plan_name, array in plan:
+        spec = specs[plan_name]
+        view = np.ndarray(
+            spec.shape,
+            dtype=spec.dtype,
+            buffer=segment.buf,
+            offset=spec.offset,
+        )
+        view[...] = array
+    return segment, specs, total
+
+
 def _unregister_from_tracker(segment: shared_memory.SharedMemory) -> None:
     """Drop an attach-time ``resource_tracker`` registration.
 
@@ -351,6 +386,7 @@ class SharedMatrixStore:
         self._segment = segment
         self._meta = meta
         self._unlinked = False
+        self._closed = False
 
     @classmethod
     def publish(
@@ -418,33 +454,9 @@ class SharedMatrixStore:
         if hot_table:
             plan.extend(_hot_table_arrays(hot_table).items())
 
-        specs: dict[str, _ArraySpec] = {}
-        cursor = 0
-        for name, array in plan:
-            cursor = -(-cursor // _ALIGNMENT) * _ALIGNMENT
-            specs[name] = _ArraySpec(
-                offset=cursor,
-                dtype=str(array.dtype),
-                shape=tuple(int(d) for d in array.shape),
-            )
-            cursor += array.nbytes
-        total = max(cursor, 1)
-
-        name = f"{prefix}-{os.getpid()}-{secrets.token_hex(4)}-e{epoch_id}"
-        segment = shared_memory.SharedMemory(
-            name=name, create=True, size=total
-        )
-        for plan_name, array in plan:
-            spec = specs[plan_name]
-            view = np.ndarray(
-                spec.shape,
-                dtype=spec.dtype,
-                buffer=segment.buf,
-                offset=spec.offset,
-            )
-            view[...] = array
+        segment, specs, total = _pack_segment(plan, prefix, epoch_id)
         meta = SharedPlaneMeta(
-            segment=name,
+            segment=segment.name,
             arrays=specs,
             csr_shapes=csr_shapes,
             csr_sorted=csr_sorted,
@@ -506,8 +518,10 @@ class SharedMatrixStore:
             self._segment.unlink()
 
     def close(self) -> None:
-        """Drop this process's mapping (the segment itself needs unlink)."""
-        self._segment.close()
+        """Drop this process's mapping (idempotent; unlink is separate)."""
+        if not self._closed:
+            self._closed = True
+            self._segment.close()
 
 
 class SharedTermBipartite:

@@ -42,6 +42,7 @@ from repro.graphs.matrices import (
     _take_rows,
 )
 from repro.graphs.multibipartite import BIPARTITE_KINDS, MultiBipartite
+from repro.graphs.shard import ShardPlan, ShardSlice, build_shard_slices
 from repro.graphs.weighting import iqf
 from repro.logs.schema import QueryRecord
 from repro.logs.sessionizer import SessionizerConfig, continues_session
@@ -67,12 +68,19 @@ class GraphDelta:
         new_queries: Subset of ``touched_queries`` seen for the first time.
         new_facets: Kind -> facets (URLs / session ids / terms) created by
             this micro-batch.
+        touched_shards: Home shards of the touched queries under the
+            state's :class:`~repro.graphs.shard.ShardPlan` — empty for
+            unsharded states.  Disjoint micro-batches (no shard in
+            common) fold into disjoint shard structures, which is what
+            lets per-shard epoch publishes swap only the touched shards'
+            segments.
     """
 
     n_records: int
     touched_queries: frozenset[str]
     new_queries: frozenset[str]
     new_facets: dict[str, frozenset[str]]
+    touched_shards: frozenset[int] = frozenset()
 
     @property
     def n_touched(self) -> int:
@@ -92,12 +100,26 @@ class StreamSnapshot:
             patched — bit-identical to ``build_matrices`` over ``log``.
         touched_queries: Union of the applied deltas' touched sets since
             the previous snapshot (drives targeted cache invalidation).
+        shard_plan: The state's shard plan (``None`` = unsharded).
+        shard_slices: Full per-shard slice set of this epoch under
+            ``shard_plan``; unchanged shards are the **same objects** as
+            the previous epoch's (see
+            :func:`~repro.graphs.shard.build_shard_slices`).
+        shard_updates: The minimal per-shard update set — only the
+            slices whose content changed since the previous snapshot.
+            ``None`` means no per-shard publish is possible (unsharded
+            state, first snapshot, or a delta that added queries and
+            therefore renumbered global ordinals): consumers must do a
+            full publish.
     """
 
     log: QueryLog
     multibipartite: MultiBipartite
     matrices: BipartiteMatrices
     touched_queries: frozenset[str]
+    shard_plan: ShardPlan | None = None
+    shard_slices: dict[int, ShardSlice] | None = None
+    shard_updates: dict[int, ShardSlice] | None = None
 
 
 @dataclass
@@ -166,15 +188,28 @@ class StreamState:
         weighted: Apply the cfiqf scheme of Eqs. 4-6; ``False`` keeps raw
             submission counts (the paper's "raw" ablation).  The entropy
             scheme is inherently global and is not supported online.
+        shard_plan: Partition the query side under this
+            :class:`~repro.graphs.shard.ShardPlan`: every snapshot then
+            also carries per-shard slices, and snapshots whose deltas
+            added no queries carry the *minimal* update set — only the
+            shards whose bytes changed — so the scale-out pool swaps
+            only those shards' segments.  Note the cfiqf correction
+            rescales every facet weight whenever ``|Q|`` grows, so
+            minimal update sets arise with ``weighted=False`` (raw
+            counts); weighted states still shard correctly but every
+            epoch updates every shard.
     """
 
     def __init__(
         self,
         sessionizer: SessionizerConfig | None = None,
         weighted: bool = True,
+        shard_plan: ShardPlan | None = None,
     ) -> None:
         self._sessionizer = sessionizer or SessionizerConfig()
         self._weighted = weighted
+        self._plan = shard_plan
+        self._slices: dict[int, ShardSlice] = {}
         self._log = QueryLog(())
         self._pending: list[QueryRecord] = []
         self._kinds = {kind: _KindState() for kind in BIPARTITE_KINDS}
@@ -201,6 +236,11 @@ class StreamState:
     def n_snapshots(self) -> int:
         """Snapshots built so far."""
         return self._snapshots
+
+    @property
+    def shard_plan(self) -> ShardPlan | None:
+        """The configured shard plan (``None`` = unsharded)."""
+        return self._plan
 
     # -- micro-batch application ------------------------------------------------
 
@@ -231,11 +271,17 @@ class StreamState:
                 self._add_edge("T", query, term, touched, new_facets)
         self._new_queries.update(new_queries)
         self._touched.update(touched)
+        touched_shards: frozenset[int] = frozenset()
+        if self._plan is not None:
+            touched_shards = frozenset(
+                self._plan.shard_of(query) for query in touched
+            )
         return GraphDelta(
             n_records=len(records),
             touched_queries=frozenset(touched),
             new_queries=frozenset(new_queries),
             new_facets={k: frozenset(v) for k, v in new_facets.items()},
+            touched_shards=touched_shards,
         )
 
     def _add_edge(
@@ -326,6 +372,7 @@ class StreamState:
 
         self._queries = queries
         touched_queries = frozenset(self._touched)
+        had_new_queries = bool(self._new_queries)
         self._touched = set()
         self._new_queries = set()
         self._snapshots += 1
@@ -341,11 +388,30 @@ class StreamState:
         multibipartite = MultiBipartite(
             {kind: self._kinds[kind].bipartite for kind in BIPARTITE_KINDS}
         )
+        shard_slices: dict[int, ShardSlice] | None = None
+        shard_updates: dict[int, ShardSlice] | None = None
+        if self._plan is not None:
+            previous = self._slices or None
+            shard_slices = build_shard_slices(
+                matrices, self._plan, multibipartite, previous=previous
+            )
+            if previous is not None and not had_new_queries:
+                # Unchanged shards came back as the previous epoch's very
+                # objects, so identity is the exact changed-bytes test.
+                shard_updates = {
+                    shard_id: piece
+                    for shard_id, piece in shard_slices.items()
+                    if piece is not previous.get(shard_id)
+                }
+            self._slices = shard_slices
         return StreamSnapshot(
             log=self._log,
             multibipartite=multibipartite,
             matrices=matrices,
             touched_queries=touched_queries,
+            shard_plan=self._plan,
+            shard_slices=shard_slices,
+            shard_updates=shard_updates,
         )
 
     def _reweight(

@@ -1,0 +1,238 @@
+"""Sharded graph plane: bit-identity to the unsharded path (ISSUE 8).
+
+The contract under test: at ANY shard count, for hash and component
+plans alike, the sharded expander's ``walk_mass``/``expand`` and the
+downstream compact restrict + Eq. 15 solve are bit-for-bit equal to the
+unsharded ``RandomWalkExpander`` path — closed shards via the local fast
+walk, everything else via the stitched spill path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diversify.regularization import RegularizationConfig, RelevanceSolver
+from repro.graphs.compact import CompactConfig, RandomWalkExpander
+from repro.graphs.matrices import build_matrices
+from repro.graphs.multibipartite import BIPARTITE_KINDS, build_multibipartite
+from repro.graphs.shard import (
+    ShardPlan,
+    ShardedExpander,
+    build_shard_slices,
+    stitch_slices,
+)
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+SHARD_COUNTS = (1, 2, 4, 7)
+WALK_DEPTHS = (1, 4, 12)
+
+
+@pytest.fixture(scope="module")
+def world():
+    synthetic = generate_log(
+        make_world(seed=0),
+        GeneratorConfig(n_users=12, mean_sessions_per_user=5, seed=7),
+    )
+    multibipartite = build_multibipartite(synthetic.log, synthetic.sessions)
+    matrices = build_matrices(multibipartite)
+    return multibipartite, matrices
+
+
+def _plans(multibipartite, n_shards):
+    return [
+        ShardPlan.hashed(n_shards),
+        ShardPlan.components(multibipartite, n_shards),
+    ]
+
+
+def _seed_sets(queries):
+    return [
+        {queries[0]: 1.0},
+        {queries[3]: 1.0, queries[17 % len(queries)]: 0.5},
+        {
+            queries[40 % len(queries)]: 0.2,
+            queries[7]: 1.0,
+            queries[123 % len(queries)]: 0.9,
+        },
+    ]
+
+
+def _assert_csr_equal(left, right):
+    assert left.shape == right.shape
+    assert np.array_equal(left.data, right.data)
+    assert np.array_equal(
+        left.indices.astype(np.int64), right.indices.astype(np.int64)
+    )
+    assert np.array_equal(
+        left.indptr.astype(np.int64), right.indptr.astype(np.int64)
+    )
+
+
+class TestStitch:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_stitch_reassembles_the_exact_global_matrices(self, world, n_shards):
+        multibipartite, matrices = world
+        for plan in _plans(multibipartite, n_shards):
+            slices = build_shard_slices(matrices, plan, multibipartite)
+            stitched = stitch_slices(slices)
+            assert stitched.queries == matrices.queries
+            for kind in BIPARTITE_KINDS:
+                _assert_csr_equal(
+                    stitched.incidence[kind], matrices.incidence[kind]
+                )
+
+    def test_component_plans_are_closed_hash_plans_usually_not(self, world):
+        multibipartite, matrices = world
+        plan = ShardPlan.components(multibipartite, 4)
+        slices = build_shard_slices(matrices, plan, multibipartite)
+        assert all(piece.closed for piece in slices.values())
+        hashed = build_shard_slices(
+            matrices, ShardPlan.hashed(4), multibipartite
+        )
+        assert not all(piece.closed for piece in hashed.values())
+
+    def test_shards_partition_the_query_rows(self, world):
+        multibipartite, matrices = world
+        slices = build_shard_slices(
+            matrices, ShardPlan.hashed(4), multibipartite
+        )
+        rows = np.concatenate([piece.rows for piece in slices.values()])
+        assert np.array_equal(np.sort(rows), np.arange(matrices.n_queries))
+
+
+class TestWalkBitIdentity:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("iterations", WALK_DEPTHS)
+    def test_walk_and_expand_match_unsharded_exactly(
+        self, world, n_shards, iterations
+    ):
+        multibipartite, matrices = world
+        base = RandomWalkExpander(multibipartite, matrices=matrices)
+        config = CompactConfig(size=60, iterations=iterations)
+        for plan in _plans(multibipartite, n_shards):
+            sharded = ShardedExpander.build(multibipartite, plan, matrices=matrices)
+            for seeds in _seed_sets(matrices.queries):
+                expected_mass = base.walk_mass(seeds, config)
+                actual_mass = sharded.walk_mass(seeds, config)
+                assert np.array_equal(expected_mass, actual_mass)
+                assert base.expand(seeds, config) == sharded.expand(seeds, config)
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_compact_restrict_and_eq15_solve_match_exactly(self, world, n_shards):
+        multibipartite, matrices = world
+        base = RandomWalkExpander(multibipartite, matrices=matrices)
+        config = CompactConfig(size=40)
+        for plan in _plans(multibipartite, n_shards):
+            sharded = ShardedExpander.build(multibipartite, plan, matrices=matrices)
+            for seeds in _seed_sets(matrices.queries):
+                chosen = base.expand(seeds, config)
+                assert sharded.expand(seeds, config) == chosen
+                ordinals = sorted(matrices.query_index[q] for q in chosen)
+                expected = matrices.restrict(ordinals)
+                actual = sharded.matrices.restrict_names(chosen)
+                assert expected.queries == actual.queries
+                for kind in BIPARTITE_KINDS:
+                    _assert_csr_equal(
+                        expected.incidence[kind], actual.incidence[kind]
+                    )
+                    _assert_csr_equal(expected.gram[kind], actual.gram[kind])
+                    _assert_csr_equal(
+                        expected.affinity[kind], actual.affinity[kind]
+                    )
+                f0 = np.zeros(expected.n_queries)
+                f0[expected.query_index[chosen[0]]] = 1.0
+                solver_config = RegularizationConfig()
+                expected_f = RelevanceSolver(expected, solver_config).solve(f0)
+                actual_f = RelevanceSolver(actual, solver_config).solve(f0)
+                assert np.array_equal(expected_f, actual_f)
+
+    def test_unknown_seeds_raise_like_unsharded(self, world):
+        multibipartite, matrices = world
+        sharded = ShardedExpander.build(multibipartite, ShardPlan.hashed(3))
+        with pytest.raises(ValueError, match="no seed query"):
+            sharded.walk_mass({"never seen query": 1.0}, CompactConfig())
+
+
+class TestSpillAccounting:
+    def test_component_plan_never_spills(self, world):
+        multibipartite, matrices = world
+        plan = ShardPlan.components(multibipartite, 4)
+        sharded = ShardedExpander.build(multibipartite, plan, matrices=matrices)
+        config = CompactConfig(size=30)
+        for seeds in _seed_sets(matrices.queries):
+            sharded.expand(seeds, config)
+        stats = sharded.spill_stats()
+        assert stats["walks"] == len(_seed_sets(matrices.queries))
+        assert stats["spills"] == 0
+        assert stats["spill_fraction"] == 0.0
+
+    def test_hash_plan_spills_and_counts_escaped_mass(self, world):
+        multibipartite, matrices = world
+        plan = ShardPlan.hashed(4)
+        sharded = ShardedExpander.build(multibipartite, plan, matrices=matrices)
+        sharded.expand({matrices.queries[0]: 1.0}, CompactConfig(size=30))
+        stats = sharded.spill_stats()
+        assert stats["walks"] == 1
+        assert stats["spills"] == 1
+        assert stats["spill_fraction"] == 1.0
+        assert stats["spilled_mass"] > 0.0
+
+    def test_lazy_loader_attaches_foreign_shards_on_spill(self, world):
+        multibipartite, matrices = world
+        plan = ShardPlan.hashed(4)
+        slices = build_shard_slices(matrices, plan, multibipartite)
+        home = {0: slices[0]}
+        sharded = ShardedExpander(
+            plan, slices=home, loader=lambda s: slices[s], home_shards=[0]
+        )
+        assert sharded.attached_shards == frozenset([0])
+        home_query = slices[0].queries[0]
+        sharded.expand({home_query: 1.0}, CompactConfig(size=30))
+        assert sharded.attached_shards == frozenset(range(4))
+        assert sharded.foreign_attaches == 3
+
+
+class TestPlanAndUpdates:
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(n_shards=0)
+        with pytest.raises(ValueError):
+            ShardPlan(n_shards=2, kind="modulo")
+
+    def test_component_plan_routes_members_and_falls_back_for_unseen(self, world):
+        multibipartite, matrices = world
+        plan = ShardPlan.components(multibipartite, 3)
+        for query in matrices.queries[:20]:
+            assert plan.shard_of(query) == plan.assignment[query]
+        assert 0 <= plan.shard_of("totally novel query") < 3
+
+    def test_update_slice_rejects_query_set_changes(self, world):
+        multibipartite, matrices = world
+        plan = ShardPlan.hashed(2)
+        slices = build_shard_slices(matrices, plan, multibipartite)
+        sharded = ShardedExpander(plan, slices=slices)
+        wrong = slices[0]
+        with pytest.raises(ValueError, match="cannot change"):
+            sharded.update_slice(
+                type(wrong)(
+                    shard_id=1,
+                    queries=wrong.queries,
+                    rows=wrong.rows,
+                    n_queries_global=wrong.n_queries_global,
+                    closed=wrong.closed,
+                    incidence=wrong.incidence,
+                    facet_names=wrong.facet_names,
+                    gram=wrong.gram,
+                    forward_stack=wrong.forward_stack,
+                    backward_stack=wrong.backward_stack,
+                )
+            )
+
+    def test_update_slice_drops_the_stitched_cache(self, world):
+        multibipartite, matrices = world
+        plan = ShardPlan.hashed(2)
+        slices = build_shard_slices(matrices, plan, multibipartite)
+        sharded = ShardedExpander(plan, slices=slices)
+        before = sharded._stitched()
+        sharded.update_slice(slices[0])
+        assert sharded._stitched() is not before
