@@ -45,6 +45,13 @@ against the single-process path — shards=1 doubles as the no-regression
 control), and the ingest record gains per-shard fold/publish stats for
 the same shard counts (epochs carrying per-shard update sets, mean
 updates per epoch, throughput vs. the unsharded stream).
+``--http`` adds an ``"http"`` section to the same record: the async
+front-end measured over real sockets — normal-load QPS and p50/p99 with
+every answer checked bit-identical to ``suggest_batch`` (shed counters
+zero), then an overload burst against tight per-worker thresholds that
+retries until every shed tier (rerank-skip, personalize-skip, 503
+reject) has fired, recording the shed counters, status mix and
+deadline expirations.
 ``--personalize`` adds a personalized-serving section to the same
 record: the pool republishes the UPM profiles through the shared profile
 plane and the workload is served twice per worker count — anonymously
@@ -63,7 +70,7 @@ reader can tell a CI smoke number from a full-protocol sweep.
 Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py [--full|--quick]
-        [--ingest] [--upm] [--obs] [--serve] [--shards N]
+        [--ingest] [--upm] [--obs] [--serve] [--shards N] [--http]
         [--max-overhead-ratio R] [--min-serve-scaling R]
 """
 
@@ -825,6 +832,203 @@ def run_serve_bench(
     return row
 
 
+def _http_get(url: str):
+    """GET *url*; returns ``(status, parsed_body, seconds)`` (4xx/5xx too)."""
+    import urllib.error
+    import urllib.request
+
+    start = time.perf_counter()
+    try:
+        with urllib.request.urlopen(url, timeout=60) as response:
+            body = json.loads(response.read())
+            return response.status, body, time.perf_counter() - start
+    except urllib.error.HTTPError as error:
+        body = json.loads(error.read())
+        return error.code, body, time.perf_counter() - start
+
+
+def run_http_bench(n_users: int = 60, rounds: int = 3) -> dict:
+    """The async HTTP front-end end to end (``"http"`` in BENCH_serve.json).
+
+    Two phases over one 2-worker pool:
+
+    * **normal load** — 8 client threads replay the warm probe workload
+      through real sockets with shed thresholds far out of reach; records
+      QPS and p50/p99 latency and checks every HTTP answer bit-identical
+      to ``suggest_batch`` (shed counters must stay zero — this is the
+      acceptance gate for the front-end being a transparent transport);
+    * **overload burst** — a fresh front-end over the same pool with
+      per-worker thresholds pulled in tight (1/2/4) and 24 concurrent
+      clients; bursts repeat (bounded retries) until every shed tier —
+      rerank-skip, personalize-skip, reject — has fired at least once,
+      and the recorded ``shed`` counters + status mix document the
+      degradation ladder under saturation.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+    from urllib.parse import quote
+
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve.frontend import FrontendConfig, run_in_thread
+    from repro.serve.pool import SuggestWorkerPool
+
+    def shed_counts(registry) -> dict:
+        counts = {"rerank": 0, "personalize": 0, "reject": 0}
+        for entry in registry.snapshot()["metrics"]:
+            for tier in counts:
+                if entry["name"] == f"serve.http.shed.{tier}":
+                    counts[tier] = entry["value"]
+        return counts
+
+    world = make_world(seed=0, pages_per_leaf=24)
+    config = GeneratorConfig(
+        n_users=n_users,
+        mean_sessions_per_user=12,
+        click_probability=0.55,
+        noise_click_probability=0.12,
+        hub_click_probability=0.15,
+        seed=42,
+    )
+    log = generate_log(world, config).log
+    probes = _probe_queries(log, 40)
+    pq_config = PQSDAConfig(
+        compact=CompactConfig(size=150),
+        diversify=DiversifyConfig(k=10, candidate_pool=25),
+        personalize=False,
+    )
+    suggester = PQSDA.build(log, config=pq_config)
+    requests = [SuggestRequest(query=q, k=10) for q in probes]
+    suggester.suggest_batch(requests)  # warm the single-process cache
+    expected = dict(zip(probes, suggester.suggest_batch(requests)))
+
+    registry = MetricsRegistry()
+    row: dict = {"n_workers": 2, "probes": len(probes)}
+    with SuggestWorkerPool.from_suggester(
+        suggester, n_workers=2, registry=registry, prefix="benchhttp"
+    ) as pool:
+        urls_of = lambda base: [  # noqa: E731 - tiny local binding
+            base + "/suggest?q=" + quote(query) + "&k=10" for query in probes
+        ]
+
+        # -- normal load: thresholds out of reach, answers must be exact.
+        normal_config = FrontendConfig(
+            batch_window_ms=2.0,
+            default_deadline_ms=30_000.0,
+            shed_rerank_depth=64.0,
+            shed_personalize_depth=128.0,
+            reject_depth=256.0,
+        )
+        n_clients = 8
+        with run_in_thread(
+            pool, config=normal_config, registry=registry
+        ) as handle:
+            urls = urls_of(handle.url)
+            with ThreadPoolExecutor(n_clients) as client:
+                list(client.map(_http_get, urls))  # warm worker caches
+                start = time.perf_counter()
+                outcomes = []
+                for _ in range(rounds):
+                    outcomes.extend(client.map(_http_get, urls))
+                elapsed = time.perf_counter() - start
+        latencies = sorted(seconds for _, _, seconds in outcomes)
+        bit_identical = all(
+            status == 200
+            and body["shed_tier"] == 0
+            and body["suggestions"] == expected[body["query"]]
+            for status, body, _ in outcomes
+        )
+        row["normal"] = {
+            "clients": n_clients,
+            "requests": len(outcomes),
+            "qps": round(len(outcomes) / elapsed, 1),
+            "p50_ms": round(
+                float(np.percentile(latencies, 50)) * 1000, 3
+            ),
+            "p99_ms": round(
+                float(np.percentile(latencies, 99)) * 1000, 3
+            ),
+            "errors": sum(1 for status, _, _ in outcomes if status != 200),
+            "bit_identical": bit_identical,
+            "shed": shed_counts(registry),
+        }
+        print(
+            f"http[normal]: {row['normal']['qps']:7.1f} QPS over "
+            f"{n_clients} clients, p50={row['normal']['p50_ms']:.2f}ms "
+            f"p99={row['normal']['p99_ms']:.2f}ms, "
+            f"bit_identical={bit_identical}, shed={row['normal']['shed']}"
+        )
+
+        # -- overload burst: tight thresholds, bounded retries until every
+        # shed tier has fired.
+        overload_registry = MetricsRegistry()
+        overload_config = FrontendConfig(
+            batch_window_ms=5.0,
+            default_deadline_ms=5_000.0,
+            shed_rerank_depth=1.0,
+            shed_personalize_depth=2.0,
+            reject_depth=4.0,
+            max_dispatchers=2,
+        )
+        n_burst_clients, max_attempts = 24, 6
+        outcomes, attempts = [], 0
+        with run_in_thread(
+            pool, config=overload_config, registry=overload_registry
+        ) as handle:
+            urls = urls_of(handle.url)
+            start = time.perf_counter()
+            while attempts < max_attempts:
+                attempts += 1
+                burst = (urls * ((n_burst_clients * 4) // len(urls) + 1))[
+                    : n_burst_clients * 4
+                ]
+                with ThreadPoolExecutor(n_burst_clients) as client:
+                    outcomes.extend(client.map(_http_get, burst))
+                if all(
+                    count > 0
+                    for count in shed_counts(overload_registry).values()
+                ):
+                    break
+            elapsed = time.perf_counter() - start
+        shed = shed_counts(overload_registry)
+        latencies = sorted(seconds for _, _, seconds in outcomes)
+        status_counts: dict = {}
+        for status, _, _ in outcomes:
+            status_counts[str(status)] = status_counts.get(str(status), 0) + 1
+        deadline_expired = 0
+        for entry in overload_registry.snapshot()["metrics"]:
+            if entry["name"] == "serve.http.deadline_expired":
+                deadline_expired = entry["value"]
+        row["overload"] = {
+            "clients": n_burst_clients,
+            "bursts": attempts,
+            "requests": len(outcomes),
+            "qps": round(len(outcomes) / elapsed, 1),
+            "p50_ms": round(
+                float(np.percentile(latencies, 50)) * 1000, 3
+            ),
+            "p99_ms": round(
+                float(np.percentile(latencies, 99)) * 1000, 3
+            ),
+            "status_counts": status_counts,
+            "shed": shed,
+            "deadline_expired": deadline_expired,
+            "all_tiers_observed": all(count > 0 for count in shed.values()),
+            "thresholds_per_worker": {
+                "rerank": overload_config.shed_rerank_depth,
+                "personalize": overload_config.shed_personalize_depth,
+                "reject": overload_config.reject_depth,
+            },
+        }
+        print(
+            f"http[overload]: {row['overload']['qps']:7.1f} QPS over "
+            f"{n_burst_clients} clients x{attempts} bursts, "
+            f"p50={row['overload']['p50_ms']:.2f}ms "
+            f"p99={row['overload']['p99_ms']:.2f}ms, shed={shed}, "
+            f"statuses={status_counts}, "
+            f"all_tiers_observed={row['overload']['all_tiers_observed']}"
+        )
+    return row
+
+
 def run_serve_personalize_bench(
     n_users: int = 60, rounds: int = 3, mode: str = "quick"
 ) -> dict:
@@ -993,6 +1197,12 @@ def main() -> int:
         "--serve)",
     )
     parser.add_argument(
+        "--http", action="store_true",
+        help="also benchmark the async HTTP front-end (normal-load QPS + "
+        "p50/p99 with bit-identity, overload burst until every shed tier "
+        "fires; implies --serve)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_fig7.json",
         help="where to write the Fig. 7 JSON record",
     )
@@ -1019,9 +1229,10 @@ def main() -> int:
         args.obs = True
         args.serve = True
         args.personalize = True
+        args.http = True
     if args.max_overhead_ratio is not None:
         args.obs = True
-    if args.min_serve_scaling is not None or args.personalize:
+    if args.min_serve_scaling is not None or args.personalize or args.http:
         args.serve = True
     if args.shards > 0:
         args.serve = True
@@ -1105,6 +1316,10 @@ def main() -> int:
                 rounds=2 if args.quick else 3, mode=mode
             )
             serve_row["personalized"] = personal_row
+        http_row = None
+        if args.http:
+            http_row = run_http_bench(rounds=2 if args.quick else 3)
+            serve_row["http"] = http_row
         serve_record = {
             "benchmark": "serve_scaleout",
             "mode": mode,
@@ -1136,6 +1351,19 @@ def main() -> int:
                 "single-process path"
             )
             return 1
+        if http_row is not None:
+            if not http_row["normal"]["bit_identical"]:
+                print(
+                    "FAIL: HTTP answers diverged from suggest_batch "
+                    "under normal load"
+                )
+                return 1
+            if not http_row["overload"]["all_tiers_observed"]:
+                print(
+                    "FAIL: overload bursts never reached every shed tier "
+                    f"(shed={http_row['overload']['shed']})"
+                )
+                return 1
         if args.min_serve_scaling is not None:
             cpus = serve_row["cpu_count"] or 1
             if cpus < 2:

@@ -17,6 +17,13 @@ class SuggestRequest:
 
     Mirrors the :meth:`Suggester.suggest` signature; *context* is stored
     as a tuple so requests stay hashable/immutable.
+
+    *shed* is the request's load-shed tier (0 = full service, 1 = skip
+    the hitting-time rerank, 2 = additionally skip personalization — see
+    :class:`repro.core.serving.ShedOptions`).  Serving paths that degrade
+    under load (PQS-DA, the worker pool, the HTTP front-end) honor it;
+    baseline suggesters reject nonzero tiers loudly rather than silently
+    serving full quality.
     """
 
     query: str
@@ -24,10 +31,13 @@ class SuggestRequest:
     user_id: str | None = None
     context: tuple[QueryRecord, ...] = field(default_factory=tuple)
     timestamp: float = 0.0
+    shed: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
+        if not 0 <= self.shed <= 2:
+            raise ValueError(f"shed tier must be in 0..2, got {self.shed}")
         if not isinstance(self.context, tuple):
             object.__setattr__(self, "context", tuple(self.context))
 
@@ -77,12 +87,19 @@ class Suggester(ABC):
         requests = list(requests)
 
         def run(request: SuggestRequest) -> list[str]:
+            kwargs = {}
+            if request.shed:
+                # Only degraded requests forward the tier: suggesters
+                # without a shed path (the baselines) raise TypeError
+                # instead of silently serving full quality.
+                kwargs["shed"] = request.shed
             return self.suggest(
                 request.query,
                 k=request.k,
                 user_id=request.user_id,
                 context=request.context,
                 timestamp=request.timestamp,
+                **kwargs,
             )
 
         if n_workers == 1 or len(requests) <= 1:

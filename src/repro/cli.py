@@ -14,7 +14,9 @@ Commands:
   targeted cache invalidation) and report throughput;
 * ``serve``    — build the representation once, publish it into shared
   memory, and serve a request set from ``--workers`` suggest processes
-  (zero-copy scale-out; reports per-worker throughput and memory).
+  (zero-copy scale-out; reports per-worker throughput and memory); with
+  ``--listen HOST:PORT`` it instead serves HTTP through the async
+  micro-batching front-end until SIGINT/SIGTERM.
 
 Every command is deterministic given ``--seed``.
 """
@@ -185,6 +187,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="UPM topics when --personalize is set")
     serve.add_argument("--upm-iterations", type=int, default=10,
                        help="UPM Gibbs sweeps when --personalize is set")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve over HTTP instead of replaying a request "
+                            "set: bind the async front-end here (e.g. "
+                            "127.0.0.1:8080) and run until SIGINT/SIGTERM")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="micro-batch accumulation window of the HTTP "
+                            "front-end (0 = no waiting)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="dispatch an HTTP micro-batch early at this size")
+    serve.add_argument("--deadline-ms", type=float, default=1000.0,
+                       help="default per-request deadline of the HTTP "
+                            "front-end (504 past it)")
+    serve.add_argument("--shed-rerank-depth", type=float, default=4.0,
+                       help="per-worker queue depth at which the front-end "
+                            "skips the hitting-time rerank (shed tier 1)")
+    serve.add_argument("--shed-personalize-depth", type=float, default=8.0,
+                       help="per-worker depth at which it also skips "
+                            "personalization (shed tier 2)")
+    serve.add_argument("--reject-depth", type=float, default=16.0,
+                       help="per-worker depth at which it rejects with 503 "
+                            "(shed tier 3)")
     serve.add_argument("--quiet", action="store_true",
                        help="skip printing the per-query suggestions")
     serve.add_argument("--metrics-out", default=None, metavar="JSON",
@@ -486,6 +509,20 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(spec: str) -> tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)`` (raises ``ValueError`` otherwise)."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--listen expects HOST:PORT, got {spec!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"--listen port must be an integer, got {spec!r}")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--listen port out of range: {port}")
+    return host, port
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
     from collections import Counter
@@ -493,6 +530,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.pool import SuggestWorkerPool
     from repro.utils.text import normalize_query
 
+    listen = None
+    if args.listen is not None:
+        try:
+            listen = _parse_listen(args.listen)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     cleaned = _load_cleaned(args.log, args.max_records)
     if len(cleaned) == 0:
         print("error: log is empty after cleaning", file=sys.stderr)
@@ -538,14 +582,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         hot_queries = head_queries(cleaned, args.hot_top)
     registry = _make_registry(args.metrics_out)
-    with SuggestWorkerPool.from_suggester(
+    if listen is not None and registry is None:
+        # HTTP mode always carries a registry: /metrics serves it and the
+        # shutdown summary reads it, even without --metrics-out.
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    # Explicit try/finally (not ``with``): the pool, the metrics snapshot,
+    # and the shutdown summary must all unwind on *every* exit — clean,
+    # SIGINT, or a crashed worker — not just the happy path.
+    pool = SuggestWorkerPool.from_suggester(
         suggester,
         n_workers=args.workers,
         registry=registry,
         hot_queries=hot_queries,
         hot_top=args.hot_top,
         n_shards=max(0, args.shards),
-    ) as pool:
+    )
+    try:
         if pool.n_shards:
             sizes = pool.shard_segment_bytes
             print(
@@ -572,6 +626,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{pool.profile_segment_bytes / 1e6:.1f} MB shared segment "
                 f"({pool.profile_segment_name})"
             )
+        if listen is not None:
+            return _serve_http(pool, registry, listen, args)
         start = time.perf_counter()
         for _ in range(args.rounds):
             batch = pool.suggest_many(requests)
@@ -613,12 +669,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     print("(no suggestions)")
                 for rank, suggestion in enumerate(suggestions, start=1):
                     print(f"{rank:2d}. {suggestion}")
-        if registry is not None and args.metrics_out is not None:
-            from repro.obs.export import write_json
+    finally:
+        try:
+            if registry is not None and args.metrics_out is not None:
+                from repro.obs.export import write_json
 
-            write_json(pool.merged_metrics(), args.metrics_out)
-            print(f"wrote metrics snapshot to {args.metrics_out}",
-                  file=sys.stderr)
+                write_json(pool.merged_metrics(), args.metrics_out)
+                print(f"wrote metrics snapshot to {args.metrics_out}",
+                      file=sys.stderr)
+        finally:
+            pool.close()
+    return 0
+
+
+def _serve_http(pool, registry, listen, args: argparse.Namespace) -> int:
+    """The ``repro serve --listen`` main loop (runs until SIGINT/SIGTERM)."""
+    from repro.serve.frontend import FrontendConfig, serve_until_interrupt
+
+    try:
+        frontend_config = FrontendConfig(
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            default_deadline_ms=args.deadline_ms,
+            shed_rerank_depth=args.shed_rerank_depth,
+            shed_personalize_depth=args.shed_personalize_depth,
+            reject_depth=args.reject_depth,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    def ready(host: str, port: int) -> None:
+        print(f"listening on http://{host}:{port} (Ctrl-C to stop)")
+        print("endpoints: GET/POST /suggest, /healthz, /metrics, "
+              "/metrics.json")
+
+    host, port = listen
+    serve_until_interrupt(
+        pool, host, port,
+        config=frontend_config,
+        registry=registry,
+        ready=ready,
+    )
+    served = int(registry.counter("serve.http.requests").value)
+    shed = {
+        tier: int(registry.counter(f"serve.http.shed.{tier}").value)
+        for tier in ("rerank", "personalize", "reject")
+    }
+    expired = int(registry.counter("serve.http.deadline_expired").value)
+    print(
+        f"shut down cleanly: {served} requests "
+        f"(shed: {shed['rerank']} rerank, {shed['personalize']} "
+        f"personalize, {shed['reject']} rejected; "
+        f"{expired} deadline-expired)"
+    )
     return 0
 
 

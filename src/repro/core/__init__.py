@@ -11,14 +11,22 @@ personalization — behind one ``build`` + ``suggest`` API::
 """
 
 from repro.core.config import PQSDAConfig
-from repro.core.serving import CacheStats, CompactCache, CompactEntry
+from repro.core.serving import (
+    FULL_SERVICE,
+    CacheStats,
+    CompactCache,
+    CompactEntry,
+    ShedOptions,
+)
 from repro.core.suggester import PQSDA, head_queries
 
 __all__ = [
     "CacheStats",
     "CompactCache",
     "CompactEntry",
+    "FULL_SERVICE",
     "PQSDA",
     "PQSDAConfig",
+    "ShedOptions",
     "head_queries",
 ]

@@ -42,7 +42,65 @@ from repro.graphs.compact import CompactConfig, RandomWalkExpander
 from repro.graphs.matrices import BipartiteMatrices
 from repro.obs.registry import NULL_REGISTRY
 
-__all__ = ["CacheStats", "CompactCache", "CompactEntry", "cache_key"]
+__all__ = [
+    "CacheStats",
+    "CompactCache",
+    "CompactEntry",
+    "FULL_SERVICE",
+    "ShedOptions",
+    "cache_key",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ShedOptions:
+    """Per-request degraded-service flags (the load-shedding tiers).
+
+    An overloaded front-end keeps answering by dropping the most
+    expensive pipeline stages first instead of queueing requests into
+    their deadlines.  The flags are *bypasses*, strictly cheaper and
+    strictly less faithful than full service:
+
+    Attributes:
+        skip_rerank: Bypass the hitting-time diversification rerank
+            (Algorithm 1 steps 2..K, the truncated cross-bipartite walk).
+            Candidates come back in pure Eq. 15 relevance order — still
+            relevant, no longer diversity-aware.
+        skip_personalize: Bypass the UPM profile scoring and Borda fusion;
+            profiled users get the anonymous ranking.
+
+    Tiers are cumulative (:meth:`for_tier`): tier 0 is full service,
+    tier 1 sets ``skip_rerank``, tier 2 sets both.  Tier 3 (reject) never
+    reaches the suggest path — the front-end answers 503 directly.
+    """
+
+    skip_rerank: bool = False
+    skip_personalize: bool = False
+
+    #: Highest tier that still serves (tier 3 = reject, handled upstream).
+    MAX_SERVING_TIER = 2
+
+    @classmethod
+    def for_tier(cls, tier: int) -> "ShedOptions":
+        """The cumulative flag set of shed *tier* (0, 1 or 2)."""
+        if not 0 <= tier <= cls.MAX_SERVING_TIER:
+            raise ValueError(
+                f"shed tier must be in 0..{cls.MAX_SERVING_TIER}, got {tier}"
+            )
+        return cls(skip_rerank=tier >= 1, skip_personalize=tier >= 2)
+
+    @property
+    def tier(self) -> int:
+        """The lowest tier that implies these flags."""
+        if self.skip_personalize:
+            return 2
+        if self.skip_rerank:
+            return 1
+        return 0
+
+
+#: The no-bypass default: every request runs the full pipeline.
+FULL_SERVICE = ShedOptions()
 
 
 def cache_key(

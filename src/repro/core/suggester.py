@@ -29,7 +29,12 @@ import numpy as np
 
 from repro.baselines.base import Suggester
 from repro.core.config import PQSDAConfig
-from repro.core.serving import CacheStats, CompactCache
+from repro.core.serving import (
+    FULL_SERVICE,
+    CacheStats,
+    CompactCache,
+    ShedOptions,
+)
 from repro.diversify.candidates import (
     DiversifiedSuggestions,
     diversify,
@@ -310,6 +315,7 @@ class PQSDA(Suggester):
         query: str,
         context: Sequence[QueryRecord] = (),
         timestamp: float = 0.0,
+        skip_rerank: bool = False,
     ) -> DiversifiedSuggestions:
         """The diversification component's intermediate output (Sec. VI-B).
 
@@ -318,14 +324,20 @@ class PQSDA(Suggester):
         either) the result is empty.  Under an attached epoch manager the
         request pins one epoch for its whole duration, so a concurrent
         publish can neither block it nor split it across generations.
+        *skip_rerank* is the tier-1 load-shed bypass: the hitting-time
+        selection loop is skipped and candidates come back in pure
+        Eq. 15 relevance order (see
+        :class:`~repro.core.serving.ShedOptions`).
         """
         if self._epochs is None:
             return self._diversified(
-                self._multibipartite, None, query, context, timestamp
+                self._multibipartite, None, query, context, timestamp,
+                skip_rerank,
             )
         with self._epochs.pin() as epoch:
             return self._diversified(
-                epoch.multibipartite, epoch.expander, query, context, timestamp
+                epoch.multibipartite, epoch.expander, query, context,
+                timestamp, skip_rerank,
             )
 
     def _diversified(
@@ -335,6 +347,7 @@ class PQSDA(Suggester):
         query: str,
         context: Sequence[QueryRecord],
         timestamp: float,
+        skip_rerank: bool = False,
     ) -> DiversifiedSuggestions:
         """Algorithm 1 against one consistent representation generation."""
         normalized = normalize_query(query)
@@ -356,6 +369,7 @@ class PQSDA(Suggester):
                 solver=entry.solver,
                 walker=entry.walker,
                 tracer=self._tracer,
+                skip_hitting=skip_rerank,
             )
 
         if not self._config.term_backoff:
@@ -385,6 +399,7 @@ class PQSDA(Suggester):
             solver=entry.solver,
             walker=entry.walker,
             tracer=self._tracer,
+            skip_hitting=skip_rerank,
         )
 
     def suggest(
@@ -394,16 +409,33 @@ class PQSDA(Suggester):
         user_id: str | None = None,
         context: Sequence[QueryRecord] = (),
         timestamp: float = 0.0,
+        shed: ShedOptions | int | None = None,
     ) -> list[str]:
+        """Suggest up to *k* queries for *query* (see :class:`Suggester`).
+
+        *shed* degrades the request on purpose (the front-end's
+        load-shedding tiers): pass a :class:`~repro.core.serving.ShedOptions`
+        or an integer tier (0 = full service, 1 = skip the hitting-time
+        rerank, 2 = additionally skip personalization).  ``None`` serves
+        the full pipeline.
+        """
+        if shed is None:
+            shed = FULL_SERVICE
+        elif isinstance(shed, int):
+            shed = ShedOptions.for_tier(shed)
         with self._tracer.span("suggest"):
             diversified = self.diversified_candidates(
-                query, context=context, timestamp=timestamp
+                query,
+                context=context,
+                timestamp=timestamp,
+                skip_rerank=shed.skip_rerank,
             )
             candidates = diversified.top(max(k, self._config.diversify.k))
             if not candidates:
                 return []
             if (
-                not self._config.personalize
+                shed.skip_personalize
+                or not self._config.personalize
                 or self._profiles is None
                 or user_id is None
                 or user_id not in self._profiles

@@ -117,6 +117,7 @@ def diversify(
     solver: RelevanceSolver | None = None,
     walker: CrossBipartiteWalker | None = None,
     tracer=None,
+    skip_hitting: bool = False,
 ) -> DiversifiedSuggestions:
     """Run Algorithm 1 on a compact representation's *matrices*.
 
@@ -124,7 +125,9 @@ def diversify(
     serving cache; both must have been constructed over *matrices*.
     *tracer* (a :class:`repro.obs.trace.Tracer`) wraps the Eq. 15 solve
     and the hitting-time walk in ``solve``/``walk`` spans; ``None`` uses
-    the no-op null tracer.
+    the no-op null tracer.  *skip_hitting* is the tier-1 load-shed
+    bypass: the hitting-time selection loop (steps 2..K) is skipped and
+    candidates come back in pure Eq. 15 relevance order.
     """
     if config is None:
         config = DiversifyConfig()
@@ -146,6 +149,7 @@ def diversify(
     return diversify_from_seed_vector(
         matrices, f0, excluded, normalized_input, config,
         solver=solver, walker=walker, tracer=tracer,
+        skip_hitting=skip_hitting,
     )
 
 
@@ -158,6 +162,7 @@ def diversify_from_seed_vector(
     solver: RelevanceSolver | None = None,
     walker: CrossBipartiteWalker | None = None,
     tracer=None,
+    skip_hitting: bool = False,
 ) -> DiversifiedSuggestions:
     """Algorithm 1 starting from an arbitrary seed vector ``F⁰``.
 
@@ -185,6 +190,17 @@ def diversify_from_seed_vector(
         return DiversifiedSuggestions([], {}, input_label)
     eligible = sorted(eligible, key=lambda q: (-relevance_of(q), q))
     eligible = eligible[: config.pool_size]
+
+    if skip_hitting:
+        # Tier-1 shed: pure relevance order, no hitting-time walk.  The
+        # first candidate is identical to full service (step 1 picks the
+        # relevance maximum either way); the tail loses diversity.
+        ranking = eligible[: config.k]
+        return DiversifiedSuggestions(
+            ranking=ranking,
+            relevance={q: relevance_of(q) for q in ranking},
+            input_query=input_label,
+        )
 
     # Step 1: the most relevant candidate (largest F* outside exclusions).
     first = max(eligible, key=lambda q: (relevance_of(q), q))

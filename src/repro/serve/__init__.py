@@ -11,12 +11,27 @@ views over both, route requests by query hash for cache affinity, batch
 each call into one envelope per worker, answer unpersonalized head
 queries O(1) from the hot table in the parent (profiled requests bypass
 the table — their ranking is Borda-fused per user), and swap matrix and
-profile generations through epoch-consistent handshakes.  See
-``docs/algorithms.md`` ("Scale-out serving", "Batched IPC & hot-query
-fast tier" and "Shared profile plane") for the layouts and protocols.
+profile generations through epoch-consistent handshakes;
+:mod:`repro.serve.frontend` puts an asyncio HTTP/1.1 front-end over the
+pool with micro-batching, per-request deadlines, and depth-driven tiered
+load shedding.  See ``docs/algorithms.md`` ("Scale-out serving",
+"Batched IPC & hot-query fast tier", "Shared profile plane" and "Async
+HTTP front-end") for the layouts and protocols.
 """
 
-from repro.serve.pool import PoolStats, SuggestWorkerPool, WorkerStats
+from repro.serve.frontend import (
+    FrontendConfig,
+    FrontendHandle,
+    SuggestFrontend,
+    run_in_thread,
+    serve_until_interrupt,
+)
+from repro.serve.pool import (
+    PoolStats,
+    SuggestError,
+    SuggestWorkerPool,
+    WorkerStats,
+)
 from repro.serve.profile_plane import (
     AttachedProfilePlane,
     SharedProfileMeta,
@@ -36,6 +51,8 @@ from repro.serve.shm import (
 __all__ = [
     "AttachedPlane",
     "AttachedProfilePlane",
+    "FrontendConfig",
+    "FrontendHandle",
     "PoolStats",
     "SharedHotTable",
     "SharedMatrixStore",
@@ -44,8 +61,12 @@ __all__ = [
     "SharedProfileStore",
     "SharedRepresentation",
     "SharedTermBipartite",
+    "SuggestError",
+    "SuggestFrontend",
     "SuggestWorkerPool",
     "WorkerStats",
     "attach",
     "attach_profiles",
+    "run_in_thread",
+    "serve_until_interrupt",
 ]

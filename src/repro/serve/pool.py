@@ -27,6 +27,21 @@ Routing, affinity and batched envelopes
     their batch id: envelopes surfacing late from a timed-out batch are
     drained, never matched against the next call.
 
+Concurrent callers (the front-end contract)
+    :meth:`~SuggestWorkerPool.suggest_many` is safe to call from any
+    number of threads, and overlapping calls genuinely overlap: a single
+    dispatcher thread drains the shared reply queue and correlates each
+    reply envelope to its batch by id, so a caller only waits on *its
+    own* batch's completion event — one slow batch never serializes the
+    others behind a whole-call lock.  Per-request failures inside an
+    envelope are propagated per request (``return_errors=True`` returns
+    :class:`SuggestError` placeholders; the default re-raises, matching
+    single-caller semantics), so one poisoned request cannot discard the
+    sibling results its batch already computed.  Requests carry their
+    load-shed tier (``SuggestRequest.shed``) into the envelope, which the
+    worker forwards to ``PQSDA.suggest`` — the degraded modes the HTTP
+    front-end (:mod:`repro.serve.frontend`) sheds into under load.
+
 Hot-query fast tier
     Real query streams are head-skewed.  Given ``hot_queries`` (or
     ``hot_top`` over streaming epochs), the pool precomputes the full
@@ -129,6 +144,7 @@ from repro.utils.text import normalize_query
 __all__ = [
     "PoolStats",
     "ShardedPlaneHandle",
+    "SuggestError",
     "SuggestWorkerPool",
     "WorkerStats",
 ]
@@ -216,6 +232,35 @@ class _ShardedHotView:
             self._tables[shard_id] = table
 
 
+@dataclass(frozen=True, slots=True)
+class SuggestError:
+    """Per-request failure marker returned by ``suggest_many(return_errors=True)``.
+
+    Attributes:
+        worker_id: The worker whose ``suggest`` call raised.
+        error: The worker-side traceback, formatted.
+    """
+
+    worker_id: int
+    error: str
+
+    def __str__(self) -> str:
+        return f"worker {self.worker_id} failed:\n{self.error}"
+
+
+class _PendingBatch:
+    """Parent-side completion state of one in-flight request batch."""
+
+    __slots__ = ("event", "expected", "outstanding", "replies")
+
+    def __init__(self, expected_workers, outstanding: int) -> None:
+        self.event = threading.Event()
+        self.expected = frozenset(expected_workers)
+        self.replies: dict[int, list] = {}
+        #: Requests dispatched and not yet replied (exact depth gauge).
+        self.outstanding = outstanding
+
+
 def _encode_request(request: SuggestRequest) -> tuple:
     """Primitive-tuple encoding of one request for a worker envelope.
 
@@ -232,6 +277,7 @@ def _encode_request(request: SuggestRequest) -> tuple:
             for r in request.context
         ),
         request.timestamp,
+        request.shed,
     )
 
 
@@ -361,7 +407,7 @@ def _worker_main(
                 _, batch_id, items = message
                 begin = time.perf_counter()
                 replies = []
-                for query, k, user_id, context, timestamp in items:
+                for query, k, user_id, context, timestamp, shed in items:
                     try:
                         result = pqsda.suggest(
                             query,
@@ -369,6 +415,7 @@ def _worker_main(
                             user_id=user_id,
                             context=_decode_context(context),
                             timestamp=timestamp,
+                            shed=shed,
                         )
                         replies.append((result, None))
                     except Exception:
@@ -754,12 +801,18 @@ class SuggestWorkerPool:
         self._reply_queue = context.Queue()
         self._ack_queue = context.Queue()
         # _control_lock serializes publish/stats round-trips over the ack
-        # queue; _reply_lock serializes suggest_many over the reply queue.
+        # queue.  The request path has no whole-call lock: _pending_lock
+        # only guards the batch registry that the reply dispatcher thread
+        # correlates envelopes against, so concurrent suggest_many calls
+        # overlap (each waits on its own batch's completion event).
         self._control_lock = threading.Lock()
-        self._reply_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, _PendingBatch] = {}
         self._next_batch_id = 0
         self._next_token = 0
         self._workers = []
+        self._dispatcher_stop = threading.Event()
+        self._dispatcher: threading.Thread | None = None
         try:
             for worker_id in range(n_workers):
                 process = context.Process(
@@ -782,10 +835,50 @@ class SuggestWorkerPool:
                 )
                 process.start()
                 self._workers.append(process)
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_replies,
+                name="suggest-reply-dispatcher",
+                daemon=True,
+            )
+            self._dispatcher.start()
             self._ready_info = self._collect_ready(ready_timeout)
         except Exception:
             self.close()
             raise
+
+    def _dispatch_replies(self) -> None:
+        """Reply-dispatcher loop: correlate envelopes to pending batches.
+
+        One thread owns the read side of the shared reply queue for the
+        pool's whole lifetime.  Each ``("bres", batch_id, worker_id,
+        replies)`` envelope is matched to its :class:`_PendingBatch` by
+        id and recorded; the batch's waiter is woken only when every
+        expected worker has replied.  Envelopes whose batch is no longer
+        registered (it timed out and was deregistered) are drained here —
+        the same stale-reply guarantee as before, without a whole-call
+        reply lock serializing independent batches.
+        """
+        while not self._dispatcher_stop.is_set():
+            try:
+                message = self._reply_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                continue
+            except (EOFError, OSError, ValueError):  # pragma: no cover
+                return  # queue torn down mid-shutdown
+            _, batch_id, worker_id, replies = message
+            done = False
+            with self._pending_lock:
+                pending = self._pending.get(batch_id)
+                if pending is None or worker_id not in pending.expected:
+                    # Stale envelope from a batch that timed out (and was
+                    # deregistered) in an earlier call: drain, never match.
+                    continue
+                pending.replies[worker_id] = replies
+                pending.outstanding -= len(replies)
+                done = len(pending.replies) == len(pending.expected)
+            self._m_depth.dec(len(replies))
+            if done:
+                pending.event.set()
 
     def _compute_hot_table(
         self,
@@ -1001,6 +1094,18 @@ class SuggestWorkerPool:
         return dict(self._ready_info)
 
     @property
+    def queue_depth(self) -> int:
+        """Requests dispatched to workers and not yet replied, right now.
+
+        The exact number behind the ``serve.pool.queue_depth`` gauge —
+        the admission-control signal the HTTP front-end divides by
+        :attr:`n_workers` to pick a shed tier.  Available without a
+        registry attached.
+        """
+        with self._pending_lock:
+            return sum(p.outstanding for p in self._pending.values())
+
+    @property
     def hot_entries(self) -> int:
         """Entries in the current generation's hot table (0 = tier off)."""
         hot = self._hot
@@ -1097,112 +1202,127 @@ class SuggestWorkerPool:
         )
 
     def suggest_many(
-        self, requests: Sequence[SuggestRequest]
-    ) -> list[list[str]]:
+        self,
+        requests: Sequence[SuggestRequest],
+        return_errors: bool = False,
+    ) -> list:
         """Suggestions for *requests*, in order (``suggest_batch`` semantics).
 
         Context-free requests whose query sits in the hot table are
         answered O(1) in this process; the rest are grouped by route and
         sent as one envelope per worker (one reply envelope comes back
-        per batch).  A worker-side exception re-raises here with the
-        worker traceback attached; a dead worker raises ``RuntimeError``
-        naming it instead of a generic timeout.  Reply envelopes from a
-        previously timed-out batch are drained by batch-id mismatch, so
-        a timeout cannot corrupt subsequent calls.
+        per batch).  Thread-safe and genuinely concurrent: overlapping
+        calls from different threads dispatch independently and each
+        waits only on its own batch — the reply-dispatcher thread
+        correlates envelopes by batch id, so one slow batch never stalls
+        another caller.
+
+        Error semantics: with the default ``return_errors=False`` a
+        worker-side exception re-raises here with the worker traceback
+        attached (first error wins) — the single-caller behavior.  With
+        ``return_errors=True`` each failed request's slot carries a
+        :class:`SuggestError` instead, and every sibling result that the
+        batch did compute is returned — the per-request contract the HTTP
+        front-end maps to per-request 500s.  A dead worker raises
+        ``RuntimeError`` naming it instead of a generic timeout.  Reply
+        envelopes from a previously timed-out batch are drained by
+        batch-id mismatch, so a timeout cannot corrupt subsequent calls.
         """
         requests = list(requests)
         if not requests:
             return []
         if self._closed:
             raise RuntimeError("pool is closed")
-        with self._reply_lock:
-            self._m_requests.inc(len(requests))
-            results: list = [None] * len(requests)
-            hot = self._hot
-            by_worker: dict[int, list[int]] = {}
-            hot_hits = 0
-            for position, request in enumerate(requests):
-                # The hot entry was precomputed without a context and
-                # without personalization; the ranking is k- and
-                # timestamp-independent (timestamps only weight context
-                # records), so no-context hits of any k are exact —
-                # *except* for profiled users, whose worker-side ranking
-                # is Borda-fused with their preference scores.  A hot hit
-                # for them would silently drop the fusion, so profiled
-                # requests always take the worker path.
-                if (
-                    hot is not None
-                    and not request.context
-                    and not self._personalizes(request.user_id)
-                ):
-                    ranking = hot.lookup(normalize_query(request.query))
-                    if ranking is not None:
-                        results[position] = ranking[: request.k]
-                        hot_hits += 1
-                        continue
-                by_worker.setdefault(
-                    self._route(request.query), []
-                ).append(position)
-            if hot_hits:
+        self._m_requests.inc(len(requests))
+        results: list = [None] * len(requests)
+        hot = self._hot
+        by_worker: dict[int, list[int]] = {}
+        hot_hits = 0
+        for position, request in enumerate(requests):
+            # The hot entry was precomputed without a context and
+            # without personalization; the ranking is k- and
+            # timestamp-independent (timestamps only weight context
+            # records), so no-context hits of any k are exact —
+            # *except* for profiled users, whose worker-side ranking
+            # is Borda-fused with their preference scores.  A hot hit
+            # for them would silently drop the fusion, so profiled
+            # requests always take the worker path.  (Shed tiers don't
+            # gate hot hits: a hit is O(1) either way, and its full
+            # ranking's head equals — or beats — any degraded tier's.)
+            if (
+                hot is not None
+                and not request.context
+                and not self._personalizes(request.user_id)
+            ):
+                ranking = hot.lookup(normalize_query(request.query))
+                if ranking is not None:
+                    results[position] = ranking[: request.k]
+                    hot_hits += 1
+                    continue
+            by_worker.setdefault(
+                self._route(request.query), []
+            ).append(position)
+        if hot_hits:
+            with self._pending_lock:
                 self._hot_hits_total += hot_hits
-                self._m_hot_hits.inc(hot_hits)
-            if not by_worker:
-                return results
+            self._m_hot_hits.inc(hot_hits)
+        if not by_worker:
+            return results
+        outstanding = sum(len(p) for p in by_worker.values())
+        pending = _PendingBatch(by_worker, outstanding)
+        with self._pending_lock:
             batch_id = self._next_batch_id
             self._next_batch_id += 1
-            outstanding = sum(len(p) for p in by_worker.values())
-            self._m_depth.inc(outstanding)
-            try:
-                for worker_id, positions in by_worker.items():
-                    envelope = [
-                        _encode_request(requests[position])
-                        for position in positions
-                    ]
-                    self._m_batch_size.observe(len(envelope))
-                    self._request_queues[worker_id].put(
-                        ("batch", batch_id, envelope)
+            self._pending[batch_id] = pending
+        self._m_depth.inc(outstanding)
+        try:
+            for worker_id, positions in by_worker.items():
+                envelope = [
+                    _encode_request(requests[position])
+                    for position in positions
+                ]
+                self._m_batch_size.observe(len(envelope))
+                self._request_queues[worker_id].put(
+                    ("batch", batch_id, envelope)
+                )
+            deadline = time.monotonic() + self._ack_timeout
+            while not pending.event.is_set():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    missing = pending.expected - set(pending.replies)
+                    raise TimeoutError(
+                        f"{len(missing)} worker batch replies "
+                        f"({pending.outstanding} requests) outstanding "
+                        f"after {self._ack_timeout:.0f}s"
                     )
-                pending = set(by_worker)
-                deadline = time.monotonic() + self._ack_timeout
-                while pending:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        raise TimeoutError(
-                            f"{len(pending)} worker batch replies "
-                            f"({outstanding} requests) outstanding after "
-                            f"{self._ack_timeout:.0f}s"
-                        )
-                    try:
-                        _, got_batch, worker_id, replies = (
-                            self._reply_queue.get(
-                                timeout=min(remaining, 1.0)
-                            )
-                        )
-                    except queue_module.Empty:
-                        # A dead worker can never reply — report it by
-                        # name instead of timing out anonymously.
-                        self._check_workers_alive()
-                        continue
-                    if got_batch != batch_id:
-                        # Stale envelope from a batch that timed out in
-                        # an earlier call: drain, never match.
-                        continue
-                    positions = by_worker[worker_id]
-                    for position, (result, error) in zip(positions, replies):
-                        if error is not None:
-                            raise RuntimeError(
-                                f"worker {worker_id} failed:\n{error}"
-                            )
+                if not pending.event.wait(timeout=min(remaining, 1.0)):
+                    # A dead worker can never reply — report it by
+                    # name instead of timing out anonymously.
+                    self._check_workers_alive()
+            for worker_id, positions in by_worker.items():
+                replies = pending.replies[worker_id]
+                for position, (result, error) in zip(positions, replies):
+                    if error is None:
                         results[position] = result
-                    pending.discard(worker_id)
-                    outstanding -= len(positions)
-                    self._m_depth.dec(len(positions))
-                return results
-            finally:
-                # Exact depth bookkeeping: anything that never drained
-                # (timeout/error path) comes off here, nothing else.
-                if outstanding:
-                    self._m_depth.dec(outstanding)
+                    elif return_errors:
+                        results[position] = SuggestError(worker_id, error)
+                    else:
+                        raise RuntimeError(
+                            f"worker {worker_id} failed:\n{error}"
+                        )
+            return results
+        finally:
+            # Deregister (late envelopes for this batch drain as stale)
+            # and settle the depth gauge exactly: whatever the dispatcher
+            # never drained (timeout/error path) comes off here, nothing
+            # else — the dispatcher and this finally split the decrement
+            # under the same lock, so they can never both count a reply.
+            with self._pending_lock:
+                self._pending.pop(batch_id, None)
+                undrained = pending.outstanding
+                pending.outstanding = 0
+            if undrained:
+                self._m_depth.dec(undrained)
 
     def suggest(
         self,
@@ -1721,6 +1841,9 @@ class SuggestWorkerPool:
             if process.is_alive():  # pragma: no cover - hung worker
                 process.terminate()
                 process.join(timeout=5.0)
+        self._dispatcher_stop.set()
+        if self._dispatcher is not None and self._dispatcher.is_alive():
+            self._dispatcher.join(timeout=5.0)
         if self._store is not None:
             self._store.unlink()
             self._store.close()
