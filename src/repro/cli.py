@@ -150,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shard the query side N ways: epochs carry "
                              "per-shard slices and minimal update sets "
                              "(0 = unsharded)")
+    ingest.add_argument("--fold-workers", type=int, default=0, metavar="N",
+                        help="derive per-shard slices in N persistent fold "
+                             "worker processes and pipeline epoch publishes "
+                             "with the next batch's fold; requires --shards "
+                             "(0 = serial fold)")
     ingest.add_argument("--metrics-out", default=None, metavar="JSON",
                         help="attach a metrics registry to the streaming "
                              "stack and write its snapshot here")
@@ -442,6 +447,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         from repro.graphs.shard import ShardPlan
 
         shard_plan = ShardPlan.hashed(args.shards)
+    if args.fold_workers > 0 and shard_plan is None:
+        print("error: --fold-workers requires --shards", file=sys.stderr)
+        return 1
     registry = _make_registry(args.metrics_out)
     suggester, ingestor, manager = streaming_pqsda(
         bootstrap,
@@ -454,6 +462,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         ),
         registry=registry,
         shard_plan=shard_plan,
+        fold_workers=args.fold_workers,
     )
     shard_publishes = {"epochs": 0, "updates": 0}
     if shard_plan is not None:
@@ -468,9 +477,22 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         frequency = Counter(normalize_query(r.query) for r in bootstrap)
         probe = frequency.most_common(1)[0][0]
     print(f"bootstrap: {split} records, epoch 0 published")
+    if args.fold_workers > 0:
+        print(
+            f"fold workers: {ingestor.state.fold_workers} processes, "
+            f"home shards "
+            + ", ".join(
+                f"w{wid}->{list(shards)}"
+                for wid, shards in sorted(ingestor.state.home_map.items())
+            )
+        )
     before = suggester.suggest(probe, k=args.k)
-    report = ingestor.ingest(replay(tail, speedup=args.replay))
-    after = suggester.suggest(probe, k=args.k)
+    try:
+        report = ingestor.ingest(replay(tail, speedup=args.replay))
+        after = suggester.suggest(probe, k=args.k)
+    finally:
+        if args.fold_workers > 0:
+            ingestor.state.close()
 
     print(
         f"streamed {report.records_ingested} records in "
@@ -478,6 +500,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         f"({report.records_per_second:,.0f} records/s), "
         f"{report.batches} micro-batches, "
         f"{report.epochs_published} epochs"
+    )
+    print(
+        f"timing: fold {report.fold_seconds:.2f}s "
+        f"({report.fold_records_per_second:,.0f} records/s fold-only), "
+        f"publish {report.publish_seconds:.2f}s"
     )
     epochs = manager.stats
     print(

@@ -178,9 +178,11 @@ class ShardSlice:
             subsequence of the global sorted facet order).
         gram: Kind -> home block of the global gram on local ordinals
             (closed shards only; None otherwise).
-        forward_stack / backward_stack: The local walk stacks, derived
-            from the local incidence exactly as the unsharded expander
-            derives its global stacks.
+        stacks: Optional pre-derived ``(forward, backward)`` walk stacks.
+            When ``None`` the stacks are derived lazily from the local
+            incidence on first ``forward_stack``/``backward_stack``
+            access — epochs whose slices are consumed without a walk
+            (or a segment publish) never pay for them.
     """
 
     shard_id: int
@@ -191,8 +193,22 @@ class ShardSlice:
     incidence: dict[str, sparse.csr_matrix]
     facet_names: dict[str, tuple[str, ...]]
     gram: dict[str, sparse.csr_matrix] | None
-    forward_stack: sparse.csr_matrix
-    backward_stack: sparse.csr_matrix
+    stacks: tuple[sparse.csr_matrix, sparse.csr_matrix] | None = None
+
+    @property
+    def forward_stack(self) -> sparse.csr_matrix:
+        """Local forward walk stack (derived on first access)."""
+        return self._local_stacks()[0]
+
+    @property
+    def backward_stack(self) -> sparse.csr_matrix:
+        """Local backward walk stack (derived on first access)."""
+        return self._local_stacks()[1]
+
+    def _local_stacks(self) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        if self.stacks is None:
+            object.__setattr__(self, "stacks", local_stacks(self.incidence))
+        return self.stacks
 
     @property
     def n_queries(self) -> int:
@@ -340,6 +356,9 @@ def build_shard_slices(
     plan: ShardPlan,
     multibipartite: MultiBipartite,
     previous: Mapping[int, ShardSlice] | None = None,
+    dirty_shards: set[int] | frozenset[int] | None = None,
+    row_shard: np.ndarray | None = None,
+    closed: np.ndarray | None = None,
 ) -> dict[int, ShardSlice]:
     """Slice the full plane into one :class:`ShardSlice` per shard.
 
@@ -353,14 +372,36 @@ def build_shard_slices(
     slice **object** unchanged — the identity the streaming layer uses to
     compute minimal per-shard update sets — and skips the gram/stack
     derivation for it.
+
+    *dirty_shards* restricts the derive-and-compare work to the named
+    shards: every other shard returns its *previous* slice object without
+    any row gathering.  The caller owns the invariant that non-dirty
+    shards are bit-identical to their prior slices (same rows, incidence
+    bytes, and closed flag); the streaming layer derives it from its
+    delta bookkeeping.  Requires *previous* to cover every non-dirty
+    shard.
+
+    *row_shard* (query row -> shard id, aligned with ``matrices.queries``)
+    and *closed* (per-shard closed flags) skip the O(n_queries) routing
+    pass and the O(nnz) purity scan when the caller maintains them
+    incrementally.
     """
     n_queries = matrices.n_queries
-    row_shard = np.fromiter(
-        (plan.shard_of(query) for query in matrices.queries),
-        dtype=np.intp,
-        count=n_queries,
-    )
-    closed = _closed_shards(matrices, row_shard, plan.n_shards)
+    if row_shard is None:
+        row_shard = np.fromiter(
+            (plan.shard_of(query) for query in matrices.queries),
+            dtype=np.intp,
+            count=n_queries,
+        )
+    elif len(row_shard) != n_queries:
+        raise ValueError(
+            f"row_shard covers {len(row_shard)} rows, matrices have "
+            f"{n_queries}"
+        )
+    if dirty_shards is not None and previous is None:
+        raise ValueError("dirty_shards requires previous slices")
+    if closed is None:
+        closed = _closed_shards(matrices, row_shard, plan.n_shards)
     global_names = {
         kind: multibipartite.bipartite(kind).facets for kind in BIPARTITE_KINDS
     }
@@ -374,6 +415,15 @@ def build_shard_slices(
     lookup = np.full(n_queries, -1, dtype=np.intp)
     slices: dict[int, ShardSlice] = {}
     for shard_id in range(plan.n_shards):
+        if dirty_shards is not None and shard_id not in dirty_shards:
+            prior = previous.get(shard_id)
+            if prior is None:
+                raise ValueError(
+                    f"shard {shard_id} is not dirty but has no previous "
+                    "slice to reuse"
+                )
+            slices[shard_id] = prior
+            continue
         rows = np.flatnonzero(row_shard == shard_id).astype(np.intp)
         queries = tuple(matrices.queries[int(i)] for i in rows)
         is_closed = bool(closed[shard_id])
@@ -416,7 +466,6 @@ def build_shard_slices(
                 kind: _slice_square(matrices.gram[kind], rows, lookup)
                 for kind in BIPARTITE_KINDS
             }
-        forward, backward = local_stacks(incidence)
         slices[shard_id] = ShardSlice(
             shard_id=shard_id,
             queries=queries,
@@ -426,8 +475,6 @@ def build_shard_slices(
             incidence=incidence,
             facet_names=facet_names,
             gram=gram,
-            forward_stack=forward,
-            backward_stack=backward,
         )
     return slices
 

@@ -315,8 +315,7 @@ class AttachedShard:
             incidence=incidence,
             facet_names=facet_names,
             gram=gram,
-            forward_stack=csr("stack.forward"),
-            backward_stack=csr("stack.backward"),
+            stacks=(csr("stack.forward"), csr("stack.backward")),
         )
         self.term_bipartite = None
         if meta.has_term_index:

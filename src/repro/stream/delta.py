@@ -111,6 +111,13 @@ class StreamSnapshot:
             state, first snapshot, or a delta that added queries and
             therefore renumbered global ordinals): consumers must do a
             full publish.
+        plane: Deferred global-plane handle (parallel ingest only): a
+            :class:`repro.stream.parallel.LazyEpochPlane` that stitches
+            ``matrices`` (and the epoch expander) from the slices on
+            first real use, so epochs that are only served through their
+            shard slices never pay the global gram/affinity/stack
+            derivation.  ``None`` for the serial path, whose ``matrices``
+            are already materialized.
     """
 
     log: QueryLog
@@ -120,6 +127,7 @@ class StreamSnapshot:
     shard_plan: ShardPlan | None = None
     shard_slices: dict[int, ShardSlice] | None = None
     shard_updates: dict[int, ShardSlice] | None = None
+    plane: object | None = None
 
 
 @dataclass
@@ -142,6 +150,46 @@ class _KindState:
         self.raw: sparse.csr_matrix | None = None  # raw counts, canonical
         self.new_facets: set[str] = set()  # since the last snapshot
         self.touched: set[str] = set()  # queries with edge changes
+
+
+class _ClosedTracker:
+    """Incremental per-shard closedness over the facet-purity relation.
+
+    Mirrors :func:`repro.graphs.shard._closed_shards` without its O(nnz)
+    per-snapshot scan: a ``(kind, facet)`` column is *pure* while every
+    query row incident to it lives in one shard, and a shard is closed
+    while it touches no impure column.  Edges are only ever added, so
+    impurity is monotone and each shard just counts the impure columns it
+    touches — a column's second distinct shard charges both the prior
+    owner and the joiner, and every later distinct shard charges itself.
+    """
+
+    __slots__ = ("_column_shards", "_open_counts")
+
+    def __init__(self, n_shards: int) -> None:
+        self._column_shards: dict[tuple[str, str], set[int]] = {}
+        self._open_counts = [0] * n_shards
+
+    def add(self, kind: str, facet: str, shard: int) -> None:
+        """Record an edge of *shard* into the ``(kind, facet)`` column."""
+        key = (kind, facet)
+        shards = self._column_shards.get(key)
+        if shards is None:
+            self._column_shards[key] = {shard}
+            return
+        if shard in shards:
+            return
+        if len(shards) == 1:
+            (owner,) = shards
+            self._open_counts[owner] += 1
+        shards.add(shard)
+        self._open_counts[shard] += 1
+
+    def closed_flags(self) -> np.ndarray:
+        """Per-shard closed flag, identical to ``_closed_shards`` output."""
+        return np.asarray(
+            [count == 0 for count in self._open_counts], dtype=bool
+        )
 
 
 def _merge_sorted(old: list[str], added: list[str]) -> tuple[list[str], np.ndarray]:
@@ -219,6 +267,19 @@ class StreamState:
         self._new_queries: set[str] = set()  # since the last snapshot
         self._touched: set[str] = set()  # union across kinds, ditto
         self._snapshots = 0
+        # Sharded bookkeeping kept incremental so snapshots never rescan
+        # the whole plane: query -> home shard, the shards dirtied since
+        # the last snapshot, the row -> shard array of the last snapshot,
+        # and the closedness tracker with its last published flags.
+        self._shard_cache: dict[str, int] = {}
+        self._dirty_shards: set[int] = set()
+        self._row_shard: np.ndarray | None = None
+        self._closed = (
+            _ClosedTracker(shard_plan.n_shards)
+            if shard_plan is not None
+            else None
+        )
+        self._closed_prev: np.ndarray | None = None
 
     # -- accessors -------------------------------------------------------------
 
@@ -255,6 +316,7 @@ class StreamState:
         touched: set[str] = set()
         new_queries: set[str] = set()
         new_facets: dict[str, set[str]] = {kind: set() for kind in BIPARTITE_KINDS}
+        events: list[tuple[str, str, str | None, tuple[str, ...]]] = []
         for record in records:
             self._pending.append(record)
             session_id = self._sessionize(record)
@@ -264,31 +326,62 @@ class StreamState:
             if query not in self._query_set:
                 self._query_set.add(query)
                 new_queries.add(query)
+            shard = self._shard_of(query) if self._plan is not None else None
             if record.clicked_url is not None:
-                self._add_edge("U", query, record.clicked_url, touched, new_facets)
-            self._add_edge("S", query, session_id, touched, new_facets)
-            for term in set(tokenize(query)):
-                self._add_edge("T", query, term, touched, new_facets)
+                self._add_edge(
+                    "U", query, record.clicked_url, shard, touched, new_facets
+                )
+            self._add_edge("S", query, session_id, shard, touched, new_facets)
+            terms = tuple(set(tokenize(query)))
+            for term in terms:
+                self._add_edge("T", query, term, shard, touched, new_facets)
+            events.append((query, session_id, record.clicked_url, terms))
         self._new_queries.update(new_queries)
         self._touched.update(touched)
         touched_shards: frozenset[int] = frozenset()
         if self._plan is not None:
             touched_shards = frozenset(
-                self._plan.shard_of(query) for query in touched
+                self._shard_of(query) for query in touched
             )
-        return GraphDelta(
+            self._dirty_shards.update(touched_shards)
+        delta = GraphDelta(
             n_records=len(records),
             touched_queries=frozenset(touched),
             new_queries=frozenset(new_queries),
             new_facets={k: frozenset(v) for k, v in new_facets.items()},
             touched_shards=touched_shards,
         )
+        self._after_apply(records, events, delta)
+        return delta
+
+    def _after_apply(
+        self,
+        records: list[QueryRecord],
+        events: list[tuple[str, str, str | None, tuple[str, ...]]],
+        delta: GraphDelta,
+    ) -> None:
+        """Fold hook for subclasses; *events* are the folded edge sources.
+
+        Each event is ``(query, session_id, clicked_url, terms)`` for one
+        admitted non-empty-query record, in fold order — everything a
+        remote fold worker needs to replay :meth:`apply`'s edge updates
+        without re-running the (cross-shard, per-user) sessionizer.
+        """
+
+    def _shard_of(self, query: str) -> int:
+        """Home shard of an already-normalized query, memoized."""
+        shard = self._shard_cache.get(query)
+        if shard is None:
+            shard = self._plan.shard_of(query)
+            self._shard_cache[query] = shard
+        return shard
 
     def _add_edge(
         self,
         kind: str,
         query: str,
         facet: str,
+        shard: int | None,
         touched: set[str],
         new_facets: dict[str, set[str]],
     ) -> None:
@@ -300,6 +393,8 @@ class StreamState:
         if not known:
             state.new_facets.add(facet)
             new_facets[kind].add(facet)
+        if shard is not None:
+            self._closed.add(kind, facet, shard)
 
     def _sessionize(self, record: QueryRecord) -> str:
         """Online Definition-1 segmentation; returns the record's session id.
@@ -332,15 +427,20 @@ class StreamState:
         only the touched CSR rows, applies the epoch-level iqf correction,
         and re-derives gram/affinity from the patched incidence.
         """
+        log_grew = bool(self._pending)
         self._log = self._log.extend(self._pending)
         self._pending = []
         total = self._log.total_queries
 
-        queries, old_row_pos = _merge_sorted(
-            self._queries, sorted(self._new_queries)
-        )
+        new_sorted = sorted(self._new_queries)
+        queries, old_row_pos = _merge_sorted(self._queries, new_sorted)
         old_index = {query: i for i, query in enumerate(self._queries)}
         query_index = {query: i for i, query in enumerate(queries)}
+        shard_info = None
+        if self._plan is not None:
+            shard_info = self._shard_bookkeeping(
+                queries, old_row_pos, new_sorted, log_grew
+            )
 
         incidence: dict[str, sparse.csr_matrix] = {}
         affinity: dict[str, sparse.csr_matrix] = {}
@@ -392,17 +492,31 @@ class StreamState:
         shard_updates: dict[int, ShardSlice] | None = None
         if self._plan is not None:
             previous = self._slices or None
-            shard_slices = build_shard_slices(
-                matrices, self._plan, multibipartite, previous=previous
-            )
-            if previous is not None and not had_new_queries:
-                # Unchanged shards came back as the previous epoch's very
-                # objects, so identity is the exact changed-bytes test.
-                shard_updates = {
-                    shard_id: piece
-                    for shard_id, piece in shard_slices.items()
-                    if piece is not previous.get(shard_id)
-                }
+            row_shard, closed_now, dirty = shard_info
+            if dirty is not None and not dirty:
+                # Nothing touched any shard: every slice is byte-identical
+                # by construction, so skip the per-shard work entirely.
+                shard_slices = dict(previous)
+                shard_updates = {}
+            else:
+                shard_slices = build_shard_slices(
+                    matrices,
+                    self._plan,
+                    multibipartite,
+                    previous=previous,
+                    dirty_shards=dirty,
+                    row_shard=row_shard,
+                    closed=closed_now,
+                )
+                if previous is not None and not had_new_queries:
+                    # Unchanged shards came back as the previous epoch's
+                    # very objects, so identity is the exact
+                    # changed-bytes test.
+                    shard_updates = {
+                        shard_id: piece
+                        for shard_id, piece in shard_slices.items()
+                        if piece is not previous.get(shard_id)
+                    }
             self._slices = shard_slices
         return StreamSnapshot(
             log=self._log,
@@ -413,6 +527,70 @@ class StreamState:
             shard_slices=shard_slices,
             shard_updates=shard_updates,
         )
+
+    def _shard_bookkeeping(
+        self,
+        queries: list[str],
+        old_row_pos: np.ndarray,
+        new_sorted: list[str],
+        log_grew: bool,
+    ) -> tuple[np.ndarray, np.ndarray, set[int] | None]:
+        """Row-shard map, closed flags, and dirty set for this snapshot.
+
+        ``dirty=None`` means every shard must be (re)derived: first build,
+        new queries renumbered the global rows, or a weighted epoch whose
+        ``|Q|`` growth rescaled every facet's iqf factor.  Otherwise dirty
+        is the union of the shards the applied deltas touched and the
+        shards whose closedness flipped — a foreign edge can impurify a
+        column a shard touches without touching any of its own rows, which
+        drops its cached gram.  Every other shard's slice is byte-stable,
+        the invariant :func:`build_shard_slices`'s *dirty_shards* skip
+        relies on.
+
+        Consumes the accumulated dirty set and advances the row-shard
+        cache and the previous closed flags; call exactly once per
+        snapshot, after the query merge.
+        """
+        prev_rows = self._row_shard
+        n_queries = len(queries)
+        if new_sorted and prev_rows is not None and prev_rows.size == len(
+            old_row_pos
+        ):
+            row_shard = np.empty(n_queries, dtype=np.intp)
+            row_shard[old_row_pos] = prev_rows
+            added = np.ones(n_queries, dtype=bool)
+            added[old_row_pos] = False
+            for position, query in zip(np.flatnonzero(added), new_sorted):
+                row_shard[position] = self._shard_of(query)
+        elif not new_sorted and prev_rows is not None and prev_rows.size == (
+            n_queries
+        ):
+            row_shard = prev_rows
+        else:
+            row_shard = np.fromiter(
+                (self._shard_of(query) for query in queries),
+                dtype=np.intp,
+                count=n_queries,
+            )
+        self._row_shard = row_shard
+
+        closed_now = self._closed.closed_flags()
+        flipped: set[int] = set()
+        if self._closed_prev is not None:
+            flipped = {
+                int(shard)
+                for shard in np.flatnonzero(self._closed_prev != closed_now)
+            }
+        self._closed_prev = closed_now
+        accumulated = self._dirty_shards
+        self._dirty_shards = set()
+
+        dirty: set[int] | None
+        if not self._slices or new_sorted or (self._weighted and log_grew):
+            dirty = None
+        else:
+            dirty = set(accumulated) | flipped
+        return row_shard, closed_now, dirty
 
     def _reweight(
         self,
@@ -460,6 +638,7 @@ def _patch_raw_csr(
     old_col_pos: np.ndarray,
     touched: set[str],
     bipartite: Bipartite,
+    facet_pos: dict[str, int] | None = None,
 ) -> sparse.csr_matrix:
     """New canonical raw-count CSR from the old one plus a touched set.
 
@@ -472,7 +651,8 @@ def _patch_raw_csr(
     """
     n_rows = len(queries)
     index_dtype = np.int32 if old is None else old.indices.dtype
-    facet_pos = {facet: j for j, facet in enumerate(facets)}
+    if facet_pos is None:
+        facet_pos = {facet: j for j, facet in enumerate(facets)}
 
     touched_rows = sorted(
         (query_index[query], query) for query in touched if query in query_index

@@ -1,0 +1,1001 @@
+"""Process-parallel sharded ingest: per-shard folds, lazy global planes.
+
+The serial :class:`~repro.stream.delta.StreamState` derives everything on
+one thread: fold, per-kind CSR patch, gram/affinity, walk stacks, *and*
+every shard's :class:`~repro.graphs.shard.ShardSlice`.  At production
+ingest rates the slice derivation dominates — and it is embarrassingly
+parallel, because PR 8's shard plane guarantees that disjoint micro
+batches fold into disjoint shard structures.
+
+:class:`ParallelStreamState` splits the work across a pool of persistent
+spawn-safe fold workers:
+
+* the **writer thread** keeps everything cross-shard: the online
+  sessionizer (per-user state spans shards), the raw bipartites, the
+  cumulative log, and the :class:`~repro.stream.delta.GraphDelta`
+  bookkeeping.  Each applied micro-batch is *partitioned* across the
+  pool: a worker receives only the events ``(query, session_id,
+  clicked_url, terms)`` homed on its shards — sessionization already
+  resolved, so workers never need cross-shard state.  Edge weights are
+  integer occurrence counts, and a cell only ever involves one home
+  query, so folding just a partition is bit-identical to the serial
+  per-event ``+ 1.0`` accumulation and the pool's total fold work stays
+  at one batch's worth instead of ``n_workers`` times that;
+* each **fold worker** homes one or more shards (shard ``s`` lives on
+  worker ``s % n_workers``) and keeps *zero* global state: the merged
+  facet vocabularies, the cfiqf factor arrays, and the per-shard row
+  index arrays are computed exactly once per epoch by the writer (which
+  needs them for its own bookkeeping anyway) and arrive inside the snap
+  message, replayed worker-side as pure numpy scatters.  The worker
+  mirrors exactly the per-shard share of the serial derivation:
+  home-row raw CSRs patched with the very
+  :func:`~repro.stream.delta._patch_raw_csr` the serial path uses, and
+  slice derivation (local renumber, reweight against the shipped global
+  factors, gram for closed shards).  A shard whose content is unchanged
+  answers with its id, not its bytes — the same
+  :func:`~repro.graphs.shard._slice_reusable` identity test the serial
+  ``build_shard_slices(previous=...)`` reuse runs;
+* the snapshot is **split into** :meth:`ParallelStreamState.begin_snapshot`
+  (advance the log, merge vocabularies, request slices) **and**
+  :meth:`ParallelStreamState.finish_snapshot` (collect the per-shard
+  update sets, assemble the :class:`~repro.stream.delta.StreamSnapshot`),
+  so the :class:`~repro.stream.ingest.LogIngestor` folds the *next*
+  micro-batch while workers still derive the previous epoch's slices — a
+  bounded window of one in-flight snapshot, which preserves epoch
+  ordering and :class:`~repro.stream.epoch.EpochManager` pinning
+  semantics because epoch ids are assigned at publish time on the single
+  writer thread.
+
+The global plane is **lazy**: a parallel snapshot carries a
+:class:`LazyEpochPlane` instead of materialized global matrices.  The
+stitched incidence, gram/affinity, and expander stacks are derived only
+when something actually needs the global view (a spilling walk, a
+bootstrap build); epochs that are consumed through their shard slices —
+the steady state of a sharded deployment — skip the global
+gram/affinity/stack derivation entirely, which is what turns sharded
+ingest from a throughput regression into a win even on one core.
+
+Bit-identity: every number a worker produces is computed by the same
+helper, over the same operand bytes, in the same accumulation order as
+the serial path (integer-count sums are exact in float64 regardless of
+fold order; monotone column renumbering preserves CSR entry order;
+scipy's SPA spgemm gives a closed shard's local gram the exact bytes of
+the global gram's home block).  The parallel-fold tests pin equality to
+the serial fold across worker counts, shard counts, and batch sizes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+import traceback
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.graphs.compact import RandomWalkExpander
+from repro.graphs.matrices import (
+    BipartiteMatrices,
+    _affinity_from_gram,
+    _gram_of,
+    _LazyTransitions,
+    _raw_csr,
+)
+from repro.graphs.multibipartite import BIPARTITE_KINDS, MultiBipartite
+from repro.graphs.shard import (
+    ShardPlan,
+    ShardSlice,
+    _slice_reusable,
+    stitch_slices,
+)
+from repro.graphs.weighting import iqf
+from repro.logs.sessionizer import SessionizerConfig
+from repro.logs.storage import QueryLog
+from repro.obs.registry import NULL_REGISTRY
+from repro.stream.delta import (
+    _CFIQF_EPSILON,
+    GraphDelta,
+    StreamSnapshot,
+    StreamState,
+    _merge_sorted,
+    _patch_raw_csr,
+)
+
+__all__ = ["LazyEpochPlane", "ParallelStreamState"]
+
+
+# -- lazy global plane -----------------------------------------------------------
+
+
+class LazyEpochPlane:
+    """Deferred global matrices/expander over one epoch's shard slices.
+
+    Materialization stitches the slices back into the exact global
+    incidence (see :func:`~repro.graphs.shard.stitch_slices`) and then
+    derives gram/affinity with the same helpers the serial snapshot path
+    uses — bit-identical bytes, paid only on first real use and at most
+    once (thread-safe).
+    """
+
+    def __init__(
+        self,
+        slices: dict[int, ShardSlice],
+        multibipartite: MultiBipartite,
+    ) -> None:
+        self._slices = dict(slices)
+        self.multibipartite = multibipartite
+        self._lock = threading.Lock()
+        self._matrices: BipartiteMatrices | None = None
+        self._expander: "LazyExpander | None" = None
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the global matrices have been stitched yet."""
+        return self._matrices is not None
+
+    def matrices(self) -> BipartiteMatrices:
+        """The stitched global matrices (materializing on first call)."""
+        with self._lock:
+            if self._matrices is None:
+                stitched = stitch_slices(self._slices)
+                incidence = dict(stitched.incidence)
+                gram = {
+                    kind: _gram_of(incidence[kind]) for kind in BIPARTITE_KINDS
+                }
+                affinity = {
+                    kind: _affinity_from_gram(gram[kind])
+                    for kind in BIPARTITE_KINDS
+                }
+                self._matrices = BipartiteMatrices(
+                    queries=stitched.queries,
+                    query_index=stitched.query_index,
+                    incidence=incidence,
+                    affinity=affinity,
+                    transition=_LazyTransitions(incidence),
+                    gram=gram,
+                )
+            return self._matrices
+
+    def matrices_view(self) -> "LazyPlaneMatrices":
+        """A matrices stand-in that materializes on attribute access."""
+        return LazyPlaneMatrices(self)
+
+    def expander(self) -> "LazyExpander":
+        """The epoch expander, deriving its stacks on first walk."""
+        with self._lock:
+            if self._expander is None:
+                self._expander = LazyExpander(self)
+            return self._expander
+
+
+class LazyPlaneMatrices:
+    """``BipartiteMatrices`` stand-in forwarding to a :class:`LazyEpochPlane`.
+
+    Stored as ``StreamSnapshot.matrices`` / ``Epoch.matrices`` by the
+    parallel path; the first attribute access stitches the plane, so
+    consumers that never look (per-shard epoch swaps) never pay.
+    """
+
+    __slots__ = ("_plane",)
+
+    def __init__(self, plane: LazyEpochPlane) -> None:
+        self._plane = plane
+
+    def __getattr__(self, name: str):
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return getattr(self._plane.matrices(), name)
+
+
+class LazyExpander(RandomWalkExpander):
+    """A walk expander whose global stacks are derived on first use.
+
+    ``Epoch.from_snapshot`` eagerly wraps every snapshot in an expander;
+    for parallel epochs that would force the stitched plane per publish.
+    This subclass defers the whole base ``__init__`` until a walk (or a
+    ``matrices``/``walk_stacks`` read) actually happens.
+    """
+
+    def __init__(self, plane: LazyEpochPlane) -> None:
+        self._plane = plane
+        self._force_lock = threading.Lock()
+        self._forced = False
+
+    def _force(self) -> None:
+        with self._force_lock:
+            if not self._forced:
+                RandomWalkExpander.__init__(
+                    self,
+                    self._plane.multibipartite,
+                    matrices=self._plane.matrices(),
+                )
+                self._forced = True
+
+    @property
+    def matrices(self) -> BipartiteMatrices:
+        self._force()
+        return self._matrices
+
+    @property
+    def walk_stacks(self):
+        self._force()
+        return self._forward_stack, self._backward_stack
+
+    def walk_mass(self, seeds, config):
+        self._force()
+        return RandomWalkExpander.walk_mass(self, seeds, config)
+
+    def expand(self, seeds, config=None):
+        self._force()
+        return RandomWalkExpander.expand(self, seeds, config)
+
+
+# -- fold worker (child process) --------------------------------------------------
+
+
+class _DictFacets:
+    """Duck-typed stand-in for ``Bipartite`` inside ``_patch_raw_csr``.
+
+    The patcher only calls ``facets_of(query)`` on touched rows; the
+    worker's raw edge dicts answer directly.
+    """
+
+    __slots__ = ("_edges",)
+
+    def __init__(self, edges: dict[str, dict[str, float]]) -> None:
+        self._edges = edges
+
+    def facets_of(self, query: str) -> dict[str, float]:
+        return self._edges.get(query, {})
+
+
+class _SortedPos:
+    """Read-only ``facet name -> global column`` view over a sorted array.
+
+    :func:`~repro.stream.delta._patch_raw_csr` only ever point-looks-up
+    the facets of touched rows, so a bisect per lookup beats rebuilding
+    the full position dict (``O(n_facets)``) every epoch.
+    """
+
+    __slots__ = ("_facets",)
+
+    def __init__(self, facets) -> None:
+        self._facets = facets
+
+    def __getitem__(self, name: str) -> int:
+        return bisect_left(self._facets, name)
+
+
+class _WorkerKind:
+    """One bipartite kind's worker-side mirror state."""
+
+    __slots__ = ("facets", "edges", "touched")
+
+    def __init__(self) -> None:
+        self.facets = np.empty(0, dtype=object)  # global sorted columns
+        self.edges: dict[str, dict[str, float]] = {}  # home queries only
+        self.touched: set[str] = set()  # home queries with edge changes
+
+
+class _WorkerShard:
+    """One home shard's raw CSRs and prior slice."""
+
+    __slots__ = ("shard_id", "queries", "index", "queries_t", "raw", "prior")
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        # Sorted home queries of the last snapshot, in the three shapes
+        # the derive path needs (array for merging, dict for row lookups,
+        # tuple for the slice) — kept in sync so epochs that add no home
+        # queries rebuild none of them.
+        self.queries = np.empty(0, dtype=object)
+        self.index: dict[str, int] = {}
+        self.queries_t: tuple[str, ...] = ()
+        self.raw: dict[str, object | None] = {
+            kind: None for kind in BIPARTITE_KINDS
+        }
+        self.prior: ShardSlice | None = None
+
+
+def _merge_home(
+    old: np.ndarray, added: list[str]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge sorted *added* queries into the sorted object array *old*.
+
+    Same contract as :func:`~repro.stream.delta._merge_sorted` — returns
+    ``(merged, old_pos)`` — but the element shuffling happens as numpy
+    scatters, so only the (few) added queries pay python-level string
+    comparisons instead of the whole home list re-merging every epoch.
+    """
+    n_old = old.size
+    added_arr = np.array(added, dtype=object)
+    insert_pos = np.searchsorted(old, added_arr)
+    old_pos = np.arange(n_old, dtype=np.intp)
+    old_pos += np.searchsorted(insert_pos, old_pos, side="right")
+    merged = np.empty(n_old + added_arr.size, dtype=object)
+    merged[old_pos] = old
+    merged[insert_pos + np.arange(added_arr.size, dtype=np.intp)] = added_arr
+    return merged, old_pos
+
+
+class _WorkerState:
+    """The full fold-worker state machine (runs in the child process).
+
+    A worker owns *only* its home shards' rows: the raw edge dicts, the
+    home CSRs, and the prior slices.  Everything global — the merged
+    facet column spaces, the cfiqf factor arrays, the per-shard row
+    index arrays — is computed exactly once per epoch by the writer
+    (which needs it for its own bookkeeping anyway) and arrives inside
+    the snap message, so the pool never replicates cross-shard work.
+    """
+
+    def __init__(self, home_shards: tuple[int, ...], weighted: bool) -> None:
+        self._home = tuple(home_shards)
+        self._weighted = weighted
+        self._kinds = {kind: _WorkerKind() for kind in BIPARTITE_KINDS}
+        self._shards = {s: _WorkerShard(s) for s in self._home}
+
+    def fold(self, events) -> None:
+        """Fold one micro-batch's home-shard events, in writer fold order.
+
+        Per-cell edge weights are integer occurrence counts, and a cell
+        only ever involves one home query — so folding just the events
+        homed here reproduces the serial accumulation bit for bit.
+        """
+        for query, session_id, clicked_url, terms in events:
+            if clicked_url is not None:
+                self._edge("U", query, clicked_url)
+            self._edge("S", query, session_id)
+            for term in terms:
+                self._edge("T", query, term)
+
+    def _edge(self, kind: str, query: str, facet: str) -> None:
+        state = self._kinds[kind]
+        row = state.edges.get(query)
+        if row is None:
+            row = state.edges[query] = {}
+        row[facet] = row.get(facet, 0.0) + 1.0
+        state.touched.add(query)
+
+    def snapshot(
+        self,
+        total: int,
+        closed_flags,
+        n_global: int,
+        kind_merges,
+        factors,
+        shard_rows,
+        shard_added,
+    ):
+        """Derive this worker's dirty home slices for one epoch.
+
+        All cross-shard state arrives precomputed from the writer:
+        *total* is ``log.total_queries`` (it counts records the event
+        stream excludes); *n_global* the merged global query count;
+        *kind_merges* maps kind to ``(old_col_pos, added_facets,
+        n_facets)`` — the writer's own facet vocabulary merge, replayed
+        here as a pure scatter; *factors* the per-kind global cfiqf
+        factor arrays (``None`` when unweighted); *shard_rows* /
+        *shard_added* the global row indices and new home queries of
+        each dirty home shard.  Returns ``(updates, reused, timings)``.
+        """
+        kind_info: dict[str, tuple[np.ndarray, np.ndarray, bool]] = {}
+        for kind in BIPARTITE_KINDS:
+            state = self._kinds[kind]
+            old_col_pos, added, n_facets = kind_merges[kind]
+            if added:
+                merged = np.empty(n_facets, dtype=object)
+                merged[old_col_pos] = state.facets
+                fresh_pos = np.ones(n_facets, dtype=bool)
+                fresh_pos[old_col_pos] = False
+                merged[np.flatnonzero(fresh_pos)] = added
+                state.facets = merged
+            kind_info[kind] = (state.facets, old_col_pos, bool(added))
+
+        # Non-dirty home shards still live in the *global* facet column
+        # space: renumber their raw columns through the merge so the next
+        # patch's old_col_pos composes correctly.
+        for shard_id in self._home:
+            if shard_id in shard_rows:
+                continue
+            shard = self._shards[shard_id]
+            for kind in BIPARTITE_KINDS:
+                facets, old_col_pos, grew = kind_info[kind]
+                old = shard.raw[kind]
+                if old is None or not grew:
+                    continue
+                colmap = old_col_pos.astype(old.indices.dtype)
+                shard.raw[kind] = _raw_csr(
+                    old.data,
+                    colmap[old.indices],
+                    old.indptr,
+                    (old.shape[0], len(facets)),
+                    sorted_indices=True,
+                )
+
+        facet_pos = {
+            kind: _SortedPos(kind_info[kind][0]) for kind in BIPARTITE_KINDS
+        }
+        updates: dict[int, ShardSlice] = {}
+        reused: list[int] = []
+        timings: dict[int, float] = {}
+        for shard_id in self._home:
+            rows = shard_rows.get(shard_id)
+            if rows is None:
+                continue
+            started = time.perf_counter()
+            piece, fresh = self._derive_slice(
+                shard_id,
+                rows,
+                shard_added.get(shard_id, []),
+                total,
+                bool(closed_flags[shard_id]),
+                n_global,
+                kind_info,
+                factors,
+                facet_pos,
+            )
+            if fresh:
+                updates[shard_id] = piece
+            else:
+                reused.append(shard_id)
+            timings[shard_id] = time.perf_counter() - started
+        for kind in BIPARTITE_KINDS:
+            self._kinds[kind].touched = set()
+        return updates, reused, timings
+
+    def _derive_slice(
+        self,
+        shard_id: int,
+        rows: np.ndarray,
+        added_home: list[str],
+        total: int,
+        closed: bool,
+        n_global: int,
+        kind_info,
+        factors,
+        facet_pos,
+    ) -> tuple[ShardSlice, bool]:
+        """Patch one home shard's raw rows and cut its slice.
+
+        Mirrors the serial ``build_shard_slices`` per-shard block over the
+        worker's home-row CSRs; returns ``(slice, fresh)`` where a stale
+        *fresh* means the prior slice already holds these exact bytes.
+        """
+        shard = self._shards[shard_id]
+        old_home_index = shard.index
+        if added_home:
+            home_queries, old_row_pos = _merge_home(shard.queries, added_home)
+            shard.queries = home_queries
+            shard.index = {q: i for i, q in enumerate(home_queries)}
+            shard.queries_t = tuple(home_queries)
+        else:
+            home_queries = shard.queries
+            old_row_pos = np.arange(home_queries.size, dtype=np.intp)
+        home_index = shard.index
+        queries_t = shard.queries_t
+        added_set = set(added_home)
+
+        incidence = {}
+        facet_names: dict[str, tuple[str, ...]] = {}
+        for kind in BIPARTITE_KINDS:
+            facets, old_col_pos, _ = kind_info[kind]
+            state = self._kinds[kind]
+            raw = _patch_raw_csr(
+                old=shard.raw[kind],
+                old_index=old_home_index,
+                old_row_pos=old_row_pos,
+                queries=home_queries,
+                query_index=home_index,
+                facets=facets,
+                old_col_pos=old_col_pos,
+                touched=state.touched | added_set,
+                bipartite=_DictFacets(state.edges),
+                facet_pos=facet_pos[kind],
+            )
+            shard.raw[kind] = raw
+            live = np.unique(raw.indices)
+            local_indices = np.searchsorted(live, raw.indices).astype(
+                raw.indices.dtype
+            )
+            if self._weighted:
+                # Per-entry multiply against the global factor array —
+                # the same ``raw_count * factor(column)`` float64 product
+                # the serial reweight computes for this entry.
+                data = raw.data * factors[kind][raw.indices]
+            else:
+                data = raw.data.copy()
+            incidence[kind] = _raw_csr(
+                data,
+                local_indices,
+                raw.indptr,
+                (int(rows.size), int(live.size)),
+                sorted_indices=True,
+            )
+            facet_names[kind] = tuple(facets[live])
+
+        prior = shard.prior
+        if prior is not None and _slice_reusable(
+            prior,
+            queries_t,
+            rows,
+            n_global,
+            closed,
+            incidence,
+            facet_names,
+            closed,
+        ):
+            return prior, False
+        gram = None
+        if closed:
+            gram = {
+                kind: _gram_of(incidence[kind]) for kind in BIPARTITE_KINDS
+            }
+        piece = ShardSlice(
+            shard_id=shard_id,
+            queries=queries_t,
+            rows=rows,
+            n_queries_global=n_global,
+            closed=closed,
+            incidence=incidence,
+            facet_names=facet_names,
+            gram=gram,
+        )
+        shard.prior = piece
+        return piece, True
+
+
+def _fold_worker_main(conn, home_shards, weighted) -> None:
+    """Entry point of one persistent fold worker (spawn context).
+
+    Serial loop over the duplex pipe: ``fold`` messages mutate state and
+    answer nothing; ``snap`` messages answer ``("slices", snap_id,
+    updates, reused, timings)`` or ``("error", snap_id, traceback)``.
+    Message order on the pipe is the synchronization — a snap sees
+    exactly the folds sent before it.
+    """
+    state = _WorkerState(tuple(home_shards), weighted)
+    poisoned: str | None = None
+    try:
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "stop":
+                return
+            if tag == "fold":
+                try:
+                    if poisoned is None:
+                        state.fold(message[1])
+                except Exception:  # pragma: no cover - defensive
+                    poisoned = traceback.format_exc()
+            elif tag == "snap":
+                snap_id = message[1]
+                if poisoned is not None:
+                    conn.send(("error", snap_id, poisoned))
+                    continue
+                try:
+                    updates, reused, timings = state.snapshot(
+                        *pickle.loads(message[2]), message[3], message[4]
+                    )
+                except Exception:
+                    conn.send(("error", snap_id, traceback.format_exc()))
+                else:
+                    conn.send(("slices", snap_id, updates, reused, timings))
+    except (EOFError, OSError, KeyboardInterrupt):  # writer went away
+        pass
+    finally:
+        conn.close()
+
+
+# -- writer side -----------------------------------------------------------------
+
+
+@dataclass
+class _WorkerHandle:
+    """Writer-side view of one fold worker."""
+
+    worker_id: int
+    process: object
+    conn: object
+
+
+@dataclass
+class _SnapToken:
+    """One in-flight snapshot between begin and finish."""
+
+    snap_id: int
+    log: QueryLog
+    multibipartite: MultiBipartite
+    touched_queries: frozenset[str]
+    had_new_queries: bool
+    previous: dict[int, ShardSlice]
+    awaiting: bool
+    finished: bool = field(default=False)
+
+
+class ParallelStreamState(StreamState):
+    """A :class:`StreamState` whose shard slices are derived in processes.
+
+    The writer thread owns everything cross-shard (sessionizer, raw
+    bipartites, log, delta bookkeeping); ``fold_workers`` persistent
+    spawn processes own the per-shard CSR patching and slice derivation,
+    one or more home shards each.  ``build_snapshot()`` stays drop-in
+    (begin + finish back to back); the pipelined
+    :meth:`begin_snapshot`/:meth:`finish_snapshot` split lets the ingest
+    loop overlap the next fold with the in-flight derivation — at most
+    one snapshot in flight, so epoch ordering never changes.
+
+    Snapshots carry a :class:`LazyEpochPlane` instead of materialized
+    global matrices; see the module docstring for the exact-equivalence
+    argument.
+    """
+
+    def __init__(
+        self,
+        sessionizer: SessionizerConfig | None = None,
+        weighted: bool = True,
+        shard_plan: ShardPlan | None = None,
+        fold_workers: int = 1,
+        registry=None,
+    ) -> None:
+        if shard_plan is None:
+            raise ValueError("ParallelStreamState requires a shard_plan")
+        if fold_workers < 1:
+            raise ValueError(
+                f"fold_workers must be >= 1, got {fold_workers}"
+            )
+        super().__init__(
+            sessionizer=sessionizer, weighted=weighted, shard_plan=shard_plan
+        )
+        # Per-facet occurrence counts, maintained incrementally from the
+        # fold events (integer sums — exact in float64) so the per-epoch
+        # cfiqf factor arrays never re-walk the bipartites.
+        self._pool_weights: dict[str, dict[str, float]] = {
+            kind: {} for kind in BIPARTITE_KINDS
+        }
+        n_workers = min(fold_workers, shard_plan.n_shards)
+        self._home_map = {
+            worker_id: tuple(
+                s for s in range(shard_plan.n_shards)
+                if s % n_workers == worker_id
+            )
+            for worker_id in range(n_workers)
+        }
+        context = get_context("spawn")
+        self._workers: list[_WorkerHandle] = []
+        for worker_id in range(n_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_fold_worker_main,
+                args=(
+                    child_conn,
+                    self._home_map[worker_id],
+                    weighted,
+                ),
+                daemon=True,
+                name=f"fold-worker-{worker_id}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(
+                _WorkerHandle(worker_id, process, parent_conn)
+            )
+        self._snap_id = 0
+        self._inflight: _SnapToken | None = None
+        self._closed_down = False
+        self.attach_metrics(registry)
+
+    # -- observability ----------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Bind the parallel-fold instruments (``stream.ingest.*``)."""
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self._m_workers = self._registry.gauge("stream.ingest.fold_workers")
+        self._m_workers.set(len(self._workers))
+        self._m_stalls = self._registry.counter(
+            "stream.ingest.pipeline_stalls"
+        )
+        self._m_stall_seconds = self._registry.histogram(
+            "stream.ingest.pipeline_stall_seconds"
+        )
+        self._m_shard_fold: dict[int, object] = {}
+
+    @property
+    def fold_workers(self) -> int:
+        """Number of live fold worker processes."""
+        return len(self._workers)
+
+    @property
+    def home_map(self) -> dict[int, tuple[int, ...]]:
+        """Worker id -> home shard ids."""
+        return dict(self._home_map)
+
+    def _shard_fold_histogram(self, shard_id: int):
+        histogram = self._m_shard_fold.get(shard_id)
+        if histogram is None:
+            histogram = self._registry.histogram(
+                "stream.ingest.shard_fold_seconds",
+                labels={"shard": str(shard_id)},
+            )
+            self._m_shard_fold[shard_id] = histogram
+        return histogram
+
+    # -- fold broadcast ----------------------------------------------------------
+
+    def _after_apply(self, records, events, delta: GraphDelta) -> None:
+        """Ship the batch to the pool, partitioned by home worker.
+
+        Each worker receives only the events homed on its shards — the
+        only part of a batch whose per-event order matters to it.  The
+        batch's global side (facet occurrence counts for the cfiqf
+        factors) folds into the writer's own counters here, in the same
+        pass; integer sums are exact in float64 under any grouping.  On
+        a saturated box this is what keeps the pool's total fold work at
+        one batch's worth instead of ``n_workers`` times that.
+        """
+        n_workers = len(self._workers)
+        parts: list[list] = [[] for _ in range(n_workers)]
+        if self._weighted:
+            url_weights = self._pool_weights["U"]
+            session_weights = self._pool_weights["S"]
+            term_weights = self._pool_weights["T"]
+            for event in events:
+                query, session_id, clicked_url, terms = event
+                parts[self._shard_of(query) % n_workers].append(event)
+                if clicked_url is not None:
+                    url_weights[clicked_url] = (
+                        url_weights.get(clicked_url, 0.0) + 1.0
+                    )
+                session_weights[session_id] = (
+                    session_weights.get(session_id, 0.0) + 1.0
+                )
+                for term in terms:
+                    term_weights[term] = term_weights.get(term, 0.0) + 1.0
+        else:
+            for event in events:
+                parts[self._shard_of(event[0]) % n_workers].append(event)
+        for worker, part in zip(self._workers, parts):
+            if not part:
+                continue
+            try:
+                worker.conn.send(("fold", part))
+            except (BrokenPipeError, OSError):
+                self._raise_dead(worker)
+
+    def _broadcast(self, message) -> None:
+        """Send one message to every worker, pickling it exactly once.
+
+        ``Connection.recv`` unpickles whatever bytes arrive, so
+        ``send_bytes(pickle.dumps(...))`` is wire-compatible with
+        ``send(...)`` while skipping the per-worker re-serialization of a
+        broadcast — the dominant writer-side cost of a fold fan-out.
+        """
+        payload = pickle.dumps(message)
+        for worker in self._workers:
+            try:
+                worker.conn.send_bytes(payload)
+            except (BrokenPipeError, OSError):
+                self._raise_dead(worker)
+
+    # -- pipelined snapshots -----------------------------------------------------
+
+    def begin_snapshot(self) -> _SnapToken:
+        """Advance the stream bookkeeping and request slices from workers.
+
+        Returns a token for :meth:`finish_snapshot`.  At most one snapshot
+        may be in flight; records applied after ``begin_snapshot`` belong
+        to the *next* epoch on the writer and on every worker alike (pipe
+        order is the synchronization barrier).
+        """
+        if self._inflight is not None:
+            raise RuntimeError(
+                "a snapshot is already in flight; finish it first"
+            )
+        log_grew = bool(self._pending)
+        self._log = self._log.extend(self._pending)
+        self._pending = []
+        total = self._log.total_queries
+
+        new_sorted = sorted(self._new_queries)
+        queries, old_row_pos = _merge_sorted(self._queries, new_sorted)
+        had_new_queries = bool(new_sorted)
+        row_shard, closed_now, dirty = self._shard_bookkeeping(
+            queries, old_row_pos, new_sorted, log_grew
+        )
+        kind_merges: dict[str, tuple[np.ndarray, list[str], int]] = {}
+        for kind in BIPARTITE_KINDS:
+            state = self._kinds[kind]
+            added_facets = sorted(state.new_facets)
+            state.facets, old_col_pos = _merge_sorted(
+                state.facets, added_facets
+            )
+            kind_merges[kind] = (old_col_pos, added_facets, len(state.facets))
+            state.new_facets = set()
+            state.touched = set()
+        self._queries = queries
+        touched_queries = frozenset(self._touched)
+        self._touched = set()
+        self._new_queries = set()
+        self._snapshots += 1
+
+        multibipartite = MultiBipartite(
+            {kind: self._kinds[kind].bipartite for kind in BIPARTITE_KINDS}
+        )
+        self._snap_id += 1
+        awaiting = dirty is None or bool(dirty)
+        if awaiting:
+            added_by_shard: dict[int, list[str]] = {}
+            for query in new_sorted:
+                added_by_shard.setdefault(self._shard_of(query), []).append(
+                    query
+                )
+            factors: dict[str, np.ndarray] | None = None
+            if self._weighted:
+                cap = float(total)
+                factors = {}
+                for kind in BIPARTITE_KINDS:
+                    weights = self._pool_weights[kind]
+                    facets = self._kinds[kind].facets
+                    arr = np.empty(len(facets))
+                    for j, name in enumerate(facets):
+                        count = weights[name]
+                        if count > cap:
+                            count = cap
+                        arr[j] = max(iqf(total, count), _CFIQF_EPSILON)
+                    factors[kind] = arr
+            closed_flags = tuple(bool(flag) for flag in closed_now)
+            # The global side of the snap (merges, factors, flags) is the
+            # same for every worker — pickle it once and embed the bytes,
+            # so the fan-out pays one serialization instead of one per
+            # worker.
+            common = pickle.dumps(
+                (total, closed_flags, len(queries), kind_merges, factors),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            for worker in self._workers:
+                shard_rows: dict[int, np.ndarray] = {}
+                shard_added: dict[int, list[str]] = {}
+                for shard_id in self._home_map[worker.worker_id]:
+                    if dirty is not None and shard_id not in dirty:
+                        continue
+                    shard_rows[shard_id] = np.flatnonzero(
+                        row_shard == shard_id
+                    )
+                    added_home = added_by_shard.get(shard_id)
+                    if added_home:
+                        shard_added[shard_id] = added_home
+                try:
+                    worker.conn.send(
+                        ("snap", self._snap_id, common, shard_rows, shard_added)
+                    )
+                except (BrokenPipeError, OSError):
+                    self._raise_dead(worker)
+        token = _SnapToken(
+            snap_id=self._snap_id,
+            log=self._log,
+            multibipartite=multibipartite,
+            touched_queries=touched_queries,
+            had_new_queries=had_new_queries,
+            previous=dict(self._slices),
+            awaiting=awaiting,
+        )
+        self._inflight = token
+        return token
+
+    def finish_snapshot(self, token: _SnapToken) -> StreamSnapshot:
+        """Collect the workers' update sets and assemble the snapshot."""
+        if self._inflight is not token or token.finished:
+            raise RuntimeError("finish_snapshot got a stale snapshot token")
+        self._inflight = None
+        token.finished = True
+        updates: dict[int, ShardSlice] = {}
+        if token.awaiting:
+            stall_seconds = 0.0
+            for worker in self._workers:
+                if not worker.conn.poll(0):
+                    waited = time.perf_counter()
+                    self._wait_for_reply(worker)
+                    stall_seconds += time.perf_counter() - waited
+                message = self._recv(worker)
+                if message[0] == "error":
+                    raise RuntimeError(
+                        f"fold worker {worker.worker_id} failed:\n"
+                        f"{message[2]}"
+                    )
+                if message[0] != "slices" or message[1] != token.snap_id:
+                    raise RuntimeError(
+                        f"fold worker {worker.worker_id} answered out of "
+                        f"order: {message[:2]!r} (expected snap "
+                        f"{token.snap_id})"
+                    )
+                _, _, worker_updates, reused, timings = message
+                for shard_id in reused:
+                    if shard_id not in token.previous:
+                        raise RuntimeError(
+                            f"fold worker {worker.worker_id} reused shard "
+                            f"{shard_id} the writer never saw"
+                        )
+                updates.update(worker_updates)
+                for shard_id, seconds in timings.items():
+                    self._shard_fold_histogram(shard_id).observe(seconds)
+            if stall_seconds > 0.0:
+                self._m_stalls.inc()
+                self._m_stall_seconds.observe(stall_seconds)
+
+        slices = dict(token.previous)
+        slices.update(updates)
+        if len(slices) != self._plan.n_shards:
+            raise RuntimeError(
+                f"epoch slice set covers {len(slices)} of "
+                f"{self._plan.n_shards} shards"
+            )
+        shard_updates = (
+            None if (not token.previous or token.had_new_queries) else updates
+        )
+        self._slices = slices
+        plane = LazyEpochPlane(slices, token.multibipartite)
+        return StreamSnapshot(
+            log=token.log,
+            multibipartite=token.multibipartite,
+            matrices=plane.matrices_view(),
+            touched_queries=token.touched_queries,
+            shard_plan=self._plan,
+            shard_slices=slices,
+            shard_updates=shard_updates,
+            plane=plane,
+        )
+
+    def build_snapshot(self) -> StreamSnapshot:
+        """Serial-compatible snapshot: begin and finish back to back."""
+        return self.finish_snapshot(self.begin_snapshot())
+
+    # -- worker lifecycle --------------------------------------------------------
+
+    def _wait_for_reply(self, worker: _WorkerHandle) -> None:
+        while not worker.conn.poll(0.05):
+            if not worker.process.is_alive() and not worker.conn.poll(0):
+                self._raise_dead(worker)
+
+    def _recv(self, worker: _WorkerHandle):
+        try:
+            return worker.conn.recv()
+        except (EOFError, OSError):
+            self._raise_dead(worker)
+
+    def _raise_dead(self, worker: _WorkerHandle):
+        worker.process.join(timeout=1.0)
+        code = worker.process.exitcode
+        raise RuntimeError(
+            f"fold worker {worker.worker_id} died (exit code {code}); "
+            "the stream state is stale — restart ingest from the last "
+            "published epoch"
+        )
+
+    def close(self) -> None:
+        """Stop the fold workers; the state must not be used afterwards."""
+        if self._closed_down:
+            return
+        self._closed_down = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass

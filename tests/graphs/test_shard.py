@@ -223,8 +223,6 @@ class TestPlanAndUpdates:
                     incidence=wrong.incidence,
                     facet_names=wrong.facet_names,
                     gram=wrong.gram,
-                    forward_stack=wrong.forward_stack,
-                    backward_stack=wrong.backward_stack,
                 )
             )
 

@@ -1,0 +1,442 @@
+"""Parallel ingest plane: bit-identity, pipelining, crash surfacing.
+
+The contract of :class:`repro.stream.parallel.ParallelStreamState`: at any
+worker count, shard count, and micro-batch size (including 1) the epochs
+it derives are **bit-identical** to the serial
+:class:`~repro.stream.delta.StreamState` fold over the same records — the
+per-shard slices, the minimal update sets, and (on demand, through the
+lazy plane) the stitched global matrices.  A dead fold worker surfaces as
+a named error with the state left at the last published epoch, and
+snapshots with nothing dirty skip the per-shard work entirely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.multibipartite import BIPARTITE_KINDS
+from repro.graphs.shard import ShardPlan
+from repro.logs.schema import QueryRecord
+from repro.logs.storage import QueryLog
+from repro.obs.registry import MetricsRegistry
+from repro.stream import IngestConfig, streaming_pqsda
+from repro.stream.delta import StreamState
+from repro.stream.parallel import LazyEpochPlane, ParallelStreamState
+from repro.synth.generator import GeneratorConfig, generate_log
+from repro.synth.world import make_world
+
+_T0 = 1_700_000_000.0
+
+
+@pytest.fixture(scope="module")
+def records():
+    synthetic = generate_log(
+        make_world(seed=0),
+        GeneratorConfig(n_users=24, mean_sessions_per_user=4, seed=11),
+    )
+    return sorted(
+        synthetic.log.records, key=lambda r: (r.timestamp, r.record_id)
+    )
+
+
+def _csr_equal(left, right):
+    return (
+        left.shape == right.shape
+        and np.array_equal(left.indptr, right.indptr)
+        and np.array_equal(left.indices, right.indices)
+        and np.array_equal(left.data, right.data)
+    )
+
+
+def _assert_slices_identical(serial_snap, parallel_snap, tag):
+    assert serial_snap.touched_queries == parallel_snap.touched_queries, tag
+    serial_slices = serial_snap.shard_slices
+    parallel_slices = parallel_snap.shard_slices
+    assert set(serial_slices) == set(parallel_slices), tag
+    for shard_id, expected in serial_slices.items():
+        actual = parallel_slices[shard_id]
+        assert actual.queries == expected.queries, (tag, shard_id)
+        assert np.array_equal(actual.rows, expected.rows), (tag, shard_id)
+        assert actual.closed == expected.closed, (tag, shard_id)
+        assert actual.n_queries_global == expected.n_queries_global
+        assert (actual.gram is None) == (expected.gram is None), (tag, shard_id)
+        for kind in BIPARTITE_KINDS:
+            assert actual.facet_names[kind] == expected.facet_names[kind]
+            assert _csr_equal(
+                actual.incidence[kind], expected.incidence[kind]
+            ), (tag, shard_id, kind)
+            if expected.gram is not None:
+                assert _csr_equal(actual.gram[kind], expected.gram[kind])
+        assert _csr_equal(actual.forward_stack, expected.forward_stack)
+        assert _csr_equal(actual.backward_stack, expected.backward_stack)
+    assert (serial_snap.shard_updates is None) == (
+        parallel_snap.shard_updates is None
+    ), tag
+    if serial_snap.shard_updates is not None:
+        assert set(serial_snap.shard_updates) == set(
+            parallel_snap.shard_updates
+        ), tag
+
+
+def _assert_matrices_identical(serial_snap, parallel_snap, tag):
+    expected = serial_snap.matrices
+    actual = parallel_snap.matrices  # forces the lazy plane
+    assert actual.queries == expected.queries, tag
+    for kind in BIPARTITE_KINDS:
+        assert _csr_equal(actual.incidence[kind], expected.incidence[kind])
+        assert _csr_equal(actual.gram[kind], expected.gram[kind])
+        assert _csr_equal(actual.affinity[kind], expected.affinity[kind])
+
+
+def _epoch_cuts(n_records, batch_size):
+    """Micro-batch bounds plus snapshot points (~3 epochs per run)."""
+    bounds = list(range(0, n_records, batch_size)) + [n_records]
+    batches = list(zip(bounds[:-1], bounds[1:]))
+    every = max(1, len(batches) // 3)
+    return batches, every
+
+
+class TestBitIdentity:
+    """Serial/parallel equality at every geometry the issue names."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("batch_size", [1, 256])
+    def test_identical_to_serial(
+        self, records, n_workers, n_shards, batch_size
+    ):
+        subset = records[:48] if batch_size == 1 else records
+        plan = ShardPlan.hashed(n_shards)
+        serial = StreamState(weighted=True, shard_plan=plan)
+        parallel = ParallelStreamState(
+            weighted=True, shard_plan=plan, fold_workers=n_workers
+        )
+        batches, every = _epoch_cuts(len(subset), batch_size)
+        tag = f"w{n_workers} s{n_shards} b{batch_size}"
+        try:
+            for i, (lo, hi) in enumerate(batches):
+                serial_delta = serial.apply(subset[lo:hi])
+                parallel_delta = parallel.apply(subset[lo:hi])
+                assert serial_delta == parallel_delta, (tag, i)
+                if (i + 1) % every == 0 or (lo, hi) == batches[-1]:
+                    serial_snap = serial.build_snapshot()
+                    parallel_snap = parallel.build_snapshot()
+                    _assert_slices_identical(
+                        serial_snap, parallel_snap, (tag, i)
+                    )
+            _assert_matrices_identical(serial_snap, parallel_snap, tag)
+        finally:
+            parallel.close()
+
+    def test_unweighted_minimal_updates_match(self, records):
+        """Raw-count states produce the same minimal per-shard update sets."""
+        plan = ShardPlan.hashed(4)
+        serial = StreamState(weighted=False, shard_plan=plan)
+        parallel = ParallelStreamState(
+            weighted=False, shard_plan=plan, fold_workers=2
+        )
+        cut = len(records) * 2 // 3
+        try:
+            serial.apply(records[:cut])
+            parallel.apply(records[:cut])
+            _assert_slices_identical(
+                serial.build_snapshot(), parallel.build_snapshot(), "boot"
+            )
+            for i, lo in enumerate(range(cut, len(records), 40)):
+                chunk = records[lo : lo + 40]
+                serial.apply(chunk)
+                parallel.apply(chunk)
+                serial_snap = serial.build_snapshot()
+                parallel_snap = parallel.build_snapshot()
+                _assert_slices_identical(serial_snap, parallel_snap, i)
+                if serial_snap.shard_updates is not None:
+                    # Reused shards are the previous epoch's objects on
+                    # both sides — identity, not just equality.
+                    for shard_id, piece in parallel_snap.shard_slices.items():
+                        if shard_id not in parallel_snap.shard_updates:
+                            assert piece is serial_snap.shard_slices.get(
+                                shard_id
+                            ) or _csr_equal(
+                                piece.incidence["T"],
+                                serial_snap.shard_slices[shard_id].incidence[
+                                    "T"
+                                ],
+                            )
+            _assert_matrices_identical(serial_snap, parallel_snap, "final")
+        finally:
+            parallel.close()
+
+
+class TestLazyPlane:
+    """Parallel epochs defer the global plane until something reads it."""
+
+    def test_snapshot_plane_stays_cold_until_read(self, records):
+        plan = ShardPlan.hashed(2)
+        state = ParallelStreamState(
+            weighted=False, shard_plan=plan, fold_workers=2
+        )
+        try:
+            state.apply(records[:80])
+            snapshot = state.build_snapshot()
+            assert isinstance(snapshot.plane, LazyEpochPlane)
+            assert not snapshot.plane.materialized
+            # Reading through the matrices proxy stitches exactly once.
+            n_queries = len(snapshot.matrices.queries)
+            assert snapshot.plane.materialized
+            assert n_queries == snapshot.shard_slices[0].n_queries_global
+        finally:
+            state.close()
+
+    def test_epoch_publish_does_not_force_plane(self, records):
+        from repro.stream.epoch import Epoch, EpochManager
+
+        plan = ShardPlan.hashed(2)
+        state = ParallelStreamState(
+            weighted=False, shard_plan=plan, fold_workers=1
+        )
+        try:
+            state.apply(records[:60])
+            snapshot = state.build_snapshot()
+            epoch = Epoch.from_snapshot(0, snapshot)
+            manager = EpochManager(epoch)
+            assert not snapshot.plane.materialized
+            # A walk through the epoch expander forces it lazily.
+            seeds = {snapshot.shard_slices[0].queries[0]: 1.0}
+            assert epoch.expander.expand(seeds)
+            assert snapshot.plane.materialized
+            assert manager.current() is epoch
+        finally:
+            state.close()
+
+
+class TestDirtyShortCircuit:
+    """Empty-dirty snapshots skip the per-shard derivation entirely."""
+
+    def test_untouched_snapshot_skips_slice_derivation(
+        self, records, monkeypatch
+    ):
+        plan = ShardPlan.hashed(4)
+        state = StreamState(weighted=False, shard_plan=plan)
+        state.apply(records[:80])
+        first = state.build_snapshot()
+
+        import repro.stream.delta as delta_module
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("slice derivation ran on an empty delta")
+
+        monkeypatch.setattr(delta_module, "build_shard_slices", _boom)
+        # Empty-query records grow the log but touch no shard; with raw
+        # counts that leaves every slice byte-stable.
+        state.apply(
+            [
+                QueryRecord(
+                    user_id="u-blank",
+                    query="???",
+                    timestamp=_T0,
+                    clicked_url=None,
+                )
+            ]
+        )
+        second = state.build_snapshot()
+        assert second.shard_updates == {}
+        for shard_id, piece in second.shard_slices.items():
+            assert piece is first.shard_slices[shard_id]
+
+    def test_foreign_impurity_redeives_flipped_shard(self, records):
+        """A foreign edge that opens a closed shard must dirty it."""
+        plan = ShardPlan.hashed(2)
+        serial = StreamState(weighted=False, shard_plan=plan)
+        parallel = ParallelStreamState(
+            weighted=False, shard_plan=plan, fold_workers=2
+        )
+        base = [
+            QueryRecord("u1", "alpha beam", _T0, clicked_url="http://a"),
+            QueryRecord("u2", "delta flux", _T0 + 1, clicked_url="http://d"),
+        ]
+        try:
+            for state in (serial, parallel):
+                state.apply(base)
+            _assert_slices_identical(
+                serial.build_snapshot(), parallel.build_snapshot(), "base"
+            )
+            # A new click from whichever query shares a URL across shards
+            # impurifies that column for both shards.
+            cross = [
+                QueryRecord("u1", "alpha beam", _T0 + 9, clicked_url="http://d")
+            ]
+            serial.apply(cross)
+            parallel.apply(cross)
+            serial_snap = serial.build_snapshot()
+            parallel_snap = parallel.build_snapshot()
+            _assert_slices_identical(serial_snap, parallel_snap, "cross")
+            _assert_matrices_identical(serial_snap, parallel_snap, "cross")
+        finally:
+            parallel.close()
+
+
+class TestWorkerCrash:
+    """A dead fold worker surfaces by name; published epochs survive."""
+
+    def test_dead_worker_raises_named_error(self, records):
+        plan = ShardPlan.hashed(2)
+        state = ParallelStreamState(
+            weighted=False, shard_plan=plan, fold_workers=2
+        )
+        try:
+            state.apply(records[:40])
+            state.build_snapshot()
+            state.apply(records[40:60])
+            state._workers[0].process.kill()
+            state._workers[0].process.join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="fold worker 0"):
+                state.build_snapshot()
+        finally:
+            state.close()
+
+    def test_crash_mid_ingest_keeps_last_epoch(self, records):
+        cut = len(records) // 2
+        suggester, ingestor, manager = streaming_pqsda(
+            QueryLog(tuple(records[:cut])),
+            ingest=IngestConfig(batch_size=32, clean=False),
+            shard_plan=ShardPlan.hashed(2),
+            fold_workers=2,
+        )
+        state = ingestor.state
+        try:
+            ingestor.ingest(records[cut : cut + 64])
+            published = manager.current().epoch_id
+            assert published >= 1
+            for worker in state._workers:
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="fold worker"):
+                ingestor.ingest(records[cut + 64 :])
+            # The manager still serves the last successfully published
+            # epoch; the failed snapshot never reached it.
+            assert manager.current().epoch_id == published
+        finally:
+            state.close()
+
+
+class TestPipelinedIngest:
+    """The ingestor's one-deep publish pipeline matches serial epochs."""
+
+    def test_streaming_pqsda_parallel_matches_serial(self, records):
+        cut = len(records) // 2
+        plan = ShardPlan.hashed(2)
+        runs = {}
+        for fold_workers in (0, 2):
+            suggester, ingestor, manager = streaming_pqsda(
+                QueryLog(tuple(records[:cut])),
+                ingest=IngestConfig(batch_size=48, clean=False),
+                shard_plan=plan,
+                fold_workers=fold_workers,
+            )
+            try:
+                report = ingestor.ingest(records[cut:])
+                runs[fold_workers] = (manager.current(), report)
+            finally:
+                if fold_workers:
+                    ingestor.state.close()
+        serial_epoch, serial_report = runs[0]
+        parallel_epoch, parallel_report = runs[2]
+        assert parallel_epoch.epoch_id == serial_epoch.epoch_id
+        assert parallel_report.epochs_published == (
+            serial_report.epochs_published
+        )
+        assert parallel_report.records_ingested == (
+            serial_report.records_ingested
+        )
+        assert serial_epoch.log.total_queries == (
+            parallel_epoch.log.total_queries
+        )
+        for kind in BIPARTITE_KINDS:
+            assert _csr_equal(
+                parallel_epoch.matrices.incidence[kind],
+                serial_epoch.matrices.incidence[kind],
+            )
+
+    def test_report_splits_fold_and_publish_time(self, records):
+        registry = MetricsRegistry()
+        cut = len(records) // 2
+        suggester, ingestor, manager = streaming_pqsda(
+            QueryLog(tuple(records[:cut])),
+            ingest=IngestConfig(batch_size=32, clean=False),
+            registry=registry,
+        )
+        report = ingestor.ingest(records[cut:])
+        assert report.fold_seconds > 0.0
+        assert report.publish_seconds > 0.0
+        assert report.fold_seconds + report.publish_seconds <= (
+            report.elapsed_seconds
+        )
+        assert report.fold_records_per_second > report.records_per_second
+        histogram = registry.histogram("stream.ingest.publish_seconds")
+        assert histogram.count == report.epochs_published
+
+    def test_parallel_metrics_exported(self, records):
+        registry = MetricsRegistry()
+        plan = ShardPlan.hashed(2)
+        state = ParallelStreamState(
+            weighted=False,
+            shard_plan=plan,
+            fold_workers=2,
+            registry=registry,
+        )
+        try:
+            state.apply(records[:60])
+            state.build_snapshot()
+            assert registry.gauge("stream.ingest.fold_workers").value == 2
+            observed = sum(
+                registry.histogram(
+                    "stream.ingest.shard_fold_seconds",
+                    labels={"shard": str(shard_id)},
+                ).count
+                for shard_id in range(plan.n_shards)
+            )
+            assert observed == plan.n_shards  # first build derives all
+        finally:
+            state.close()
+
+
+class TestValidation:
+    def test_requires_shard_plan(self):
+        with pytest.raises(ValueError, match="shard_plan"):
+            ParallelStreamState(shard_plan=None, fold_workers=2)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="fold_workers"):
+            ParallelStreamState(
+                shard_plan=ShardPlan.hashed(2), fold_workers=0
+            )
+
+    def test_workers_capped_by_shards(self, records):
+        state = ParallelStreamState(
+            weighted=False, shard_plan=ShardPlan.hashed(2), fold_workers=8
+        )
+        try:
+            assert state.fold_workers == 2
+            assert sorted(
+                shard
+                for shards in state.home_map.values()
+                for shard in shards
+            ) == [0, 1]
+        finally:
+            state.close()
+
+    def test_streaming_pqsda_fold_workers_requires_plan(self, records):
+        with pytest.raises(ValueError, match="shard_plan"):
+            streaming_pqsda(QueryLog(tuple(records[:10])), fold_workers=2)
+
+    def test_double_begin_rejected(self, records):
+        state = ParallelStreamState(
+            weighted=False, shard_plan=ShardPlan.hashed(2), fold_workers=1
+        )
+        try:
+            state.apply(records[:20])
+            token = state.begin_snapshot()
+            with pytest.raises(RuntimeError, match="in flight"):
+                state.begin_snapshot()
+            state.finish_snapshot(token)
+        finally:
+            state.close()
